@@ -1,0 +1,45 @@
+"""Fig 4a — loss-formulation ablation.
+
+Paper ordering: log-residual < log < naive proportional error, with the
+proportional loss unable to reach reasonable error at all.
+"""
+
+import numpy as np
+
+from repro.eval import format_series_table, percent
+
+from conftest import emit, error_pair
+
+VARIANTS = {
+    "Log-Residual": dict(objective="log_residual"),
+    "Log Objective": dict(objective="log"),
+    "Naive Proportional": dict(objective="proportional"),
+}
+
+
+def test_fig04a_loss_ablation(benchmark, zoo, scale):
+    def run():
+        iso_series = {name: [] for name in VARIANTS}
+        int_series = {name: [] for name in VARIANTS}
+        for fraction in scale.fractions:
+            per_variant = {name: ([], []) for name in VARIANTS}
+            for rep in range(scale.replicates):
+                split = zoo.split(fraction, rep)
+                for name, overrides in VARIANTS.items():
+                    model = zoo.pitot(fraction, rep, **overrides)
+                    iso, intf = error_pair(model, split)
+                    per_variant[name][0].append(iso)
+                    per_variant[name][1].append(intf)
+            for name in VARIANTS:
+                iso_series[name].append(percent(np.mean(per_variant[name][0])))
+                int_series[name].append(percent(np.mean(per_variant[name][1])))
+        x = [f"{int(f*100)}%" for f in scale.fractions]
+        return "\n\n".join([
+            format_series_table("train", x, iso_series,
+                                title="Fig 4a (MAPE, without interference)"),
+            format_series_table("train", x, int_series,
+                                title="Fig 4a (MAPE, with interference)"),
+        ])
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig04a_loss_ablation", table)

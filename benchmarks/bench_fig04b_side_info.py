@@ -1,0 +1,28 @@
+"""Fig 4b (and uncropped Fig 9a) — side-information ablation.
+
+Paper: all features best, especially at low data; platform features have
+the larger marginal impact (similar devices exist in the cluster); no
+features is far worse when little data is observed.
+"""
+
+from conftest import emit, sweep_error_tables
+
+VARIANTS = {
+    "All Features": dict(),
+    "Platform Only": dict(use_workload_features=False),
+    "Workload Only": dict(use_platform_features=False),
+    "No Features": dict(use_workload_features=False, use_platform_features=False),
+}
+
+
+def test_fig04b_side_info(benchmark, zoo, scale):
+    def run():
+        return sweep_error_tables(
+            zoo, scale,
+            lambda name, fraction, rep: zoo.pitot(fraction, rep, **VARIANTS[name]),
+            list(VARIANTS),
+            title="Fig 4b/9a: workload & platform feature ablation",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig04b_side_info", table)

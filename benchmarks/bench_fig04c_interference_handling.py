@@ -1,0 +1,28 @@
+"""Fig 4c — interference-handling ablation.
+
+Paper: ignore suffers everywhere (interference gets averaged into all
+predictions); discard has a low floor without interference but cannot
+predict interference at all; interference-aware wins on interference and
+matches/beats discard without interference at low data.
+"""
+
+from conftest import emit, sweep_error_tables
+
+VARIANTS = {
+    "Interference-Aware": dict(interference_mode="aware"),
+    "Discard": dict(interference_mode="discard"),
+    "Ignore": dict(interference_mode="ignore"),
+}
+
+
+def test_fig04c_interference_handling(benchmark, zoo, scale):
+    def run():
+        return sweep_error_tables(
+            zoo, scale,
+            lambda name, fraction, rep: zoo.pitot(fraction, rep, **VARIANTS[name]),
+            list(VARIANTS),
+            title="Fig 4c: interference handling",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig04c_interference_handling", table)

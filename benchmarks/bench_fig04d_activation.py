@@ -1,0 +1,26 @@
+"""Fig 4d — interference activation ablation.
+
+Paper: the LeakyReLU activation on the summed interference magnitude
+(Eq. 9) gives a modest but significant improvement over the simple
+multiplicative (identity-activation) model, mostly on interference data.
+"""
+
+from conftest import emit, sweep_error_tables
+
+VARIANTS = {
+    "With Activation": dict(interference_activation="leaky_relu"),
+    "Simple Multiplicative": dict(interference_activation="identity"),
+}
+
+
+def test_fig04d_activation(benchmark, zoo, scale):
+    def run():
+        return sweep_error_tables(
+            zoo, scale,
+            lambda name, fraction, rep: zoo.pitot(fraction, rep, **VARIANTS[name]),
+            list(VARIANTS),
+            title="Fig 4d: activation for multiple interfering workloads",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig04d_activation", table)

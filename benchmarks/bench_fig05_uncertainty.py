@@ -1,0 +1,55 @@
+"""Fig 5 — bound tightness of Pitot's CQR vs naive approaches.
+
+At the middle train split, for miscoverage rates ε = 0.1 … 0.02:
+Pitot (CQR + optimal quantile choice) ≤ naive CQR (ξ = 1−ε) ≤
+non-quantile (split conformal on the squared-loss model), with the gap
+growing at small ε.
+"""
+
+import numpy as np
+
+from repro.core import PAPER_QUANTILES
+from repro.eval import format_series_table, percent
+
+from conftest import emit, margin_pair
+
+
+def test_fig05_uncertainty(benchmark, zoo, scale):
+    fraction = scale.fractions[len(scale.fractions) // 2]
+
+    def run():
+        methods = ["Pitot", "Naive CQR", "Non-quantile"]
+        iso = {m: [[] for _ in scale.epsilons] for m in methods}
+        intf = {m: [[] for _ in scale.epsilons] for m in methods}
+        for rep in range(scale.replicates):
+            split = zoo.split(fraction, rep)
+            q_model = zoo.pitot_quantile(fraction, rep)
+            sq_model = zoo.pitot(fraction, rep)
+            predictors = {
+                "Pitot": zoo.conformal(q_model, fraction, rep, "pitot",
+                                       quantiles=PAPER_QUANTILES),
+                "Naive CQR": zoo.conformal(q_model, fraction, rep, "naive_cqr",
+                                           quantiles=PAPER_QUANTILES),
+                "Non-quantile": zoo.conformal(sq_model, fraction, rep, "split"),
+            }
+            for method, cp in predictors.items():
+                for e_idx, eps in enumerate(scale.epsilons):
+                    bound = cp.predict_bound_dataset(split.test, eps)
+                    m_iso, m_int = margin_pair(bound, split)
+                    iso[method][e_idx].append(m_iso)
+                    intf[method][e_idx].append(m_int)
+        x = [str(e) for e in scale.epsilons]
+        iso_series = {m: [percent(np.mean(v)) for v in iso[m]] for m in methods}
+        int_series = {m: [percent(np.mean(v)) for v in intf[m]] for m in methods}
+        return "\n\n".join([
+            format_series_table(
+                "eps", x, iso_series,
+                title=f"Fig 5 (bound tightness, without interference, "
+                      f"{int(fraction*100)}% split)"),
+            format_series_table(
+                "eps", x, int_series,
+                title="Fig 5 (bound tightness, with interference)"),
+        ])
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig05_uncertainty", table)

@@ -1,0 +1,27 @@
+"""Fig 6a (and uncropped Fig 9b) — prediction error vs baselines.
+
+Paper: Pitot < Attention ≈ Neural Network ≪ Matrix Factorization at every
+split; MF exceeds 75% error (cropped out of Fig 6a); attention beats the
+plain NN on interference.
+"""
+
+from conftest import emit, sweep_error_tables
+
+
+def test_fig06a_baseline_error(benchmark, zoo, scale):
+    def model_for(name, fraction, rep):
+        if name == "Pitot":
+            return zoo.pitot(fraction, rep)
+        kind = {"Neural Network": "nn", "Attention": "attention",
+                "Matrix Factorization": "mf"}[name]
+        return zoo.baseline(kind, fraction, rep)
+
+    def run():
+        return sweep_error_tables(
+            zoo, scale, model_for,
+            ["Pitot", "Neural Network", "Attention", "Matrix Factorization"],
+            title="Fig 6a/9b: comparison against baselines",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig06a_baseline_error", table)

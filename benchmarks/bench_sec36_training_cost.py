@@ -1,0 +1,73 @@
+"""Sec 3.6 — training and inference cost.
+
+Paper: 111,200 parameters, ≈400 Kflops per inference call, 11.5 s median
+training (12.1 s with quantile heads) on an RTX 4090. We report the
+CPU-NumPy equivalents: parameter count at paper architecture, per-step
+training time, and per-call inference time (these are the only benches
+where wall-clock, not output, is the result).
+"""
+
+import numpy as np
+
+from repro.core import PitotConfig, PitotModel, PitotTrainer, TrainerConfig
+from repro.eval import format_table
+
+from conftest import emit
+
+
+def test_sec36_parameter_count(benchmark, bench_dataset):
+    """Paper-architecture parameter count (paper: 111,200)."""
+
+    def build():
+        return PitotModel(
+            bench_dataset.workload_features,
+            bench_dataset.platform_features,
+            PitotConfig(),  # r=32, q=1, s=2, hidden 128x128
+            np.random.default_rng(0),
+        )
+
+    model = benchmark.pedantic(build, rounds=1, iterations=1)
+    n = model.num_parameters()
+    table = format_table(
+        ["quantity", "paper", "ours"],
+        [["parameters", "111,200", f"{n:,}"]],
+        title="Sec 3.6: model size at paper architecture",
+    )
+    emit("sec36_parameter_count", table)
+    # Same order of magnitude; exact count depends on feature dims.
+    assert 30_000 < n < 400_000
+
+
+def test_sec36_training_step(benchmark, zoo, scale):
+    """Wall-clock of one optimizer step at bench scale."""
+    split = zoo.split(scale.fractions[0], 0)
+    model = PitotModel(
+        split.train.workload_features,
+        split.train.platform_features,
+        PitotConfig(hidden=scale.pitot_hidden, embedding_dim=scale.embedding_dim),
+        np.random.default_rng(0),
+    )
+    trainer = PitotTrainer(
+        model,
+        TrainerConfig(steps=1, batch_per_degree=scale.batch_per_degree, seed=0),
+    )
+
+    def one_step():
+        trainer.fit(split.train, None)
+
+    benchmark.pedantic(one_step, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_sec36_inference_call(benchmark, zoo, scale):
+    """Per-call prediction latency (paper: ~400Kflops per call)."""
+    model = zoo.pitot(scale.fractions[0], 0)
+    split = zoo.split(scale.fractions[0], 0)
+    test = split.test
+    w = test.w_idx[:256]
+    p = test.p_idx[:256]
+    k = test.interferers[:256]
+
+    benchmark.pedantic(
+        lambda: model.predict_runtime(w, p, k),
+        rounds=10, iterations=1, warmup_rounds=2,
+    )

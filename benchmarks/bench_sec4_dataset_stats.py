@@ -1,0 +1,46 @@
+"""Sec 4 — dataset statistics at paper scale.
+
+Paper: 53,637 isolation + 357,333 interference observations (98,957
+2-way, 139,208 3-way, 119,168 4-way) over 249 workloads and 24 devices;
+4-way yields fewer usable observations than 3-way because whole-set
+crashes and per-member timeouts grow with degree (App C.3).
+"""
+
+from repro.cluster import collect_dataset
+from repro.eval import format_table
+
+from conftest import emit
+
+PAPER = {
+    "n_workloads": 249,
+    "n_platforms": 231,
+    "n_isolation": 53_637,
+    "n_interference": 357_333,
+    "n_2way": 98_957,
+    "n_3way": 139_208,
+    "n_4way": 119_168,
+}
+
+
+def test_sec4_dataset_stats(benchmark):
+    def run():
+        # Always paper scale: the full campaign takes seconds.
+        return collect_dataset(seed=0).summary()
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [key, f"{PAPER.get(key, '-'):,}" if key in PAPER else "-",
+         f"{value:,}"]
+        for key, value in summary.items()
+    ]
+    table = format_table(
+        ["statistic", "paper", "simulated"],
+        rows,
+        title="Sec 4: dataset statistics (paper testbed vs simulated cluster)",
+    )
+    emit("sec4_dataset_stats", table)
+
+    # Shape assertions: same ordering of per-degree counts as the paper.
+    assert summary["n_3way"] > summary["n_2way"]
+    assert summary["n_3way"] > summary["n_4way"]
+    assert summary["n_interference"] > 5 * summary["n_isolation"]

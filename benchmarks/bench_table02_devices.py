@@ -1,0 +1,25 @@
+"""Table 2 — cluster device inventory (24 devices, 14 microarchitectures)."""
+
+from repro.eval import format_table
+from repro.platforms import DEVICES
+
+from conftest import emit
+
+
+def test_table02_devices(benchmark):
+    def run():
+        rows = [
+            [d.name, d.vendor, d.cpu, d.microarch, d.isa.value,
+             f"{d.ghz:.2f}GHz", str(d.cores)]
+            for d in DEVICES
+        ]
+        return format_table(
+            ["device", "vendor", "cpu", "uarch", "isa", "freq", "cores"],
+            rows,
+            title=f"Table 2: cluster devices (n={len(DEVICES)}, "
+                  f"{len({d.microarch for d in DEVICES})} microarchitectures)",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table02_devices", table)
+    assert len(DEVICES) == 24

@@ -1,0 +1,24 @@
+"""Table 3 — WebAssembly runtimes (5 families, 10 configurations)."""
+
+from repro.eval import format_table
+from repro.platforms import RUNTIMES
+
+from conftest import emit
+
+
+def test_table03_runtimes(benchmark):
+    def run():
+        rows = [
+            [r.name, r.family, r.mode.value, f"{10**r.log10_slowdown:.1f}x"]
+            for r in RUNTIMES
+        ]
+        return format_table(
+            ["config", "family", "mode", "slowdown vs best AOT"],
+            rows,
+            title="Table 3: WebAssembly runtime configurations "
+                  f"(n={len(RUNTIMES)}; interpreted/AOT/JIT)",
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table03_runtimes", table)
+    assert len(RUNTIMES) == 10

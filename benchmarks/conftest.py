@@ -1,0 +1,309 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one paper table/figure (see DESIGN.md §4). Two
+grid scales:
+
+* ``fast`` (default): miniature cluster, 2 train fractions, ≤2 replicates,
+  proportionally shrunken architectures (Pitot towers 64×64, baselines
+  128×128 — preserving the paper's 2× relative sizing), shortened
+  training. Runs the full suite in tens of minutes on 2 CPU cores.
+* ``full`` (``REPRO_SCALE=full``): the paper's grid — 249 workloads × 220
+  platforms, 10–90% fractions, 5 replicates, 128-unit towers, 20k steps.
+  GPU-scale; provided for completeness.
+
+Trained models and splits are memoized per session so benches that share a
+configuration (e.g. Figs 6a/6b/11) do not retrain.
+
+Result tables are printed and archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AttentionBaseline,
+    BaselineTrainer,
+    MatrixFactorizationBaseline,
+    NeuralNetworkBaseline,
+)
+from repro.cluster import collect_dataset, make_split
+from repro.conformal import ConformalRuntimePredictor
+from repro.core import PAPER_QUANTILES, PitotConfig, TrainerConfig, train_pitot
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One experiment-grid preset."""
+
+    name: str
+    # dataset
+    n_workloads: int | None
+    n_devices: int | None
+    n_runtimes: int | None
+    sets_per_degree: int
+    # protocol
+    fractions: tuple[float, ...]
+    replicates: int
+    epsilons: tuple[float, ...]
+    # architecture / training
+    pitot_hidden: tuple[int, ...]
+    baseline_hidden: tuple[int, ...]
+    embedding_dim: int
+    steps: int
+    steps_quantile: int
+    steps_baseline: int
+    batch_per_degree: int
+    mf_learning_rate: float
+
+
+FAST = BenchScale(
+    name="fast",
+    n_workloads=60,
+    n_devices=8,
+    n_runtimes=5,
+    sets_per_degree=40,
+    fractions=(0.3, 0.6),
+    replicates=2,
+    epsilons=(0.1, 0.08, 0.06, 0.04, 0.02),
+    pitot_hidden=(64, 64),
+    baseline_hidden=(128, 128),
+    embedding_dim=32,
+    steps=800,
+    steps_quantile=600,
+    steps_baseline=400,
+    batch_per_degree=256,
+    mf_learning_rate=0.02,
+)
+
+FULL = BenchScale(
+    name="full",
+    n_workloads=None,
+    n_devices=None,
+    n_runtimes=None,
+    sets_per_degree=250,
+    fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    replicates=5,
+    epsilons=(0.1, 0.09, 0.08, 0.07, 0.06, 0.05, 0.04, 0.03, 0.02, 0.01),
+    pitot_hidden=(128, 128),
+    baseline_hidden=(256, 256),
+    embedding_dim=32,
+    steps=20_000,
+    steps_quantile=20_000,
+    steps_baseline=20_000,
+    batch_per_degree=512,
+    mf_learning_rate=1e-3,
+)
+
+
+def current_scale() -> BenchScale:
+    return FULL if os.environ.get("REPRO_SCALE", "fast") == "full" else FAST
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(scale):
+    """The collected runtime dataset used by every experiment bench."""
+    return collect_dataset(
+        seed=0,
+        n_workloads=scale.n_workloads,
+        n_devices=scale.n_devices,
+        n_runtimes=scale.n_runtimes,
+        sets_per_degree=scale.sets_per_degree,
+    )
+
+
+class ModelZoo:
+    """Session-level cache of splits and trained predictors."""
+
+    def __init__(self, dataset, scale: BenchScale) -> None:
+        self.dataset = dataset
+        self.scale = scale
+        self._splits: dict = {}
+        self._models: dict = {}
+
+    # ------------------------------------------------------------------
+    def split(self, fraction: float, replicate: int):
+        key = (round(fraction, 3), replicate)
+        if key not in self._splits:
+            self._splits[key] = make_split(
+                self.dataset, fraction, seed=1000 * replicate + 7
+            )
+        return self._splits[key]
+
+    def _trainer_config(self, steps: int, seed: int) -> TrainerConfig:
+        return TrainerConfig(
+            steps=steps,
+            eval_every=max(steps // 8, 50),
+            batch_per_degree=self.scale.batch_per_degree,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def pitot(self, fraction: float, replicate: int, **config_overrides):
+        """Train (or fetch) a squared-loss Pitot variant.
+
+        Models are keyed by the *resolved* config, so e.g. the four
+        Fig 10 sweeps share one training for the paper-default point.
+        """
+        cfg = dict(
+            hidden=self.scale.pitot_hidden,
+            embedding_dim=self.scale.embedding_dim,
+        )
+        cfg.update(config_overrides)
+        key = ("pitot", tuple(sorted(cfg.items())),
+               round(fraction, 3), replicate)
+        if key not in self._models:
+            split = self.split(fraction, replicate)
+            self._models[key] = train_pitot(
+                split.train,
+                split.calibration,
+                model_config=PitotConfig(**cfg),
+                trainer_config=self._trainer_config(self.scale.steps, replicate),
+            ).model
+        return self._models[key]
+
+    def pitot_quantile(self, fraction: float, replicate: int,
+                       **config_overrides):
+        """Train (or fetch) the multi-quantile Pitot."""
+        cfg = dict(
+            hidden=self.scale.pitot_hidden,
+            embedding_dim=self.scale.embedding_dim,
+            quantiles=PAPER_QUANTILES,
+        )
+        cfg.update(config_overrides)
+        key = ("pitot-q", tuple(sorted(cfg.items())),
+               round(fraction, 3), replicate)
+        if key not in self._models:
+            split = self.split(fraction, replicate)
+            self._models[key] = train_pitot(
+                split.train,
+                split.calibration,
+                model_config=PitotConfig(**cfg),
+                trainer_config=self._trainer_config(
+                    self.scale.steps_quantile, replicate
+                ),
+            ).model
+        return self._models[key]
+
+    # ------------------------------------------------------------------
+    def baseline(self, kind: str, fraction: float, replicate: int):
+        """Train (or fetch) one of the Sec 5.3 baselines."""
+        key = (kind, round(fraction, 3), replicate)
+        if key not in self._models:
+            split = self.split(fraction, replicate)
+            ds = self.dataset
+            rng = np.random.default_rng(replicate + 17)
+            if kind == "mf":
+                model = MatrixFactorizationBaseline(
+                    ds.n_workloads, ds.n_platforms, rng,
+                    rank=self.scale.embedding_dim,
+                )
+                config = TrainerConfig(
+                    steps=self.scale.steps_baseline,
+                    eval_every=max(self.scale.steps_baseline // 8, 50),
+                    batch_per_degree=self.scale.batch_per_degree,
+                    learning_rate=self.scale.mf_learning_rate,
+                    seed=replicate,
+                )
+            else:
+                cls = NeuralNetworkBaseline if kind == "nn" else AttentionBaseline
+                model = cls(
+                    ds.workload_features, ds.platform_features, rng,
+                    hidden=self.scale.baseline_hidden,
+                )
+                config = self._trainer_config(self.scale.steps_baseline, replicate)
+            BaselineTrainer(model, config).fit(split.train, split.calibration)
+            self._models[key] = model
+        return self._models[key]
+
+    # ------------------------------------------------------------------
+    def conformal(self, model, fraction: float, replicate: int,
+                  strategy: str, quantiles=None,
+                  epsilons: tuple[float, ...] | None = None):
+        """Calibrate a conformal wrapper on the split's calibration set."""
+        cp = ConformalRuntimePredictor(model, quantiles=quantiles,
+                                       strategy=strategy)
+        cp.calibrate(
+            self.split(fraction, replicate).calibration,
+            epsilons=epsilons or self.scale.epsilons,
+        )
+        return cp
+
+
+@pytest.fixture(scope="session")
+def zoo(bench_dataset, scale) -> ModelZoo:
+    return ModelZoo(bench_dataset, scale)
+
+
+def error_pair(model, split) -> tuple[float, float]:
+    """Test MAPE (without interference, with interference) for a model."""
+    from repro.eval import mape
+
+    test = split.test
+    pred = model.predict_runtime(test.w_idx, test.p_idx, test.interferers)
+    iso = test.isolation_mask()
+    return (
+        mape(pred[iso], test.runtime[iso]),
+        mape(pred[~iso], test.runtime[~iso]),
+    )
+
+
+def margin_pair(bound, split) -> tuple[float, float]:
+    """Test overprovisioning margin (without, with interference)."""
+    from repro.eval import overprovision_margin
+
+    test = split.test
+    iso = test.isolation_mask()
+    return (
+        overprovision_margin(bound[iso], test.runtime[iso]),
+        overprovision_margin(bound[~iso], test.runtime[~iso]),
+    )
+
+
+def sweep_error_tables(zoo, scale, model_for, names, title: str) -> str:
+    """Shared Fig 4/6a harness: MAPE series over train fractions.
+
+    ``model_for(name, fraction, replicate)`` returns a fitted predictor;
+    returns the two per-interference tables the paper plots.
+    """
+    from repro.eval import format_series_table, percent
+
+    iso_series = {name: [] for name in names}
+    int_series = {name: [] for name in names}
+    for fraction in scale.fractions:
+        sums = {name: ([], []) for name in names}
+        for rep in range(scale.replicates):
+            split = zoo.split(fraction, rep)
+            for name in names:
+                iso, intf = error_pair(model_for(name, fraction, rep), split)
+                sums[name][0].append(iso)
+                sums[name][1].append(intf)
+        for name in names:
+            iso_series[name].append(percent(float(np.mean(sums[name][0]))))
+            int_series[name].append(percent(float(np.mean(sums[name][1]))))
+    x = [f"{int(f * 100)}%" for f in scale.fractions]
+    return "\n\n".join([
+        format_series_table("train", x, iso_series,
+                            title=f"{title} (MAPE, without interference)"),
+        format_series_table("train", x, int_series,
+                            title=f"{title} (MAPE, with interference)"),
+    ])
+
+
+def emit(name: str, table: str) -> None:
+    """Print a result table and archive it under benchmarks/results/."""
+    print(f"\n{table}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")

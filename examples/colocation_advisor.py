@@ -1,0 +1,87 @@
+"""Co-location advisor: which workloads can safely share a platform?
+
+Uses Pitot's interference model (Sec 3.4) the way an edge operator would:
+given a primary latency-sensitive workload pinned to a platform, rank
+candidate background workloads by the predicted slowdown they inflict, and
+inspect the platform's learned interference matrix norm (Fig 12d) to find
+contention-tolerant hardware.
+
+    python examples/colocation_advisor.py
+"""
+
+import numpy as np
+
+from repro import (
+    PitotConfig,
+    TrainerConfig,
+    collect_dataset,
+    make_split,
+    train_pitot,
+)
+from repro.analysis import interference_spectral_norms
+
+
+def main() -> None:
+    print("collecting dataset + training Pitot...")
+    dataset = collect_dataset(
+        seed=0, n_workloads=60, n_devices=8, n_runtimes=5, sets_per_degree=40
+    )
+    split = make_split(dataset, train_fraction=0.6, seed=0)
+    model = train_pitot(
+        split.train, split.calibration,
+        model_config=PitotConfig(hidden=(64, 64)),
+        trainer_config=TrainerConfig(steps=800, batch_per_degree=256, seed=0),
+    ).model
+
+    # ------------------------------------------------------------------
+    # 1. Rank co-runner candidates for a pinned primary workload.
+    # ------------------------------------------------------------------
+    primary, platform = 10, 5
+    candidates = [w for w in range(dataset.n_workloads) if w != primary]
+    alone = model.predict_runtime(np.array([primary]), np.array([platform]))[0]
+    co = np.array([[c, -1, -1] for c in candidates])
+    paired = model.predict_runtime(
+        np.full(len(candidates), primary),
+        np.full(len(candidates), platform),
+        co,
+    )
+    slowdown = paired / alone
+    order = np.argsort(slowdown)
+
+    print(f"\nprimary: {dataset.workloads[primary].name} on "
+          f"{dataset.platforms[platform].name} "
+          f"(predicted {alone*1e3:.2f} ms alone)")
+    print("\n  safest co-runners (predicted slowdown):")
+    for idx in order[:5]:
+        print(f"    {dataset.workloads[candidates[idx]].name:42s} "
+              f"{slowdown[idx]:.3f}x")
+    print("  most harmful co-runners:")
+    for idx in order[-5:]:
+        print(f"    {dataset.workloads[candidates[idx]].name:42s} "
+              f"{slowdown[idx]:.3f}x")
+
+    # ------------------------------------------------------------------
+    # 2. Which platforms tolerate contention? (learned ||F_j||, Fig 12d)
+    # ------------------------------------------------------------------
+    norms = interference_spectral_norms(model.interference_matrices())
+    order = np.argsort(norms)
+    print("\nmost contention-tolerant platforms (smallest learned ||F_j||):")
+    for j in order[:5]:
+        print(f"    {dataset.platforms[j].name:36s} ||F|| = {norms[j]:.2f}")
+    print("most contention-prone platforms:")
+    for j in order[-5:]:
+        print(f"    {dataset.platforms[j].name:36s} ||F|| = {norms[j]:.2f}")
+
+    # ------------------------------------------------------------------
+    # 3. Validate one recommendation against the simulator's ground truth.
+    # ------------------------------------------------------------------
+    best = candidates[int(np.argsort(slowdown)[0])]
+    worst = candidates[int(np.argsort(slowdown)[-1])]
+    print(f"\nsanity check vs observed data: pairing with "
+          f"'{dataset.workloads[best].benchmark}' predicted "
+          f"{slowdown.min():.3f}x vs '{dataset.workloads[worst].benchmark}' "
+          f"{slowdown.max():.3f}x")
+
+
+if __name__ == "__main__":
+    main()

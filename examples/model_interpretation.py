@@ -1,0 +1,88 @@
+"""Model interpretation: embedding clusters and interference structure.
+
+Reproduces the analyses behind Sec 5.4 / App D.4 interactively: t-SNE
+layouts of workload/platform embeddings with cluster-purity scores, and
+the learned-vs-measured interference correlation (Fig 12d) — an ASCII
+scatter stands in for the paper's plots.
+
+    python examples/model_interpretation.py
+"""
+
+import numpy as np
+
+from repro import (
+    PitotConfig,
+    TrainerConfig,
+    collect_dataset,
+    make_split,
+    train_pitot,
+)
+from repro.analysis import cluster_report, norm_vs_interference, tsne
+
+
+def ascii_scatter(x, y, labels, width=60, height=16):
+    """Minimal ASCII scatter plot with one glyph per label."""
+    glyphs = "ox+*#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    lx = (x - x.min()) / max(x.max() - x.min(), 1e-12)
+    ly = (y - y.min()) / max(y.max() - y.min(), 1e-12)
+    unique = sorted(set(labels))
+    for xi, yi, label in zip(lx, ly, labels):
+        row = height - 1 - int(yi * (height - 1))
+        col = int(xi * (width - 1))
+        grid[row][col] = glyphs[unique.index(label) % len(glyphs)]
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={u}" for i, u in enumerate(unique)
+    )
+    return "\n".join("".join(row) for row in grid) + "\n" + legend
+
+
+def main() -> None:
+    print("collecting dataset + training Pitot...")
+    dataset = collect_dataset(
+        seed=0, n_workloads=60, n_devices=8, n_runtimes=5, sets_per_degree=40
+    )
+    split = make_split(dataset, train_fraction=0.6, seed=0)
+    model = train_pitot(
+        split.train, split.calibration,
+        model_config=PitotConfig(hidden=(64, 64)),
+        trainer_config=TrainerConfig(steps=1000, batch_per_degree=256, seed=0),
+    ).model
+
+    # --- Fig 7: workload embeddings by suite --------------------------
+    suites = [w.suite for w in dataset.workloads]
+    layout = tsne(model.workload_embeddings(), perplexity=15, n_iter=350, seed=0)
+    report = cluster_report(layout, np.array(suites), k=5, seed=0)
+    print("\nFig 7 — workload embedding t-SNE by benchmark suite "
+          f"(kNN agreement {report['agreement']:.2f}, "
+          f"null {report['null_mean']:.2f}, {report['sigma']:.1f} sigma):")
+    print(ascii_scatter(layout[:, 0], layout[:, 1], suites))
+
+    # --- Fig 12b: platform embeddings by runtime mode ------------------
+    modes = [p.runtime.mode.value for p in dataset.platforms]
+    p_layout = tsne(model.platform_embeddings(), perplexity=8, n_iter=350, seed=0)
+    p_report = cluster_report(p_layout, np.array(modes), k=4, seed=0)
+    print("\nFig 12b — platform embedding t-SNE by execution mode "
+          f"(kNN agreement {p_report['agreement']:.2f}, "
+          f"{p_report['sigma']:.1f} sigma):")
+    print(ascii_scatter(p_layout[:, 0], p_layout[:, 1], modes))
+
+    # --- Fig 12d: learned vs measured interference ---------------------
+    result = norm_vs_interference(model.interference_matrices(), dataset)
+    valid = ~np.isnan(result["measured"])
+    print(f"\nFig 12d — learned ||F_j|| vs measured mean interference "
+          f"(pearson {result['pearson']:.2f}, "
+          f"spearman {result['spearman']:.2f}):")
+    isa = [dataset.platforms[j].device.isa.value
+           for j in np.flatnonzero(valid)]
+    print(ascii_scatter(
+        np.log10(np.maximum(result["norms"][valid], 1e-3)),
+        result["measured"][valid],
+        isa,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Quickstart: collect a dataset, train Pitot, predict runtimes + bounds.
+
+Runs in ~1 minute on a laptop (miniature cluster, shortened training).
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    PAPER_QUANTILES,
+    ConformalRuntimePredictor,
+    PitotConfig,
+    TrainerConfig,
+    collect_dataset,
+    coverage,
+    make_split,
+    mape,
+    overprovision_margin,
+    train_pitot,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Collect a runtime dataset from the simulated cluster (Sec 4).
+    #    Full scale is collect_dataset(seed=0); the miniature arguments
+    #    keep this example fast.
+    # ------------------------------------------------------------------
+    print("collecting dataset from the simulated cluster...")
+    dataset = collect_dataset(
+        seed=0, n_workloads=60, n_devices=8, n_runtimes=5, sets_per_degree=40
+    )
+    print(f"  {dataset.summary()}")
+
+    # 50% of observations available, 80/20 train/calibration (Sec 5.1).
+    split = make_split(dataset, train_fraction=0.5, seed=0)
+
+    # ------------------------------------------------------------------
+    # 2. Train the squared-loss Pitot for point predictions (Secs 3.2-3.4).
+    # ------------------------------------------------------------------
+    print("training Pitot (point prediction)...")
+    result = train_pitot(
+        split.train,
+        split.calibration,
+        model_config=PitotConfig(hidden=(64, 64)),
+        trainer_config=TrainerConfig(steps=800, batch_per_degree=256, seed=0),
+    )
+    model = result.model
+
+    test = split.test
+    pred = model.predict_runtime(test.w_idx, test.p_idx, test.interferers)
+    iso = test.isolation_mask()
+    print(f"  MAPE without interference: {mape(pred[iso], test.runtime[iso]):.1%}")
+    print(f"  MAPE with interference:    {mape(pred[~iso], test.runtime[~iso]):.1%}")
+
+    # A single prediction: workload 3 on platform 7 next to workloads 11, 19.
+    w, p = np.array([3]), np.array([7])
+    alone = model.predict_runtime(w, p)[0]
+    crowded = model.predict_runtime(w, p, np.array([[11, 19, -1]]))[0]
+    name = dataset.workloads[3].name
+    plat = dataset.platforms[7].name
+    print(f"  {name} on {plat}: {alone*1e3:.2f} ms alone, "
+          f"{crowded*1e3:.2f} ms next to 2 co-runners "
+          f"({crowded/alone:.2f}x slowdown)")
+
+    # ------------------------------------------------------------------
+    # 3. Train the quantile version and conformalize for runtime budgets
+    #    (Sec 3.5): bounds that hold with probability >= 1 - epsilon.
+    # ------------------------------------------------------------------
+    print("training Pitot (quantile heads) + conformal calibration...")
+    q_result = train_pitot(
+        split.train,
+        split.calibration,
+        model_config=PitotConfig(hidden=(64, 64), quantiles=PAPER_QUANTILES),
+        trainer_config=TrainerConfig(steps=600, batch_per_degree=192, seed=0),
+    )
+    predictor = ConformalRuntimePredictor(
+        q_result.model, quantiles=PAPER_QUANTILES, strategy="pitot"
+    ).calibrate(split.calibration, epsilons=(0.1, 0.05))
+
+    for eps in (0.1, 0.05):
+        bound = predictor.predict_bound_dataset(test, eps)
+        print(f"  eps={eps}: coverage {coverage(bound, test.runtime):.3f} "
+              f"(target >= {1-eps}), overprovisioning margin "
+              f"{overprovision_margin(bound, test.runtime):.1%}")
+
+    budget = predictor.predict_bound(w, p, np.array([[11, 19, -1]]), 0.05)[0]
+    print(f"  95%-confidence runtime budget for {name} with 2 co-runners: "
+          f"{budget*1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Pitot — interference-aware edge runtime prediction with conformal
+matrix completion (MLSys 2025 reproduction).
+
+Public API tour
+---------------
+Dataset (simulated heterogeneous WebAssembly cluster, Sec 4)::
+
+    from repro import collect_dataset, make_split
+    dataset = collect_dataset(seed=0)          # paper-scale campaign
+    split = make_split(dataset, train_fraction=0.5, seed=0)
+
+Point prediction (Secs 3.2–3.4)::
+
+    from repro import PitotConfig, TrainerConfig, train_pitot
+    result = train_pitot(split.train, split.calibration)
+    seconds = result.model.predict_runtime(w_idx, p_idx, interferers)
+
+Runtime bounds (Sec 3.5)::
+
+    from repro import PAPER_QUANTILES, PitotConfig, ConformalRuntimePredictor
+    result = train_pitot(split.train, split.calibration,
+                         model_config=PitotConfig(quantiles=PAPER_QUANTILES))
+    bounds = (ConformalRuntimePredictor(result.model, PAPER_QUANTILES)
+              .calibrate(split.calibration, epsilons=(0.05,))
+              .predict_bound(w_idx, p_idx, interferers, epsilon=0.05))
+
+Sub-packages: :mod:`repro.nn` (autograd substrate), :mod:`repro.workloads`,
+:mod:`repro.platforms`, :mod:`repro.cluster` (simulator), :mod:`repro.core`
+(Pitot), :mod:`repro.conformal`, :mod:`repro.baselines`, :mod:`repro.eval`,
+:mod:`repro.analysis`.
+"""
+
+from .baselines import (
+    AttentionBaseline,
+    BaselineTrainer,
+    MatrixFactorizationBaseline,
+    NeuralNetworkBaseline,
+)
+from .cluster import (
+    ClusterCollector,
+    CollectionConfig,
+    DataSplit,
+    GroundTruthPerformanceModel,
+    PerformanceModelConfig,
+    RuntimeDataset,
+    collect_dataset,
+    make_cluster,
+    make_split,
+    replicate_splits,
+)
+from .conformal import ConformalRuntimePredictor, OnlineConformalizer, conformal_offset
+from .core import (
+    PAPER_QUANTILES,
+    LinearScalingBaseline,
+    PitotConfig,
+    PitotModel,
+    PitotTrainer,
+    TrainerConfig,
+    TrainingResult,
+    train_pitot,
+)
+from .core.serialization import load_model, save_model
+from .eval import coverage, mape, overprovision_margin
+from .orchestration import (
+    AdmissionController,
+    PlacementProblem,
+    flow_placement,
+    greedy_placement,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # cluster / data
+    "RuntimeDataset",
+    "GroundTruthPerformanceModel",
+    "PerformanceModelConfig",
+    "ClusterCollector",
+    "CollectionConfig",
+    "collect_dataset",
+    "make_cluster",
+    "DataSplit",
+    "make_split",
+    "replicate_splits",
+    # core
+    "PitotConfig",
+    "TrainerConfig",
+    "PitotModel",
+    "PitotTrainer",
+    "TrainingResult",
+    "train_pitot",
+    "LinearScalingBaseline",
+    "PAPER_QUANTILES",
+    "save_model",
+    "load_model",
+    # conformal
+    "ConformalRuntimePredictor",
+    "OnlineConformalizer",
+    "conformal_offset",
+    # baselines
+    "MatrixFactorizationBaseline",
+    "NeuralNetworkBaseline",
+    "AttentionBaseline",
+    "BaselineTrainer",
+    # orchestration
+    "PlacementProblem",
+    "greedy_placement",
+    "flow_placement",
+    "AdmissionController",
+    # metrics
+    "mape",
+    "overprovision_margin",
+    "coverage",
+]

@@ -1,0 +1,30 @@
+"""Interpretability & dataset analysis: t-SNE (Figs 7/12a-c), cluster
+quantification, interference-matrix norms (Fig 12d), slowdown histograms
+(Fig 1)."""
+
+from .anomaly import AnomalyReport, detect_anomalies, knn_outlier_scores
+from .embeddings import cluster_report, knn_label_agreement, label_centroid_spread
+from .histograms import SlowdownHistogram, interference_slowdowns, slowdown_histograms
+from .interference_analysis import (
+    interference_spectral_norms,
+    measured_mean_interference,
+    norm_vs_interference,
+)
+from .tsne import pairwise_sq_distances, tsne
+
+__all__ = [
+    "tsne",
+    "AnomalyReport",
+    "detect_anomalies",
+    "knn_outlier_scores",
+    "pairwise_sq_distances",
+    "knn_label_agreement",
+    "label_centroid_spread",
+    "cluster_report",
+    "SlowdownHistogram",
+    "interference_slowdowns",
+    "slowdown_histograms",
+    "interference_spectral_norms",
+    "measured_mean_interference",
+    "norm_vs_interference",
+]

@@ -1,0 +1,58 @@
+"""Embedding-based anomaly detection (the Sec 5.4 downstream task).
+
+The paper notes the learned embeddings "could be used for downstream
+tasks such as clustering or anomaly detection". This module implements
+the anomaly half: a kNN-distance outlier score over workload or platform
+embeddings, flagging entities whose performance behaviour is unlike any
+of their peers — e.g. a platform with failing thermals, or a mislabeled
+workload whose binary changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tsne import pairwise_sq_distances
+
+__all__ = ["AnomalyReport", "knn_outlier_scores", "detect_anomalies"]
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """Scores plus the flagged indices for one entity population."""
+
+    scores: np.ndarray
+    threshold: float
+    anomalies: np.ndarray  # indices, descending score
+
+
+def knn_outlier_scores(embeddings: np.ndarray, k: int = 5) -> np.ndarray:
+    """Mean distance to the k nearest neighbors, per entity.
+
+    Scale-normalized by the population median so scores are comparable
+    across embedding spaces: a score of 3 means "3x the typical
+    neighborhood radius".
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    n = embeddings.shape[0]
+    if n <= k:
+        raise ValueError(f"need more than k={k} entities, got {n}")
+    dist = np.sqrt(pairwise_sq_distances(embeddings))
+    np.fill_diagonal(dist, np.inf)
+    knn = np.sort(dist, axis=1)[:, :k].mean(axis=1)
+    scale = max(float(np.median(knn)), 1e-12)
+    return knn / scale
+
+
+def detect_anomalies(
+    embeddings: np.ndarray,
+    k: int = 5,
+    threshold: float = 2.5,
+) -> AnomalyReport:
+    """Flag entities whose normalized kNN radius exceeds ``threshold``."""
+    scores = knn_outlier_scores(embeddings, k=k)
+    flagged = np.flatnonzero(scores > threshold)
+    order = flagged[np.argsort(-scores[flagged])]
+    return AnomalyReport(scores=scores, threshold=threshold, anomalies=order)

@@ -1,0 +1,84 @@
+"""Embedding interpretability analysis (Sec 5.4 / App D.4).
+
+The paper shows t-SNE plots of workload embeddings colored by benchmark
+suite (Fig 7) and platform embeddings colored by runtime / µarch
+(Fig 12b–c). Plots cannot be rendered in this harness, so cluster
+structure is additionally *quantified*: a k-nearest-neighbor label
+agreement score (how often a point's embedding neighbors share its label)
+that exceeds the shuffled-label baseline when the claimed clusters exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tsne import pairwise_sq_distances
+
+__all__ = ["knn_label_agreement", "cluster_report", "label_centroid_spread"]
+
+
+def knn_label_agreement(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    k: int = 5,
+) -> float:
+    """Mean fraction of each point's k nearest neighbors sharing its label.
+
+    1.0 = perfectly clustered by label; the chance level is each label's
+    prevalence (≈ max label share for a majority label).
+    """
+    labels = np.asarray(labels)
+    n = len(labels)
+    if n <= k:
+        raise ValueError(f"need more than k={k} points, got {n}")
+    dist = pairwise_sq_distances(np.asarray(embeddings, dtype=np.float64))
+    np.fill_diagonal(dist, np.inf)
+    neighbor_idx = np.argpartition(dist, k, axis=1)[:, :k]
+    agreement = labels[neighbor_idx] == labels[:, None]
+    return float(agreement.mean())
+
+
+def label_centroid_spread(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Between-centroid variance share (0..1, higher = better separated)."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    overall = embeddings.mean(axis=0)
+    total = float(np.sum((embeddings - overall) ** 2))
+    if total <= 0:
+        return 0.0
+    between = 0.0
+    for label in np.unique(labels):
+        members = embeddings[labels == label]
+        between += len(members) * float(np.sum((members.mean(axis=0) - overall) ** 2))
+    return between / total
+
+
+def cluster_report(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    k: int = 5,
+    n_shuffles: int = 20,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Agreement score vs a shuffled-label null distribution.
+
+    Returns the observed kNN agreement, the null mean, and the gap in
+    null standard deviations ("sigma") — the quantitative stand-in for
+    "we can observe a clear clustering" (Fig 7).
+    """
+    labels = np.asarray(labels)
+    observed = knn_label_agreement(embeddings, labels, k=k)
+    rng = np.random.default_rng(seed)
+    null = np.array(
+        [
+            knn_label_agreement(embeddings, rng.permutation(labels), k=k)
+            for _ in range(n_shuffles)
+        ]
+    )
+    null_std = max(float(null.std()), 1e-9)
+    return {
+        "agreement": observed,
+        "null_mean": float(null.mean()),
+        "null_std": null_std,
+        "sigma": (observed - float(null.mean())) / null_std,
+    }

@@ -1,0 +1,72 @@
+"""Interference-matrix analysis (Fig 12d).
+
+The spectral norm ‖F_j‖₂ of Pitot's learned per-platform interference
+matrix bounds the worst-case pairwise interference on platform j (Eq. 15).
+The paper validates the interference model by showing ‖F_j‖₂ correlates
+positively with each platform's *measured* mean interference slowdown;
+this module computes both sides of that plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..cluster.dataset import RuntimeDataset
+
+__all__ = [
+    "interference_spectral_norms",
+    "measured_mean_interference",
+    "norm_vs_interference",
+]
+
+
+def interference_spectral_norms(interference_matrices: np.ndarray) -> np.ndarray:
+    """‖F_j‖₂ per platform from a ``(Np, r, r)`` stack."""
+    return np.linalg.norm(interference_matrices, ord=2, axis=(1, 2))
+
+
+def measured_mean_interference(dataset: RuntimeDataset) -> np.ndarray:
+    """Mean log10 interference slowdown observed per platform.
+
+    Slowdown of each interference observation is measured against the
+    platform/workload pair's isolation mean (as in Fig 1); platforms with
+    no usable interference observations get ``NaN``.
+    """
+    iso_mean = dataset.isolation_mean_log10()
+    mask = dataset.interference_mask()
+    base = iso_mean[dataset.w_idx[mask], dataset.p_idx[mask]]
+    valid = ~np.isnan(base)
+    slowdown = np.log10(dataset.runtime[mask][valid]) - base[valid]
+    plats = dataset.p_idx[mask][valid]
+
+    sums = np.bincount(plats, weights=slowdown, minlength=dataset.n_platforms)
+    counts = np.bincount(plats, minlength=dataset.n_platforms)
+    with np.errstate(invalid="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+
+def norm_vs_interference(
+    interference_matrices: np.ndarray,
+    dataset: RuntimeDataset,
+) -> dict[str, float | np.ndarray]:
+    """The Fig 12d scatter: learned ‖F_j‖₂ vs measured interference.
+
+    Returns both series plus their Pearson and Spearman correlations over
+    platforms with valid measurements. The paper's claim is a positive
+    correlation.
+    """
+    norms = interference_spectral_norms(interference_matrices)
+    measured = measured_mean_interference(dataset)
+    valid = ~np.isnan(measured)
+    if valid.sum() < 3:
+        raise ValueError("need at least 3 platforms with interference data")
+    pearson = float(np.corrcoef(norms[valid], measured[valid])[0, 1])
+    spearman = float(stats.spearmanr(norms[valid], measured[valid]).statistic)
+    return {
+        "norms": norms,
+        "measured": measured,
+        "pearson": pearson,
+        "spearman": spearman,
+        "n_platforms": int(valid.sum()),
+    }

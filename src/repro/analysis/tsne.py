@@ -1,0 +1,113 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) in NumPy.
+
+Used for the qualitative embedding visualizations of Fig 7 and Fig 12a–c.
+scikit-learn is unavailable offline, so this is a from-scratch exact
+implementation: perplexity calibration by per-point binary search over
+Gaussian bandwidths, symmetrized affinities, Student-t low-dimensional
+kernel, gradient descent with momentum and early exaggeration.
+
+The populations here are small (≤ 250 points), so the O(n²) exact
+gradient is more than fast enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tsne", "pairwise_sq_distances"]
+
+
+def pairwise_sq_distances(x: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance matrix, zero diagonal."""
+    sq = np.sum(x**2, axis=1)
+    d = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d, 0.0)
+    return np.maximum(d, 0.0)
+
+
+def _conditional_probabilities(
+    distances: np.ndarray, perplexity: float, tol: float = 1e-5, max_iter: int = 60
+) -> np.ndarray:
+    """Row-stochastic affinities with per-row entropy = log(perplexity)."""
+    n = distances.shape[0]
+    target = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(distances[i], i)
+        lo, hi = 1e-20, 1e20
+        beta = 1.0
+        for _ in range(max_iter):
+            logits = -row * beta
+            logits -= logits.max()
+            expd = np.exp(logits)
+            sum_expd = expd.sum()
+            probs = expd / sum_expd
+            # Shannon entropy of the conditional distribution.
+            entropy = -np.sum(probs * np.log(np.maximum(probs, 1e-300)))
+            if abs(entropy - target) < tol:
+                break
+            if entropy > target:
+                lo = beta
+                beta = beta * 2.0 if hi >= 1e20 else 0.5 * (beta + hi)
+            else:
+                hi = beta
+                beta = beta / 2.0 if lo <= 1e-20 else 0.5 * (beta + lo)
+        p[i, np.arange(n) != i] = probs
+    return p
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    n_iter: int = 500,
+    learning_rate: float | None = None,
+    early_exaggeration: float = 12.0,
+    exaggeration_iter: int = 120,
+    momentum: float = 0.8,
+    seed: int = 0,
+) -> np.ndarray:
+    """Embed ``x`` (n, d) into ``n_components`` dimensions.
+
+    Deterministic given ``seed``. Perplexity is clipped to (n−1)/3 as
+    usual for small populations. ``learning_rate=None`` uses the
+    "auto" heuristic ``max(n / early_exaggeration, 10)`` (Belkina et al.,
+    2019) — fixed large rates diverge on small populations.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 4:
+        raise ValueError("t-SNE needs at least 4 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    if learning_rate is None:
+        learning_rate = max(n / early_exaggeration, 10.0)
+
+    cond = _conditional_probabilities(pairwise_sq_distances(x), perplexity)
+    p = (cond + cond.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    y = rng.normal(0.0, 1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    p_run = p * early_exaggeration
+    for it in range(n_iter):
+        if it == exaggeration_iter:
+            p_run = p
+        dist = pairwise_sq_distances(y)
+        inv = 1.0 / (1.0 + dist)
+        np.fill_diagonal(inv, 0.0)
+        q = np.maximum(inv / inv.sum(), 1e-12)
+
+        # Exact gradient: 4 Σ_j (p_ij − q_ij)(y_i − y_j)/(1 + |y_i−y_j|²)
+        coef = (p_run - q) * inv
+        grad = 4.0 * ((np.diag(coef.sum(axis=1)) - coef) @ y)
+
+        # Delta-bar-delta gains, as in the reference implementation.
+        gains = np.where(np.sign(grad) != np.sign(velocity), gains + 0.2, gains * 0.8)
+        gains = np.maximum(gains, 0.01)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0, keepdims=True)
+    return y

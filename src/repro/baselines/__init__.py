@@ -1,0 +1,16 @@
+"""Baseline predictors of Sec 5.3: pure matrix factorization,
+neural-network base+multiplier, and single-headed attention."""
+
+from .attention import AttentionBaseline
+from .base import BaselineModel, BaselineTrainer, BaselineTrainingResult
+from .matrix_factorization import MatrixFactorizationBaseline
+from .neural_network import NeuralNetworkBaseline
+
+__all__ = [
+    "BaselineModel",
+    "BaselineTrainer",
+    "BaselineTrainingResult",
+    "MatrixFactorizationBaseline",
+    "NeuralNetworkBaseline",
+    "AttentionBaseline",
+]

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main flows for shell use:
+
+* ``collect`` — run the simulated cluster campaign, save an ``.npz`` dataset;
+* ``train`` — fit Pitot on a saved dataset, save the model;
+* ``evaluate`` — MAPE / coverage / margin of a saved model on a dataset;
+* ``predict`` — runtime (and optional budget) for one workload/platform
+  pair with co-runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .cluster import RuntimeDataset, collect_dataset, make_split
+from .conformal import ConformalRuntimePredictor
+from .core import (
+    PAPER_QUANTILES,
+    PitotConfig,
+    TrainerConfig,
+    load_model,
+    save_model,
+    train_pitot,
+)
+from .eval import coverage, mape, overprovision_margin
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pitot: interference-aware edge runtime prediction "
+                    "(MLSys 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("collect", help="run the simulated collection campaign")
+    p.add_argument("output", help="output .npz dataset path")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workloads", type=int, default=None,
+                   help="subsample the 249-workload population")
+    p.add_argument("--devices", type=int, default=None)
+    p.add_argument("--runtimes", type=int, default=None)
+    p.add_argument("--sets-per-degree", type=int, default=250)
+
+    p = sub.add_parser("train", help="train Pitot on a saved dataset")
+    p.add_argument("dataset", help=".npz dataset from `collect`")
+    p.add_argument("output", help="output .npz model path")
+    p.add_argument("--fraction", type=float, default=0.8,
+                   help="training fraction (rest is held-out test)")
+    p.add_argument("--steps", type=int, default=2000)
+    p.add_argument("--hidden", type=int, nargs="+", default=[128, 128])
+    p.add_argument("--embedding-dim", type=int, default=32)
+    p.add_argument("--quantiles", action="store_true",
+                   help="train the multi-quantile (bound-predicting) model")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("evaluate", help="evaluate a saved model")
+    p.add_argument("model", help=".npz model from `train`")
+    p.add_argument("dataset", help=".npz dataset")
+    p.add_argument("--fraction", type=float, default=0.8,
+                   help="must match the `train` split to keep test honest")
+    p.add_argument("--epsilon", type=float, default=None,
+                   help="also report conformal bound quality at this rate")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("predict", help="predict one runtime")
+    p.add_argument("model", help=".npz model from `train`")
+    p.add_argument("--workload", type=int, required=True)
+    p.add_argument("--platform", type=int, required=True)
+    p.add_argument("--interferers", type=int, nargs="*", default=[])
+    return parser
+
+
+def _cmd_collect(args) -> int:
+    dataset = collect_dataset(
+        seed=args.seed,
+        n_workloads=args.workloads,
+        n_devices=args.devices,
+        n_runtimes=args.runtimes,
+        sets_per_degree=args.sets_per_degree,
+    )
+    dataset.save(args.output)
+    summary = dataset.summary()
+    for key, value in summary.items():
+        print(f"{key}: {value:,}")
+    print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    dataset = RuntimeDataset.load(args.dataset)
+    split = make_split(dataset, args.fraction, seed=args.seed)
+    config = PitotConfig(
+        hidden=tuple(args.hidden),
+        embedding_dim=args.embedding_dim,
+        quantiles=PAPER_QUANTILES if args.quantiles else None,
+    )
+    result = train_pitot(
+        split.train,
+        split.calibration,
+        model_config=config,
+        trainer_config=TrainerConfig(steps=args.steps, seed=args.seed),
+    )
+    save_model(result.model, args.output)
+    print(f"trained {args.steps} steps; best val loss "
+          f"{result.best_val_loss:.5f} @ step {result.best_step}")
+    print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    model = load_model(args.model)
+    dataset = RuntimeDataset.load(args.dataset)
+    split = make_split(dataset, args.fraction, seed=args.seed)
+    test = split.test
+    pred = model.predict_runtime(test.w_idx, test.p_idx, test.interferers)
+    iso = test.isolation_mask()
+    print(f"test rows: {test.n_observations:,}")
+    print(f"MAPE without interference: {mape(pred[iso], test.runtime[iso]):.2%}")
+    print(f"MAPE with interference:    {mape(pred[~iso], test.runtime[~iso]):.2%}")
+
+    if args.epsilon is not None:
+        quantiles = model.config.quantiles
+        strategy = "pitot" if quantiles else "split"
+        cp = ConformalRuntimePredictor(
+            model, quantiles=quantiles, strategy=strategy
+        ).calibrate(split.calibration, epsilons=(args.epsilon,))
+        bound = cp.predict_bound_dataset(test, args.epsilon)
+        print(f"eps={args.epsilon}: coverage "
+              f"{coverage(bound, test.runtime):.3f}, margin "
+              f"{overprovision_margin(bound, test.runtime):.2%}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    model = load_model(args.model)
+    if not 0 <= args.workload < model.n_workloads:
+        print(f"workload index out of range [0, {model.n_workloads})",
+              file=sys.stderr)
+        return 2
+    if not 0 <= args.platform < model.n_platforms:
+        print(f"platform index out of range [0, {model.n_platforms})",
+              file=sys.stderr)
+        return 2
+    interferers = None
+    if args.interferers:
+        if len(args.interferers) > 3:
+            print("at most 3 interferers supported", file=sys.stderr)
+            return 2
+        pad = args.interferers + [-1] * (3 - len(args.interferers))
+        interferers = np.array([pad])
+    runtime = model.predict_runtime(
+        np.array([args.workload]), np.array([args.platform]), interferers
+    )[0]
+    print(f"predicted runtime: {runtime:.6f} s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "collect": _cmd_collect,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "predict": _cmd_predict,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Simulated heterogeneous cluster: ground truth, collection, datasets.
+
+Substitutes for the paper's physical 24-device testbed (Fig 3). See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from .collection import (
+    ClusterCollector,
+    CollectionConfig,
+    collect_dataset,
+    make_cluster,
+)
+from .dataset import DEGREES, MAX_INTERFERERS, RuntimeDataset
+from .performance import GroundTruthPerformanceModel, PerformanceModelConfig
+from .splits import DataSplit, make_split, replicate_splits
+from .trace_io import export_observations_csv, import_trace_csv
+
+__all__ = [
+    "GroundTruthPerformanceModel",
+    "PerformanceModelConfig",
+    "ClusterCollector",
+    "CollectionConfig",
+    "collect_dataset",
+    "make_cluster",
+    "RuntimeDataset",
+    "DEGREES",
+    "MAX_INTERFERERS",
+    "DataSplit",
+    "make_split",
+    "replicate_splits",
+    "export_observations_csv",
+    "import_trace_csv",
+]

@@ -1,0 +1,145 @@
+"""Train/validation/calibration/test splitting (Sec 5.1).
+
+The paper evaluates at training fractions 10%…90% with 5 replicates, each
+replicate drawing an independent train/test partition; within the training
+set, 80% trains the model and 20% is held out for validation *and*
+conformal calibration.
+
+Two paper assumptions are enforced (Sec 3.1): every workload and every
+platform must be observed at least once in the training portion — rows are
+promoted into train when a replicate would otherwise leave an entity
+unseen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import RuntimeDataset
+
+__all__ = ["DataSplit", "make_split", "replicate_splits"]
+
+
+@dataclass
+class DataSplit:
+    """One replicate's partition of a dataset.
+
+    ``train`` is the 80% used for gradient descent; ``calibration`` is the
+    20% validation/calibration hold-out; ``test`` is everything outside
+    the training fraction.
+    """
+
+    train: RuntimeDataset
+    calibration: RuntimeDataset
+    test: RuntimeDataset
+    train_fraction: float
+    seed: int
+
+    @property
+    def n_train(self) -> int:
+        return self.train.n_observations
+
+    @property
+    def n_calibration(self) -> int:
+        return self.calibration.n_observations
+
+    @property
+    def n_test(self) -> int:
+        return self.test.n_observations
+
+
+def _ensure_entity_coverage(
+    dataset: RuntimeDataset,
+    train_rows: np.ndarray,
+    test_rows: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Move rows from test → train so every entity appears in training.
+
+    Implements the "each workload/platform is observed at least once"
+    assumption; predicting a never-observed entity is out of scope for
+    matrix completion (Sec 3.1).
+    """
+    train_set = set(train_rows.tolist())
+    test_list = test_rows.tolist()
+
+    for entity_ids, column in (
+        (np.unique(dataset.w_idx), dataset.w_idx),
+        (np.unique(dataset.p_idx), dataset.p_idx),
+    ):
+        covered = set(np.unique(column[train_rows]).tolist()) if len(train_rows) else set()
+        missing = [e for e in entity_ids if e not in covered]
+        for entity in missing:
+            candidates = [r for r in test_list if column[r] == entity]
+            if not candidates:
+                continue
+            chosen = candidates[int(rng.integers(len(candidates)))]
+            test_list.remove(chosen)
+            train_set.add(chosen)
+    return np.array(sorted(train_set), dtype=int), np.array(test_list, dtype=int)
+
+
+def make_split(
+    dataset: RuntimeDataset,
+    train_fraction: float,
+    seed: int,
+    calibration_fraction: float = 0.2,
+) -> DataSplit:
+    """Draw one replicate split.
+
+    Parameters
+    ----------
+    dataset:
+        The full collected dataset.
+    train_fraction:
+        Fraction of all observations available for training+calibration
+        (the x-axis of Figs 4/6).
+    seed:
+        Replicate seed; different seeds give independent partitions.
+    calibration_fraction:
+        Portion of the training fraction held out for validation and
+        conformal calibration (paper: 20%).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0,1), got {train_fraction}")
+    rng = np.random.default_rng(seed)
+    n = dataset.n_observations
+    perm = rng.permutation(n)
+    n_train_total = int(round(train_fraction * n))
+    train_total, test_rows = perm[:n_train_total], perm[n_train_total:]
+    train_total, test_rows = _ensure_entity_coverage(
+        dataset, train_total, test_rows, rng
+    )
+
+    # Hold out calibration from the (possibly augmented) training rows.
+    perm2 = rng.permutation(len(train_total))
+    n_cal = int(round(calibration_fraction * len(train_total)))
+    cal_rows = train_total[perm2[:n_cal]]
+    train_rows = train_total[perm2[n_cal:]]
+    # Entity coverage must also hold for the actual gradient-descent rows.
+    train_rows, cal_rows = _ensure_entity_coverage(
+        dataset, train_rows, cal_rows, rng
+    )
+
+    return DataSplit(
+        train=dataset.subset(train_rows),
+        calibration=dataset.subset(cal_rows),
+        test=dataset.subset(test_rows),
+        train_fraction=train_fraction,
+        seed=seed,
+    )
+
+
+def replicate_splits(
+    dataset: RuntimeDataset,
+    train_fraction: float,
+    n_replicates: int,
+    base_seed: int = 0,
+) -> list[DataSplit]:
+    """The paper's replicate protocol: independent splits per replicate."""
+    return [
+        make_split(dataset, train_fraction, seed=base_seed + 1000 * r)
+        for r in range(n_replicates)
+    ]

@@ -1,0 +1,18 @@
+"""Conformal uncertainty quantification (Sec 3.5).
+
+One-sided split conformal regression, conformalized quantile regression
+with the paper's optimal-quantile-choice selection, and per-interference-
+degree calibration pools.
+"""
+
+from .online import OnlineConformalizer
+from .predictor import ConformalRuntimePredictor, HeadChoice
+from .split import conformal_offset, conformal_offsets_by_pool
+
+__all__ = [
+    "ConformalRuntimePredictor",
+    "OnlineConformalizer",
+    "HeadChoice",
+    "conformal_offset",
+    "conformal_offsets_by_pool",
+]

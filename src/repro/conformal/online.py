@@ -1,0 +1,103 @@
+"""Online conformal recalibration (paper future work, Sec 6).
+
+The paper notes that deployed predictors would benefit from "efficient
+online learning". Retraining the towers online is expensive, but the
+*conformal layer* can be updated cheaply: maintain a sliding window of
+recent nonconformity scores per calibration pool and recompute offsets on
+demand. Under a slowly-drifting environment this restores approximate
+validity without touching model weights — and the window makes the
+predictor forget stale regimes.
+
+This is an extension beyond the paper's evaluated system; the split/CQR
+machinery it builds on is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .split import conformal_offset
+
+__all__ = ["OnlineConformalizer"]
+
+
+class OnlineConformalizer:
+    """Sliding-window one-sided conformal calibration per pool.
+
+    Parameters
+    ----------
+    model:
+        Object with ``predict_log(w_idx, p_idx, interferers) → (n, H)``.
+    head:
+        Which model head to calibrate (for quantile models, pick the head
+        the offline selector chose).
+    window:
+        Maximum scores retained per pool; older observations are evicted
+        FIFO, bounding both memory and staleness.
+    """
+
+    def __init__(self, model, head: int = 0, window: int = 2000) -> None:
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.model = model
+        self.head = head
+        self.window = window
+        self._scores: dict[int, deque[float]] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pool_of(interferers: np.ndarray | None, n: int) -> np.ndarray:
+        if interferers is None:
+            return np.ones(n, dtype=int)
+        return 1 + (np.atleast_2d(interferers) >= 0).sum(axis=1)
+
+    def observe(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        runtime_seconds: np.ndarray,
+    ) -> None:
+        """Feed realized runtimes; scores enter their pool's window."""
+        runtime_seconds = np.asarray(runtime_seconds, dtype=np.float64)
+        if np.any(runtime_seconds <= 0):
+            raise ValueError("runtimes must be positive")
+        pred = self.model.predict_log(w_idx, p_idx, interferers)[:, self.head]
+        scores = np.log(runtime_seconds) - pred
+        pools = self._pool_of(interferers, len(scores))
+        for pool, score in zip(pools.tolist(), scores.tolist()):
+            self._scores.setdefault(pool, deque(maxlen=self.window)).append(score)
+
+    def n_observed(self, pool: int | None = None) -> int:
+        if pool is not None:
+            return len(self._scores.get(pool, ()))
+        return sum(len(q) for q in self._scores.values())
+
+    # ------------------------------------------------------------------
+    def offset(self, epsilon: float, pool: int) -> float:
+        """Current conformal offset for a pool (global fallback if thin)."""
+        scores = np.asarray(self._scores.get(pool, ()), dtype=np.float64)
+        if len(scores) >= np.ceil(1.0 / epsilon):
+            return conformal_offset(scores, epsilon)
+        merged = np.concatenate(
+            [np.asarray(q, dtype=np.float64) for q in self._scores.values()]
+        ) if self._scores else np.array([])
+        return conformal_offset(merged, epsilon)
+
+    def predict_bound(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Runtime budgets using the current windows (seconds)."""
+        pred = self.model.predict_log(w_idx, p_idx, interferers)[:, self.head]
+        pools = self._pool_of(interferers, len(pred))
+        bound = np.empty(len(pred))
+        for pool in np.unique(pools):
+            rows = pools == pool
+            bound[rows] = np.exp(pred[rows] + self.offset(epsilon, int(pool)))
+        return bound

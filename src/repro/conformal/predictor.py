@@ -1,0 +1,172 @@
+"""Calibrated runtime-bound predictors (Sec 3.5).
+
+Wraps any model exposing ``predict_log(w_idx, p_idx, interferers) →
+(n, H)`` with one-sided conformal calibration. Three strategies reproduce
+the Fig 5 comparison:
+
+* ``"pitot"`` — conformalized quantile regression over a spread of
+  trained target quantiles, with the paper's *optimal quantile choice*:
+  per (ε, pool), every head is calibrated and the head whose calibrated
+  bound has the smallest overprovisioning margin on the validation pool
+  is selected (App B.2).
+* ``"naive_cqr"`` — CQR with the conventional head choice ξ = 1−ε.
+* ``"split"`` — plain split conformal on a single point-prediction head
+  (the "non-quantile" baseline; also how the paper calibrates the
+  NN/attention/MF baselines for Fig 6b).
+
+All strategies use per-degree calibration pools; pools too small for the
+requested ε fall back to the global calibration set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.dataset import RuntimeDataset
+from ..eval.metrics import overprovision_margin
+from .split import conformal_offset, conformal_offsets_by_pool
+
+__all__ = ["ConformalRuntimePredictor", "HeadChoice"]
+
+
+@dataclass(frozen=True)
+class HeadChoice:
+    """Calibration outcome for one (ε, pool): head index + log offset."""
+
+    head: int
+    offset: float
+
+
+class ConformalRuntimePredictor:
+    """Conformal wrapper producing runtime upper bounds in seconds.
+
+    Parameters
+    ----------
+    model:
+        Object with ``predict_log(w_idx, p_idx, interferers) → (n, H)``.
+    quantiles:
+        The target quantiles of the model's heads (``None`` for point
+        predictors, which have a single head).
+    strategy:
+        ``"pitot"``, ``"naive_cqr"``, or ``"split"`` (see module docs).
+    use_pools:
+        Calibrate per interference degree (paper) or globally.
+    """
+
+    def __init__(
+        self,
+        model,
+        quantiles: tuple[float, ...] | None = None,
+        strategy: str = "pitot",
+        use_pools: bool = True,
+    ) -> None:
+        if strategy not in ("pitot", "naive_cqr", "split"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if strategy in ("pitot", "naive_cqr") and not quantiles:
+            raise ValueError(f"strategy {strategy!r} requires quantile heads")
+        self.model = model
+        self.quantiles = quantiles
+        self.strategy = strategy
+        self.use_pools = use_pools
+        #: Mapping (epsilon, pool) → HeadChoice; pool −1 is the fallback.
+        self.choices: dict[tuple[float, int], HeadChoice] = {}
+        self._calibrated_epsilons: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _pools(self, ds: RuntimeDataset) -> np.ndarray:
+        if not self.use_pools:
+            return np.zeros(ds.n_observations, dtype=int)
+        return ds.degree
+
+    def _n_heads(self) -> int:
+        return len(self.quantiles) if self.quantiles else 1
+
+    def _naive_head(self, epsilon: float) -> int:
+        """Head whose target quantile is closest to 1−ε (naive CQR)."""
+        targets = np.asarray(self.quantiles)
+        return int(np.argmin(np.abs(targets - (1.0 - epsilon))))
+
+    # ------------------------------------------------------------------
+    def calibrate(
+        self,
+        calibration: RuntimeDataset,
+        epsilons: tuple[float, ...] = (0.1, 0.05, 0.01),
+    ) -> "ConformalRuntimePredictor":
+        """Compute per-(ε, pool) head choices and conformal offsets.
+
+        For the ``"pitot"`` strategy the head minimizing the calibrated
+        overprovisioning margin (Eq. 11) on the calibration pool is
+        selected — the paper's optimal quantile choice, which lets one
+        trained model serve any ε without retraining.
+        """
+        pred = self.model.predict_log(
+            calibration.w_idx, calibration.p_idx, calibration.interferers
+        )  # (n, H)
+        y = calibration.log_runtime
+        runtime = calibration.runtime
+        scores = y[:, None] - pred  # (n, H)
+        pools = self._pools(calibration)
+        unique_pools = [int(p) for p in np.unique(pools)]
+
+        self.choices = {}
+        self._calibrated_epsilons = list(epsilons)
+        best_margin: dict[tuple[float, int], float] = {}
+        for eps in epsilons:
+            for head in self._candidate_heads(eps):
+                offsets = conformal_offsets_by_pool(scores[:, head], pools, eps)
+                for pool in [-1, *unique_pools]:
+                    offset = offsets.get(pool, offsets[-1])
+                    rows = (
+                        slice(None) if pool == -1 else np.flatnonzero(pools == pool)
+                    )
+                    bound = np.exp(pred[rows, head] + offset)
+                    margin = overprovision_margin(bound, runtime[rows])
+                    key = (eps, pool)
+                    if key not in best_margin or margin < best_margin[key]:
+                        best_margin[key] = margin
+                        self.choices[key] = HeadChoice(head=head, offset=offset)
+        return self
+
+    def _candidate_heads(self, epsilon: float) -> list[int]:
+        if self.strategy == "split":
+            return [0]
+        if self.strategy == "naive_cqr":
+            return [self._naive_head(epsilon)]
+        return list(range(self._n_heads()))
+
+    # ------------------------------------------------------------------
+    def predict_bound(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Runtime budgets (seconds) with ``Pr(C* > bound) ≤ ε``."""
+        if (epsilon, -1) not in self.choices:
+            raise RuntimeError(
+                f"predictor not calibrated for epsilon={epsilon}; "
+                f"calibrated: {self._calibrated_epsilons}"
+            )
+        pred = self.model.predict_log(w_idx, p_idx, interferers)
+        if not self.use_pools:
+            pools = np.zeros(len(pred), dtype=int)
+        elif interferers is None:
+            pools = np.ones(len(pred), dtype=int)
+        else:
+            pools = 1 + (np.atleast_2d(interferers) >= 0).sum(axis=1)
+
+        bound_log = np.empty(len(pred))
+        for pool in np.unique(pools):
+            choice = self.choices.get((epsilon, int(pool)), self.choices[(epsilon, -1)])
+            rows = pools == pool
+            bound_log[rows] = pred[rows, choice.head] + choice.offset
+        return np.exp(bound_log)
+
+    def predict_bound_dataset(
+        self, ds: RuntimeDataset, epsilon: float
+    ) -> np.ndarray:
+        """Bounds for every row of a dataset."""
+        return self.predict_bound(ds.w_idx, ds.p_idx, ds.interferers, epsilon)

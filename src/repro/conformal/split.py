@@ -1,0 +1,73 @@
+"""One-sided split conformal regression primitives (Sec 3.5).
+
+Given calibration nonconformity scores ``s = log C* − log Ĉ`` the
+finite-sample-valid offset for a target miscoverage rate ε is the
+``⌈(n+1)(1−ε)⌉``-th order statistic of the scores; adding it to any
+prediction yields ``Pr(C* > bound) ≤ ε`` under exchangeability
+(Shafer & Vovk, 2008). The guarantee is distribution-free — it holds for
+the simulator's noise just as it would on the physical testbed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["conformal_offset", "conformal_offsets_by_pool"]
+
+
+def conformal_offset(scores: np.ndarray, epsilon: float) -> float:
+    """Finite-sample one-sided conformal offset.
+
+    Parameters
+    ----------
+    scores:
+        Calibration scores ``log C* − log Ĉ`` (positive = under-predicted).
+    epsilon:
+        Target miscoverage rate in (0, 1).
+
+    Returns
+    -------
+    The offset γ such that ``Ĉ·e^γ`` miscovers with probability ≤ ε; ``inf``
+    when the calibration set is too small for the requested ε.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0,1), got {epsilon}")
+    scores = np.asarray(scores, dtype=np.float64)
+    n = len(scores)
+    if n == 0:
+        return float("inf")
+    k = math.ceil((n + 1) * (1.0 - epsilon))
+    if k > n:
+        return float("inf")
+    return float(np.partition(scores, k - 1)[k - 1])
+
+
+def conformal_offsets_by_pool(
+    scores: np.ndarray,
+    pool_ids: np.ndarray,
+    epsilon: float,
+    min_pool_size: int | None = None,
+) -> dict[int, float]:
+    """Per-pool conformal offsets (Sec 3.5 "Calibration Pools").
+
+    Exchangeability holds *conditioned* on the pool variable (here: the
+    number of simultaneously-running workloads), so per-pool calibration
+    is valid — and tighter, since pools are more homogeneous.
+
+    Pools smaller than ``min_pool_size`` (default: the smallest n for
+    which the offset is finite, ``⌈1/ε⌉``) fall back to the global offset
+    under the sentinel key ``-1``; callers should use pool ``-1`` for any
+    test pool not present in the returned mapping.
+    """
+    scores = np.asarray(scores)
+    pool_ids = np.asarray(pool_ids)
+    if min_pool_size is None:
+        min_pool_size = math.ceil(1.0 / epsilon)
+    offsets: dict[int, float] = {-1: conformal_offset(scores, epsilon)}
+    for pool in np.unique(pool_ids):
+        member = pool_ids == pool
+        if member.sum() >= min_pool_size:
+            offsets[int(pool)] = conformal_offset(scores[member], epsilon)
+    return offsets

@@ -1,0 +1,276 @@
+"""The Pitot model: two-tower matrix factorization with interference heads.
+
+Architecture (Fig 2):
+
+* **Workload tower** ``f_w``: MLP over ``[x_w, φ_w]`` emitting one
+  r-dimensional embedding per quantile head (Sec 3.5 trains multiple
+  *workload* embeddings and shares the platform embedding across heads).
+* **Platform tower** ``f_p``: MLP over ``[x_p, φ_p]`` emitting the
+  platform embedding ``p_j`` plus interference susceptibility vectors
+  ``v_s^(t)`` and magnitude vectors ``v_g^(t)`` for each of the s types.
+* **Prediction** (Eq. 9):
+
+  ``ŷ_ijK = w_iᵀ p_j + Σ_t (w_iᵀ v_s^(t)) · α(Σ_{k∈K} w_kᵀ v_g^(t))``
+
+  which is the residual on top of the linear-scaling baseline
+  ``log C̄_ij = w̄_i + p̄_j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    MLP,
+    EmbeddingTable,
+    Module,
+    Tensor,
+    gelu,
+    identity,
+    leaky_relu,
+    relu,
+)
+from .config import PitotConfig
+from .scaling import LinearScalingBaseline
+
+__all__ = ["PitotModel", "standardize_features"]
+
+
+def standardize_features(features: np.ndarray) -> np.ndarray:
+    """Column z-scoring; constant columns map to zero."""
+    mean = features.mean(axis=0, keepdims=True)
+    std = features.std(axis=0, keepdims=True)
+    std = np.where(std < 1e-12, 1.0, std)
+    return (features - mean) / std
+
+
+class PitotModel(Module):
+    """Pitot predictor over a fixed workload/platform population.
+
+    Parameters
+    ----------
+    workload_features, platform_features:
+        Side information matrices ``x_w`` (log opcode counts) and
+        ``x_p``; standardized internally. Feature ablations (Fig 4b) are
+        applied according to ``config``.
+    config:
+        Architecture/objective configuration.
+    rng:
+        Initialization generator.
+    """
+
+    def __init__(
+        self,
+        workload_features: np.ndarray,
+        platform_features: np.ndarray,
+        config: PitotConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.n_workloads = workload_features.shape[0]
+        self.n_platforms = platform_features.shape[0]
+        # Raw copies retained for serialization round trips.
+        self._raw_workload_features = np.array(workload_features, dtype=np.float64)
+        self._raw_platform_features = np.array(platform_features, dtype=np.float64)
+
+        xw = standardize_features(workload_features)
+        xp = standardize_features(platform_features)
+        if not config.use_workload_features:
+            xw = np.zeros((self.n_workloads, 0))
+        if not config.use_platform_features:
+            xp = np.zeros((self.n_platforms, 0))
+        self._xw = xw
+        self._xp = xp
+
+        q = config.learned_features
+        if q == 0 and xw.shape[1] == 0:
+            raise ValueError(
+                "workload tower has no inputs: enable features or set q >= 1"
+            )
+        if q == 0 and xp.shape[1] == 0:
+            raise ValueError(
+                "platform tower has no inputs: enable features or set q >= 1"
+            )
+
+        r, s, heads = config.embedding_dim, config.interference_types, config.n_heads
+        self.phi_w = EmbeddingTable(self.n_workloads, q, rng, std=0.1)
+        self.phi_p = EmbeddingTable(self.n_platforms, q, rng, std=0.1)
+        self.workload_tower = MLP(
+            xw.shape[1] + q, config.hidden, r * heads, rng, activation=gelu
+        )
+        plat_out = r + (2 * s * r if config.models_interference else 0)
+        self.platform_tower = MLP(
+            xp.shape[1] + q, config.hidden, plat_out, rng, activation=gelu
+        )
+        if config.models_interference:
+            # Start the interference heads small: platforms whose training
+            # data shows little interference then keep small ‖F_j‖ instead
+            # of inheriting initialization noise (cf. the paper's note on
+            # dead interference types from poor initialization, Sec 3.4).
+            last = getattr(self.platform_tower, f"layer{self.platform_tower.n_layers - 1}")
+            last.weight.data[:, r:] *= 0.1
+
+        #: Linear-scaling baseline; attached by the trainer (or left as
+        #: zeros for the "log"/"proportional" objectives).
+        self.baseline: LinearScalingBaseline | None = None
+
+        self._activation = {
+            "leaky_relu": lambda t: leaky_relu(t, config.leaky_slope),
+            "relu": relu,
+            "identity": identity,
+        }[config.interference_activation]
+
+    # ------------------------------------------------------------------
+    # Embedding computation (always all entities; App B.3 optimization)
+    # ------------------------------------------------------------------
+    def compute_embeddings(self) -> tuple[Tensor, Tensor, Tensor | None, Tensor | None]:
+        """Run both towers for the whole population.
+
+        Returns ``(W, P, VS, VG)`` with shapes ``(Nw, H, r)``, ``(Np, r)``,
+        ``(Np, s, r)``, ``(Np, s, r)``; the last two are ``None`` when the
+        model is interference-blind.
+        """
+        cfg = self.config
+        r, s, heads = cfg.embedding_dim, cfg.interference_types, cfg.n_heads
+
+        w_in = self.phi_w.concat_with(self._xw)
+        w_out = self.workload_tower(w_in)  # (Nw, r*H)
+        W = w_out.reshape(self.n_workloads, heads, r)
+
+        p_in = self.phi_p.concat_with(self._xp)
+        p_out = self.platform_tower(p_in)  # (Np, r [+ 2sr])
+        P = p_out[:, :r]
+        if not cfg.models_interference:
+            return W, P, None, None
+        VS = p_out[:, r : r + s * r].reshape(self.n_platforms, s, r)
+        VG = p_out[:, r + s * r :].reshape(self.n_platforms, s, r)
+        return W, P, VS, VG
+
+    # ------------------------------------------------------------------
+    # Forward (residual prediction)
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+        embeddings: tuple | None = None,
+    ) -> Tensor:
+        """Residual prediction ``ŷ`` for a batch; shape ``(B, H)``.
+
+        ``interferers`` is ``(B, K)`` with ``-1`` padding; ``None`` (or an
+        all-padding matrix) yields the interference-free prediction. In
+        ``interference_mode="ignore"`` interferers are disregarded.
+        """
+        w_idx = np.asarray(w_idx, dtype=np.intp)
+        p_idx = np.asarray(p_idx, dtype=np.intp)
+        W, P, VS, VG = embeddings if embeddings is not None else self.compute_embeddings()
+        b = len(w_idx)
+        heads = self.config.n_heads
+
+        r = self.config.embedding_dim
+        Wi = W.take(w_idx)  # (B, H, r)
+        Pj = P.take(p_idx)  # (B, r)
+        # Batched GEMMs keep temporaries 3-D (the broadcast-mul+sum
+        # formulation materializes (B,K,H,s,r) and is memory-bound).
+        base = (Wi @ Pj.reshape(b, r, 1)).reshape(b, heads)  # (B, H)
+
+        if (
+            interferers is None
+            or VS is None
+            or self.config.interference_mode == "ignore"
+        ):
+            return base
+        interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
+        mask = (interferers >= 0).astype(np.float64)  # (B, K)
+        if not mask.any():
+            return base
+        k = interferers.shape[1]
+        s = self.config.interference_types
+
+        safe = np.where(interferers >= 0, interferers, 0).ravel()
+        Wk = W.take(safe).reshape(b, k * heads, r)  # (B, K*H, r)
+        VGj_t = VG.take(p_idx).transpose(0, 2, 1)  # (B, r, s)
+        VSj_t = VS.take(p_idx).transpose(0, 2, 1)  # (B, r, s)
+
+        # magnitude per interferer/type: (B, K*H, s) → (B, K, H, s)
+        mag = (Wk @ VGj_t).reshape(b, k, heads, s)
+        mag = mag * Tensor(mask.reshape(b, k, 1, 1))
+        total = mag.sum(axis=1)  # (B, H, s)
+        act = self._activation(total)
+
+        sus = Wi @ VSj_t  # (B, H, s)
+        return base + (sus * act).sum(axis=2)
+
+    # ------------------------------------------------------------------
+    # Prediction API (NumPy in/out, chunked)
+    # ------------------------------------------------------------------
+    def baseline_log(self, w_idx: np.ndarray, p_idx: np.ndarray) -> np.ndarray:
+        """Baseline term ``log C̄`` (zeros for non-residual objectives)."""
+        if self.config.objective == "log_residual":
+            if self.baseline is None:
+                raise RuntimeError("log_residual model has no fitted baseline")
+            return self.baseline.predict(w_idx, p_idx)
+        return np.zeros(len(np.asarray(w_idx)))
+
+    def predict_log(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+        chunk: int = 4096,
+    ) -> np.ndarray:
+        """Full natural-log runtime predictions, shape ``(n, H)``.
+
+        For squared-loss models H=1; for quantile models one column per
+        target quantile ξ.
+        """
+        w_idx = np.asarray(w_idx, dtype=np.intp)
+        p_idx = np.asarray(p_idx, dtype=np.intp)
+        n = len(w_idx)
+        embeddings = self.compute_embeddings()
+        out = np.empty((n, self.config.n_heads))
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            sub_int = None if interferers is None else interferers[lo:hi]
+            pred = self.forward(
+                w_idx[lo:hi], p_idx[lo:hi], sub_int, embeddings=embeddings
+            )
+            out[lo:hi] = pred.data
+        return out + self.baseline_log(w_idx, p_idx)[:, None]
+
+    def predict_runtime(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+        head: int = 0,
+    ) -> np.ndarray:
+        """Point runtime prediction in seconds (one head)."""
+        return np.exp(self.predict_log(w_idx, p_idx, interferers)[:, head])
+
+    # ------------------------------------------------------------------
+    # Interpretability accessors (Sec 5.4 / App D.4)
+    # ------------------------------------------------------------------
+    def workload_embeddings(self, head: int = 0) -> np.ndarray:
+        """Trained workload embeddings ``w_i`` for one head; ``(Nw, r)``."""
+        W, _, _, _ = self.compute_embeddings()
+        return W.data[:, head, :].copy()
+
+    def platform_embeddings(self) -> np.ndarray:
+        """Trained platform embeddings ``p_j``; ``(Np, r)``."""
+        _, P, _, _ = self.compute_embeddings()
+        return P.data.copy()
+
+    def interference_matrices(self) -> np.ndarray | None:
+        """Per-platform interference matrices ``F_j = Σ_t v_s v_gᵀ``.
+
+        Shape ``(Np, r, r)``; ``None`` for interference-blind models.
+        Used for the Fig 12d spectral-norm analysis.
+        """
+        _, _, VS, VG = self.compute_embeddings()
+        if VS is None:
+            return None
+        vs, vg = VS.data, VG.data  # (Np, s, r)
+        return np.einsum("jtr,jtq->jrq", vs, vg)

@@ -1,0 +1,246 @@
+"""Pitot training loop (Sec 3.6 / App B.3).
+
+Reproduces the paper's procedure:
+
+* AdaMax at default hyperparameters;
+* fixed-size sub-batches per interference degree (512 each of 1/2/3/4-way,
+  batch 2048 total) so interference compute stays shape-stable;
+* multi-objective weighting: isolation weight 1.0, interference weight β
+  split equally across 2/3/4-way (App D.2, β=0.5);
+* periodic validation with best-checkpoint selection;
+* objectives: squared log-residual (Eq. 1), pinball for the quantile
+  version (Eq. 13), plus the "log" and "naive proportional" ablation
+  objectives of Fig 4a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.dataset import RuntimeDataset
+from ..nn import AdaMax, Tensor, where
+from .config import PitotConfig, TrainerConfig
+from .model import PitotModel
+from .scaling import LinearScalingBaseline
+
+__all__ = ["PitotTrainer", "TrainingResult", "train_pitot"]
+
+_DEGREE_WEIGHTS = {1: 1.0}  # interference degrees get β/3 each
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run."""
+
+    model: PitotModel
+    train_loss_history: list[float] = field(default_factory=list)
+    val_loss_history: list[tuple[int, float]] = field(default_factory=list)
+    best_val_loss: float = float("inf")
+    best_step: int = -1
+    steps_run: int = 0
+
+
+class PitotTrainer:
+    """Trains a :class:`PitotModel` on a train/validation dataset pair."""
+
+    def __init__(
+        self,
+        model: PitotModel,
+        config: TrainerConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or TrainerConfig()
+
+    # ------------------------------------------------------------------
+    # Targets
+    # ------------------------------------------------------------------
+    def _fit_baseline(self, train: RuntimeDataset) -> None:
+        """Fit the linear scaling baseline on isolation rows (App B.1)."""
+        model = self.model
+        if model.config.objective != "log_residual":
+            model.baseline = None
+            return
+        baseline = LinearScalingBaseline(model.n_workloads, model.n_platforms)
+        iso = train.isolation_mask()
+        baseline.fit(
+            train.w_idx[iso],
+            train.p_idx[iso],
+            train.log_runtime[iso],
+            fallback=(train.w_idx, train.p_idx, train.log_runtime),
+        )
+        model.baseline = baseline
+
+    def _targets(self, ds: RuntimeDataset) -> np.ndarray:
+        """Regression targets in the model's output domain."""
+        y = ds.log_runtime
+        if self.model.config.objective == "log_residual":
+            return y - self.model.baseline.predict(ds.w_idx, ds.p_idx)
+        return y
+
+    # ------------------------------------------------------------------
+    # Loss
+    # ------------------------------------------------------------------
+    def _loss_elementwise(self, pred: Tensor, target: np.ndarray) -> Tensor:
+        """Per-row/per-head loss matrix; ``pred`` is ``(B, H)``."""
+        cfg = self.model.config
+        t = target[:, None]
+        if cfg.quantiles is not None:
+            xi = np.asarray(cfg.quantiles)[None, :]  # (1, H)
+            under = Tensor(t) - pred
+            return where(under.data > 0, under * xi, under * (xi - 1.0))
+        if cfg.objective == "proportional":
+            # Naive proportional loss ((Ĉ-C)/C)^2 = (exp(ŷ-y)-1)^2 — the
+            # Fig 4a strawman. tanh-clamped exponent keeps it finite.
+            diff = pred - Tensor(t)
+            clamped = (diff * (1.0 / 15.0)).tanh() * 15.0
+            return (clamped.exp() - 1.0) ** 2.0
+        diff = pred - Tensor(t)
+        return diff * diff
+
+    def _loss(self, pred: Tensor, target: np.ndarray) -> Tensor:
+        """Mean loss for one sub-batch."""
+        return self._loss_elementwise(pred, target).mean()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _degree_rows(self, ds: RuntimeDataset) -> dict[int, np.ndarray]:
+        """Training row indices per degree, honoring the ablation mode."""
+        mode = self.model.config.interference_mode
+        degree = ds.degree
+        if mode == "discard":
+            return {1: np.flatnonzero(degree == 1)}
+        rows = {d: np.flatnonzero(degree == d) for d in (1, 2, 3, 4)}
+        return {d: r for d, r in rows.items() if len(r) > 0}
+
+    def _degree_weight(self, degree: int, n_interference_degrees: int) -> float:
+        if degree == 1:
+            return 1.0
+        return self.model.config.interference_weight / max(
+            n_interference_degrees, 1
+        )
+
+    def evaluate_loss(
+        self, ds: RuntimeDataset, targets: np.ndarray | None = None, chunk: int = 8192
+    ) -> float:
+        """Weighted objective on a full dataset (for checkpoint selection)."""
+        if ds.n_observations == 0:
+            return float("nan")
+        if targets is None:
+            targets = self._targets(ds)
+        rows_by_degree = self._degree_rows(ds)
+        n_int = sum(1 for d in rows_by_degree if d > 1)
+        embeddings = self.model.compute_embeddings()
+        total, weight_sum = 0.0, 0.0
+        for degree, rows in rows_by_degree.items():
+            w = self._degree_weight(degree, n_int)
+            losses = []
+            for lo in range(0, len(rows), chunk):
+                sub = rows[lo : lo + chunk]
+                pred = self.model.forward(
+                    ds.w_idx[sub],
+                    ds.p_idx[sub],
+                    ds.interferers[sub] if degree > 1 else None,
+                    embeddings=embeddings,
+                )
+                losses.append(self._loss(pred, targets[sub]).item() * len(sub))
+            total += w * (sum(losses) / len(rows))
+            weight_sum += w
+        return total / max(weight_sum, 1e-12)
+
+    def fit(
+        self,
+        train: RuntimeDataset,
+        validation: RuntimeDataset | None = None,
+    ) -> TrainingResult:
+        """Run the full training procedure; returns history + best model."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self._fit_baseline(train)
+        train_targets = self._targets(train)
+        val_targets = (
+            self._targets(validation)
+            if validation is not None and validation.n_observations > 0
+            else None
+        )
+        if validation is not None and val_targets is not None:
+            if validation.n_observations > cfg.max_eval_rows:
+                keep = rng.choice(
+                    validation.n_observations, size=cfg.max_eval_rows, replace=False
+                )
+                validation = validation.subset(keep)
+                val_targets = self._targets(validation)
+
+        rows_by_degree = self._degree_rows(train)
+        n_int = sum(1 for d in rows_by_degree if d > 1)
+        optimizer = AdaMax(self.model.parameters(), lr=cfg.learning_rate)
+        result = TrainingResult(model=self.model)
+        best_state = self.model.state_dict()
+
+        any_interference = any(d > 1 for d in rows_by_degree)
+        for step in range(cfg.steps):
+            optimizer.zero_grad()
+            embeddings = self.model.compute_embeddings()
+            # One combined batch with per-row coefficients reproduces the
+            # paper's per-degree sub-batch weighting exactly (the weighted
+            # sum of per-degree means) while traversing one graph.
+            batches, coeffs = [], []
+            for degree, rows in rows_by_degree.items():
+                size = min(cfg.batch_per_degree, len(rows))
+                batch = rows[rng.integers(0, len(rows), size=size)]
+                batches.append(batch)
+                coeffs.append(
+                    np.full(size, self._degree_weight(degree, n_int) / size)
+                )
+            batch = np.concatenate(batches)
+            coeff = np.concatenate(coeffs)
+            pred = self.model.forward(
+                train.w_idx[batch],
+                train.p_idx[batch],
+                train.interferers[batch] if any_interference else None,
+                embeddings=embeddings,
+            )
+            loss_elem = self._loss_elementwise(pred, train_targets[batch])
+            total_loss = (loss_elem * Tensor(coeff[:, None])).sum() * (
+                1.0 / self.model.config.n_heads
+            )
+            total_loss.backward()
+            optimizer.step()
+            result.train_loss_history.append(total_loss.item())
+            result.steps_run = step + 1
+
+            if val_targets is not None and (
+                (step + 1) % cfg.eval_every == 0 or step == cfg.steps - 1
+            ):
+                val_loss = self.evaluate_loss(validation, val_targets)
+                result.val_loss_history.append((step + 1, val_loss))
+                if val_loss < result.best_val_loss:
+                    result.best_val_loss = val_loss
+                    result.best_step = step + 1
+                    best_state = self.model.state_dict()
+
+        if val_targets is not None:
+            self.model.load_state_dict(best_state)
+        return result
+
+
+def train_pitot(
+    train: RuntimeDataset,
+    validation: RuntimeDataset | None = None,
+    model_config: PitotConfig | None = None,
+    trainer_config: TrainerConfig | None = None,
+    seed: int = 0,
+) -> TrainingResult:
+    """Convenience constructor + trainer in one call."""
+    model_config = model_config or PitotConfig()
+    trainer_config = trainer_config or TrainerConfig(seed=seed)
+    model = PitotModel(
+        train.workload_features,
+        train.platform_features,
+        model_config,
+        np.random.default_rng(seed),
+    )
+    trainer = PitotTrainer(model, trainer_config)
+    return trainer.fit(train, validation)

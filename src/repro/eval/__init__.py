@@ -1,0 +1,40 @@
+"""Evaluation: metrics (Sec 5.1), replicated experiment harness, tables."""
+
+from .experiments import (
+    ErrorResult,
+    TightnessResult,
+    experiment_scale,
+    run_error_experiment,
+    run_tightness_experiment,
+)
+from .metrics import (
+    coverage,
+    geometric_mape,
+    mape,
+    overprovision_margin,
+    split_by_interference,
+)
+from .calibration import CalibrationCurve, calibration_curve
+from .significance import PairedComparison, paired_bootstrap, two_stderr_interval
+from .reporting import format_series_table, format_table, percent
+
+__all__ = [
+    "mape",
+    "geometric_mape",
+    "overprovision_margin",
+    "coverage",
+    "split_by_interference",
+    "ErrorResult",
+    "TightnessResult",
+    "run_error_experiment",
+    "run_tightness_experiment",
+    "experiment_scale",
+    "format_table",
+    "format_series_table",
+    "percent",
+    "PairedComparison",
+    "paired_bootstrap",
+    "two_stderr_interval",
+    "CalibrationCurve",
+    "calibration_curve",
+]

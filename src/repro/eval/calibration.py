@@ -1,0 +1,67 @@
+"""Calibration diagnostics: coverage–ε curves and reliability summaries.
+
+A calibrated bound predictor should realize coverage ≈ 1−ε for *every*
+requested ε. These helpers sweep the ε grid and summarize deviations —
+the evaluation behind Fig 5's validity premise, exposed as a reusable
+diagnostic for deployed predictors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import coverage, overprovision_margin
+
+__all__ = ["CalibrationCurve", "calibration_curve"]
+
+
+@dataclass(frozen=True)
+class CalibrationCurve:
+    """Coverage and tightness across a miscoverage-rate grid."""
+
+    epsilons: tuple[float, ...]
+    coverages: tuple[float, ...]
+    margins: tuple[float, ...]
+
+    @property
+    def max_coverage_shortfall(self) -> float:
+        """Worst ``(1 − ε) − coverage`` over the grid (≤ 0 when valid)."""
+        return max(
+            (1.0 - eps) - cov
+            for eps, cov in zip(self.epsilons, self.coverages)
+        )
+
+    def is_valid(self, slack: float = 0.02) -> bool:
+        """True when every grid point covers to within ``slack``."""
+        return self.max_coverage_shortfall <= slack
+
+    def rows(self) -> list[list[str]]:
+        """Formatted rows for :func:`repro.eval.format_table`."""
+        return [
+            [f"{eps:g}", f"{cov:.3f}", f"{1-eps:.3f}", f"{margin:.1%}"]
+            for eps, cov, margin in zip(
+                self.epsilons, self.coverages, self.margins
+            )
+        ]
+
+
+def calibration_curve(
+    predictor,
+    dataset,
+    epsilons: tuple[float, ...] = (0.2, 0.1, 0.05, 0.02, 0.01),
+) -> CalibrationCurve:
+    """Evaluate a bound predictor across an ε grid on held-out data.
+
+    ``predictor`` must expose ``predict_bound_dataset(ds, epsilon)``; the
+    predictor must already be calibrated for every requested ε.
+    """
+    coverages, margins = [], []
+    for eps in epsilons:
+        bound = predictor.predict_bound_dataset(dataset, eps)
+        coverages.append(coverage(bound, dataset.runtime))
+        margins.append(overprovision_margin(bound, dataset.runtime))
+    return CalibrationCurve(
+        epsilons=tuple(epsilons),
+        coverages=tuple(coverages),
+        margins=tuple(margins),
+    )

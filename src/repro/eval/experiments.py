@@ -1,0 +1,201 @@
+"""Replicated experiment harness (Sec 5.1 protocol).
+
+Runs method factories across training-fraction sweeps with independent
+replicate splits, reporting MAPE with/without interference (the axes of
+Figs 4/6/9/10) and bound-tightness grids (Figs 5/6b/11). Grid sizes are
+caller-controlled; benches default to a scaled-down grid and honor
+``REPRO_SCALE=full`` for the paper-size protocol.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
+
+import numpy as np
+
+from ..cluster.dataset import RuntimeDataset
+from ..cluster.splits import DataSplit, make_split
+from .metrics import coverage, mape, overprovision_margin
+
+if TYPE_CHECKING:  # avoid a circular import (conformal uses eval.metrics)
+    from ..conformal.predictor import ConformalRuntimePredictor
+
+__all__ = [
+    "PointPredictor",
+    "ErrorResult",
+    "TightnessResult",
+    "run_error_experiment",
+    "run_tightness_experiment",
+    "experiment_scale",
+]
+
+
+class PointPredictor(Protocol):
+    """Anything that predicts runtimes in seconds for observation rows."""
+
+    def predict_runtime(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+    ) -> np.ndarray: ...
+
+
+#: factory(split, replicate_seed) → fitted point predictor
+PredictorFactory = Callable[[DataSplit, int], PointPredictor]
+#: factory(split, replicate_seed) → calibrated ConformalRuntimePredictor
+BoundFactory = Callable[[DataSplit, int], "ConformalRuntimePredictor"]
+
+
+@dataclass
+class ErrorResult:
+    """MAPE per (method, train fraction, replicate)."""
+
+    method: str
+    train_fraction: float
+    replicate: int
+    mape_isolation: float
+    mape_interference: float
+
+    @staticmethod
+    def aggregate(results: list["ErrorResult"]) -> dict[tuple[str, float], dict]:
+        """Mean ± 2·stderr per (method, fraction), the papers' error bars."""
+        out: dict[tuple[str, float], dict] = {}
+        keys = sorted({(r.method, r.train_fraction) for r in results})
+        for key in keys:
+            rows = [r for r in results if (r.method, r.train_fraction) == key]
+            iso = np.array([r.mape_isolation for r in rows])
+            intf = np.array([r.mape_interference for r in rows])
+            n = max(len(rows), 1)
+            out[key] = {
+                "mape_isolation": float(iso.mean()),
+                "mape_isolation_2se": float(2 * iso.std(ddof=min(1, n - 1)) / np.sqrt(n)),
+                "mape_interference": float(intf.mean()),
+                "mape_interference_2se": float(2 * intf.std(ddof=min(1, n - 1)) / np.sqrt(n)),
+                "n_replicates": n,
+            }
+        return out
+
+
+@dataclass
+class TightnessResult:
+    """Bound tightness per (method, ε, replicate), split by interference."""
+
+    method: str
+    train_fraction: float
+    epsilon: float
+    replicate: int
+    margin_isolation: float
+    margin_interference: float
+    coverage_isolation: float
+    coverage_interference: float
+
+    @staticmethod
+    def aggregate(
+        results: list["TightnessResult"],
+    ) -> dict[tuple[str, float, float], dict]:
+        out: dict[tuple[str, float, float], dict] = {}
+        keys = sorted({(r.method, r.train_fraction, r.epsilon) for r in results})
+        for key in keys:
+            rows = [
+                r
+                for r in results
+                if (r.method, r.train_fraction, r.epsilon) == key
+            ]
+            n = max(len(rows), 1)
+            mi = np.array([r.margin_isolation for r in rows])
+            mf = np.array([r.margin_interference for r in rows])
+            out[key] = {
+                "margin_isolation": float(mi.mean()),
+                "margin_isolation_2se": float(2 * mi.std(ddof=min(1, n - 1)) / np.sqrt(n)),
+                "margin_interference": float(mf.mean()),
+                "margin_interference_2se": float(2 * mf.std(ddof=min(1, n - 1)) / np.sqrt(n)),
+                "coverage_isolation": float(
+                    np.mean([r.coverage_isolation for r in rows])
+                ),
+                "coverage_interference": float(
+                    np.mean([r.coverage_interference for r in rows])
+                ),
+                "n_replicates": n,
+            }
+        return out
+
+
+def run_error_experiment(
+    dataset: RuntimeDataset,
+    methods: dict[str, PredictorFactory],
+    train_fractions: Sequence[float],
+    n_replicates: int,
+    base_seed: int = 0,
+) -> list[ErrorResult]:
+    """Fig 4/6a protocol: MAPE over methods × fractions × replicates."""
+    results: list[ErrorResult] = []
+    for fraction in train_fractions:
+        for rep in range(n_replicates):
+            split = make_split(dataset, fraction, seed=base_seed + 1000 * rep + 7)
+            test = split.test
+            iso = test.isolation_mask()
+            for name, factory in methods.items():
+                predictor = factory(split, base_seed + rep)
+                pred = predictor.predict_runtime(
+                    test.w_idx, test.p_idx, test.interferers
+                )
+                results.append(
+                    ErrorResult(
+                        method=name,
+                        train_fraction=fraction,
+                        replicate=rep,
+                        mape_isolation=mape(pred[iso], test.runtime[iso]),
+                        mape_interference=mape(pred[~iso], test.runtime[~iso]),
+                    )
+                )
+    return results
+
+
+def run_tightness_experiment(
+    dataset: RuntimeDataset,
+    methods: dict[str, BoundFactory],
+    epsilons: Sequence[float],
+    train_fractions: Sequence[float],
+    n_replicates: int,
+    base_seed: int = 0,
+) -> list[TightnessResult]:
+    """Fig 5/6b/11 protocol: margins over methods × ε × replicates."""
+    results: list[TightnessResult] = []
+    for fraction in train_fractions:
+        for rep in range(n_replicates):
+            split = make_split(dataset, fraction, seed=base_seed + 1000 * rep + 7)
+            test = split.test
+            iso = test.isolation_mask()
+            for name, factory in methods.items():
+                predictor = factory(split, base_seed + rep)
+                for eps in epsilons:
+                    bound = predictor.predict_bound_dataset(test, eps)
+                    results.append(
+                        TightnessResult(
+                            method=name,
+                            train_fraction=fraction,
+                            epsilon=eps,
+                            replicate=rep,
+                            margin_isolation=overprovision_margin(
+                                bound[iso], test.runtime[iso]
+                            ),
+                            margin_interference=overprovision_margin(
+                                bound[~iso], test.runtime[~iso]
+                            ),
+                            coverage_isolation=coverage(
+                                bound[iso], test.runtime[iso]
+                            ),
+                            coverage_interference=coverage(
+                                bound[~iso], test.runtime[~iso]
+                            ),
+                        )
+                    )
+    return results
+
+
+def experiment_scale() -> str:
+    """Experiment grid scale: "fast" (default) or "full" via REPRO_SCALE."""
+    return os.environ.get("REPRO_SCALE", "fast")

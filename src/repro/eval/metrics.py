@@ -1,0 +1,80 @@
+"""Evaluation metrics (Sec 5.1).
+
+* **MAPE** — mean absolute percent error of point runtime predictions.
+* **Overprovisioning margin** (Eq. 11) — average relative excess of a
+  runtime bound over the realized runtime: tightness of the bound.
+* **Coverage** — empirical ``Pr(C* ≤ bound)``; the conformal guarantee is
+  coverage ≥ 1−ε in expectation over calibration draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mape",
+    "overprovision_margin",
+    "coverage",
+    "geometric_mape",
+    "split_by_interference",
+]
+
+
+def _validate(pred: np.ndarray, true: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.float64)
+    true = np.asarray(true, dtype=np.float64)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {true.shape}")
+    if np.any(true <= 0):
+        raise ValueError("true runtimes must be positive")
+    return pred, true
+
+
+def mape(pred: np.ndarray, true: np.ndarray) -> float:
+    """Mean absolute percent error, as a fraction (0.052 = 5.2%)."""
+    pred, true = _validate(pred, true)
+    if len(true) == 0:
+        return float("nan")
+    return float(np.mean(np.abs(pred - true) / true))
+
+
+def geometric_mape(pred: np.ndarray, true: np.ndarray) -> float:
+    """Geometric-mean |log error| expressed as a fraction.
+
+    ``exp(mean(|log(pred/true)|)) − 1`` — a symmetric alternative to MAPE
+    that matches the log-domain objective; reported by some ablations.
+    """
+    pred, true = _validate(pred, true)
+    if len(true) == 0:
+        return float("nan")
+    return float(np.exp(np.mean(np.abs(np.log(pred / true)))) - 1.0)
+
+
+def overprovision_margin(bound: np.ndarray, true: np.ndarray) -> float:
+    """Eq. 11: ``E[max(bound − C*, 0) / C*]`` as a fraction.
+
+    Infinite bounds (an uncalibratable pool) propagate to ``inf``.
+    """
+    bound, true = _validate(bound, true)
+    if len(true) == 0:
+        return float("nan")
+    return float(np.mean(np.maximum(bound - true, 0.0) / true))
+
+
+def coverage(bound: np.ndarray, true: np.ndarray) -> float:
+    """Fraction of observations whose bound was sufficient."""
+    bound, true = _validate(bound, true)
+    if len(true) == 0:
+        return float("nan")
+    return float(np.mean(true <= bound))
+
+
+def split_by_interference(ds) -> tuple[np.ndarray, np.ndarray]:
+    """(isolation rows, interference rows) index arrays for a dataset.
+
+    Figs 4–6 report "Without Interference" and "With Interference" test
+    metrics separately because the two tasks have different intrinsic
+    difficulty (Sec 5.1).
+    """
+    iso = ds.isolation_mask()
+    return np.flatnonzero(iso), np.flatnonzero(~iso)

@@ -1,0 +1,58 @@
+"""Plain-text result tables for the benchmark harnesses.
+
+Every bench prints the same rows/series its paper figure shows; these
+helpers keep the formatting consistent (method × x-axis grids with
+mean ± 2·stderr cells, matching the paper's error bars).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series_table", "percent"]
+
+
+def percent(value: float, decimals: int = 1) -> str:
+    """Format a fraction as a percentage string ("0.052" → "5.2%")."""
+    if value != value:  # NaN
+        return "n/a"
+    if value == float("inf"):
+        return "inf"
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with column alignment."""
+    columns = [list(col) for col in zip(headers, *rows)]
+    widths = [max(len(str(cell)) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Table with one x-axis column and one column per series.
+
+    The shape of every line-plot figure in the paper: ``series`` maps a
+    method name to its per-x formatted values.
+    """
+    headers = [x_label, *series.keys()]
+    rows = [
+        [str(x), *(vals[i] for vals in series.values())]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,80 @@
+"""Paired significance utilities for method comparisons.
+
+The paper reports ±2 standard errors across replicates; when replicate
+counts are small (5 in the paper, 2 in the fast grid) a *paired*
+comparison — both methods evaluated on the same replicate splits — is far
+more sensitive than comparing the two error bars. These helpers implement
+the paired bootstrap and the paired sign convention used by the ablation
+benches' assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PairedComparison", "paired_bootstrap", "two_stderr_interval"]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired bootstrap comparison of A vs B (lower = better)."""
+
+    mean_difference: float          # mean(A − B); negative favours A
+    ci_low: float                   # bootstrap CI of the difference
+    ci_high: float
+    p_a_better: float               # bootstrap Pr(mean(A − B) < 0)
+    n_pairs: int
+
+    @property
+    def a_significantly_better(self) -> bool:
+        """True when the CI excludes zero on the favourable side."""
+        return self.ci_high < 0.0
+
+
+def paired_bootstrap(
+    a: np.ndarray,
+    b: np.ndarray,
+    n_resamples: int = 10_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> PairedComparison:
+    """Bootstrap the mean paired difference of two per-replicate metrics.
+
+    Parameters
+    ----------
+    a, b:
+        Metric values (e.g. MAPE) for methods A and B on the *same*
+        replicates, aligned.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("a and b must be aligned 1-D arrays")
+    if len(a) < 2:
+        raise ValueError("need at least 2 paired replicates")
+    diff = a - b
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(diff), size=(n_resamples, len(diff)))
+    means = diff[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return PairedComparison(
+        mean_difference=float(diff.mean()),
+        ci_low=float(np.quantile(means, alpha)),
+        ci_high=float(np.quantile(means, 1.0 - alpha)),
+        p_a_better=float(np.mean(means < 0.0)),
+        n_pairs=len(diff),
+    )
+
+
+def two_stderr_interval(values: np.ndarray) -> tuple[float, float, float]:
+    """(mean, low, high) with ±2·stderr — the paper's error bars."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return float("nan"), float("nan"), float("nan")
+    mean = float(values.mean())
+    if len(values) == 1:
+        return mean, mean, mean
+    half = 2.0 * float(values.std(ddof=1)) / np.sqrt(len(values))
+    return mean, mean - half, mean + half

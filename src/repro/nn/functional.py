@@ -1,0 +1,136 @@
+"""Differentiable functions built on :mod:`repro.nn.tensor`.
+
+Includes the activations used by Pitot (GELU on hidden layers, LeakyReLU
+with slope 0.1 as the interference activation α of Eq. 9) and the losses of
+the paper: squared error in log space (Eq. 1) and the pinball/quantile loss
+(Eq. 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Array, Tensor, as_tensor, where
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "gelu",
+    "softplus",
+    "identity",
+    "softmax",
+    "logsumexp",
+    "squared_error",
+    "absolute_error",
+    "pinball_loss",
+    "ACTIVATIONS",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    x = as_tensor(x)
+    return where(x.data > 0, x, Tensor(np.zeros_like(x.data)))
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.1) -> Tensor:
+    """Leaky ReLU; the paper's interference activation uses slope 0.1.
+
+    The paper motivates the leak: plain ReLU interference heads can die
+    ("extremely negative") under poor initialization (Sec 3.4).
+    """
+    x = as_tensor(x)
+    return where(x.data > 0, x, x * negative_slope)
+
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation).
+
+    ``0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))`` — the standard
+    approximation; accurate to ~1e-3 of the exact erf form. Implemented as
+    a single primitive node with a closed-form derivative: GELU sits on
+    every hidden layer of every tower, so graph size matters here.
+    """
+    x = as_tensor(x)
+    v = x.data
+    u = _GELU_C * (v + 0.044715 * v**3)
+    t = np.tanh(u)
+    data = 0.5 * v * (1.0 + t)
+
+    def backward(g: Array) -> None:
+        if x.requires_grad:
+            du = _GELU_C * (1.0 + 3.0 * 0.044715 * v**2)
+            local = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t**2) * du
+            x._accumulate(g * local)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically-stable ``log(1 + exp(x))``."""
+    x = as_tensor(x)
+    # max(x, 0) + log1p(exp(-|x|)) — composed from primitives.
+    positive = where(x.data > 0, x, Tensor(np.zeros_like(x.data)))
+    return positive + ((-x.abs()).exp() + 1.0).log()
+
+
+def identity(x: Tensor) -> Tensor:
+    """Identity activation (the "simple multiplicative" ablation of Fig 4d)."""
+    return as_tensor(x)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis`` (attention baseline)."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def logsumexp(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-sum-exp along ``axis``."""
+    x = as_tensor(x)
+    m = Tensor(x.data.max(axis=axis, keepdims=True))
+    return (x - m).exp().sum(axis=axis, keepdims=False).log() + Tensor(
+        x.data.max(axis=axis, keepdims=False)
+    )
+
+
+def squared_error(pred: Tensor, target: Array | Tensor) -> Tensor:
+    """Elementwise squared error (Eq. 1 operates on log runtimes)."""
+    target = as_tensor(target)
+    diff = pred - target.detach()
+    return diff * diff
+
+
+def absolute_error(pred: Tensor, target: Array | Tensor) -> Tensor:
+    """Elementwise absolute error."""
+    target = as_tensor(target)
+    return (pred - target.detach()).abs()
+
+
+def pinball_loss(pred: Tensor, target: Array | Tensor, quantile: float) -> Tensor:
+    """Quantile ("pinball") loss of Eq. 13, elementwise.
+
+    For residual ``u = target - pred`` this is ``quantile * u`` when
+    ``u > 0`` (under-prediction) and ``(quantile - 1) * u`` otherwise; its
+    minimizer is the ``quantile``-quantile of the target distribution.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    target = as_tensor(target).detach()
+    under = target - pred  # positive when we under-predicted
+    return where(under.data > 0, under * quantile, under * (quantile - 1.0))
+
+
+#: Registry used by config files to name activations.
+ACTIVATIONS = {
+    "relu": relu,
+    "leaky_relu": leaky_relu,
+    "gelu": gelu,
+    "identity": identity,
+    "softplus": softplus,
+}

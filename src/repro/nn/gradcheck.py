@@ -1,0 +1,69 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to validate every primitive op and the composed
+models: central finite differences against the analytic gradients from
+:meth:`Tensor.backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor],
+    param: Tensor,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``param``.
+
+    ``fn`` must read ``param.data`` afresh on each call (closures over the
+    tensor object satisfy this).
+    """
+    grad = np.zeros_like(param.data)
+    flat = param.data.ravel()
+    grad_flat = grad.ravel()
+    for idx in range(flat.size):
+        original = flat[idx]
+        flat[idx] = original + eps
+        f_plus = float(fn().data)
+        flat[idx] = original - eps
+        f_minus = float(fn().data)
+        flat[idx] = original
+        grad_flat[idx] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic gradients of scalar ``fn()`` match finite differences.
+
+    Raises ``AssertionError`` with the offending parameter index and the
+    maximum absolute deviation on mismatch.
+    """
+    for p in params:
+        p.zero_grad()
+    out = fn()
+    if out.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    out.backward()
+    for i, p in enumerate(params):
+        analytic = p.grad if p.grad is not None else np.zeros_like(p.data)
+        numeric = numerical_gradient(fn, p, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            deviation = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for parameter {i} (shape {p.shape}): "
+                f"max |analytic - numeric| = {deviation:.3e}"
+            )

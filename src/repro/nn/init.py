@@ -1,0 +1,40 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so every
+model in the reproduction is bit-reproducible from a seed; nothing reads
+global RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "glorot_normal", "he_normal", "zeros", "normal"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def glorot_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He initialization (preferred with ReLU-family activations)."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros array (biases, learned features φ)."""
+    return np.zeros(shape)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.01) -> np.ndarray:
+    """Small isotropic Gaussian (embedding tables)."""
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,120 @@
+"""Neural-network layers: Linear, MLP, and embedding tables.
+
+The paper's towers are 2-hidden-layer 128-unit GELU MLPs (Sec 3.3); the
+baselines use 256-unit variants (App B.4). :class:`EmbeddingTable` backs
+both the learned features φ (Table 1: dimension q=1 per entity) and the
+pure matrix-factorization baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import init
+from .functional import gelu
+from .module import Module, Parameter
+from .tensor import Tensor, concatenate
+
+__all__ = ["Linear", "MLP", "EmbeddingTable"]
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Glorot-uniform weights."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros((out_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden activation.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality.
+    hidden:
+        Sizes of the hidden layers (``(128, 128)`` for Pitot's towers).
+    out_features:
+        Output dimensionality; the output layer is linear (no activation).
+    rng:
+        Generator used to initialize every layer.
+    activation:
+        Hidden activation; defaults to GELU as in the paper.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Callable[[Tensor], Tensor] = gelu,
+    ) -> None:
+        super().__init__()
+        self.activation = activation
+        sizes = [in_features, *hidden, out_features]
+        self.n_layers = len(sizes) - 1
+        for idx, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            setattr(self, f"layer{idx}", Linear(fan_in, fan_out, rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for idx in range(self.n_layers):
+            x = getattr(self, f"layer{idx}")(x)
+            if idx < self.n_layers - 1:
+                x = self.activation(x)
+        return x
+
+
+class EmbeddingTable(Module):
+    """A learnable ``(num_entities, dim)`` table with gather access.
+
+    Used for the learned features φ of Sec 3.3 ("additional parameters
+    associated with each workload and platform") and for the pure matrix
+    factorization baseline's workload/platform vectors.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        std: float = 0.01,
+    ) -> None:
+        super().__init__()
+        self.num_entities = num_entities
+        self.dim = dim
+        if rng is None or std == 0.0:
+            table = init.zeros((num_entities, dim))
+        else:
+            table = init.normal(rng, (num_entities, dim), std=std)
+        self.table = Parameter(table)
+
+    def forward(self, indices: np.ndarray | None = None) -> Tensor:
+        """Gather rows by index; with ``None`` return the whole table.
+
+        Pitot always computes *all* embeddings and indexes afterwards
+        (App B.3's "compute all module and device embeddings" trick), so
+        the ``None`` path is the hot one.
+        """
+        if indices is None:
+            return self.table
+        return self.table.take(np.asarray(indices, dtype=np.intp))
+
+    def concat_with(self, features: np.ndarray) -> Tensor:
+        """Concatenate static features with the learned rows: ``[x, φ]``."""
+        if features.shape[0] != self.num_entities:
+            raise ValueError(
+                f"feature rows {features.shape[0]} != entities {self.num_entities}"
+            )
+        if self.dim == 0:
+            return Tensor(features)
+        return concatenate([Tensor(features), self.table], axis=1)

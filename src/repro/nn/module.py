@@ -1,0 +1,91 @@
+"""Module/parameter containers, in the spirit of ``torch.nn.Module``.
+
+Modules register :class:`Parameter` attributes and sub-modules
+automatically through ``__setattr__``; ``state_dict``/``load_state_dict``
+serialize to plain ``{name: ndarray}`` dicts, which the trainer uses for
+validation checkpointing (Sec 3.6 / App B.3 keeps the checkpoint with the
+lowest validation loss).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor flagged as trainable."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with automatic parameter/sub-module registration."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter iteration
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (Pitot reports ~111k)."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter, keyed by dotted path."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{p.data.shape} vs {state[name].shape}"
+                )
+            p.data = state[name].copy()
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,115 @@
+"""First-order optimizers: SGD, Adam, and AdaMax.
+
+The paper trains Pitot and all baselines with AdaMax — "the l-inf variant
+of Adam" — at its default hyperparameters (lr=1e-3, β1=0.9, β2=0.999)
+(App B.3). SGD and Adam are provided for ablations and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdaMax"]
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter`."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p in self.params:
+            if p.grad is not None:
+                self._update(p)
+
+    def _update(self, p: Parameter) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = {id(p): np.zeros_like(p.data) for p in self.params}
+
+    def _update(self, p: Parameter) -> None:
+        v = self._velocity[id(p)]
+        v *= self.momentum
+        v += p.grad
+        p.data -= self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = {id(p): np.zeros_like(p.data) for p in self.params}
+        self._v = {id(p): np.zeros_like(p.data) for p in self.params}
+
+    def _update(self, p: Parameter) -> None:
+        t = self.step_count
+        m, v = self._m[id(p)], self._v[id(p)]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * p.grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * p.grad**2
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdaMax(Optimizer):
+    """AdaMax: the infinity-norm variant of Adam (the paper's optimizer).
+
+    Second moment is replaced by an exponentially-weighted infinity norm
+    ``u = max(beta2 * u, |g|)``; only the first moment needs bias
+    correction.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = {id(p): np.zeros_like(p.data) for p in self.params}
+        self._u = {id(p): np.zeros_like(p.data) for p in self.params}
+
+    def _update(self, p: Parameter) -> None:
+        t = self.step_count
+        m, u = self._m[id(p)], self._u[id(p)]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * p.grad
+        np.maximum(self.beta2 * u, np.abs(p.grad), out=u)
+        p.data -= (self.lr / (1.0 - self.beta1**t)) * m / (u + self.eps)

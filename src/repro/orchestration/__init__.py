@@ -1,0 +1,19 @@
+"""Edge orchestration on conformal runtime budgets (the Sec 1 use case):
+offline placement planners and runtime admission control."""
+
+from .admission import AdmissionController, AdmissionDecision
+from .placement import (
+    PlacementProblem,
+    PlacementResult,
+    flow_placement,
+    greedy_placement,
+)
+
+__all__ = [
+    "PlacementProblem",
+    "PlacementResult",
+    "greedy_placement",
+    "flow_placement",
+    "AdmissionController",
+    "AdmissionDecision",
+]

@@ -1,0 +1,101 @@
+"""Admission control: can this platform take one more job, right now?
+
+The runtime-facing counterpart of offline placement: a platform agent
+holds a set of resident jobs with deadlines and decides whether an
+arriving job can be admitted without violating anyone's ε-budget —
+the "industrial controller must complete within a timeframe with high
+probability" scenario of Sec 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission query."""
+
+    admitted: bool
+    #: ε-budget of the arriving job under post-admission interference
+    #: (NaN when rejected for capacity).
+    budget: float
+    #: Reason string for observability ("ok", "capacity", "own-deadline",
+    #: "resident-deadline").
+    reason: str
+
+
+class AdmissionController:
+    """Per-platform admission control on conformal budgets.
+
+    Parameters
+    ----------
+    predictor:
+        ``predict_bound(w_idx, p_idx, interferers, epsilon)`` provider.
+    platform:
+        Platform index this controller guards.
+    epsilon:
+        Miscoverage rate for every budget check.
+    max_residents:
+        Co-location cap (≤ 4; the interference model covers 3 interferers).
+    """
+
+    def __init__(self, predictor, platform: int, epsilon: float = 0.05,
+                 max_residents: int = 4) -> None:
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 1 <= max_residents <= 4:
+            raise ValueError("max_residents must be in [1, 4]")
+        self.predictor = predictor
+        self.platform = platform
+        self.epsilon = epsilon
+        self.max_residents = max_residents
+        self._residents: dict[int, float] = {}  # job -> deadline
+
+    # ------------------------------------------------------------------
+    @property
+    def residents(self) -> dict[int, float]:
+        return dict(self._residents)
+
+    def _budget(self, job: int, co: list[int]) -> float:
+        pad = co[:3] + [-1] * (3 - min(len(co), 3))
+        return float(
+            self.predictor.predict_bound(
+                np.array([job]), np.array([self.platform]),
+                np.array([pad]), self.epsilon,
+            )[0]
+        )
+
+    # ------------------------------------------------------------------
+    def check(self, job: int, deadline: float) -> AdmissionDecision:
+        """Evaluate admission without mutating state."""
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if len(self._residents) >= self.max_residents:
+            return AdmissionDecision(False, float("nan"), "capacity")
+        co = list(self._residents)
+        budget = self._budget(job, co)
+        if budget > deadline:
+            return AdmissionDecision(False, budget, "own-deadline")
+        for other, other_deadline in self._residents.items():
+            others = [r for r in self._residents if r != other] + [job]
+            if self._budget(other, others) > other_deadline:
+                return AdmissionDecision(False, budget, "resident-deadline")
+        return AdmissionDecision(True, budget, "ok")
+
+    def admit(self, job: int, deadline: float) -> AdmissionDecision:
+        """Check and, if feasible, admit."""
+        decision = self.check(job, deadline)
+        if decision.admitted:
+            self._residents[job] = deadline
+        return decision
+
+    def release(self, job: int) -> None:
+        """Job finished or migrated away."""
+        if job not in self._residents:
+            raise KeyError(f"job {job} is not resident")
+        del self._residents[job]

@@ -1,0 +1,201 @@
+"""Deadline-aware workload placement on conformal runtime budgets.
+
+The paper's opening motivation: "runtime performance measures are crucial
+for edge orchestration frameworks that aim to ensure workload performance
+by placing them on different available platforms" (Sec 1). This module is
+that consumer, built on Pitot's calibrated bounds: a placement is
+*feasible* when every job's ε-budget — including interference from its
+co-residents — meets its deadline.
+
+Two planners are provided:
+
+* :func:`greedy_placement` — earliest-deadline-first greedy with
+  co-resident revalidation; fast, good when load is moderate.
+* :func:`flow_placement` — global assignment via min-cost flow on the
+  job → (platform, slot-state) feasibility graph built from the greedy
+  residual; rescues jobs the greedy pass strands.
+
+Both are interference-aware: adding a job to a platform re-checks the
+budgets of everything already there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["PlacementProblem", "PlacementResult", "greedy_placement", "flow_placement"]
+
+#: Pitot models at most 3 interferers (4-way); a platform therefore holds
+#: at most 4 co-resident jobs, but planners may set a lower limit.
+MAX_RESIDENTS = 4
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """One placement instance.
+
+    Attributes
+    ----------
+    predictor:
+        Calibrated bound predictor: must expose
+        ``predict_bound(w_idx, p_idx, interferers, epsilon) → seconds``.
+    jobs:
+        Workload indices to place.
+    deadlines:
+        Seconds allowed per job (aligned with ``jobs``).
+    platforms:
+        Candidate platform indices.
+    epsilon:
+        Miscoverage rate for the budgets (e.g. 0.05 = 95% confidence).
+    max_residents:
+        Co-location cap per platform (≤ 4; interference model limit).
+    """
+
+    predictor: object
+    jobs: tuple[int, ...]
+    deadlines: tuple[float, ...]
+    platforms: tuple[int, ...]
+    epsilon: float = 0.05
+    max_residents: int = 3
+
+    def __post_init__(self) -> None:
+        if len(self.jobs) != len(self.deadlines):
+            raise ValueError("jobs and deadlines must align")
+        if not 0 < self.epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 1 <= self.max_residents <= MAX_RESIDENTS:
+            raise ValueError(f"max_residents must be in [1, {MAX_RESIDENTS}]")
+        if any(d <= 0 for d in self.deadlines):
+            raise ValueError("deadlines must be positive")
+
+    @property
+    def deadline_of(self) -> dict[int, float]:
+        return dict(zip(self.jobs, self.deadlines))
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of a planner run."""
+
+    assignment: dict[int, int | None] = field(default_factory=dict)
+    residents: dict[int, list[int]] = field(default_factory=dict)
+    budgets: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def placed(self) -> list[int]:
+        return [j for j, p in self.assignment.items() if p is not None]
+
+    @property
+    def unplaced(self) -> list[int]:
+        return [j for j, p in self.assignment.items() if p is None]
+
+    def utilization(self) -> dict[int, int]:
+        """Resident count per platform."""
+        return {p: len(r) for p, r in self.residents.items()}
+
+
+def _budget(problem: PlacementProblem, job: int, platform: int,
+            co_residents: list[int]) -> float:
+    """ε-budget for ``job`` on ``platform`` among ``co_residents``."""
+    pad = list(co_residents[:3]) + [-1] * (3 - min(len(co_residents), 3))
+    return float(
+        problem.predictor.predict_bound(
+            np.array([job]), np.array([platform]),
+            np.array([pad]), problem.epsilon,
+        )[0]
+    )
+
+
+def _placement_feasible(problem: PlacementProblem, job: int, platform: int,
+                        residents: list[int]) -> float | None:
+    """Budget if placing ``job`` keeps everyone's deadline, else None."""
+    deadline = problem.deadline_of
+    budget = _budget(problem, job, platform, residents)
+    if budget > deadline[job]:
+        return None
+    for other in residents:
+        others = [r for r in residents if r != other] + [job]
+        if _budget(problem, other, platform, others) > deadline[other]:
+            return None
+    return budget
+
+
+def greedy_placement(problem: PlacementProblem) -> PlacementResult:
+    """Earliest-deadline-first greedy with tightest-fit platform choice."""
+    result = PlacementResult(
+        residents={p: [] for p in problem.platforms}
+    )
+    order = np.argsort(problem.deadlines)
+    for idx in order:
+        job = problem.jobs[idx]
+        best_platform, best_budget = None, np.inf
+        for platform in problem.platforms:
+            residents = result.residents[platform]
+            if len(residents) >= problem.max_residents:
+                continue
+            budget = _placement_feasible(problem, job, platform, residents)
+            if budget is not None and budget < best_budget:
+                best_platform, best_budget = platform, budget
+        result.assignment[job] = best_platform
+        if best_platform is not None:
+            result.residents[best_platform].append(job)
+            result.budgets[job] = best_budget
+    return result
+
+
+def flow_placement(problem: PlacementProblem) -> PlacementResult:
+    """Greedy pass + min-cost-flow rescue of stranded jobs.
+
+    The flow graph connects each unplaced job to every platform with
+    spare capacity where the job fits *given the current residents*;
+    edge costs prefer tight fits (less wasted headroom). A high-cost
+    "drop" edge keeps the problem always feasible.
+    """
+    result = greedy_placement(problem)
+    unplaced = result.unplaced
+    if not unplaced:
+        return result
+
+    graph = nx.DiGraph()
+    graph.add_node("src", demand=-len(unplaced))
+    graph.add_node("sink", demand=len(unplaced))
+    any_edge = False
+    for job in unplaced:
+        graph.add_edge("src", f"j{job}", capacity=1, weight=0)
+        graph.add_edge(f"j{job}", "sink", capacity=1, weight=1_000_000)
+    for platform in problem.platforms:
+        residents = result.residents[platform]
+        spare = problem.max_residents - len(residents)
+        if spare <= 0:
+            continue
+        # Conservative: admit at most one rescue per platform so the
+        # feasibility check (against current residents) stays valid.
+        graph.add_edge(f"p{platform}", "sink", capacity=1, weight=0)
+        for job in unplaced:
+            budget = _placement_feasible(problem, job, platform, residents)
+            if budget is None:
+                continue
+            any_edge = True
+            headroom = 1.0 - budget / problem.deadline_of[job]
+            graph.add_edge(
+                f"j{job}", f"p{platform}", capacity=1,
+                weight=int(1000 * headroom),
+            )
+    if not any_edge:
+        return result
+
+    flow = nx.min_cost_flow(graph)
+    for job in unplaced:
+        for target, amount in flow.get(f"j{job}", {}).items():
+            if amount > 0 and target.startswith("p"):
+                platform = int(target[1:])
+                result.assignment[job] = platform
+                result.residents[platform].append(job)
+                result.budgets[job] = _budget(
+                    problem, job, platform,
+                    [r for r in result.residents[platform] if r != job],
+                )
+    return result

@@ -1,0 +1,21 @@
+"""Platform substrate: device inventory (Table 2), runtime inventory
+(Table 3), support matrix, and feature encoding (App C.2)."""
+
+from .devices import DEVICES, MICROARCHITECTURES, Device, IsaFamily
+from .features import platform_feature_matrix
+from .platform import Platform, generate_platforms, is_supported
+from .runtimes import RUNTIMES, ExecutionMode, RuntimeConfig
+
+__all__ = [
+    "Device",
+    "DEVICES",
+    "IsaFamily",
+    "MICROARCHITECTURES",
+    "RuntimeConfig",
+    "RUNTIMES",
+    "ExecutionMode",
+    "Platform",
+    "generate_platforms",
+    "is_supported",
+    "platform_feature_matrix",
+]

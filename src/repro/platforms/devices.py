@@ -1,0 +1,137 @@
+"""Device inventory — Table 2 of the paper.
+
+24 physical devices across 9 vendors and 14 microarchitectures, from a
+Cortex-M7 microcontroller to Tiger Lake x86. Each entry carries the
+cpuinfo/meminfo-style attributes the paper encodes as platform features
+(App C.2) plus hidden ground-truth speed/contention parameters for the
+cluster simulator.
+
+The paper's Table 2 lists 22 distinct models for 24 devices; we duplicate
+the two most common SBC models (a second RPi 4 and a second RPi 3B+) to
+reach 24, which also exercises the "similar platforms help data efficiency"
+effect of Fig 4b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["IsaFamily", "Device", "DEVICES", "MICROARCHITECTURES"]
+
+
+class IsaFamily(str, Enum):
+    """Coarse ISA family used in Fig 12c/12d groupings."""
+
+    INTEL_X86 = "Intel x86"
+    AMD_X86 = "AMD x86"
+    ARM_A = "ARM A-class"
+    ARM_M = "ARM M-class"
+    RISCV = "RISC-V"
+
+
+@dataclass(frozen=True)
+class Device:
+    """One physical device of the cluster (Fig 3 / Table 2).
+
+    Ground-truth fields (hidden from the predictor):
+
+    ``log10_speed``
+        Log10 speed factor relative to the reference platform (NUC 11
+        i7 ≈ 0); more negative = slower.
+    ``contention_scale``
+        How strongly co-running workloads interfere on this device —
+        higher on few-core, small-cache parts (drives Fig 12d).
+    ``noise_scale``
+        Multiplier on execution-time jitter (weak/thermally-limited
+        devices are noisier).
+    """
+
+    name: str
+    vendor: str
+    cpu: str
+    microarch: str
+    isa: IsaFamily
+    ghz: float
+    cores: int
+    l1d_kb: float | None
+    l1i_kb: float | None
+    l2_kb: float | None
+    l2_line: int | None
+    l2_assoc: int | None
+    l3_kb: float | None
+    mem_mb: float
+    is_mcu: bool
+    log10_speed: float
+    contention_scale: float
+    noise_scale: float
+
+
+#: Microarchitectures present in Table 2 (one-hot encoded as features).
+MICROARCHITECTURES: list[str] = [
+    "skylake", "haswell", "silvermont", "tigerlake", "goldmont-plus",
+    "zen3", "zen2", "zen1", "jaguar",
+    "cortex-a72", "cortex-a53", "cortex-a55",
+    "sifive-u74", "cortex-m7",
+]
+
+
+def _dev(
+    name, vendor, cpu, microarch, isa, ghz, cores,
+    l1d, l1i, l2, l2_line, l2_assoc, l3, mem_mb, is_mcu,
+    log10_speed, contention, noise,
+) -> Device:
+    return Device(
+        name=name, vendor=vendor, cpu=cpu, microarch=microarch, isa=isa,
+        ghz=ghz, cores=cores, l1d_kb=l1d, l1i_kb=l1i, l2_kb=l2,
+        l2_line=l2_line, l2_assoc=l2_assoc, l3_kb=l3, mem_mb=mem_mb,
+        is_mcu=is_mcu, log10_speed=log10_speed, contention_scale=contention,
+        noise_scale=noise,
+    )
+
+
+I, A, AA, AM, R = (
+    IsaFamily.INTEL_X86,
+    IsaFamily.AMD_X86,
+    IsaFamily.ARM_A,
+    IsaFamily.ARM_M,
+    IsaFamily.RISCV,
+)
+
+#: The 24-device cluster. Table 2 rows, with hidden simulator parameters.
+DEVICES: list[Device] = [
+    # --- x86: Intel ---------------------------------------------------
+    _dev("nuc8", "Intel", "i7-8650U", "skylake", I, 1.9, 4, 32, 32, 256, 64, 4, 8192, 16384, False, -0.08, 0.28, 1.0),
+    _dev("nuc4", "Intel", "i3-4010U", "haswell", I, 1.7, 2, 32, 32, 256, 64, 8, 3072, 8192, False, -0.34, 0.42, 1.0),
+    _dev("itx", "Generic ITX", "i7-4770TE", "haswell", I, 2.3, 4, 32, 32, 256, 64, 8, 8192, 16384, False, -0.18, 0.30, 1.0),
+    _dev("compute-stick", "Intel", "x5-Z8330", "silvermont", I, 1.44, 4, 24, 32, 1024, 64, 16, None, 2048, False, -0.95, 0.62, 1.35),
+    _dev("nuc11-i5", "Intel", "i5-1145G7", "tigerlake", I, 2.6, 4, 48, 32, 1280, 64, 20, 8192, 16384, False, 0.02, 0.25, 1.0),
+    _dev("nuc11-i7", "Intel", "i7-1165G7", "tigerlake", I, 2.8, 4, 48, 32, 1280, 64, 20, 12288, 32768, False, 0.0, 0.24, 1.0),
+    _dev("minipc-n4020", "Intel", "N4020", "goldmont-plus", I, 1.1, 2, 24, 32, 4096, 64, 16, None, 4096, False, -0.85, 0.60, 1.3),
+    # --- x86: AMD ------------------------------------------------------
+    _dev("elitedesk-805", "HP", "R5-5650G", "zen3", A, 3.9, 6, 32, 32, 512, 64, 8, 16384, 16384, False, 0.06, 0.22, 1.0),
+    _dev("minipc-4500u", "AMD", "R5-4500U", "zen2", A, 2.3, 6, 32, 32, 512, 64, 8, 8192, 16384, False, -0.06, 0.26, 1.0),
+    _dev("minipc-3200u", "AMD", "R3-3200U", "zen1", A, 2.6, 2, 32, 64, 512, 64, 8, 4096, 8192, False, -0.30, 0.45, 1.1),
+    _dev("minipc-a6", "AMD", "A6-1450", "jaguar", A, 1.0, 4, 32, 32, 2048, 64, 16, None, 4096, False, -1.05, 0.68, 1.4),
+    # --- ARM A-class SBCs ---------------------------------------------
+    _dev("rpi4-a", "RaspberryPi", "BCM2711", "cortex-a72", AA, 1.5, 4, 32, 48, 1024, 64, 16, None, 4096, False, -0.92, 0.72, 1.25),
+    _dev("rpi4-b", "RaspberryPi", "BCM2711", "cortex-a72", AA, 1.5, 4, 32, 48, 1024, 64, 16, None, 2048, False, -0.93, 0.74, 1.25),
+    _dev("rpi3b+-a", "RaspberryPi", "BCM2837B0", "cortex-a53", AA, 1.4, 4, 32, 16, 512, 64, 16, None, 1024, False, -1.32, 0.85, 1.45),
+    _dev("rpi3b+-b", "RaspberryPi", "BCM2837B0", "cortex-a53", AA, 1.4, 4, 32, 16, 512, 64, 16, None, 1024, False, -1.33, 0.86, 1.45),
+    _dev("bananapi-m5", "BananaPi", "S905X3", "cortex-a55", AA, 2.0, 4, 32, 32, 512, 64, 16, None, 4096, False, -1.10, 0.78, 1.3),
+    _dev("lepotato", "Libre", "S905X", "cortex-a53", AA, 1.5, 4, 32, 32, 512, 64, 16, None, 2048, False, -1.35, 0.88, 1.45),
+    _dev("odroid-c4", "Hardkernel", "S905X3", "cortex-a55", AA, 2.0, 4, 32, 32, 512, 64, 16, None, 4096, False, -1.08, 0.76, 1.3),
+    _dev("rockpro64", "Pine64", "RK3399", "cortex-a72", AA, 1.8, 6, 32, 48, 1024, 64, 16, None, 4096, False, -0.88, 0.70, 1.25),
+    _dev("rockpi-4b", "Radxa", "RK3399", "cortex-a72", AA, 1.8, 6, 32, 48, 1024, 64, 16, None, 4096, False, -0.89, 0.71, 1.25),
+    _dev("renegade", "Libre", "RK3328", "cortex-a53", AA, 1.4, 4, 32, 32, 256, 64, 16, None, 4096, False, -1.38, 0.90, 1.5),
+    _dev("orangepi-3", "Xunlong", "H6", "cortex-a53", AA, 1.8, 4, 32, 32, 512, 64, 16, None, 2048, False, -1.25, 0.84, 1.4),
+    # --- RISC-V ---------------------------------------------------------
+    _dev("starfive-vf2", "StarFive", "SiFive U74", "sifive-u74", R, 1.5, 4, 32, 32, 2048, 64, 16, None, 8192, False, -1.30, 0.80, 1.35),
+    # --- Microcontroller -------------------------------------------------
+    # The paper notes the M7 beats some Linux SBCs on tiny benchmarks due
+    # to zero OS overhead: high per-op cost but no fixed overhead; we give
+    # it low speed but also the lowest noise and scheduler-free contention.
+    _dev("nucleo-f767zi", "STMicro", "STM32F767ZI", "cortex-m7", AM, 0.216, 1, 16, 16, None, None, None, None, 0.5, True, -2.45, 1.0, 0.7),
+]
+
+assert len(DEVICES) == 24, "paper cluster has 24 devices"

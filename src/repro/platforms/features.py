@@ -1,0 +1,72 @@
+"""Platform feature encoding ``x_p`` (App C.2).
+
+Mirrors the paper's feature pipeline:
+
+* one-hot WebAssembly runtime configuration;
+* one-hot CPU microarchitecture;
+* nominal CPU frequency (log-scaled);
+* memory hierarchy: log cache sizes for L1d/L1i/L2/L3 and main memory,
+  each augmented with a presence indicator (the A72 has no L3, the M7 has
+  no L2); L2 line size and associativity one-hot encoded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .devices import MICROARCHITECTURES
+from .platform import Platform
+from .runtimes import RUNTIMES
+
+__all__ = ["platform_feature_matrix"]
+
+_L2_LINE_SIZES = [32, 64, 128]
+_L2_ASSOCS = [4, 8, 16]
+
+
+def _log_size_with_indicator(kb: float | None) -> tuple[float, float]:
+    """(log2 size, presence flag); absent levels encode as (0, 0)."""
+    if kb is None or kb <= 0:
+        return 0.0, 0.0
+    return float(np.log2(kb)), 1.0
+
+
+def platform_feature_matrix(
+    platforms: list[Platform],
+) -> tuple[np.ndarray, list[str]]:
+    """Encode ``x_p`` for every platform.
+
+    Returns
+    -------
+    features:
+        ``(n_platforms, n_features)`` array.
+    names:
+        Feature column names (for interpretability tooling).
+    """
+    runtime_names = [r.name for r in RUNTIMES]
+    names: list[str] = []
+    names += [f"runtime:{r}" for r in runtime_names]
+    names += [f"uarch:{m}" for m in MICROARCHITECTURES]
+    names += ["log_ghz", "log_cores"]
+    for level in ("l1d", "l1i", "l2", "l3", "mem"):
+        names += [f"log_{level}_size", f"{level}_present"]
+    names += [f"l2_line:{s}" for s in _L2_LINE_SIZES]
+    names += [f"l2_assoc:{a}" for a in _L2_ASSOCS]
+
+    rows = []
+    for plat in platforms:
+        dev, rt = plat.device, plat.runtime
+        row: list[float] = []
+        row += [1.0 if rt.name == r else 0.0 for r in runtime_names]
+        row += [1.0 if dev.microarch == m else 0.0 for m in MICROARCHITECTURES]
+        row += [float(np.log2(dev.ghz)), float(np.log2(dev.cores))]
+        for kb in (dev.l1d_kb, dev.l1i_kb, dev.l2_kb, dev.l3_kb, dev.mem_mb):
+            row += list(_log_size_with_indicator(kb))
+        row += [1.0 if dev.l2_line == s else 0.0 for s in _L2_LINE_SIZES]
+        row += [1.0 if dev.l2_assoc == a else 0.0 for a in _L2_ASSOCS]
+        rows.append(row)
+
+    features = np.asarray(rows, dtype=np.float64)
+    if features.shape[1] != len(names):
+        raise AssertionError("feature/name column mismatch")
+    return features, names

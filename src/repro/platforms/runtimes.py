@@ -1,0 +1,121 @@
+"""WebAssembly runtime inventory — Table 3 of the paper.
+
+5 runtime families in 10 configurations spanning interpreters, AOT
+compilers, and JITs. Interpreted vs AOT execution differs by 1–2 orders of
+magnitude — a major driver of the dataset's heterogeneity and of the
+log-objective's necessity (Sec 3.2).
+
+Each config carries a per-opcode-category log10 cost profile used by the
+ground-truth model: interpreters pay dispatch overhead on *every* opcode
+(so cheap ops like const/local get proportionally slower), while AOT/JIT
+configs approach native per-category costs. Singlepass JIT trades compile
+time for worse code quality, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..workloads.opcodes import OpcodeCategory
+
+__all__ = ["ExecutionMode", "RuntimeConfig", "RUNTIMES"]
+
+
+class ExecutionMode(str, Enum):
+    INTERPRETER = "interpreter"
+    AOT = "aot"
+    JIT = "jit"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One (runtime family, execution mode) configuration.
+
+    ``log10_slowdown`` is the hidden ground-truth average slowdown versus
+    the fastest AOT configuration; ``category_bias`` adds per-category
+    deviations (e.g., interpreters are *relatively* worse on cheap integer
+    ops than on float ops whose native cost already dominates dispatch).
+    """
+
+    name: str
+    family: str
+    mode: ExecutionMode
+    log10_slowdown: float
+    category_bias: dict[OpcodeCategory, float] = field(default_factory=dict)
+    #: Interpreters' larger working sets make them more sensitive to cache
+    #: contention — scales the platform's interference susceptibility.
+    contention_factor: float = 1.0
+
+    @property
+    def is_interpreter(self) -> bool:
+        return self.mode is ExecutionMode.INTERPRETER
+
+
+C = OpcodeCategory
+
+_INTERP_BIAS = {
+    C.CONST: 0.35, C.VARIABLE: 0.30, C.INT_ARITH: 0.25, C.CONTROL: 0.15,
+    C.FLOAT_ARITH: 0.05, C.FLOAT_SPECIAL: -0.15, C.INT_DIV: -0.10,
+    C.MEMORY: 0.10,
+}
+
+#: The 10 runtime configurations of Table 3.
+RUNTIMES: list[RuntimeConfig] = [
+    RuntimeConfig(
+        "wasm3", "Wasm3", ExecutionMode.INTERPRETER,
+        log10_slowdown=1.15, category_bias=_INTERP_BIAS, contention_factor=1.30,
+    ),
+    RuntimeConfig(
+        "wamr-interp", "WAMR", ExecutionMode.INTERPRETER,
+        log10_slowdown=1.30, category_bias=_INTERP_BIAS, contention_factor=1.35,
+    ),
+    RuntimeConfig(
+        "wasmedge-interp", "WasmEdge", ExecutionMode.INTERPRETER,
+        log10_slowdown=1.75, category_bias=_INTERP_BIAS, contention_factor=1.40,
+    ),
+    RuntimeConfig(
+        "wamr-llvm-aot", "WAMR", ExecutionMode.AOT,
+        log10_slowdown=0.05,
+        category_bias={C.CONTROL: 0.02},
+        contention_factor=1.0,
+    ),
+    RuntimeConfig(
+        "wasmtime-cranelift-aot", "Wasmtime", ExecutionMode.AOT,
+        log10_slowdown=0.12,
+        category_bias={C.FLOAT_ARITH: 0.04},
+        contention_factor=1.0,
+    ),
+    RuntimeConfig(
+        "wasmtime-cranelift-jit", "Wasmtime", ExecutionMode.JIT,
+        log10_slowdown=0.16,
+        category_bias={C.CONTROL: 0.05},
+        contention_factor=1.05,
+    ),
+    RuntimeConfig(
+        "wasmer-singlepass-jit", "Wasmer", ExecutionMode.JIT,
+        log10_slowdown=0.45,
+        category_bias={C.INT_ARITH: 0.10, C.VARIABLE: 0.12, C.CONST: 0.10},
+        contention_factor=1.10,
+    ),
+    RuntimeConfig(
+        "wasmer-cranelift-jit", "Wasmer", ExecutionMode.JIT,
+        log10_slowdown=0.18,
+        category_bias={C.CONTROL: 0.05},
+        contention_factor=1.05,
+    ),
+    RuntimeConfig(
+        "wasmer-cranelift-aot", "Wasmer", ExecutionMode.AOT,
+        log10_slowdown=0.14,
+        category_bias={},
+        contention_factor=1.0,
+    ),
+    RuntimeConfig(
+        "wasmer-llvm-aot", "Wasmer", ExecutionMode.AOT,
+        log10_slowdown=0.0,
+        category_bias={},
+        contention_factor=1.0,
+    ),
+]
+
+assert len(RUNTIMES) == 10, "paper uses 10 runtime configurations"

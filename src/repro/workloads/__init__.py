@@ -1,0 +1,31 @@
+"""Workload substrate: benchmark suites, opcode inventory, synthesis.
+
+Reconstructs the paper's 249-workload population (Sec 4): six suites with
+size variants, per-workload opcode-count vectors (the side information
+``x_w``), and the hidden resource-pressure profiles the cluster simulator
+uses to generate interference.
+"""
+
+from .phases import PhaseDetector, PhaseSegment, detect_phase_shifts, split_phases
+from .opcodes import OPCODE_NAMES, OPCODES, Opcode, OpcodeCategory, category_matrix
+from .suites import SUITES, SuiteSpec, enumerate_workload_specs, suite_names
+from .workload import Workload, generate_workloads, workload_feature_matrix
+
+__all__ = [
+    "Opcode",
+    "OpcodeCategory",
+    "OPCODES",
+    "OPCODE_NAMES",
+    "category_matrix",
+    "SuiteSpec",
+    "SUITES",
+    "suite_names",
+    "enumerate_workload_specs",
+    "Workload",
+    "PhaseDetector",
+    "PhaseSegment",
+    "detect_phase_shifts",
+    "split_phases",
+    "generate_workloads",
+    "workload_feature_matrix",
+]

@@ -1,0 +1,135 @@
+"""WebAssembly opcode inventory.
+
+The paper's workload features are the execution counts of every WASM opcode,
+collected with an instrumented WAMR fast interpreter (App C.2). We cannot run
+that interpreter offline, so :mod:`repro.workloads.synthesis` generates
+opcode-count vectors over this inventory; the inventory itself mirrors the
+WebAssembly 1.0 core instruction set grouped into the categories that drive
+the cluster simulator's cost model (integer vs float vs memory vs control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["OpcodeCategory", "Opcode", "OPCODES", "OPCODE_NAMES", "category_matrix"]
+
+
+class OpcodeCategory(str, Enum):
+    """Coarse instruction classes used by the performance model."""
+
+    CONTROL = "control"
+    PARAMETRIC = "parametric"
+    VARIABLE = "variable"
+    MEMORY = "memory"
+    CONST = "const"
+    INT_ARITH = "int_arith"
+    INT_DIV = "int_div"
+    FLOAT_ARITH = "float_arith"
+    FLOAT_SPECIAL = "float_special"
+    CONVERSION = "conversion"
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """A single WebAssembly instruction."""
+
+    name: str
+    category: OpcodeCategory
+    #: Relative baseline cost on a reference AOT platform; interpreters and
+    #: weak devices scale these per-category (see ``cluster.performance``).
+    base_cost: float
+
+
+def _build_opcodes() -> list[Opcode]:
+    ops: list[Opcode] = []
+
+    def add(names: list[str], cat: OpcodeCategory, cost: float) -> None:
+        ops.extend(Opcode(n, cat, cost) for n in names)
+
+    add(
+        [
+            "unreachable", "nop", "block", "loop", "if", "else", "end",
+            "br", "br_if", "br_table", "return", "call", "call_indirect",
+        ],
+        OpcodeCategory.CONTROL,
+        1.5,
+    )
+    add(["drop", "select"], OpcodeCategory.PARAMETRIC, 1.0)
+    add(
+        ["local.get", "local.set", "local.tee", "global.get", "global.set"],
+        OpcodeCategory.VARIABLE,
+        1.0,
+    )
+
+    loads = [
+        "i32.load", "i64.load", "f32.load", "f64.load",
+        "i32.load8_s", "i32.load8_u", "i32.load16_s", "i32.load16_u",
+        "i64.load8_s", "i64.load8_u", "i64.load16_s", "i64.load16_u",
+        "i64.load32_s", "i64.load32_u",
+    ]
+    stores = [
+        "i32.store", "i64.store", "f32.store", "f64.store",
+        "i32.store8", "i32.store16", "i64.store8", "i64.store16",
+        "i64.store32",
+    ]
+    add(loads + stores, OpcodeCategory.MEMORY, 2.5)
+    add(["memory.size", "memory.grow", "memory.copy", "memory.fill"], OpcodeCategory.MEMORY, 4.0)
+
+    add(["i32.const", "i64.const", "f32.const", "f64.const"], OpcodeCategory.CONST, 0.5)
+
+    int_cmp = ["eqz", "eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s", "le_u", "ge_s", "ge_u"]
+    int_alu = ["clz", "ctz", "popcnt", "add", "sub", "mul", "and", "or", "xor", "shl", "shr_s", "shr_u", "rotl", "rotr"]
+    int_div = ["div_s", "div_u", "rem_s", "rem_u"]
+    for prefix in ("i32", "i64"):
+        add([f"{prefix}.{op}" for op in int_cmp + int_alu], OpcodeCategory.INT_ARITH, 1.0)
+        add([f"{prefix}.{op}" for op in int_div], OpcodeCategory.INT_DIV, 8.0)
+
+    float_cmp = ["eq", "ne", "lt", "gt", "le", "ge"]
+    float_alu = ["abs", "neg", "add", "sub", "mul", "min", "max", "copysign"]
+    float_special = ["ceil", "floor", "trunc", "nearest", "sqrt", "div"]
+    for prefix in ("f32", "f64"):
+        add([f"{prefix}.{op}" for op in float_cmp + float_alu], OpcodeCategory.FLOAT_ARITH, 2.0)
+        add([f"{prefix}.{op}" for op in float_special], OpcodeCategory.FLOAT_SPECIAL, 10.0)
+
+    add(
+        [
+            "i32.wrap_i64",
+            "i32.trunc_f32_s", "i32.trunc_f32_u", "i32.trunc_f64_s", "i32.trunc_f64_u",
+            "i64.extend_i32_s", "i64.extend_i32_u",
+            "i64.trunc_f32_s", "i64.trunc_f32_u", "i64.trunc_f64_s", "i64.trunc_f64_u",
+            "f32.convert_i32_s", "f32.convert_i32_u", "f32.convert_i64_s", "f32.convert_i64_u",
+            "f32.demote_f64",
+            "f64.convert_i32_s", "f64.convert_i32_u", "f64.convert_i64_s", "f64.convert_i64_u",
+            "f64.promote_f32",
+            "i32.reinterpret_f32", "i64.reinterpret_f64",
+            "f32.reinterpret_i32", "f64.reinterpret_i64",
+        ],
+        OpcodeCategory.CONVERSION,
+        3.0,
+    )
+    return ops
+
+
+#: The full opcode inventory, in a fixed deterministic order.
+OPCODES: list[Opcode] = _build_opcodes()
+
+#: Opcode mnemonics aligned with the columns of every opcode-count vector.
+OPCODE_NAMES: list[str] = [op.name for op in OPCODES]
+
+_CATEGORY_LIST = list(OpcodeCategory)
+
+
+def category_matrix():
+    """Binary ``(n_opcodes, n_categories)`` membership matrix.
+
+    Multiplying an opcode-count vector by this matrix aggregates counts per
+    category — the cluster simulator prices execution per category.
+    """
+    import numpy as np
+
+    mat = np.zeros((len(OPCODES), len(_CATEGORY_LIST)))
+    for row, op in enumerate(OPCODES):
+        mat[row, _CATEGORY_LIST.index(op.category)] = 1.0
+    return mat

@@ -1,0 +1,135 @@
+"""Workload phase-shift detection (operationalizing a Sec 3.1 assumption).
+
+The paper assumes "if the nature of a workload changes, this can be
+identified externally... the new phase treated as a new workload". This
+module provides that external identification from observed runtimes: a
+two-sided CUSUM detector on log-runtimes flags sustained level shifts
+(e.g., a data-dependent program fed a new input distribution), and
+:func:`split_phases` rewrites an observation history into per-phase
+pseudo-workloads ready for re-training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PhaseDetector", "PhaseSegment", "detect_phase_shifts", "split_phases"]
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One detected phase: rows ``[start, end)`` of the input sequence."""
+
+    start: int
+    end: int
+    mean_log_runtime: float
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class PhaseDetector:
+    """Two-sided CUSUM on standardized log-runtimes.
+
+    Parameters
+    ----------
+    threshold:
+        Detection threshold in reference-σ units (h of the CUSUM).
+    slack:
+        Allowance k: drifts below ``slack`` σ are ignored — runtime jitter
+        and interference noise must not trigger phase splits.
+    min_segment:
+        Minimum observations per phase; shifts detected earlier are
+        deferred until the current phase has this many points.
+    """
+
+    def __init__(self, threshold: float = 8.0, slack: float = 0.5,
+                 min_segment: int = 10) -> None:
+        if threshold <= 0 or slack < 0:
+            raise ValueError("threshold must be > 0 and slack >= 0")
+        if min_segment < 2:
+            raise ValueError("min_segment must be >= 2")
+        self.threshold = threshold
+        self.slack = slack
+        self.min_segment = min_segment
+
+    def detect(self, log_runtimes: np.ndarray) -> list[int]:
+        """Change-point indices (start of each new phase, ascending)."""
+        y = np.asarray(log_runtimes, dtype=np.float64)
+        if len(y) < 2 * self.min_segment:
+            return []
+        changes: list[int] = []
+        start = 0
+        while start < len(y) - self.min_segment:
+            ref = y[start : start + self.min_segment]
+            mu, sigma = float(ref.mean()), float(ref.std())
+            sigma = max(sigma, 1e-6, 0.05 * abs(mu) if mu else 1e-6)
+            pos = neg = 0.0
+            shift_at = None
+            for t in range(start + self.min_segment, len(y)):
+                z = (y[t] - mu) / sigma
+                pos = max(0.0, pos + z - self.slack)
+                neg = max(0.0, neg - z - self.slack)
+                if pos > self.threshold or neg > self.threshold:
+                    shift_at = t
+                    break
+            if shift_at is None:
+                break
+            changes.append(shift_at)
+            start = shift_at
+        return changes
+
+
+def detect_phase_shifts(
+    log_runtimes: np.ndarray,
+    threshold: float = 8.0,
+    slack: float = 0.5,
+    min_segment: int = 10,
+) -> list[PhaseSegment]:
+    """Segment a runtime history into phases."""
+    y = np.asarray(log_runtimes, dtype=np.float64)
+    detector = PhaseDetector(threshold=threshold, slack=slack,
+                             min_segment=min_segment)
+    changes = detector.detect(y)
+    bounds = [0, *changes, len(y)]
+    return [
+        PhaseSegment(start=lo, end=hi, mean_log_runtime=float(y[lo:hi].mean()))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
+def split_phases(
+    workload_ids: np.ndarray,
+    timestamps: np.ndarray,
+    log_runtimes: np.ndarray,
+    **detector_kwargs,
+) -> np.ndarray:
+    """Assign phase-qualified workload ids across a mixed history.
+
+    Observations are grouped by workload, ordered by ``timestamps``, and
+    each detected phase after the first receives a fresh id (appended
+    after the existing id space) — the paper's "treat the new phase as a
+    new workload".
+
+    Returns the new id per observation (same order as the inputs).
+    """
+    workload_ids = np.asarray(workload_ids)
+    timestamps = np.asarray(timestamps)
+    log_runtimes = np.asarray(log_runtimes, dtype=np.float64)
+    if not (len(workload_ids) == len(timestamps) == len(log_runtimes)):
+        raise ValueError("inputs must align")
+
+    new_ids = workload_ids.copy()
+    next_id = int(workload_ids.max()) + 1 if len(workload_ids) else 0
+    for workload in np.unique(workload_ids):
+        rows = np.flatnonzero(workload_ids == workload)
+        order = rows[np.argsort(timestamps[rows], kind="stable")]
+        segments = detect_phase_shifts(log_runtimes[order], **detector_kwargs)
+        for segment in segments[1:]:
+            new_ids[order[segment.start : segment.end]] = next_id
+            next_id += 1
+    return new_ids

@@ -1,0 +1,188 @@
+"""The six benchmark suites of the paper's dataset (Sec 4).
+
+249 workloads total, matching the paper's accounting where the same binary
+with a different input size is a separate workload (Sec 4 "Limitations").
+Suite composition drives the synthetic instruction mix: Polybench is
+float/memory heavy, Libsodium is integer/bit-op heavy, Python workloads are
+control/indirect-call heavy (interpreter on interpreter), etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .opcodes import OpcodeCategory
+
+__all__ = ["SuiteSpec", "SUITES", "suite_names", "enumerate_workload_specs"]
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Static description of one benchmark suite.
+
+    Attributes
+    ----------
+    name:
+        Suite identifier as used in Figs 7/12a.
+    benchmarks:
+        Benchmark program names.
+    sizes:
+        Input-size variants; each (benchmark, size) pair is one workload.
+    mix_prior:
+        Dirichlet-style prior over opcode categories — the suite's
+        characteristic instruction mix.
+    log_seconds_range:
+        Range of log10 runtime (in seconds) on the reference platform
+        (fast x86 + LLVM AOT); sizes shift within this range.
+    mix_concentration:
+        Dirichlet concentration: large = benchmarks in the suite share a
+        homogeneous mix (Polybench/Libsodium cluster tightly in Fig 7),
+        small = diverse suite (MiBench).
+    """
+
+    name: str
+    benchmarks: tuple[str, ...]
+    sizes: tuple[str, ...]
+    mix_prior: dict[OpcodeCategory, float]
+    log_seconds_range: tuple[float, float]
+    mix_concentration: float
+
+    @property
+    def n_workloads(self) -> int:
+        return len(self.benchmarks) * len(self.sizes)
+
+
+C = OpcodeCategory
+
+_POLYBENCH = SuiteSpec(
+    name="polybench",
+    benchmarks=(
+        "2mm", "3mm", "adi", "atax", "bicg", "cholesky", "correlation",
+        "covariance", "deriche", "doitgen", "durbin", "fdtd-2d",
+        "floyd-warshall", "gemm", "gemver", "gesummv", "gramschmidt",
+        "heat-3d", "jacobi-1d", "jacobi-2d", "lu", "ludcmp", "mvt",
+        "nussinov", "seidel-2d", "symm", "syr2k", "syrk", "trisolv", "trmm",
+    ),
+    sizes=("small", "medium"),
+    mix_prior={
+        C.CONTROL: 0.04, C.PARAMETRIC: 0.01, C.VARIABLE: 0.18, C.MEMORY: 0.28,
+        C.CONST: 0.06, C.INT_ARITH: 0.12, C.INT_DIV: 0.005,
+        C.FLOAT_ARITH: 0.25, C.FLOAT_SPECIAL: 0.035, C.CONVERSION: 0.02,
+    },
+    log_seconds_range=(-3.2, -0.2),
+    mix_concentration=220.0,
+)
+
+_MIBENCH = SuiteSpec(
+    name="mibench",
+    benchmarks=(
+        "basicmath", "bitcount", "qsort", "susan_corners", "susan_edges",
+        "susan_smoothing", "jpeg_encode", "jpeg_decode", "typeset",
+        "dijkstra", "patricia", "stringsearch", "blowfish_encrypt",
+        "blowfish_decrypt", "rijndael_encrypt", "rijndael_decrypt", "sha",
+        "crc32", "fft", "fft_inverse", "adpcm_encode", "adpcm_decode",
+        "gsm_encode", "gsm_decode",
+    ),
+    sizes=("small", "large"),
+    mix_prior={
+        C.CONTROL: 0.10, C.PARAMETRIC: 0.02, C.VARIABLE: 0.22, C.MEMORY: 0.22,
+        C.CONST: 0.08, C.INT_ARITH: 0.26, C.INT_DIV: 0.02,
+        C.FLOAT_ARITH: 0.05, C.FLOAT_SPECIAL: 0.01, C.CONVERSION: 0.02,
+    },
+    log_seconds_range=(-3.5, -0.5),
+    mix_concentration=35.0,
+)
+
+_CORTEX = SuiteSpec(
+    name="cortex",
+    benchmarks=(
+        "rbm", "sphinx", "srr", "lda", "liblinear",
+        "pca", "motion-estimation", "kmeans", "spectral", "svd3",
+    ),
+    sizes=("small", "medium", "large"),
+    mix_prior={
+        C.CONTROL: 0.07, C.PARAMETRIC: 0.02, C.VARIABLE: 0.20, C.MEMORY: 0.25,
+        C.CONST: 0.06, C.INT_ARITH: 0.16, C.INT_DIV: 0.01,
+        C.FLOAT_ARITH: 0.17, C.FLOAT_SPECIAL: 0.03, C.CONVERSION: 0.03,
+    },
+    log_seconds_range=(-2.0, 0.8),
+    mix_concentration=40.0,
+)
+
+_SDVBS = SuiteSpec(
+    name="sdvbs",
+    benchmarks=(
+        "disparity", "localization", "mser", "multi_ncut", "sift",
+        "stitch", "svm", "texture_synthesis", "tracking",
+    ),
+    sizes=("sqcif", "qcif", "cif"),
+    mix_prior={
+        C.CONTROL: 0.08, C.PARAMETRIC: 0.02, C.VARIABLE: 0.21, C.MEMORY: 0.26,
+        C.CONST: 0.06, C.INT_ARITH: 0.18, C.INT_DIV: 0.01,
+        C.FLOAT_ARITH: 0.13, C.FLOAT_SPECIAL: 0.025, C.CONVERSION: 0.025,
+    },
+    log_seconds_range=(-2.3, 0.6),
+    mix_concentration=45.0,
+)
+
+_LIBSODIUM = SuiteSpec(
+    name="libsodium",
+    benchmarks=(
+        "aead_aes256gcm", "aead_chacha20poly1305", "aead_xchacha20poly1305",
+        "auth", "auth_hmacsha256", "auth_hmacsha512", "box", "box_seal",
+        "generichash", "hash_sha256", "hash_sha512", "kdf", "kx",
+        "onetimeauth", "pwhash_argon2i", "pwhash_argon2id",
+        "pwhash_scryptsalsa208", "scalarmult", "secretbox", "secretstream",
+        "shorthash", "sign_ed25519", "stream_chacha20", "stream_salsa20",
+    ),
+    sizes=("small", "medium", "large"),
+    mix_prior={
+        C.CONTROL: 0.05, C.PARAMETRIC: 0.015, C.VARIABLE: 0.20, C.MEMORY: 0.18,
+        C.CONST: 0.08, C.INT_ARITH: 0.43, C.INT_DIV: 0.005,
+        C.FLOAT_ARITH: 0.008, C.FLOAT_SPECIAL: 0.002, C.CONVERSION: 0.03,
+    },
+    log_seconds_range=(-3.8, -0.8),
+    mix_concentration=150.0,
+)
+
+_PYTHON = SuiteSpec(
+    name="python",
+    benchmarks=(
+        "chaos", "deltablue", "fannkuch", "float", "go", "hexiom",
+        "nbody", "pidigits", "pyflate", "richards", "scimark",
+        "spectral_norm",
+    ),
+    sizes=("default",),
+    mix_prior={
+        C.CONTROL: 0.16, C.PARAMETRIC: 0.03, C.VARIABLE: 0.24, C.MEMORY: 0.27,
+        C.CONST: 0.07, C.INT_ARITH: 0.15, C.INT_DIV: 0.01,
+        C.FLOAT_ARITH: 0.04, C.FLOAT_SPECIAL: 0.01, C.CONVERSION: 0.02,
+    },
+    log_seconds_range=(-0.8, 1.2),
+    mix_concentration=120.0,
+)
+
+#: All suites; the workload count matches the paper's 249.
+SUITES: tuple[SuiteSpec, ...] = (
+    _POLYBENCH,
+    _MIBENCH,
+    _CORTEX,
+    _SDVBS,
+    _LIBSODIUM,
+    _PYTHON,
+)
+
+
+def suite_names() -> list[str]:
+    """Suite identifiers in canonical order (the Fig 7 legend)."""
+    return [s.name for s in SUITES]
+
+
+def enumerate_workload_specs() -> list[tuple[SuiteSpec, str, str]]:
+    """All (suite, benchmark, size) triples in deterministic order."""
+    specs = []
+    for suite in SUITES:
+        for bench in suite.benchmarks:
+            for size in suite.sizes:
+                specs.append((suite, bench, size))
+    return specs

@@ -1,0 +1,214 @@
+"""Workload synthesis: opcode-count vectors and latent resource profiles.
+
+The real dataset profiles each benchmark once on an instrumented interpreter
+to obtain opcode execution counts (App C.2). Here each workload is drawn
+from its suite's instruction-mix prior:
+
+* a **total operation count** sets the workload's intrinsic difficulty
+  (spanning ~5 orders of magnitude, like the paper's mix of microsecond
+  crypto primitives and multi-second Python programs);
+* a **category mix** (suite Dirichlet prior + per-benchmark jitter) splits
+  the total across opcode categories;
+* per-category **Zipf weights** split category totals across individual
+  opcodes, reproducing the "several order-of-magnitude differences between
+  rare and common instructions" the paper log-transforms away.
+
+The latent fields (``memory_pressure``, ``compute_pressure``,
+``io_pressure``) are *not* exposed as features — they parameterize the
+cluster simulator's ground-truth interference, and the model must infer
+their effect from observations, exactly as Pitot must on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .opcodes import OPCODES, OpcodeCategory
+from .suites import SUITES, SuiteSpec, enumerate_workload_specs
+
+__all__ = ["Workload", "generate_workloads", "workload_feature_matrix"]
+
+_CATEGORIES = list(OpcodeCategory)
+_OPS_BY_CATEGORY = {
+    cat: [idx for idx, op in enumerate(OPCODES) if op.category == cat]
+    for cat in _CATEGORIES
+}
+
+
+@dataclass
+class Workload:
+    """One uniquely-identifiable workload (Sec 3.1 assumption 1).
+
+    Attributes
+    ----------
+    index:
+        Position in the global workload list (the ``i`` of the paper).
+    suite, benchmark, size:
+        Identity; ``name`` is the canonical ``suite/benchmark@size`` string.
+    opcode_counts:
+        Execution counts per opcode (aligned with ``OPCODE_NAMES``).
+    log10_ref_seconds:
+        Ground-truth log10 runtime on the reference platform. Hidden from
+        the predictor.
+    category_mix:
+        Fraction of dynamic instructions per category. Hidden; features
+        expose only the (noisy, log-transformed) opcode counts.
+    memory_pressure, compute_pressure, io_pressure:
+        Latent [0, 1] contention profiles used by the interference ground
+        truth. Partially correlated with the opcode mix.
+    """
+
+    index: int
+    suite: str
+    benchmark: str
+    size: str
+    opcode_counts: np.ndarray
+    log10_ref_seconds: float
+    category_mix: np.ndarray
+    memory_pressure: float
+    compute_pressure: float
+    io_pressure: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.suite}/{self.benchmark}@{self.size}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Workload({self.name})"
+
+
+def _size_offset(suite: SuiteSpec, size: str) -> float:
+    """Log10-seconds offset of a size variant within the suite's range."""
+    lo, hi = suite.log_seconds_range
+    n = len(suite.sizes)
+    if n == 1:
+        return 0.0
+    # Variants are spread over ~70% of the suite's range.
+    span = 0.7 * (hi - lo)
+    return (suite.sizes.index(size) / (n - 1) - 0.5) * span
+
+
+def generate_workloads(
+    rng: np.random.Generator,
+    suites: tuple[SuiteSpec, ...] = SUITES,
+    subset: int | None = None,
+) -> list[Workload]:
+    """Generate the full 249-workload population (or a ``subset`` prefix).
+
+    Randomness is suite-structured: benchmarks within a suite share the
+    suite mix prior, and size variants of one benchmark share the
+    benchmark's mix (only the total count changes) — matching how input
+    size changes dynamic counts but not instruction composition.
+    """
+    workloads: list[Workload] = []
+    specs = enumerate_workload_specs()
+    if any(s[0] not in SUITES for s in specs) and suites is not SUITES:
+        pass  # custom suites handled below
+    if suites is not SUITES:
+        specs = [
+            (suite, bench, size)
+            for suite in suites
+            for bench in suite.benchmarks
+            for size in suite.sizes
+        ]
+
+    # Per-benchmark draws are cached so size variants share them.
+    bench_mix: dict[tuple[str, str], np.ndarray] = {}
+    bench_zipf: dict[tuple[str, str], np.ndarray] = {}
+    bench_base_log: dict[tuple[str, str], float] = {}
+
+    for index, (suite, bench, size) in enumerate(specs):
+        if subset is not None and index >= subset:
+            break
+        key = (suite.name, bench)
+        if key not in bench_mix:
+            prior = np.array([suite.mix_prior.get(c, 1e-4) for c in _CATEGORIES])
+            prior = prior / prior.sum()
+            bench_mix[key] = rng.dirichlet(prior * suite.mix_concentration)
+            # Zipf-ish weights over opcodes within each category.
+            weights = np.zeros(len(OPCODES))
+            for cat in _CATEGORIES:
+                ops = _OPS_BY_CATEGORY[cat]
+                ranks = rng.permutation(len(ops)) + 1
+                w = 1.0 / ranks**1.1
+                # A benchmark touches only a subset of each category.
+                active = rng.random(len(ops)) < 0.75
+                if not active.any():
+                    active[rng.integers(len(ops))] = True
+                w = w * active
+                weights[ops] = w / max(w.sum(), 1e-12)
+            bench_zipf[key] = weights
+            lo, hi = suite.log_seconds_range
+            bench_base_log[key] = rng.uniform(lo, hi)
+
+        mix = bench_mix[key]
+        log10_seconds = bench_base_log[key] + _size_offset(suite, size)
+        # Total dynamic ops: anchored to runtime (~1e9 simple ops/sec on the
+        # reference platform) with benchmark-specific efficiency jitter.
+        total_ops = 10 ** (log10_seconds + 9.0 + rng.normal(0.0, 0.15))
+
+        counts = np.zeros(len(OPCODES))
+        for ci, cat in enumerate(_CATEGORIES):
+            ops = _OPS_BY_CATEGORY[cat]
+            w = bench_zipf[key][ops]
+            counts[ops] = total_ops * mix[ci] * w
+        counts = np.floor(counts)
+
+        mem_frac = mix[_CATEGORIES.index(OpcodeCategory.MEMORY)]
+        float_frac = (
+            mix[_CATEGORIES.index(OpcodeCategory.FLOAT_ARITH)]
+            + mix[_CATEGORIES.index(OpcodeCategory.FLOAT_SPECIAL)]
+        )
+        # Latent pressures: driven by the mix but with independent noise so
+        # features are informative-yet-incomplete (motivating the learned
+        # features φ of Sec 3.3).
+        memory_pressure = float(np.clip(mem_frac * 2.4 + rng.normal(0, 0.12), 0, 1))
+        compute_pressure = float(
+            np.clip(0.35 + float_frac * 1.2 + rng.normal(0, 0.15), 0, 1)
+        )
+        io_pressure = float(np.clip(rng.beta(1.2, 6.0), 0, 1))
+
+        workloads.append(
+            Workload(
+                index=index,
+                suite=suite.name,
+                benchmark=bench,
+                size=size,
+                opcode_counts=counts,
+                log10_ref_seconds=log10_seconds,
+                category_mix=mix,
+                memory_pressure=memory_pressure,
+                compute_pressure=compute_pressure,
+                io_pressure=io_pressure,
+            )
+        )
+    return workloads
+
+
+def workload_feature_matrix(
+    workloads: list[Workload],
+    prune_unused: bool = True,
+) -> tuple[np.ndarray, list[str]]:
+    """Encode workload side information ``x_w``: log opcode frequencies.
+
+    Applies the paper's transform ``f(n) = log(n + 1)`` and drops opcodes
+    never executed by any workload (App C.2).
+
+    Returns
+    -------
+    features:
+        ``(n_workloads, n_features)`` array.
+    names:
+        Retained opcode mnemonics, one per feature column.
+    """
+    from .opcodes import OPCODE_NAMES
+
+    raw = np.stack([w.opcode_counts for w in workloads])
+    names = list(OPCODE_NAMES)
+    if prune_unused:
+        used = raw.sum(axis=0) > 0
+        raw = raw[:, used]
+        names = [n for n, keep in zip(names, used) if keep]
+    return np.log1p(raw), names

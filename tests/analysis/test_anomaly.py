@@ -1,0 +1,51 @@
+"""Embedding-space anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import detect_anomalies, knn_outlier_scores
+
+
+def _population_with_outlier(rng, n=40, dim=6, distance=25.0):
+    x = rng.normal(0.0, 1.0, size=(n, dim))
+    x[7] = distance  # one far-away entity
+    return x
+
+
+class TestScores:
+    def test_outlier_has_top_score(self, rng):
+        x = _population_with_outlier(rng)
+        scores = knn_outlier_scores(x, k=5)
+        assert int(np.argmax(scores)) == 7
+
+    def test_scores_normalized_to_median(self, rng):
+        scores = knn_outlier_scores(rng.normal(size=(50, 4)), k=5)
+        assert np.median(scores) == pytest.approx(1.0)
+
+    def test_needs_enough_entities(self, rng):
+        with pytest.raises(ValueError):
+            knn_outlier_scores(rng.normal(size=(4, 2)), k=5)
+
+
+class TestDetect:
+    def test_flags_planted_outlier(self, rng):
+        x = _population_with_outlier(rng)
+        report = detect_anomalies(x, k=5, threshold=2.5)
+        assert 7 in report.anomalies
+
+    def test_clean_population_unflagged(self, rng):
+        x = rng.normal(size=(60, 5))
+        report = detect_anomalies(x, k=5, threshold=4.0)
+        assert len(report.anomalies) == 0
+
+    def test_anomalies_sorted_by_severity(self, rng):
+        x = _population_with_outlier(rng)
+        x[3] = 80.0  # an even worse outlier
+        report = detect_anomalies(x, k=5, threshold=2.0)
+        assert list(report.anomalies[:2]) == [3, 7]
+
+    def test_on_trained_embeddings(self, trained_pitot):
+        """Smoke: scoring real workload embeddings runs and is finite."""
+        emb = trained_pitot.model.workload_embeddings()
+        report = detect_anomalies(emb, k=5)
+        assert np.isfinite(report.scores).all()

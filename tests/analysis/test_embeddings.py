@@ -1,0 +1,61 @@
+"""Cluster-quantification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import cluster_report, knn_label_agreement, label_centroid_spread
+
+
+def _blobs(rng, separation):
+    a = rng.normal(0.0, 1.0, size=(30, 4))
+    b = rng.normal(separation, 1.0, size=(30, 4))
+    return np.vstack([a, b]), np.array([0] * 30 + [1] * 30)
+
+
+class TestKnnAgreement:
+    def test_separated_blobs_high(self, rng):
+        x, labels = _blobs(rng, 20.0)
+        assert knn_label_agreement(x, labels, k=5) > 0.95
+
+    def test_mixed_blobs_near_chance(self, rng):
+        x, labels = _blobs(rng, 0.0)
+        score = knn_label_agreement(x, labels, k=5)
+        assert 0.3 < score < 0.7
+
+    def test_needs_enough_points(self, rng):
+        with pytest.raises(ValueError):
+            knn_label_agreement(rng.normal(size=(4, 2)), np.zeros(4), k=5)
+
+
+class TestCentroidSpread:
+    def test_bounds(self, rng):
+        x, labels = _blobs(rng, 5.0)
+        spread = label_centroid_spread(x, labels)
+        assert 0.0 <= spread <= 1.0
+
+    def test_separated_exceeds_mixed(self, rng):
+        x1, labels = _blobs(rng, 10.0)
+        x2, _ = _blobs(rng, 0.0)
+        assert label_centroid_spread(x1, labels) > label_centroid_spread(x2, labels)
+
+    def test_degenerate_embedding(self):
+        assert label_centroid_spread(np.ones((10, 3)), np.zeros(10)) == 0.0
+
+
+class TestClusterReport:
+    def test_separated_blobs_significant(self, rng):
+        x, labels = _blobs(rng, 15.0)
+        report = cluster_report(x, labels, n_shuffles=10, seed=0)
+        assert report["agreement"] > report["null_mean"]
+        assert report["sigma"] > 3.0
+
+    def test_random_labels_not_significant(self, rng):
+        x = rng.normal(size=(60, 4))
+        labels = rng.integers(0, 2, 60)
+        report = cluster_report(x, labels, n_shuffles=10, seed=0)
+        assert abs(report["sigma"]) < 3.0
+
+    def test_report_keys(self, rng):
+        x, labels = _blobs(rng, 5.0)
+        report = cluster_report(x, labels, n_shuffles=5)
+        assert set(report) == {"agreement", "null_mean", "null_std", "sigma"}

@@ -1,0 +1,63 @@
+"""Fig 1 slowdown histograms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import interference_slowdowns, slowdown_histograms
+from repro.cluster import MAX_INTERFERERS, RuntimeDataset
+
+
+def _dataset_with_known_slowdowns():
+    """1 workload, 1 platform; isolation mean 1.0s; 2-way rows at 2x/4x."""
+    w = np.array([0, 0, 0, 0])
+    p = np.array([0, 0, 0, 0])
+    k = np.full((4, MAX_INTERFERERS), -1)
+    k[2] = [0, -1, -1]
+    k[3] = [0, -1, -1]
+    runtime = np.array([1.0, 1.0, 2.0, 4.0])
+    return RuntimeDataset(
+        w_idx=w, p_idx=p, interferers=k, runtime=runtime,
+        workload_features=np.zeros((1, 1)),
+        platform_features=np.zeros((1, 1)),
+    )
+
+
+class TestSlowdowns:
+    def test_known_values(self):
+        ds = _dataset_with_known_slowdowns()
+        slow = interference_slowdowns(ds, degree=2)
+        assert sorted(slow.tolist()) == pytest.approx([2.0, 4.0])
+
+    def test_no_isolation_reference_dropped(self):
+        ds = _dataset_with_known_slowdowns()
+        # Degree 3 has no rows at all.
+        assert len(interference_slowdowns(ds, degree=3)) == 0
+
+
+class TestHistograms:
+    def test_counts_match_samples(self):
+        ds = _dataset_with_known_slowdowns()
+        hists = slowdown_histograms(ds, degrees=(2,))
+        assert hists[0].n == 2
+        assert hists[0].counts.sum() == 2
+
+    def test_stats(self):
+        ds = _dataset_with_known_slowdowns()
+        h = slowdown_histograms(ds, degrees=(2,))[0]
+        assert h.median == pytest.approx(3.0)
+        assert h.max == pytest.approx(4.0)
+
+    def test_log_density_monotone_in_counts(self):
+        ds = _dataset_with_known_slowdowns()
+        h = slowdown_histograms(ds, degrees=(2,))[0]
+        dens = h.log_density()
+        assert dens.shape == h.counts.shape
+        assert (dens[h.counts == 0] == 0.0).all()
+
+    def test_mini_dataset_shape(self, mini_dataset):
+        """On simulated data the paper's qualitative shape holds: higher
+        degrees shift mass to larger slowdowns."""
+        hists = slowdown_histograms(mini_dataset)
+        medians = {h.degree: h.median for h in hists}
+        assert medians[2] <= medians[3] <= medians[4]
+        assert all(h.n > 0 for h in hists)

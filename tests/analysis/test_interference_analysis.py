@@ -1,0 +1,49 @@
+"""Fig 12d: spectral norms vs measured interference."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    interference_spectral_norms,
+    measured_mean_interference,
+    norm_vs_interference,
+)
+
+
+class TestSpectralNorms:
+    def test_rank_one_norm(self):
+        u = np.array([3.0, 0.0])
+        v = np.array([0.0, 4.0])
+        F = np.outer(u, v)[None, :, :]
+        assert interference_spectral_norms(F)[0] == pytest.approx(12.0)
+
+    def test_batch_shape(self, rng):
+        F = rng.normal(size=(5, 4, 4))
+        assert interference_spectral_norms(F).shape == (5,)
+
+
+class TestMeasured:
+    def test_platform_means(self, mini_dataset):
+        measured = measured_mean_interference(mini_dataset)
+        assert measured.shape == (mini_dataset.n_platforms,)
+        # Interference slows things down on average.
+        valid = ~np.isnan(measured)
+        assert measured[valid].mean() > 0
+
+
+class TestCorrelation:
+    def test_positive_correlation_on_trained_model(
+        self, trained_pitot, mini_dataset
+    ):
+        """The Fig 12d claim: learned ‖F_j‖ correlates positively with
+        measured per-platform interference."""
+        F = trained_pitot.model.interference_matrices()
+        result = norm_vs_interference(F, mini_dataset)
+        assert result["n_platforms"] >= 3
+        assert result["spearman"] > 0.0
+
+    def test_requires_enough_platforms(self, trained_pitot, mini_dataset):
+        F = trained_pitot.model.interference_matrices()
+        tiny = mini_dataset.subset(np.arange(5))
+        with pytest.raises(ValueError):
+            norm_vs_interference(F, tiny)

@@ -1,0 +1,50 @@
+"""t-SNE implementation sanity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import knn_label_agreement, pairwise_sq_distances, tsne
+
+
+class TestDistances:
+    def test_matches_direct_computation(self, rng):
+        x = rng.normal(size=(10, 3))
+        d = pairwise_sq_distances(x)
+        direct = ((x[:, None, :] - x[None, :, :]) ** 2).sum(-1)
+        assert np.allclose(d, direct, atol=1e-9)
+
+    def test_zero_diagonal_nonnegative(self, rng):
+        d = pairwise_sq_distances(rng.normal(size=(8, 4)))
+        assert np.allclose(np.diag(d), 0.0)
+        assert (d >= 0).all()
+
+
+class TestTsne:
+    def test_output_shape(self, rng):
+        y = tsne(rng.normal(size=(30, 8)), n_iter=60, seed=0)
+        assert y.shape == (30, 2)
+        assert np.isfinite(y).all()
+
+    def test_deterministic(self, rng):
+        x = rng.normal(size=(25, 5))
+        a = tsne(x, n_iter=60, seed=3)
+        b = tsne(x, n_iter=60, seed=3)
+        assert np.allclose(a, b)
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 2)))
+
+    def test_separates_well_separated_blobs(self):
+        """Two far-apart Gaussian blobs must stay separated in 2-D."""
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.3, size=(25, 10))
+        b = rng.normal(8.0, 0.3, size=(25, 10))
+        x = np.vstack([a, b])
+        labels = np.array([0] * 25 + [1] * 25)
+        y = tsne(x, n_iter=250, seed=1)
+        assert knn_label_agreement(y, labels, k=5) > 0.9
+
+    def test_embedding_centered(self, rng):
+        y = tsne(rng.normal(size=(20, 6)), n_iter=80, seed=0)
+        assert np.allclose(y.mean(axis=0), 0.0, atol=1e-8)

@@ -1,0 +1,35 @@
+"""Chunked prediction consistency for baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MatrixFactorizationBaseline, NeuralNetworkBaseline
+
+
+class TestChunkedPrediction:
+    def test_mf_chunking_invariant(self, mini_dataset, rng):
+        mf = MatrixFactorizationBaseline(
+            mini_dataset.n_workloads, mini_dataset.n_platforms, rng, rank=4
+        )
+        n = 100
+        w = rng.integers(0, mini_dataset.n_workloads, n)
+        p = rng.integers(0, mini_dataset.n_platforms, n)
+        assert np.allclose(
+            mf.predict_log(w, p, chunk=7), mf.predict_log(w, p, chunk=10_000)
+        )
+
+    def test_nn_chunking_invariant_with_interferers(self, mini_dataset, rng):
+        nn = NeuralNetworkBaseline(
+            mini_dataset.workload_features,
+            mini_dataset.platform_features,
+            rng,
+            hidden=(8,),
+        )
+        n = 64
+        w = rng.integers(0, mini_dataset.n_workloads, n)
+        p = rng.integers(0, mini_dataset.n_platforms, n)
+        k = rng.integers(-1, mini_dataset.n_workloads, (n, 3))
+        assert np.allclose(
+            nn.predict_log(w, p, k, chunk=5),
+            nn.predict_log(w, p, k, chunk=10_000),
+        )

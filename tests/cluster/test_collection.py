@@ -1,0 +1,109 @@
+"""Data-collection campaigns (App C.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterCollector,
+    CollectionConfig,
+    collect_dataset,
+    make_cluster,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    model = make_cluster(seed=0, n_workloads=30, n_devices=6, n_runtimes=4)
+    collector = ClusterCollector(model, CollectionConfig(sets_per_degree=15))
+    return model, collector, collector.collect(np.random.default_rng(1))
+
+
+class TestIsolationCampaign:
+    def test_excludes_crashes(self, campaign):
+        model, collector, _ = campaign
+        w, p, _ = collector.collect_isolation(np.random.default_rng(0))
+        assert not model.crash_table[w, p].any()
+
+    def test_excludes_timeouts(self, campaign):
+        model, collector, _ = campaign
+        cfg = collector.config
+        w, p, _ = collector.collect_isolation(np.random.default_rng(0))
+        assert (model.isolation_log10(w, p) <= np.log10(cfg.time_budget_s)).all()
+
+    def test_each_valid_pair_once(self, campaign):
+        model, collector, _ = campaign
+        w, p, _ = collector.collect_isolation(np.random.default_rng(0))
+        pairs = set(zip(w.tolist(), p.tolist()))
+        assert len(pairs) == len(w)
+
+    def test_runtime_near_truth(self, campaign):
+        model, collector, _ = campaign
+        w, p, runtime = collector.collect_isolation(np.random.default_rng(0))
+        truth = 10.0 ** model.isolation_log10(w, p)
+        rel = np.abs(runtime - truth) / truth
+        assert np.median(rel) < 0.05  # averaged measurements are tight
+
+
+class TestInterferenceCampaign:
+    def test_no_self_interference(self, campaign):
+        _, collector, _ = campaign
+        w, p, k, _ = collector.collect_interference(np.random.default_rng(2))
+        for row in range(len(w)):
+            assert w[row] not in k[row][k[row] >= 0]
+
+    def test_padding_is_trailing(self, campaign):
+        _, collector, _ = campaign
+        _, _, k, _ = collector.collect_interference(np.random.default_rng(2))
+        for row in k[:200]:
+            valid = row >= 0
+            # -1 padding only after the valid entries.
+            if valid.any():
+                last_valid = np.max(np.flatnonzero(valid))
+                assert valid[: last_valid + 1].all()
+
+    def test_all_degrees_collected(self, campaign):
+        _, _, dataset = campaign
+        counts = dataset.degree_counts()
+        assert counts[2] > 0 and counts[3] > 0 and counts[4] > 0
+
+    def test_higher_degrees_lose_more_to_timeouts(self, campaign):
+        """4-way sets time out more often, so per-slot yield drops."""
+        _, collector, dataset = campaign
+        counts = dataset.degree_counts()
+        sets = collector.config.sets_per_degree
+        n_platforms = dataset.n_platforms
+        yield_per_slot = {
+            d: counts[d] / (sets * d * n_platforms) for d in (2, 3, 4)
+        }
+        assert yield_per_slot[4] <= yield_per_slot[2] + 0.05
+
+
+class TestFullCampaign:
+    def test_deterministic(self):
+        a = collect_dataset(seed=3, n_workloads=15, n_devices=4, n_runtimes=3,
+                            sets_per_degree=5)
+        b = collect_dataset(seed=3, n_workloads=15, n_devices=4, n_runtimes=3,
+                            sets_per_degree=5)
+        assert np.array_equal(a.runtime, b.runtime)
+        assert np.array_equal(a.interferers, b.interferers)
+
+    def test_summary_consistency(self, campaign):
+        _, _, dataset = campaign
+        s = dataset.summary()
+        assert s["n_observations"] == s["n_isolation"] + s["n_interference"]
+        assert s["n_interference"] == s["n_2way"] + s["n_3way"] + s["n_4way"]
+
+    def test_features_attached(self, campaign):
+        _, _, dataset = campaign
+        assert dataset.workload_features.shape[0] == dataset.n_workloads
+        assert dataset.platform_features.shape[0] == dataset.n_platforms
+        assert len(dataset.workload_feature_names) == dataset.workload_features.shape[1]
+
+    def test_paper_scale_ratios(self):
+        """At paper scale the campaign yields ~7x more interference rows
+        than isolation rows (53,637 vs 357,333 in Sec 4)."""
+        ds = collect_dataset(seed=0, n_workloads=40, n_devices=8, n_runtimes=5,
+                             sets_per_degree=40)
+        s = ds.summary()
+        ratio = s["n_interference"] / s["n_isolation"]
+        assert 2.0 < ratio < 15.0

@@ -1,0 +1,103 @@
+"""Structural properties of the ground truth that motivate Pitot's design.
+
+Each test pins one mechanism the simulator must exhibit for the paper's
+experiments to be meaningful (DESIGN.md §2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster
+
+
+@pytest.fixture(scope="module")
+def model():
+    return make_cluster(seed=4, n_workloads=60, n_devices=10, n_runtimes=6)
+
+
+def test_cache_pressure_penalizes_small_cache_devices(model):
+    """Memory-heavy workloads lose disproportionately on small caches —
+    the nonlinear interaction the MLP towers must learn."""
+    mem = np.array([w.memory_pressure for w in model.workloads])
+    heavy = int(np.argmax(mem))
+    light = int(np.argmin(mem))
+    caches = np.array([
+        (p.device.l3_kb or 0.0) + (p.device.l2_kb or 0.0)
+        for p in model.platforms
+    ])
+    big = int(np.argmax(caches))
+    small = int(np.argmin(caches))
+    # Relative penalty of the small-cache platform, per workload.
+    penalty_heavy = (
+        model.log10_isolation[heavy, small] - model.log10_isolation[heavy, big]
+    )
+    penalty_light = (
+        model.log10_isolation[light, small] - model.log10_isolation[light, big]
+    )
+    assert penalty_heavy > penalty_light
+
+
+def test_interpreters_amplify_interference(model):
+    """Runtime contention factor: interpreter platforms suffer more from
+    the same co-runner set than AOT on the same device."""
+    by_device: dict[str, dict[str, int]] = {}
+    for j, plat in enumerate(model.platforms):
+        by_device.setdefault(plat.device.name, {})[plat.runtime.mode.value] = j
+    pairs = [
+        (d["interpreter"], d["aot"])
+        for d in by_device.values()
+        if "interpreter" in d and "aot" in d
+    ]
+    assert pairs
+    rng = np.random.default_rng(0)
+    k = rng.integers(0, len(model.workloads), (200, 3))
+    w = rng.integers(0, len(model.workloads), 200)
+    diffs = []
+    for interp_j, aot_j in pairs:
+        s_interp = model.interference_log10(w, np.full(200, interp_j), k)
+        s_aot = model.interference_log10(w, np.full(200, aot_j), k)
+        diffs.append(np.mean(s_interp - s_aot))
+    assert np.mean(diffs) > 0
+
+
+def test_idiosyncratic_residual_not_feature_explained(model):
+    """The u·q residual decorrelates from every feature column — the
+    reason learned features φ are necessary (App D.2, q=0 ablation)."""
+    from repro.workloads import workload_feature_matrix
+
+    feats, _ = workload_feature_matrix(model.workloads)
+    # Residual after removing additive structure: center rows and columns.
+    iso = model.log10_isolation
+    centered = iso - iso.mean(0, keepdims=True) - iso.mean(1, keepdims=True) + iso.mean()
+    resid_w = centered.mean(axis=1)  # per-workload leftover
+    # Max |corr| with any feature column stays modest.
+    corr = [
+        abs(np.corrcoef(resid_w, feats[:, c])[0, 1])
+        for c in range(feats.shape[1])
+        if feats[:, c].std() > 1e-9
+    ]
+    assert np.median(corr) < 0.5
+
+
+def test_mcu_beats_some_linux_platforms_on_tiny_benchmarks():
+    """Paper Sec 4 footnote: the M7 executes some of the smallest
+    benchmarks faster than many Linux platforms (no OS overhead). Our
+    ground truth gives the MCU a control-flow discount; verify at least
+    that its *relative* penalty shrinks for control-heavy workloads."""
+    model = make_cluster(seed=1)  # full inventory has the MCU
+    mcu_platforms = [
+        j for j, p in enumerate(model.platforms) if p.device.is_mcu
+    ]
+    assert mcu_platforms
+    from repro.workloads.opcodes import OpcodeCategory
+
+    cats = list(OpcodeCategory)
+    control = cats.index(OpcodeCategory.CONTROL)
+    mix = np.stack([w.category_mix for w in model.workloads])
+    control_heavy = int(np.argmax(mix[:, control]))
+    control_light = int(np.argmin(mix[:, control]))
+    j = mcu_platforms[0]
+    others = model.log10_isolation.mean(axis=1)
+    penalty_heavy = model.log10_isolation[control_heavy, j] - others[control_heavy]
+    penalty_light = model.log10_isolation[control_light, j] - others[control_light]
+    assert penalty_heavy < penalty_light

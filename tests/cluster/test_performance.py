@@ -1,0 +1,152 @@
+"""Ground-truth performance model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PerformanceModelConfig, make_cluster
+
+
+@pytest.fixture(scope="module")
+def model():
+    return make_cluster(seed=0, n_workloads=30, n_devices=6, n_runtimes=4)
+
+
+class TestIsolation:
+    def test_matrix_shape_and_finiteness(self, model):
+        assert model.log10_isolation.shape == (
+            len(model.workloads),
+            len(model.platforms),
+        )
+        assert np.isfinite(model.log10_isolation).all()
+
+    def test_platform_speed_ordering_preserved_on_average(self, model):
+        # A device an order of magnitude slower should be slower for the
+        # average workload on the same runtime.
+        col_means = model.log10_isolation.mean(axis=0)
+        speeds = np.array(
+            [-p.device.log10_speed + p.runtime.log10_slowdown for p in model.platforms]
+        )
+        corr = np.corrcoef(col_means, speeds)[0, 1]
+        assert corr > 0.9
+
+    def test_workload_difficulty_dominates_rows(self, model):
+        row_means = model.log10_isolation.mean(axis=1)
+        difficulty = np.array([w.log10_ref_seconds for w in model.workloads])
+        assert np.corrcoef(row_means, difficulty)[0, 1] > 0.95
+
+    def test_deterministic_by_seed(self):
+        a = make_cluster(seed=5, n_workloads=10, n_devices=4, n_runtimes=3)
+        b = make_cluster(seed=5, n_workloads=10, n_devices=4, n_runtimes=3)
+        assert np.array_equal(a.log10_isolation, b.log10_isolation)
+
+
+class TestInterference:
+    def test_no_interferers_is_zero(self, model):
+        w = np.array([0, 1, 2])
+        p = np.array([0, 1, 2])
+        empty = np.full((3, 3), -1)
+        assert np.allclose(model.interference_log10(w, p, empty), 0.0)
+
+    def test_interference_never_large_negative(self, model):
+        rng = np.random.default_rng(0)
+        n = 500
+        w = rng.integers(0, len(model.workloads), n)
+        p = rng.integers(0, len(model.platforms), n)
+        k = rng.integers(0, len(model.workloads), (n, 3))
+        slow = model.interference_log10(w, p, k)
+        # Leaky activation allows slight negatives below threshold only.
+        assert slow.min() > -0.2
+
+    def test_monotone_in_interferer_count(self, model):
+        """Adding an interferer can only increase the true slowdown."""
+        rng = np.random.default_rng(1)
+        n = 300
+        w = rng.integers(0, len(model.workloads), n)
+        p = rng.integers(0, len(model.platforms), n)
+        k2 = np.concatenate(
+            [rng.integers(0, len(model.workloads), (n, 2)), np.full((n, 1), -1)],
+            axis=1,
+        )
+        k3 = k2.copy()
+        k3[:, 2] = rng.integers(0, len(model.workloads), n)
+        s2 = model.interference_log10(w, p, k2)
+        s3 = model.interference_log10(w, p, k3)
+        assert (s3 >= s2 - 1e-9).all()
+
+    def test_saturation_cap(self, model):
+        # Even absurd co-location cannot exceed the ~28x soft cap.
+        heavy = np.argsort([-w.memory_pressure for w in model.workloads])[:3]
+        w = np.arange(len(model.workloads))
+        p = np.full(len(w), int(np.argmax(model._plat_scale.sum(axis=1))))
+        k = np.tile(heavy, (len(w), 1))
+        slow = model.interference_log10(w, p, k)
+        assert slow.max() <= 1.45 + 1e-9
+
+    def test_fourway_reaches_paper_scale_tails(self):
+        """Fig 1: random 4-way co-location reaches ≥5x tails somewhere."""
+        model = make_cluster(seed=2, n_workloads=60, n_devices=10, n_runtimes=5)
+        rng = np.random.default_rng(3)
+        n = 4000
+        w = rng.integers(0, len(model.workloads), n)
+        p = rng.integers(0, len(model.platforms), n)
+        k = rng.integers(0, len(model.workloads), (n, 3))
+        slow = 10 ** model.interference_log10(w, p, k)
+        assert np.percentile(slow, 99) > 3.0
+        assert slow.max() > 8.0
+
+
+class TestMeasurement:
+    def test_noise_grows_with_interference(self, model):
+        rng = np.random.default_rng(0)
+        w = np.zeros(4000, dtype=int)
+        p = np.zeros(4000, dtype=int)
+        iso_samples = model.sample_log10(w, p, None, np.random.default_rng(1))
+        k = np.tile(np.array([1, 2, 3]), (4000, 1))
+        int_samples = model.sample_log10(w, p, k, np.random.default_rng(1))
+        assert int_samples.std() > iso_samples.std()
+
+    def test_averaging_reduces_noise(self, model):
+        w = np.zeros(4000, dtype=int)
+        p = np.zeros(4000, dtype=int)
+        loud = model.sample_log10(w, p, None, np.random.default_rng(2))
+        quiet = model.sample_log10(
+            w, p, None, np.random.default_rng(2), averaging_reps=np.full(4000, 50.0)
+        )
+        assert quiet.std() < loud.std()
+
+    def test_sample_runtime_positive(self, model):
+        w = np.arange(10)
+        p = np.arange(10) % len(model.platforms)
+        runtime = model.sample_runtime(w, p, None, np.random.default_rng(0))
+        assert (runtime > 0).all()
+
+    def test_crash_table_rate(self, model):
+        rate = model.crash_table.mean()
+        assert 0.005 < rate < 0.2  # ~2% baseline + MCU footprint rejects
+
+
+@settings(max_examples=15, deadline=None)
+@given(strength=st.floats(0.2, 2.0))
+def test_property_interference_scales_with_strength(strength):
+    """interference_strength rescales slowdowns monotonically (pre-cap)."""
+    base = make_cluster(
+        seed=9, n_workloads=12, n_devices=4, n_runtimes=3,
+        performance_config=PerformanceModelConfig(interference_strength=1.0),
+    )
+    scaled = make_cluster(
+        seed=9, n_workloads=12, n_devices=4, n_runtimes=3,
+        performance_config=PerformanceModelConfig(interference_strength=strength),
+    )
+    rng = np.random.default_rng(0)
+    w = rng.integers(0, 12, 50)
+    p = rng.integers(0, len(base.platforms), 50)
+    k = rng.integers(0, 12, (50, 3))
+    s_base = base.interference_log10(w, p, k)
+    s_scaled = scaled.interference_log10(w, p, k)
+    positive = s_base > 1e-6
+    if strength >= 1.0:
+        assert (s_scaled[positive] >= s_base[positive] - 1e-9).all()
+    else:
+        assert (s_scaled[positive] <= s_base[positive] + 1e-9).all()

@@ -1,0 +1,62 @@
+"""Train/calibration/test split machinery (Sec 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_split, replicate_splits
+
+
+class TestMakeSplit:
+    def test_partition_is_disjoint_and_complete(self, mini_dataset):
+        split = make_split(mini_dataset, 0.5, seed=0)
+        n = mini_dataset.n_observations
+        total = split.n_train + split.n_calibration + split.n_test
+        assert total == n
+
+    def test_fraction_respected(self, mini_dataset):
+        split = make_split(mini_dataset, 0.3, seed=0)
+        train_side = split.n_train + split.n_calibration
+        assert train_side == pytest.approx(0.3 * mini_dataset.n_observations, rel=0.05)
+
+    def test_calibration_is_20_percent_of_train_side(self, mini_dataset):
+        split = make_split(mini_dataset, 0.5, seed=0)
+        frac = split.n_calibration / (split.n_train + split.n_calibration)
+        assert frac == pytest.approx(0.2, abs=0.03)
+
+    def test_every_entity_in_train(self, mini_dataset):
+        """Sec 3.1: every workload/platform observed at least once."""
+        split = make_split(mini_dataset, 0.15, seed=1)
+        train_w = set(np.unique(split.train.w_idx))
+        train_p = set(np.unique(split.train.p_idx))
+        all_w = set(np.unique(mini_dataset.w_idx))
+        all_p = set(np.unique(mini_dataset.p_idx))
+        assert train_w == all_w
+        assert train_p == all_p
+
+    def test_invalid_fraction_raises(self, mini_dataset):
+        with pytest.raises(ValueError):
+            make_split(mini_dataset, 0.0, seed=0)
+        with pytest.raises(ValueError):
+            make_split(mini_dataset, 1.0, seed=0)
+
+    def test_deterministic_by_seed(self, mini_dataset):
+        a = make_split(mini_dataset, 0.5, seed=42)
+        b = make_split(mini_dataset, 0.5, seed=42)
+        assert np.array_equal(a.train.runtime, b.train.runtime)
+        assert np.array_equal(a.test.runtime, b.test.runtime)
+
+    def test_different_seeds_differ(self, mini_dataset):
+        a = make_split(mini_dataset, 0.5, seed=1)
+        b = make_split(mini_dataset, 0.5, seed=2)
+        assert not np.array_equal(a.test.runtime, b.test.runtime)
+
+
+class TestReplicates:
+    def test_replicates_are_independent_partitions(self, mini_dataset):
+        splits = replicate_splits(mini_dataset, 0.4, n_replicates=3, base_seed=0)
+        assert len(splits) == 3
+        assert not np.array_equal(splits[0].test.runtime, splits[1].test.runtime)
+
+    def test_metadata(self, mini_dataset):
+        splits = replicate_splits(mini_dataset, 0.4, n_replicates=2, base_seed=5)
+        assert all(s.train_fraction == 0.4 for s in splits)

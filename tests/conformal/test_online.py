@@ -1,0 +1,87 @@
+"""Online sliding-window conformal recalibration."""
+
+import numpy as np
+import pytest
+
+from repro.conformal import OnlineConformalizer
+
+
+class _ConstantModel:
+    """Always predicts log-runtime 0 (runtime 1s) on a single head."""
+
+    def predict_log(self, w_idx, p_idx, interferers=None):
+        return np.zeros((len(np.asarray(w_idx)), 1))
+
+
+def _feed(oc, runtimes, interferers=None, n=None):
+    n = n or len(runtimes)
+    oc.observe(np.zeros(n, int), np.zeros(n, int), interferers, runtimes)
+
+
+class TestObserve:
+    def test_window_eviction(self):
+        oc = OnlineConformalizer(_ConstantModel(), window=10)
+        _feed(oc, np.ones(25))
+        assert oc.n_observed(pool=1) == 10
+
+    def test_pools_keyed_by_degree(self):
+        oc = OnlineConformalizer(_ConstantModel(), window=100)
+        _feed(oc, np.ones(5))
+        k = np.tile(np.array([1, -1, -1]), (5, 1))
+        _feed(oc, np.ones(5), interferers=k)
+        assert oc.n_observed(pool=1) == 5
+        assert oc.n_observed(pool=2) == 5
+        assert oc.n_observed() == 10
+
+    def test_rejects_nonpositive(self):
+        oc = OnlineConformalizer(_ConstantModel())
+        with pytest.raises(ValueError):
+            _feed(oc, np.array([1.0, 0.0]))
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            OnlineConformalizer(_ConstantModel(), window=1)
+
+
+class TestBounds:
+    def test_offset_tracks_known_distribution(self):
+        rng = np.random.default_rng(0)
+        oc = OnlineConformalizer(_ConstantModel(), window=5000)
+        runtimes = np.exp(rng.normal(0.0, 1.0, size=3000))
+        _feed(oc, runtimes)
+        # With prediction 0, scores ~ N(0,1): the ε=0.1 offset ≈ z_0.9.
+        assert oc.offset(0.1, pool=1) == pytest.approx(1.2816, abs=0.1)
+
+    def test_coverage_on_fresh_data(self):
+        rng = np.random.default_rng(1)
+        oc = OnlineConformalizer(_ConstantModel(), window=4000)
+        _feed(oc, np.exp(rng.normal(0, 0.5, size=2000)))
+        fresh = np.exp(rng.normal(0, 0.5, size=2000))
+        bound = oc.predict_bound(
+            np.zeros(2000, int), np.zeros(2000, int), None, 0.1
+        )
+        assert np.mean(fresh <= bound) >= 0.87
+
+    def test_adapts_to_drift(self):
+        """After a regime change the window forgets the old scores."""
+        rng = np.random.default_rng(2)
+        oc = OnlineConformalizer(_ConstantModel(), window=500)
+        _feed(oc, np.exp(rng.normal(0.0, 0.1, size=500)))     # calm regime
+        before = oc.offset(0.1, pool=1)
+        _feed(oc, np.exp(rng.normal(2.0, 0.1, size=500)))     # slow regime
+        after = oc.offset(0.1, pool=1)
+        assert after > before + 1.0
+
+    def test_thin_pool_falls_back_to_merged(self):
+        rng = np.random.default_rng(3)
+        oc = OnlineConformalizer(_ConstantModel(), window=1000)
+        _feed(oc, np.exp(rng.normal(0, 0.3, size=500)))        # pool 1 rich
+        k = np.tile(np.array([1, 2, 3]), (3, 1))
+        _feed(oc, np.ones(3), interferers=k)                   # pool 4 thin
+        # ε=0.05 needs ≥20 scores; pool 4 has 3 → falls back, stays finite.
+        assert np.isfinite(oc.offset(0.05, pool=4))
+
+    def test_no_observations_gives_infinite_bound(self):
+        oc = OnlineConformalizer(_ConstantModel())
+        bound = oc.predict_bound(np.zeros(2, int), np.zeros(2, int), None, 0.1)
+        assert np.isinf(bound).all()

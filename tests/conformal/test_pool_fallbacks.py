@@ -1,0 +1,73 @@
+"""Pool-routing edge cases in the conformal predictor."""
+
+import numpy as np
+import pytest
+
+from repro.conformal import ConformalRuntimePredictor
+from repro.core import PAPER_QUANTILES
+
+
+class TestUnseenPools:
+    def test_test_pool_missing_from_calibration(
+        self, trained_pitot_quantile, mini_split
+    ):
+        """Calibrating without any 4-way rows must still produce finite
+        bounds for 4-way test rows (global fallback)."""
+        cal = mini_split.calibration
+        keep = np.flatnonzero(cal.degree < 4)
+        cal_no4 = cal.subset(keep)
+        cp = ConformalRuntimePredictor(
+            trained_pitot_quantile.model, quantiles=PAPER_QUANTILES
+        ).calibrate(cal_no4, epsilons=(0.1,))
+
+        test = mini_split.test
+        four_way = np.flatnonzero(test.degree == 4)[:50]
+        assert len(four_way) > 0
+        bound = cp.predict_bound(
+            test.w_idx[four_way], test.p_idx[four_way],
+            test.interferers[four_way], 0.1,
+        )
+        assert np.isfinite(bound).all()
+
+    def test_isolation_rows_with_none_interferers(
+        self, trained_pitot_quantile, mini_split
+    ):
+        """interferers=None routes to the isolation pool (degree 1)."""
+        cp = ConformalRuntimePredictor(
+            trained_pitot_quantile.model, quantiles=PAPER_QUANTILES
+        ).calibrate(mini_split.calibration, epsilons=(0.1,))
+        test = mini_split.test
+        iso_rows = np.flatnonzero(test.degree == 1)[:50]
+        via_none = cp.predict_bound(
+            test.w_idx[iso_rows], test.p_idx[iso_rows], None, 0.1
+        )
+        via_padding = cp.predict_bound(
+            test.w_idx[iso_rows], test.p_idx[iso_rows],
+            test.interferers[iso_rows], 0.1,
+        )
+        assert np.allclose(via_none, via_padding)
+
+    def test_tiny_calibration_set_bounds_are_conservative(
+        self, trained_pitot_quantile, mini_split
+    ):
+        """With n_cal < 1/ε − 1 the offset is infinite by construction —
+        the method refuses to promise what it cannot guarantee."""
+        cal = mini_split.calibration.subset(np.arange(5))
+        cp = ConformalRuntimePredictor(
+            trained_pitot_quantile.model,
+            quantiles=PAPER_QUANTILES,
+            use_pools=False,
+        ).calibrate(cal, epsilons=(0.01,))
+        test = mini_split.test
+        bound = cp.predict_bound(
+            test.w_idx[:10], test.p_idx[:10], None, 0.01
+        )
+        assert np.isinf(bound).all()
+
+    def test_use_pools_false_single_offset(self, trained_pitot, mini_split):
+        cp = ConformalRuntimePredictor(
+            trained_pitot.model, strategy="split", use_pools=False
+        ).calibrate(mini_split.calibration, epsilons=(0.1,))
+        # Only the global pool key exists.
+        pools = {key[1] for key in cp.choices}
+        assert pools == {-1, 0}

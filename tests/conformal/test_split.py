@@ -1,0 +1,77 @@
+"""Split conformal offsets: correctness and the coverage guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conformal import conformal_offset, conformal_offsets_by_pool
+
+
+class TestOffset:
+    def test_hand_computed_order_statistic(self):
+        scores = np.array([0.1, 0.5, 0.3, 0.2, 0.4])  # n=5
+        # ε=0.4: k = ceil(6*0.6) = 4 → 4th smallest = 0.4.
+        assert conformal_offset(scores, 0.4) == pytest.approx(0.4)
+
+    def test_small_sets_give_infinity(self):
+        # n=5, ε=0.1: k = ceil(6*0.9) = 6 > 5.
+        assert conformal_offset(np.arange(5.0), 0.1) == float("inf")
+
+    def test_empty_scores_give_infinity(self):
+        assert conformal_offset(np.array([]), 0.5) == float("inf")
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            conformal_offset(np.zeros(10), 0.0)
+        with pytest.raises(ValueError):
+            conformal_offset(np.zeros(10), 1.0)
+
+    def test_offset_decreases_with_epsilon(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=1000)
+        offsets = [conformal_offset(scores, e) for e in (0.01, 0.05, 0.2, 0.5)]
+        assert offsets == sorted(offsets, reverse=True)
+
+
+class TestPools:
+    def test_per_pool_offsets(self):
+        scores = np.concatenate([np.zeros(50), np.ones(50)])
+        pools = np.concatenate([np.zeros(50, int), np.ones(50, int)])
+        offsets = conformal_offsets_by_pool(scores, pools, 0.1)
+        assert offsets[0] == pytest.approx(0.0)
+        assert offsets[1] == pytest.approx(1.0)
+        assert -1 in offsets  # global fallback always present
+
+    def test_small_pool_falls_back(self):
+        scores = np.concatenate([np.zeros(100), np.ones(3)])
+        pools = np.concatenate([np.zeros(100, int), np.ones(3, int)])
+        offsets = conformal_offsets_by_pool(scores, pools, 0.05)
+        assert 1 not in offsets  # pool of 3 cannot support ε=0.05
+        assert np.isfinite(offsets[-1])
+
+
+@settings(max_examples=25, deadline=None)
+@given(epsilon=st.sampled_from([0.05, 0.1, 0.2]), seed=st.integers(0, 10_000))
+def test_property_marginal_coverage_guarantee(epsilon, seed):
+    """The split-conformal bound covers with probability ≥ 1−ε.
+
+    Exchangeable calibration/test scores from a shared distribution; the
+    empirical miscoverage over the test set, averaged over draws, must
+    not exceed ε beyond binomial fluctuation. This is the distribution-
+    free guarantee Pitot inherits (Sec 3.5).
+    """
+    rng = np.random.default_rng(seed)
+    n_cal, n_test = 300, 400
+    # A deliberately awkward distribution: lognormal + point mass.
+    pool = np.concatenate([
+        rng.lognormal(0.0, 1.0, size=(n_cal + n_test) // 2),
+        rng.normal(5.0, 0.1, size=(n_cal + n_test + 1) // 2),
+    ])
+    rng.shuffle(pool)
+    cal, test = pool[:n_cal], pool[n_cal:]
+    offset = conformal_offset(cal, epsilon)
+    miscoverage = float(np.mean(test > offset))
+    # Allow 4 binomial standard deviations of slack.
+    slack = 4.0 * np.sqrt(epsilon * (1 - epsilon) / n_test)
+    assert miscoverage <= epsilon + slack + 1.0 / n_cal

@@ -1,0 +1,65 @@
+"""Shared fixtures: miniature cluster datasets and pre-trained models.
+
+Session-scoped so the expensive artifacts (dataset collection, model
+training) are built once and shared; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import collect_dataset, make_split
+from repro.core import (
+    PAPER_QUANTILES,
+    PitotConfig,
+    TrainerConfig,
+    train_pitot,
+)
+
+#: Small-but-structured architecture used by most training-dependent tests.
+TINY_MODEL = dict(hidden=(32,), embedding_dim=8, learned_features=1)
+
+
+@pytest.fixture(scope="session")
+def mini_dataset():
+    """A miniature collected dataset: ~40 workloads x ~20 platforms."""
+    return collect_dataset(
+        seed=0, n_workloads=40, n_devices=6, n_runtimes=4, sets_per_degree=20
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_split(mini_dataset):
+    return make_split(mini_dataset, train_fraction=0.6, seed=3)
+
+
+@pytest.fixture(scope="session")
+def trained_pitot(mini_split):
+    """A squared-loss Pitot trained briefly on the mini split."""
+    return train_pitot(
+        mini_split.train,
+        mini_split.calibration,
+        model_config=PitotConfig(**TINY_MODEL),
+        trainer_config=TrainerConfig(
+            steps=400, eval_every=100, batch_per_degree=256, seed=0
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_pitot_quantile(mini_split):
+    """A quantile-head Pitot trained briefly on the mini split."""
+    return train_pitot(
+        mini_split.train,
+        mini_split.calibration,
+        model_config=PitotConfig(quantiles=PAPER_QUANTILES, **TINY_MODEL),
+        trainer_config=TrainerConfig(
+            steps=300, eval_every=100, batch_per_degree=192, seed=0
+        ),
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,177 @@
+"""PitotModel: shapes, modes, ablations, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.core import PitotConfig, PitotModel
+from repro.core.model import standardize_features
+from repro.nn import check_gradients
+
+
+def _tiny_model(rng, **overrides):
+    defaults = dict(hidden=(8,), embedding_dim=4, learned_features=1)
+    defaults.update(overrides)
+    xw = rng.normal(size=(7, 5))
+    xp = rng.normal(size=(6, 4))
+    return PitotModel(xw, xp, PitotConfig(**defaults), rng)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.normal(3.0, 5.0, size=(50, 4))
+        z = standardize_features(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self):
+        x = np.ones((10, 2))
+        assert np.allclose(standardize_features(x), 0.0)
+
+
+class TestForward:
+    def test_embedding_shapes(self, rng):
+        model = _tiny_model(rng)
+        W, P, VS, VG = model.compute_embeddings()
+        assert W.shape == (7, 1, 4)
+        assert P.shape == (6, 4)
+        assert VS.shape == (6, 2, 4)
+        assert VG.shape == (6, 2, 4)
+
+    def test_quantile_heads_shape(self, rng):
+        model = _tiny_model(rng, quantiles=(0.5, 0.9, 0.99))
+        W, _, _, _ = model.compute_embeddings()
+        assert W.shape == (7, 3, 4)
+        out = model.forward(np.array([0, 1]), np.array([0, 1]))
+        assert out.shape == (2, 3)
+
+    def test_no_interferers_equals_padded(self, rng):
+        model = _tiny_model(rng)
+        w, p = np.array([0, 1, 2]), np.array([3, 4, 5])
+        none_out = model.forward(w, p, None)
+        padded = model.forward(w, p, np.full((3, 3), -1))
+        assert np.allclose(none_out.data, padded.data)
+
+    def test_interference_changes_prediction(self, rng):
+        model = _tiny_model(rng)
+        w, p = np.array([0, 1]), np.array([0, 1])
+        base = model.forward(w, p, None)
+        k = np.array([[2, 3, -1], [4, -1, -1]])
+        with_int = model.forward(w, p, k)
+        assert not np.allclose(base.data, with_int.data)
+
+    def test_ignore_mode_disregards_interferers(self, rng):
+        model = _tiny_model(rng, interference_mode="ignore")
+        w, p = np.array([0, 1]), np.array([0, 1])
+        k = np.array([[2, 3, -1], [4, -1, -1]])
+        assert np.allclose(
+            model.forward(w, p, None).data, model.forward(w, p, k).data
+        )
+
+    def test_discard_mode_has_no_interference_heads(self, rng):
+        model = _tiny_model(rng, interference_mode="discard")
+        _, _, VS, VG = model.compute_embeddings()
+        assert VS is None and VG is None
+        assert model.interference_matrices() is None
+
+    def test_identity_activation_is_additive_in_interferers(self, rng):
+        """With α=identity the model is exactly log-additive (Fig 4d's
+        'simple multiplicative' variant)."""
+        model = _tiny_model(rng, interference_activation="identity")
+        w, p = np.array([0]), np.array([0])
+        k1 = np.array([[2, -1, -1]])
+        k2 = np.array([[3, -1, -1]])
+        k12 = np.array([[2, 3, -1]])
+        base = model.forward(w, p, None).data
+        d1 = model.forward(w, p, k1).data - base
+        d2 = model.forward(w, p, k2).data - base
+        d12 = model.forward(w, p, k12).data - base
+        assert np.allclose(d12, d1 + d2, atol=1e-10)
+
+    def test_leaky_activation_is_not_additive(self, rng):
+        model = _tiny_model(rng, interference_activation="leaky_relu")
+        w, p = np.array([0]), np.array([0])
+        base = model.forward(w, p, None).data
+        d1 = model.forward(w, p, np.array([[2, -1, -1]])).data - base
+        d2 = model.forward(w, p, np.array([[3, -1, -1]])).data - base
+        d12 = model.forward(w, p, np.array([[2, 3, -1]])).data - base
+        assert not np.allclose(d12, d1 + d2, atol=1e-12)
+
+
+class TestFeatureAblations:
+    def test_tower_input_dims(self, rng):
+        xw = rng.normal(size=(7, 5))
+        xp = rng.normal(size=(6, 4))
+        full = PitotModel(xw, xp, PitotConfig(hidden=(8,), embedding_dim=4), rng)
+        blind = PitotModel(
+            xw, xp,
+            PitotConfig(hidden=(8,), embedding_dim=4,
+                        use_workload_features=False,
+                        use_platform_features=False),
+            rng,
+        )
+        assert full.workload_tower.layer0.in_features == 6   # 5 features + q
+        assert blind.workload_tower.layer0.in_features == 1  # q only
+
+    def test_no_features_and_no_learned_raises(self, rng):
+        xw = rng.normal(size=(7, 5))
+        xp = rng.normal(size=(6, 4))
+        with pytest.raises(ValueError):
+            PitotModel(
+                xw, xp,
+                PitotConfig(learned_features=0, use_workload_features=False),
+                rng,
+            )
+
+
+class TestPrediction:
+    def test_chunked_prediction_consistent(self, rng):
+        model = _tiny_model(rng, objective="log")
+        n = 50
+        w = rng.integers(0, 7, n)
+        p = rng.integers(0, 6, n)
+        k = rng.integers(-1, 7, (n, 3))
+        full = model.predict_log(w, p, k, chunk=1000)
+        chunked = model.predict_log(w, p, k, chunk=7)
+        assert np.allclose(full, chunked)
+
+    def test_log_residual_without_baseline_raises(self, rng):
+        model = _tiny_model(rng)  # objective defaults to log_residual
+        with pytest.raises(RuntimeError):
+            model.predict_log(np.array([0]), np.array([0]))
+
+    def test_predict_runtime_positive(self, rng):
+        model = _tiny_model(rng, objective="log")
+        runtime = model.predict_runtime(np.array([0, 1]), np.array([0, 1]))
+        assert (runtime > 0).all()
+
+
+class TestInterpretability:
+    def test_interference_matrices_match_outer_product(self, rng):
+        model = _tiny_model(rng)
+        _, _, VS, VG = model.compute_embeddings()
+        F = model.interference_matrices()
+        expected = np.einsum("jtr,jtq->jrq", VS.data, VG.data)
+        assert np.allclose(F, expected)
+
+    def test_embedding_accessors(self, rng):
+        model = _tiny_model(rng, quantiles=(0.5, 0.9))
+        assert model.workload_embeddings(head=1).shape == (7, 4)
+        assert model.platform_embeddings().shape == (6, 4)
+
+
+class TestGradients:
+    def test_full_model_gradcheck(self, rng):
+        """Analytic gradients of the complete Pitot forward pass match
+        finite differences — interference heads included."""
+        model = _tiny_model(rng, hidden=(4,), embedding_dim=2)
+        w = np.array([0, 1, 2, 3])
+        p = np.array([0, 1, 2, 3])
+        k = np.array([[1, 2, -1], [-1, -1, -1], [0, 4, 5], [6, -1, -1]])
+        target = rng.normal(size=(4, 1))
+
+        def loss():
+            pred = model.forward(w, p, k)
+            diff = pred - target
+            return (diff * diff).sum()
+
+        check_gradients(loss, model.parameters(), atol=1e-4, rtol=1e-3)

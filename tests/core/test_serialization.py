@@ -1,0 +1,83 @@
+"""Model save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_QUANTILES,
+    PitotConfig,
+    PitotModel,
+    load_model,
+    save_model,
+)
+
+
+def _model(rng, **overrides):
+    defaults = dict(hidden=(8,), embedding_dim=4, learned_features=1)
+    defaults.update(overrides)
+    xw = rng.normal(size=(7, 5))
+    xp = rng.normal(size=(6, 4))
+    return PitotModel(xw, xp, PitotConfig(**defaults), rng)
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, rng, tmp_path):
+        model = _model(rng, objective="log")
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        w = np.array([0, 1, 2])
+        p = np.array([3, 4, 5])
+        k = np.array([[1, 2, -1], [-1, -1, -1], [0, 6, -1]])
+        assert np.allclose(
+            model.predict_log(w, p, k), loaded.predict_log(w, p, k)
+        )
+
+    def test_config_preserved(self, rng, tmp_path):
+        model = _model(
+            rng,
+            quantiles=PAPER_QUANTILES,
+            interference_weight=0.7,
+            interference_activation="identity",
+            objective="log",
+        )
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.config == model.config
+
+    def test_baseline_preserved(self, trained_pitot, tmp_path):
+        model = trained_pitot.model
+        path = tmp_path / "trained.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        w = np.array([0, 1, 2, 3])
+        p = np.array([0, 1, 2, 3])
+        assert np.allclose(
+            model.predict_log(w, p), loaded.predict_log(w, p)
+        )
+        assert np.allclose(loaded.baseline.w_bar, model.baseline.w_bar)
+
+    def test_no_baseline_for_log_objective(self, rng, tmp_path):
+        model = _model(rng, objective="log")
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        assert load_model(path).baseline is None
+
+    def test_feature_matrices_preserved(self, rng, tmp_path):
+        model = _model(rng, objective="log")
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.allclose(
+            loaded._raw_workload_features, model._raw_workload_features
+        )
+
+    def test_interference_matrices_survive(self, rng, tmp_path):
+        model = _model(rng, objective="log")
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.allclose(
+            model.interference_matrices(), loaded.interference_matrices()
+        )

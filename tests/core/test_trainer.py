@@ -1,0 +1,153 @@
+"""PitotTrainer: objectives, weighting, checkpointing, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_QUANTILES,
+    PitotConfig,
+    PitotTrainer,
+    PitotModel,
+    TrainerConfig,
+    train_pitot,
+)
+
+TINY = dict(hidden=(16,), embedding_dim=4, learned_features=1)
+
+
+def _quick(steps=120, **kw):
+    return TrainerConfig(steps=steps, eval_every=40, batch_per_degree=128, seed=0, **kw)
+
+
+class TestTraining:
+    def test_loss_decreases(self, mini_split):
+        result = train_pitot(
+            mini_split.train, mini_split.calibration,
+            model_config=PitotConfig(**TINY),
+            trainer_config=_quick(200),
+        )
+        early = np.mean(result.train_loss_history[:20])
+        late = np.mean(result.train_loss_history[-20:])
+        assert late < early * 0.8
+
+    def test_best_checkpoint_restored(self, mini_split):
+        model = PitotModel(
+            mini_split.train.workload_features,
+            mini_split.train.platform_features,
+            PitotConfig(**TINY),
+            np.random.default_rng(0),
+        )
+        trainer = PitotTrainer(model, _quick(120))
+        result = trainer.fit(mini_split.train, mini_split.calibration)
+        # The restored parameters reproduce the recorded best val loss.
+        final_val = trainer.evaluate_loss(mini_split.calibration)
+        assert final_val == pytest.approx(result.best_val_loss, rel=1e-6)
+
+    def test_deterministic_by_seed(self, mini_split):
+        a = train_pitot(mini_split.train, None,
+                        model_config=PitotConfig(**TINY),
+                        trainer_config=_quick(50))
+        b = train_pitot(mini_split.train, None,
+                        model_config=PitotConfig(**TINY),
+                        trainer_config=_quick(50))
+        assert np.allclose(a.train_loss_history, b.train_loss_history)
+
+    def test_history_lengths(self, mini_split):
+        result = train_pitot(mini_split.train, mini_split.calibration,
+                             model_config=PitotConfig(**TINY),
+                             trainer_config=_quick(80))
+        assert result.steps_run == 80
+        assert len(result.train_loss_history) == 80
+        assert len(result.val_loss_history) == 2  # steps 40 and 80
+
+
+class TestObjectives:
+    def test_log_residual_fits_baseline(self, mini_split):
+        result = train_pitot(mini_split.train, None,
+                             model_config=PitotConfig(**TINY),
+                             trainer_config=_quick(10))
+        assert result.model.baseline is not None
+
+    def test_log_objective_has_no_baseline(self, mini_split):
+        result = train_pitot(mini_split.train, None,
+                             model_config=PitotConfig(objective="log", **TINY),
+                             trainer_config=_quick(10))
+        assert result.model.baseline is None
+        assert np.allclose(
+            result.model.baseline_log(np.array([0, 1]), np.array([0, 1])), 0.0
+        )
+
+    def test_proportional_objective_trains(self, mini_split):
+        result = train_pitot(mini_split.train, None,
+                             model_config=PitotConfig(objective="proportional", **TINY),
+                             trainer_config=_quick(30))
+        assert np.isfinite(result.train_loss_history).all()
+
+    def test_quantile_objective_orders_heads(self, mini_split):
+        """Higher target quantiles must produce larger predictions on
+        average — the defining behaviour of multi-quantile training."""
+        result = train_pitot(
+            mini_split.train, mini_split.calibration,
+            model_config=PitotConfig(quantiles=PAPER_QUANTILES, **TINY),
+            trainer_config=_quick(300),
+        )
+        test = mini_split.test
+        pred = result.model.predict_log(test.w_idx, test.p_idx, test.interferers)
+        means = pred.mean(axis=0)
+        # ξ=0.99 head above ξ=0.5 head.
+        assert means[-1] > means[0]
+
+
+class TestDegreeHandling:
+    def test_discard_trains_on_isolation_only(self, mini_split):
+        model = PitotModel(
+            mini_split.train.workload_features,
+            mini_split.train.platform_features,
+            PitotConfig(interference_mode="discard", **TINY),
+            np.random.default_rng(0),
+        )
+        trainer = PitotTrainer(model, _quick(5))
+        rows = trainer._degree_rows(mini_split.train)
+        assert set(rows) == {1}
+
+    def test_aware_uses_all_degrees(self, mini_split):
+        model = PitotModel(
+            mini_split.train.workload_features,
+            mini_split.train.platform_features,
+            PitotConfig(**TINY),
+            np.random.default_rng(0),
+        )
+        trainer = PitotTrainer(model, _quick(5))
+        rows = trainer._degree_rows(mini_split.train)
+        assert set(rows) == {1, 2, 3, 4}
+
+    def test_degree_weights_match_paper(self, mini_split):
+        model = PitotModel(
+            mini_split.train.workload_features,
+            mini_split.train.platform_features,
+            PitotConfig(interference_weight=0.6, **TINY),
+            np.random.default_rng(0),
+        )
+        trainer = PitotTrainer(model, _quick(5))
+        assert trainer._degree_weight(1, 3) == 1.0
+        assert trainer._degree_weight(2, 3) == pytest.approx(0.2)
+        assert trainer._degree_weight(4, 3) == pytest.approx(0.2)
+
+
+class TestEvaluateLoss:
+    def test_empty_dataset_nan(self, mini_split):
+        model = PitotModel(
+            mini_split.train.workload_features,
+            mini_split.train.platform_features,
+            PitotConfig(**TINY),
+            np.random.default_rng(0),
+        )
+        trainer = PitotTrainer(model, _quick(5))
+        trainer._fit_baseline(mini_split.train)
+        empty = mini_split.train.subset(np.array([], dtype=int))
+        assert np.isnan(trainer.evaluate_loss(empty))
+
+    def test_eval_matches_shapes(self, trained_pitot, mini_split):
+        trainer = PitotTrainer(trained_pitot.model, _quick(1))
+        loss = trainer.evaluate_loss(mini_split.calibration)
+        assert np.isfinite(loss)

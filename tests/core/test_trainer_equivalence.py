@@ -1,0 +1,129 @@
+"""The merged-batch step must equal the paper's per-degree formulation.
+
+App B.3 trains with four fixed-size per-degree sub-batches whose mean
+losses are combined with weights {1, β/3, β/3, β/3}. Our trainer merges
+them into one forward pass with per-row coefficients; these tests pin the
+algebraic equivalence so the optimization can never drift from the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PitotConfig, PitotModel, PitotTrainer, TrainerConfig
+from repro.nn import Tensor
+
+
+@pytest.fixture()
+def setup(mini_split):
+    train = mini_split.train
+    model = PitotModel(
+        train.workload_features,
+        train.platform_features,
+        PitotConfig(hidden=(8,), embedding_dim=4),
+        np.random.default_rng(0),
+    )
+    trainer = PitotTrainer(model, TrainerConfig(steps=1, seed=0))
+    trainer._fit_baseline(train)
+    return model, trainer, train
+
+
+def test_merged_coefficients_equal_weighted_degree_means(setup):
+    model, trainer, train = setup
+    targets = trainer._targets(train)
+    rows_by_degree = trainer._degree_rows(train)
+    n_int = sum(1 for d in rows_by_degree if d > 1)
+    rng = np.random.default_rng(5)
+
+    batches, coeffs = [], []
+    reference = 0.0
+    embeddings = model.compute_embeddings()
+    for degree, rows in rows_by_degree.items():
+        size = min(64, len(rows))
+        batch = rows[rng.integers(0, len(rows), size=size)]
+        batches.append(batch)
+        weight = trainer._degree_weight(degree, n_int)
+        coeffs.append(np.full(size, weight / size))
+        # Paper-style: weight × mean loss of this sub-batch.
+        pred = model.forward(
+            train.w_idx[batch], train.p_idx[batch],
+            train.interferers[batch] if degree > 1 else None,
+            embeddings=embeddings,
+        )
+        reference += weight * float(
+            trainer._loss(pred, targets[batch]).data
+        )
+
+    batch = np.concatenate(batches)
+    coeff = np.concatenate(coeffs)
+    pred = model.forward(
+        train.w_idx[batch], train.p_idx[batch], train.interferers[batch],
+        embeddings=embeddings,
+    )
+    loss_elem = trainer._loss_elementwise(pred, targets[batch])
+    merged = float(
+        ((loss_elem * Tensor(coeff[:, None])).sum() * (1.0 / model.config.n_heads)).data
+    )
+    assert merged == pytest.approx(reference, rel=1e-10)
+
+
+def test_degree1_rows_interference_path_is_identity(setup):
+    """Passing all-padding interferer rows through the merged batch gives
+    exactly the interference-free prediction for degree-1 rows."""
+    model, trainer, train = setup
+    iso_rows = np.flatnonzero(train.isolation_mask())[:32]
+    direct = model.forward(train.w_idx[iso_rows], train.p_idx[iso_rows], None)
+    via_padding = model.forward(
+        train.w_idx[iso_rows], train.p_idx[iso_rows],
+        train.interferers[iso_rows],
+    )
+    assert np.allclose(direct.data, via_padding.data)
+
+
+def test_gradients_match_between_formulations(setup):
+    """One optimizer step from either formulation produces identical
+    gradients on every parameter."""
+    model, trainer, train = setup
+    targets = trainer._targets(train)
+    rows_by_degree = trainer._degree_rows(train)
+    n_int = sum(1 for d in rows_by_degree if d > 1)
+    rng = np.random.default_rng(9)
+    batches = {
+        d: rows[rng.integers(0, len(rows), size=min(32, len(rows)))]
+        for d, rows in rows_by_degree.items()
+    }
+
+    # Formulation A: per-degree losses summed.
+    model.zero_grad()
+    embeddings = model.compute_embeddings()
+    total = None
+    for degree, batch in batches.items():
+        pred = model.forward(
+            train.w_idx[batch], train.p_idx[batch],
+            train.interferers[batch] if degree > 1 else None,
+            embeddings=embeddings,
+        )
+        loss = trainer._loss(pred, targets[batch]) * trainer._degree_weight(
+            degree, n_int
+        )
+        total = loss if total is None else total + loss
+    total.backward()
+    grads_a = {n: p.grad.copy() for n, p in model.named_parameters()}
+
+    # Formulation B: merged batch with per-row coefficients.
+    model.zero_grad()
+    embeddings = model.compute_embeddings()
+    batch = np.concatenate(list(batches.values()))
+    coeff = np.concatenate([
+        np.full(len(b), trainer._degree_weight(d, n_int) / len(b))
+        for d, b in batches.items()
+    ])
+    pred = model.forward(
+        train.w_idx[batch], train.p_idx[batch], train.interferers[batch],
+        embeddings=embeddings,
+    )
+    loss_elem = trainer._loss_elementwise(pred, targets[batch])
+    ((loss_elem * Tensor(coeff[:, None])).sum()).backward()
+    grads_b = {n: p.grad.copy() for n, p in model.named_parameters()}
+
+    for name in grads_a:
+        assert np.allclose(grads_a[name], grads_b[name], atol=1e-12), name

@@ -1,0 +1,69 @@
+"""Trainer configuration paths not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core import PitotConfig, PitotModel, PitotTrainer, TrainerConfig
+
+TINY = dict(hidden=(8,), embedding_dim=4)
+
+
+def _model(split, seed=0):
+    return PitotModel(
+        split.train.workload_features,
+        split.train.platform_features,
+        PitotConfig(**TINY),
+        np.random.default_rng(seed),
+    )
+
+
+class TestValidationCapping:
+    def test_max_eval_rows_caps_validation(self, mini_split):
+        trainer = PitotTrainer(
+            _model(mini_split),
+            TrainerConfig(steps=40, eval_every=20, max_eval_rows=50, seed=0),
+        )
+        result = trainer.fit(mini_split.train, mini_split.calibration)
+        # Validation still happened (twice) despite the tiny cap.
+        assert len(result.val_loss_history) == 2
+        assert np.isfinite(result.best_val_loss)
+
+    def test_no_validation_runs_without_checkpointing(self, mini_split):
+        trainer = PitotTrainer(
+            _model(mini_split), TrainerConfig(steps=30, eval_every=10, seed=0)
+        )
+        result = trainer.fit(mini_split.train, validation=None)
+        assert result.val_loss_history == []
+        assert result.best_step == -1
+
+
+class TestBatchSizing:
+    def test_batch_larger_than_degree_population(self, mini_split):
+        """Degrees with fewer rows than batch_per_degree still train."""
+        # Keep only a handful of 4-way rows.
+        train = mini_split.train
+        deg = train.degree
+        keep = np.concatenate([
+            np.flatnonzero(deg == 1),
+            np.flatnonzero(deg == 2),
+            np.flatnonzero(deg == 3),
+            np.flatnonzero(deg == 4)[:5],
+        ])
+        tiny_train = train.subset(keep)
+        trainer = PitotTrainer(
+            _model(mini_split),
+            TrainerConfig(steps=10, eval_every=5, batch_per_degree=512, seed=0),
+        )
+        result = trainer.fit(tiny_train, None)
+        assert result.steps_run == 10
+        assert np.isfinite(result.train_loss_history).all()
+
+    def test_missing_degree_is_skipped(self, mini_split):
+        """A train set with no 4-way rows must still train cleanly."""
+        train = mini_split.train
+        keep = np.flatnonzero(train.degree < 4)
+        trainer = PitotTrainer(
+            _model(mini_split), TrainerConfig(steps=10, eval_every=5, seed=0)
+        )
+        result = trainer.fit(train.subset(keep), None)
+        assert result.steps_run == 10

@@ -1,0 +1,62 @@
+"""Calibration-curve diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import CalibrationCurve, calibration_curve
+
+
+class _QuantileOracle:
+    """Bound = exact (1−ε) quantile of the runtime population."""
+
+    def __init__(self, runtimes):
+        self.runtimes = np.asarray(runtimes)
+
+    def predict_bound_dataset(self, ds, epsilon):
+        q = np.quantile(self.runtimes, 1.0 - epsilon)
+        return np.full(len(ds.runtime), q)
+
+
+class TestCurve:
+    def test_oracle_is_valid(self, mini_dataset):
+        sub = mini_dataset.subset(np.arange(3000))
+        oracle = _QuantileOracle(sub.runtime)
+        curve = calibration_curve(oracle, sub, epsilons=(0.2, 0.1, 0.05))
+        assert curve.is_valid(slack=0.01)
+        assert curve.max_coverage_shortfall <= 0.01
+
+    def test_undercovering_predictor_flagged(self, mini_dataset):
+        sub = mini_dataset.subset(np.arange(1000))
+
+        class Undercover:
+            def predict_bound_dataset(self, ds, epsilon):
+                return np.quantile(ds.runtime, 0.5) * np.ones(len(ds.runtime))
+
+        curve = calibration_curve(Undercover(), sub, epsilons=(0.05,))
+        assert not curve.is_valid()
+        assert curve.max_coverage_shortfall > 0.3
+
+    def test_margins_monotone_for_fixed_predictor(self, mini_dataset):
+        sub = mini_dataset.subset(np.arange(2000))
+        oracle = _QuantileOracle(sub.runtime)
+        curve = calibration_curve(oracle, sub, epsilons=(0.2, 0.1, 0.05))
+        assert list(curve.margins) == sorted(curve.margins)
+
+    def test_rows_formatting(self, mini_dataset):
+        sub = mini_dataset.subset(np.arange(500))
+        curve = calibration_curve(
+            _QuantileOracle(sub.runtime), sub, epsilons=(0.1,)
+        )
+        rows = curve.rows()
+        assert len(rows) == 1
+        assert rows[0][0] == "0.1"
+
+    def test_end_to_end_with_conformal(self, trained_pitot_quantile, mini_split):
+        from repro.conformal import ConformalRuntimePredictor
+        from repro.core import PAPER_QUANTILES
+
+        cp = ConformalRuntimePredictor(
+            trained_pitot_quantile.model, quantiles=PAPER_QUANTILES
+        ).calibrate(mini_split.calibration, epsilons=(0.2, 0.1))
+        curve = calibration_curve(cp, mini_split.test, epsilons=(0.2, 0.1))
+        assert curve.is_valid(slack=0.06)

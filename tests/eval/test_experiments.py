@@ -1,0 +1,97 @@
+"""Experiment harness with analytic stub predictors."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ErrorResult,
+    TightnessResult,
+    run_error_experiment,
+    run_tightness_experiment,
+)
+
+
+class _OracleWithBias:
+    """Predicts true runtime times a constant factor (analytic MAPE)."""
+
+    def __init__(self, split, factor):
+        self.split = split
+        self.factor = factor
+
+    def predict_runtime(self, w_idx, p_idx, interferers=None):
+        return self.split.test.runtime * self.factor
+
+
+class TestErrorExperiment:
+    def test_oracle_bias_gives_expected_mape(self, mini_dataset):
+        results = run_error_experiment(
+            mini_dataset,
+            methods={"biased": lambda split, seed: _OracleWithBias(split, 1.1)},
+            train_fractions=[0.5],
+            n_replicates=2,
+        )
+        assert len(results) == 2
+        for r in results:
+            assert r.mape_isolation == pytest.approx(0.1, abs=1e-9)
+            assert r.mape_interference == pytest.approx(0.1, abs=1e-9)
+
+    def test_aggregate_means_and_stderr(self):
+        rows = [
+            ErrorResult("m", 0.5, 0, 0.10, 0.20),
+            ErrorResult("m", 0.5, 1, 0.20, 0.40),
+        ]
+        agg = ErrorResult.aggregate(rows)[("m", 0.5)]
+        assert agg["mape_isolation"] == pytest.approx(0.15)
+        assert agg["mape_interference"] == pytest.approx(0.30)
+        assert agg["n_replicates"] == 2
+        assert agg["mape_isolation_2se"] > 0
+
+    def test_multiple_methods_and_fractions(self, mini_dataset):
+        results = run_error_experiment(
+            mini_dataset,
+            methods={
+                "a": lambda split, seed: _OracleWithBias(split, 1.0),
+                "b": lambda split, seed: _OracleWithBias(split, 2.0),
+            },
+            train_fractions=[0.3, 0.6],
+            n_replicates=1,
+        )
+        assert len(results) == 4
+        agg = ErrorResult.aggregate(results)
+        assert agg[("a", 0.3)]["mape_isolation"] == pytest.approx(0.0)
+        assert agg[("b", 0.6)]["mape_isolation"] == pytest.approx(1.0)
+
+
+class _OracleBound:
+    """Bound = true runtime × slack; coverage 1, margin = slack − 1."""
+
+    def __init__(self, split, slack):
+        self.split = split
+        self.slack = slack
+
+    def predict_bound_dataset(self, ds, epsilon):
+        return ds.runtime * self.slack
+
+
+class TestTightnessExperiment:
+    def test_oracle_bound_margins(self, mini_dataset):
+        results = run_tightness_experiment(
+            mini_dataset,
+            methods={"oracle": lambda split, seed: _OracleBound(split, 1.25)},
+            epsilons=[0.1, 0.05],
+            train_fractions=[0.5],
+            n_replicates=1,
+        )
+        assert len(results) == 2
+        for r in results:
+            assert r.margin_isolation == pytest.approx(0.25, abs=1e-9)
+            assert r.coverage_isolation == 1.0
+
+    def test_aggregate_keys(self):
+        rows = [
+            TightnessResult("m", 0.5, 0.1, 0, 0.2, 0.3, 0.95, 0.93),
+            TightnessResult("m", 0.5, 0.1, 1, 0.4, 0.5, 0.97, 0.95),
+        ]
+        agg = TightnessResult.aggregate(rows)[("m", 0.5, 0.1)]
+        assert agg["margin_isolation"] == pytest.approx(0.3)
+        assert agg["coverage_interference"] == pytest.approx(0.94)

@@ -1,0 +1,79 @@
+"""Metric correctness against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    coverage,
+    geometric_mape,
+    mape,
+    overprovision_margin,
+    split_by_interference,
+)
+
+
+class TestMape:
+    def test_hand_computed(self):
+        pred = np.array([1.1, 0.9, 2.0])
+        true = np.array([1.0, 1.0, 1.0])
+        assert mape(pred, true) == pytest.approx((0.1 + 0.1 + 1.0) / 3)
+
+    def test_perfect_prediction(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert mape(x, x) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape(np.zeros(3), np.ones(4))
+
+    def test_nonpositive_truth_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.ones(2), np.array([1.0, 0.0]))
+
+    def test_empty_is_nan(self):
+        assert np.isnan(mape(np.array([]), np.array([])))
+
+
+class TestGeometricMape:
+    def test_symmetric_in_log_space(self):
+        true = np.array([1.0, 1.0])
+        over = geometric_mape(np.array([2.0, 2.0]), true)
+        under = geometric_mape(np.array([0.5, 0.5]), true)
+        assert over == pytest.approx(under)
+
+    def test_perfect_is_zero(self):
+        x = np.array([3.0, 4.0])
+        assert geometric_mape(x, x) == pytest.approx(0.0)
+
+
+class TestMargin:
+    def test_hand_computed(self):
+        bound = np.array([2.0, 0.5, 3.0])
+        true = np.array([1.0, 1.0, 1.0])
+        # max(bound - true, 0)/true = [1.0, 0, 2.0] → mean 1.0
+        assert overprovision_margin(bound, true) == pytest.approx(1.0)
+
+    def test_underprovision_contributes_zero(self):
+        assert overprovision_margin(np.array([0.5]), np.array([1.0])) == 0.0
+
+    def test_infinite_bound_propagates(self):
+        margin = overprovision_margin(np.array([np.inf, 1.0]), np.ones(2))
+        assert margin == float("inf")
+
+
+class TestCoverage:
+    def test_hand_computed(self):
+        bound = np.array([2.0, 0.5, 1.0])
+        true = np.array([1.0, 1.0, 1.0])
+        assert coverage(bound, true) == pytest.approx(2.0 / 3.0)
+
+    def test_boundary_counts_as_covered(self):
+        assert coverage(np.array([1.0]), np.array([1.0])) == 1.0
+
+
+class TestSplitByInterference:
+    def test_partition(self, mini_dataset):
+        iso, interf = split_by_interference(mini_dataset)
+        assert len(iso) + len(interf) == mini_dataset.n_observations
+        assert (mini_dataset.degree[iso] == 1).all()
+        assert (mini_dataset.degree[interf] > 1).all()

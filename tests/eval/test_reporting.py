@@ -1,0 +1,45 @@
+"""Result-table formatting."""
+
+from repro.eval import format_series_table, format_table, percent
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(0.052) == "5.2%"
+        assert percent(0.5, decimals=0) == "50%"
+
+    def test_nan_and_inf(self):
+        assert percent(float("nan")) == "n/a"
+        assert percent(float("inf")) == "inf"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"],
+            [["a", "1"], ["longer", "22"]],
+            title="My Table",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_columns_padded_to_widest(self):
+        out = format_table(["h"], [["wide-cell"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) == len("wide-cell")
+
+
+class TestSeriesTable:
+    def test_series_layout(self):
+        out = format_series_table(
+            "train%",
+            [10, 50],
+            {"pitot": ["5%", "4%"], "nn": ["9%", "8%"]},
+        )
+        lines = out.splitlines()
+        assert "pitot" in lines[0] and "nn" in lines[0]
+        assert lines[2].startswith("10")
+        assert lines[3].startswith("50")

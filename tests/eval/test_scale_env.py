@@ -1,0 +1,13 @@
+"""Experiment-scale environment switch."""
+
+from repro.eval import experiment_scale
+
+
+def test_default_is_fast(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert experiment_scale() == "fast"
+
+
+def test_full_scale_via_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "full")
+    assert experiment_scale() == "full"

@@ -1,0 +1,58 @@
+"""Paired bootstrap and error-bar helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval import PairedComparison, paired_bootstrap, two_stderr_interval
+
+
+class TestPairedBootstrap:
+    def test_clear_winner(self, rng):
+        a = rng.normal(0.10, 0.005, 20)   # method A: 10% error
+        b = rng.normal(0.20, 0.005, 20)   # method B: 20% error
+        cmp = paired_bootstrap(a, b, seed=0)
+        assert cmp.mean_difference < 0
+        assert cmp.a_significantly_better
+        assert cmp.p_a_better > 0.99
+
+    def test_no_difference(self, rng):
+        x = rng.normal(0.1, 0.01, 30)
+        noise = rng.normal(0, 0.001, 30)
+        cmp = paired_bootstrap(x, x + noise, seed=0)
+        assert not cmp.a_significantly_better or cmp.ci_high > -0.005
+
+    def test_pairing_beats_unpaired_variance(self, rng):
+        """Shared per-replicate difficulty cancels in the paired diff."""
+        difficulty = rng.normal(0.0, 0.2, 15)  # huge shared variation
+        a = 0.10 + difficulty + rng.normal(0, 0.002, 15)
+        b = 0.12 + difficulty + rng.normal(0, 0.002, 15)
+        cmp = paired_bootstrap(a, b, seed=0)
+        assert cmp.a_significantly_better  # detectable despite difficulty noise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.zeros(1), np.zeros(1))
+
+    def test_ci_ordering(self, rng):
+        cmp = paired_bootstrap(rng.normal(size=10), rng.normal(size=10))
+        assert cmp.ci_low <= cmp.mean_difference <= cmp.ci_high
+        assert cmp.n_pairs == 10
+
+
+class TestTwoStderr:
+    def test_matches_hand_computation(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        mean, low, high = two_stderr_interval(values)
+        stderr = values.std(ddof=1) / 2.0
+        assert mean == pytest.approx(2.5)
+        assert high - mean == pytest.approx(2 * stderr)
+
+    def test_single_value_degenerate(self):
+        mean, low, high = two_stderr_interval(np.array([5.0]))
+        assert mean == low == high == 5.0
+
+    def test_empty_is_nan(self):
+        mean, low, high = two_stderr_interval(np.array([]))
+        assert np.isnan(mean)

@@ -1,0 +1,129 @@
+"""End-to-end integration: the paper's qualitative claims on a mini cluster.
+
+These train real models, so they use small-but-sufficient budgets; the
+slowest orderings are marked ``slow``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import collect_dataset, make_split
+from repro.conformal import ConformalRuntimePredictor
+from repro.core import (
+    PAPER_QUANTILES,
+    PitotConfig,
+    TrainerConfig,
+    train_pitot,
+)
+from repro.eval import coverage, mape, overprovision_margin
+
+ARCH = dict(hidden=(32,), embedding_dim=8, learned_features=1)
+
+
+@pytest.fixture(scope="module")
+def split(mini_dataset):
+    return make_split(mini_dataset, train_fraction=0.6, seed=11)
+
+
+def _train(split, steps=800, **config_overrides):
+    cfg = dict(ARCH)
+    cfg.update(config_overrides)
+    return train_pitot(
+        split.train,
+        split.calibration,
+        model_config=PitotConfig(**cfg),
+        trainer_config=TrainerConfig(
+            steps=steps, eval_every=200, batch_per_degree=256, seed=0
+        ),
+    )
+
+
+def _mape_pair(model, test):
+    pred = model.predict_runtime(test.w_idx, test.p_idx, test.interferers)
+    iso = test.isolation_mask()
+    return mape(pred[iso], test.runtime[iso]), mape(pred[~iso], test.runtime[~iso])
+
+
+class TestPointPrediction:
+    def test_pitot_beats_scaling_baseline(self, split):
+        """The full model must improve on its own linear-scaling baseline."""
+        result = _train(split)
+        test = split.test
+        baseline_pred = np.exp(result.model.baseline.predict(test.w_idx, test.p_idx))
+        pitot_pred = result.model.predict_runtime(
+            test.w_idx, test.p_idx, test.interferers
+        )
+        assert mape(pitot_pred, test.runtime) < mape(baseline_pred, test.runtime)
+
+    def test_reasonable_absolute_error(self, split):
+        """Sanity scale check: errors in the tens of percent, not 10x."""
+        result = _train(split)
+        iso_err, int_err = _mape_pair(result.model, split.test)
+        assert iso_err < 0.5
+        assert int_err < 0.6
+
+    @pytest.mark.slow
+    def test_interference_aware_beats_ignore_on_interference(self, split):
+        """Fig 4c's central ordering: modeling interference must beat
+        pretending it does not exist, on interference test data."""
+        aware = _train(split, steps=1000)
+        ignore = _train(split, steps=1000, interference_mode="ignore")
+        _, aware_int = _mape_pair(aware.model, split.test)
+        _, ignore_int = _mape_pair(ignore.model, split.test)
+        assert aware_int < ignore_int
+
+    @pytest.mark.slow
+    def test_discard_cannot_predict_interference(self, split):
+        """Fig 4c: discarding interference data leaves interference error
+        far above the interference-aware model's."""
+        aware = _train(split, steps=1000)
+        discard = _train(split, steps=1000, interference_mode="discard")
+        _, aware_int = _mape_pair(aware.model, split.test)
+        _, discard_int = _mape_pair(discard.model, split.test)
+        assert aware_int < discard_int
+
+
+class TestUncertainty:
+    def test_conformal_coverage_per_pool(self, split):
+        """Coverage holds overall and per interference-degree pool."""
+        result = _train(split, steps=600, quantiles=PAPER_QUANTILES)
+        cp = ConformalRuntimePredictor(
+            result.model, quantiles=PAPER_QUANTILES, strategy="pitot"
+        ).calibrate(split.calibration, epsilons=(0.1,))
+        test = split.test
+        bound = cp.predict_bound_dataset(test, 0.1)
+        assert coverage(bound, test.runtime) >= 0.86
+        for degree in (1, 2, 3, 4):
+            rows = test.degree == degree
+            if rows.sum() < 100:
+                continue
+            assert coverage(bound[rows], test.runtime[rows]) >= 0.83
+
+    def test_bounds_are_finite_and_above_predictions(self, split):
+        result = _train(split, steps=400, quantiles=PAPER_QUANTILES)
+        cp = ConformalRuntimePredictor(
+            result.model, quantiles=PAPER_QUANTILES
+        ).calibrate(split.calibration, epsilons=(0.1,))
+        test = split.test
+        bound = cp.predict_bound_dataset(test, 0.1)
+        assert np.isfinite(bound).all()
+        margin = overprovision_margin(bound, test.runtime)
+        assert 0.0 < margin < 3.0
+
+
+class TestPersistenceFlow:
+    def test_dataset_save_train_load_cycle(self, tmp_path, mini_dataset):
+        """The npz round trip preserves everything training needs."""
+        path = tmp_path / "mini.npz"
+        mini_dataset.save(path)
+        from repro.cluster import RuntimeDataset
+
+        loaded = RuntimeDataset.load(path)
+        split = make_split(loaded, 0.5, seed=0)
+        result = train_pitot(
+            split.train,
+            split.calibration,
+            model_config=PitotConfig(**ARCH),
+            trainer_config=TrainerConfig(steps=60, eval_every=30, seed=0),
+        )
+        assert np.isfinite(result.best_val_loss)

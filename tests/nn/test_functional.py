@@ -1,0 +1,142 @@
+"""Activations and losses of repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Parameter,
+    Tensor,
+    check_gradients,
+    gelu,
+    leaky_relu,
+    logsumexp,
+    pinball_loss,
+    relu,
+    softmax,
+    softplus,
+    squared_error,
+    absolute_error,
+)
+from repro.nn.functional import ACTIVATIONS, identity
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        x = Tensor([-1.0, 0.0, 2.0])
+        assert np.allclose(relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_leaky_relu_slope(self):
+        x = Tensor([-10.0, 10.0])
+        out = leaky_relu(x, 0.1)
+        assert np.allclose(out.data, [-1.0, 10.0])
+
+    def test_gelu_reference_values(self):
+        # Reference values of the tanh-approximation GELU.
+        x = np.array([-2.0, -1.0, 0.0, 1.0, 2.0])
+        expected = 0.5 * x * (
+            1 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x**3))
+        )
+        assert np.allclose(gelu(Tensor(x)).data, expected)
+
+    def test_gelu_gradient(self, rng):
+        p = Parameter(rng.normal(size=(7,)))
+        check_gradients(lambda: (gelu(p) ** 2.0).sum(), [p])
+
+    def test_leaky_relu_gradient(self, rng):
+        p = Parameter(rng.normal(size=(7,)) + 0.05)
+        check_gradients(lambda: (leaky_relu(p) ** 2.0).sum(), [p])
+
+    def test_softplus_positive_and_accurate(self, rng):
+        x = rng.normal(size=(9,)) * 10
+        out = softplus(Tensor(x)).data
+        assert np.all(out > 0)
+        assert np.allclose(out, np.logaddexp(0.0, x))
+
+    def test_identity(self):
+        x = Tensor([1.0, -1.0])
+        assert identity(x) is x or np.allclose(identity(x).data, x.data)
+
+    def test_registry_contains_paper_activations(self):
+        assert {"gelu", "leaky_relu", "identity", "relu"} <= set(ACTIVATIONS)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)) * 10)
+        out = softmax(x, axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_stability_with_large_logits(self):
+        out = softmax(Tensor([[1000.0, 1000.0]]), axis=1)
+        assert np.allclose(out.data, [[0.5, 0.5]])
+
+    def test_gradient(self, rng):
+        p = Parameter(rng.normal(size=(3, 4)))
+        check_gradients(lambda: (softmax(p, axis=1) ** 2.0).sum(), [p])
+
+    def test_logsumexp_matches_numpy(self, rng):
+        x = rng.normal(size=(3, 5)) * 20
+        assert np.allclose(
+            logsumexp(Tensor(x), axis=1).data,
+            np.log(np.exp(x - x.max(1, keepdims=True)).sum(1)) + x.max(1),
+        )
+
+
+class TestLosses:
+    def test_squared_error(self):
+        out = squared_error(Tensor([2.0, 0.0]), np.array([0.0, 1.0]))
+        assert np.allclose(out.data, [4.0, 1.0])
+
+    def test_absolute_error(self):
+        out = absolute_error(Tensor([2.0, -3.0]), np.array([0.0, 0.0]))
+        assert np.allclose(out.data, [2.0, 3.0])
+
+    def test_pinball_asymmetry(self):
+        # Under-prediction by 1 at quantile 0.9 costs 0.9; over costs 0.1.
+        under = pinball_loss(Tensor([0.0]), np.array([1.0]), 0.9)
+        over = pinball_loss(Tensor([1.0]), np.array([0.0]), 0.9)
+        assert np.allclose(under.data, [0.9])
+        assert np.allclose(over.data, [0.1])
+
+    def test_pinball_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            pinball_loss(Tensor([0.0]), np.array([0.0]), 1.5)
+
+    def test_pinball_gradient(self, rng):
+        p = Parameter(rng.normal(size=(6,)))
+        target = rng.normal(size=(6,))
+        check_gradients(lambda: pinball_loss(p * 1.0, target, 0.75).sum(), [p])
+
+    def test_target_never_receives_gradient(self):
+        target = Parameter(np.array([1.0, 2.0]))
+        pred = Parameter(np.array([0.0, 0.0]))
+        target.zero_grad()
+        squared_error(pred * 1.0, target).sum().backward()
+        assert target.grad is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    quantile=st.floats(0.05, 0.95),
+    seed=st.integers(0, 10_000),
+)
+def test_property_pinball_minimizer_is_empirical_quantile(quantile, seed):
+    """Minimizing pinball loss over a constant recovers the target quantile.
+
+    This is the property that makes quantile regression estimate quantiles
+    (Koenker & Bassett, 1978) — evaluated here by grid search.
+    """
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(size=400)
+    grid = np.linspace(samples.min(), samples.max(), 600)
+    losses = [
+        float(pinball_loss(Tensor(np.full_like(samples, g)), samples, quantile)
+              .mean().data)
+        for g in grid
+    ]
+    best = grid[int(np.argmin(losses))]
+    empirical = np.quantile(samples, quantile)
+    spacing = (samples.max() - samples.min()) / 600
+    assert abs(best - empirical) < max(0.15, 10 * spacing)

@@ -1,0 +1,46 @@
+"""The gradient checker itself must catch wrong gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor, check_gradients, numerical_gradient
+from repro.nn.tensor import Tensor as RawTensor
+
+
+def test_numerical_gradient_of_quadratic():
+    p = Parameter(np.array([2.0, -1.0]))
+    grad = numerical_gradient(lambda: (p * p).sum(), p)
+    assert np.allclose(grad, 2 * p.data, atol=1e-5)
+
+
+def test_check_gradients_accepts_correct():
+    p = Parameter(np.array([1.0, 2.0, 3.0]))
+    check_gradients(lambda: (p ** 2.0).sum(), [p])
+
+
+def test_check_gradients_rejects_wrong_gradient():
+    p = Parameter(np.array([1.0, 2.0]))
+
+    def wrong_square() -> Tensor:
+        # Deliberately wrong backward: claims d(x^2)/dx = x.
+        data = p.data**2
+
+        def backward(g):
+            p._accumulate(g * p.data)  # should be 2x
+
+        return RawTensor._make(data, (p,), backward).sum()
+
+    with pytest.raises(AssertionError, match="gradient mismatch"):
+        check_gradients(wrong_square, [p])
+
+
+def test_check_gradients_requires_scalar():
+    p = Parameter(np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        check_gradients(lambda: p * 2.0, [p])
+
+
+def test_unused_parameter_gets_zero_gradient():
+    used = Parameter(np.array([1.0]))
+    unused = Parameter(np.array([5.0]))
+    check_gradients(lambda: (used ** 2.0).sum(), [used, unused])

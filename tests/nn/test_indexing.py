@@ -1,0 +1,104 @@
+"""Indexing, gathers, and structural ops (concat/stack/where/min/max)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Parameter,
+    Tensor,
+    check_gradients,
+    concatenate,
+    maximum,
+    minimum,
+    stack,
+    where,
+)
+
+
+class TestGetitem:
+    def test_basic_slice_forward(self, rng):
+        x = rng.normal(size=(4, 6))
+        t = Tensor(x)
+        assert np.allclose(t[:, 2:5].data, x[:, 2:5])
+        assert np.allclose(t[1].data, x[1])
+
+    def test_basic_slice_gradient(self, rng):
+        p = Parameter(rng.normal(size=(4, 6)))
+        check_gradients(lambda: (p[:, 1:3] ** 2.0).sum(), [p])
+
+    def test_fancy_index_gradient_accumulates(self):
+        p = Parameter(np.array([1.0, 2.0, 3.0]))
+        idx = np.array([0, 0, 2])
+        p.zero_grad()
+        p[idx].sum().backward()
+        assert np.allclose(p.grad, [2.0, 0.0, 1.0])
+
+    def test_integer_row_gradient(self, rng):
+        p = Parameter(rng.normal(size=(3, 4)))
+        check_gradients(lambda: (p[1] ** 2.0).sum(), [p])
+
+
+class TestTake:
+    def test_forward_matches_numpy(self, rng):
+        x = rng.normal(size=(6, 3))
+        idx = np.array([5, 0, 0, 2])
+        assert np.allclose(Tensor(x).take(idx).data, x[idx])
+
+    def test_gradient_with_repeats(self, rng):
+        p = Parameter(rng.normal(size=(5, 3)))
+        idx = np.array([0, 1, 1, 1, 4])
+        check_gradients(lambda: (p.take(idx) ** 2.0).sum(), [p])
+
+    def test_multidim_indices(self, rng):
+        p = Parameter(rng.normal(size=(4, 2)))
+        idx = np.array([[0, 1], [3, 3]])
+        out = p.take(idx)
+        assert out.shape == (2, 2, 2)
+        check_gradients(lambda: (p.take(idx) ** 2.0).sum(), [p])
+
+    def test_take_1d_table(self, rng):
+        p = Parameter(rng.normal(size=(5,)))
+        check_gradients(lambda: (p.take(np.array([1, 1, 3])) ** 2.0).sum(), [p])
+
+
+class TestStructural:
+    def test_concatenate_forward_and_grad(self, rng):
+        a, b = Parameter(rng.normal(size=(2, 3))), Parameter(rng.normal(size=(2, 2)))
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        check_gradients(lambda: (concatenate([a, b], axis=1) ** 2.0).sum(), [a, b])
+
+    def test_concatenate_axis0(self, rng):
+        a, b = Parameter(rng.normal(size=(2, 3))), Parameter(rng.normal(size=(1, 3)))
+        check_gradients(lambda: (concatenate([a, b], axis=0) ** 2.0).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = Parameter(rng.normal(size=(3,))), Parameter(rng.normal(size=(3,)))
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        check_gradients(lambda: (stack([a, b], axis=1) ** 2.0).sum(), [a, b])
+
+    def test_where_routes_gradients(self):
+        a = Parameter(np.array([1.0, 2.0]))
+        b = Parameter(np.array([3.0, 4.0]))
+        cond = np.array([True, False])
+        a.zero_grad(), b.zero_grad()
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_where_broadcast(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(4,)))
+        cond = rng.random((3, 4)) > 0.5
+        check_gradients(lambda: (where(cond, a, b) ** 2.0).sum(), [a, b])
+
+    def test_maximum_minimum(self, rng):
+        x = rng.normal(size=(6,))
+        y = rng.normal(size=(6,))
+        assert np.allclose(maximum(Tensor(x), Tensor(y)).data, np.maximum(x, y))
+        assert np.allclose(minimum(Tensor(x), Tensor(y)).data, np.minimum(x, y))
+
+    def test_maximum_gradient(self, rng):
+        a = Parameter(rng.normal(size=(5,)))
+        check_gradients(lambda: (maximum(a, 0.0) ** 2.0).sum(), [a])

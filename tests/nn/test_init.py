@@ -1,0 +1,43 @@
+"""Weight initializer statistics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestGlorot:
+    def test_uniform_bounds(self, rng):
+        w = init.glorot_uniform(rng, 50, 70)
+        limit = np.sqrt(6.0 / 120)
+        assert w.shape == (50, 70)
+        assert np.abs(w).max() <= limit
+
+    def test_uniform_variance(self, rng):
+        w = init.glorot_uniform(rng, 400, 400)
+        expected_var = (2 * np.sqrt(6.0 / 800)) ** 2 / 12.0
+        assert w.var() == pytest.approx(expected_var, rel=0.1)
+
+    def test_normal_std(self, rng):
+        w = init.glorot_normal(rng, 300, 500)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 800), rel=0.1)
+
+
+class TestHe:
+    def test_std(self, rng):
+        w = init.he_normal(rng, 256, 128)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 256), rel=0.1)
+
+
+class TestOthers:
+    def test_zeros(self):
+        assert np.allclose(init.zeros((3, 4)), 0.0)
+
+    def test_normal_scale(self, rng):
+        w = init.normal(rng, (1000,), std=0.05)
+        assert w.std() == pytest.approx(0.05, rel=0.15)
+
+    def test_deterministic_by_generator_seed(self):
+        a = init.glorot_uniform(np.random.default_rng(3), 5, 5)
+        b = init.glorot_uniform(np.random.default_rng(3), 5, 5)
+        assert np.array_equal(a, b)

@@ -1,0 +1,95 @@
+"""Linear / MLP / EmbeddingTable layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, EmbeddingTable, Linear, Tensor, check_gradients, relu
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 7, rng)
+        assert layer(Tensor(np.zeros((3, 4)))).shape == (3, 7)
+
+    def test_affine_math(self, rng):
+        layer = Linear(2, 2, rng)
+        x = rng.normal(size=(5, 2))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_bias_starts_zero(self, rng):
+        assert np.allclose(Linear(3, 3, rng).bias.data, 0.0)
+
+    def test_glorot_scale(self, rng):
+        layer = Linear(100, 100, rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit + 1e-12
+
+
+class TestMLP:
+    def test_depth_and_shapes(self, rng):
+        mlp = MLP(5, (16, 8), 3, rng)
+        assert mlp.n_layers == 3
+        assert mlp(Tensor(np.zeros((2, 5)))).shape == (2, 3)
+
+    def test_no_hidden_layers_is_linear(self, rng):
+        mlp = MLP(5, (), 3, rng)
+        x = rng.normal(size=(4, 5))
+        expected = x @ mlp.layer0.weight.data + mlp.layer0.bias.data
+        assert np.allclose(mlp(Tensor(x)).data, expected)
+
+    def test_output_layer_has_no_activation(self, rng):
+        mlp = MLP(3, (4,), 2, rng, activation=relu)
+        out = mlp(Tensor(rng.normal(size=(50, 3))))
+        # ReLU on the output would force non-negative values.
+        assert (out.data < 0).any()
+
+    def test_full_gradcheck(self, rng):
+        mlp = MLP(3, (5, 4), 2, rng)
+        x = rng.normal(size=(6, 3))
+        check_gradients(lambda: (mlp(Tensor(x)) ** 2.0).sum(), mlp.parameters())
+
+    def test_deterministic_for_same_rng_seed(self):
+        m1 = MLP(4, (8,), 2, np.random.default_rng(5))
+        m2 = MLP(4, (8,), 2, np.random.default_rng(5))
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2 and np.allclose(p1.data, p2.data)
+
+
+class TestEmbeddingTable:
+    def test_gather(self, rng):
+        table = EmbeddingTable(6, 3, rng, std=0.5)
+        idx = np.array([0, 5, 5])
+        assert np.allclose(table(idx).data, table.table.data[idx])
+
+    def test_full_table_when_none(self, rng):
+        table = EmbeddingTable(4, 2, rng)
+        assert table(None).shape == (4, 2)
+
+    def test_zero_init_without_rng(self):
+        table = EmbeddingTable(3, 2)
+        assert np.allclose(table.table.data, 0.0)
+
+    def test_concat_with_features(self, rng):
+        table = EmbeddingTable(4, 2, rng, std=0.1)
+        feats = rng.normal(size=(4, 5))
+        out = table.concat_with(feats)
+        assert out.shape == (4, 7)
+        assert np.allclose(out.data[:, :5], feats)
+
+    def test_concat_with_zero_dim_returns_features_only(self, rng):
+        table = EmbeddingTable(4, 0)
+        feats = rng.normal(size=(4, 5))
+        assert table.concat_with(feats).shape == (4, 5)
+
+    def test_concat_with_row_mismatch_raises(self, rng):
+        table = EmbeddingTable(4, 2, rng)
+        with pytest.raises(ValueError):
+            table.concat_with(np.zeros((3, 5)))
+
+    def test_gradients_flow_through_concat(self, rng):
+        table = EmbeddingTable(3, 2, rng, std=0.3)
+        feats = rng.normal(size=(3, 2))
+        check_gradients(
+            lambda: (table.concat_with(feats) ** 2.0).sum(), [table.table]
+        )

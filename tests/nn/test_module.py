@@ -1,0 +1,93 @@
+"""Module/Parameter registration and state serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Linear, Module, Parameter, Tensor
+
+
+class Nested(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.inner = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.inner(x) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_paths(self, rng):
+        m = Nested(rng)
+        names = dict(m.named_parameters())
+        assert set(names) == {"inner.weight", "inner.bias", "scale"}
+
+    def test_parameters_list(self, rng):
+        m = Nested(rng)
+        assert len(m.parameters()) == 3
+
+    def test_num_parameters(self, rng):
+        m = Nested(rng)
+        assert m.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_zero_grad_clears_all(self, rng):
+        m = Nested(rng)
+        out = m(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        m1, m2 = Nested(rng), Nested(np.random.default_rng(99))
+        before = m2.state_dict()
+        m2.load_state_dict(m1.state_dict())
+        for name, value in m1.state_dict().items():
+            assert np.allclose(m2.state_dict()[name], value)
+        # The load copied — mutating m1 must not affect m2.
+        m1.scale.data[:] = 123.0
+        assert not np.allclose(m2.state_dict()["scale"], 123.0)
+        assert set(before) == set(m2.state_dict())
+
+    def test_missing_key_raises(self, rng):
+        m = Nested(rng)
+        state = m.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        m = Nested(rng)
+        state = m.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        m = Nested(rng)
+        state = m.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_state_dict_is_a_copy(self, rng):
+        m = Nested(rng)
+        state = m.state_dict()
+        state["scale"][:] = -1.0
+        assert not np.allclose(m.scale.data, -1.0)
+
+
+class TestForwardContract:
+    def test_base_forward_raises(self):
+        class Empty(Module):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Empty()(1)
+
+    def test_mlp_is_module(self, rng):
+        m = MLP(4, (8, 8), 2, rng)
+        assert isinstance(m, Module)
+        assert len(m.parameters()) == 6  # 3 layers x (W, b)

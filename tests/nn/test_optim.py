@@ -1,0 +1,124 @@
+"""Optimizers: SGD / Adam / AdaMax update rules and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, AdaMax, Parameter, SGD, Tensor
+
+
+def _quadratic_loss(p: Parameter) -> Tensor:
+    # f(p) = |p - 3|^2, minimized at 3.
+    diff = p - Tensor(np.full_like(p.data, 3.0))
+    return (diff * diff).sum()
+
+
+class TestOptimizerBase:
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter([1.0])], lr=0.0)
+
+    def test_zero_grad(self):
+        p = Parameter([1.0])
+        opt = SGD([p], lr=0.1)
+        _quadratic_loss(p).backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_step_skips_gradless_params(self):
+        p, q = Parameter([1.0]), Parameter([1.0])
+        opt = SGD([p, q], lr=0.1)
+        _quadratic_loss(p).backward()
+        opt.step()
+        assert not np.allclose(p.data, 1.0)
+        assert np.allclose(q.data, 1.0)
+
+
+class TestSGD:
+    def test_vanilla_update_rule(self):
+        p = Parameter([1.0])
+        opt = SGD([p], lr=0.5)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert np.allclose(p.data, 1.0 - 0.5 * 2.0)
+
+    def test_momentum_accumulates(self):
+        p = Parameter([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.5, p=-2.5
+        assert np.allclose(p.data, -2.5)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter([1.0])], lr=0.1, momentum=1.0)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            _quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, step 1 moves by ~lr * sign(grad).
+        p = Parameter([0.0])
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([123.0])
+        opt.step()
+        assert np.allclose(p.data, -0.1, atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            _quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+
+class TestAdaMax:
+    def test_first_step_is_lr_sized(self):
+        p = Parameter([0.0])
+        opt = AdaMax([p], lr=0.1)
+        p.grad = np.array([50.0])
+        opt.step()
+        # m/(u+eps) = (0.1*50)/(50+eps); /(1-beta1) factor → ≈ lr.
+        assert np.allclose(p.data, -0.1, atol=1e-6)
+
+    def test_infinity_norm_memory(self):
+        # u keeps the running max of |grad| (decayed by beta2).
+        p = Parameter([0.0])
+        opt = AdaMax([p], lr=1.0, beta1=0.0, beta2=1.0)
+        p.grad = np.array([10.0])
+        opt.step()
+        first_move = -1.0 * 10.0 / (10.0 + opt.eps)
+        assert np.allclose(p.data, first_move)
+        # A tiny gradient now divides by the remembered large u.
+        p.grad = np.array([0.1])
+        before = p.data.copy()
+        opt.step()
+        assert abs(p.data[0] - before[0]) < 0.02
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = AdaMax([p], lr=0.1)
+        for _ in range(400):
+            opt.zero_grad()
+            _quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_paper_default_hyperparameters(self):
+        opt = AdaMax([Parameter([1.0])])
+        assert opt.lr == 1e-3 and opt.beta1 == 0.9 and opt.beta2 == 0.999

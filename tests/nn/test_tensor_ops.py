@@ -1,0 +1,186 @@
+"""Forward correctness + analytic-vs-numeric gradients for tensor ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Parameter, Tensor, check_gradients
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+def _param(rng, *shape):
+    return Parameter(rng.normal(size=shape))
+
+
+class TestForward:
+    def test_add_matches_numpy(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_scalar_radd(self):
+        assert np.allclose((2.0 + Tensor([1.0, 2.0])).data, [3.0, 4.0])
+
+    def test_sub_and_rsub(self):
+        t = Tensor([1.0, 2.0])
+        assert np.allclose((t - 1.0).data, [0.0, 1.0])
+        assert np.allclose((1.0 - t).data, [0.0, -1.0])
+
+    def test_mul_broadcast(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        assert np.allclose((Tensor(a) * Tensor(b)).data, a * b)
+
+    def test_div(self, rng):
+        a = rng.normal(size=(5,))
+        b = rng.uniform(1.0, 2.0, size=(5,))
+        assert np.allclose((Tensor(a) / Tensor(b)).data, a / b)
+
+    def test_rtruediv(self):
+        assert np.allclose((1.0 / Tensor([2.0, 4.0])).data, [0.5, 0.25])
+
+    def test_pow_scalar_only(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** np.array([2.0])
+
+    def test_matmul_2d(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_batched(self, rng):
+        a, b = rng.normal(size=(6, 3, 4)), rng.normal(size=(6, 4, 2))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_exp_log_roundtrip(self, rng):
+        x = rng.uniform(0.5, 2.0, size=(4,))
+        assert np.allclose(Tensor(x).log().exp().data, x)
+
+    def test_reductions(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(Tensor(x).sum(axis=0).data, x.sum(axis=0))
+        assert np.allclose(Tensor(x).mean(axis=1, keepdims=True).data,
+                           x.mean(axis=1, keepdims=True))
+        assert np.allclose(Tensor(x).max(axis=1).data, x.max(axis=1))
+
+    def test_shape_ops(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        assert Tensor(x).reshape(6, 4).shape == (6, 4)
+        assert Tensor(x).transpose(1, 0, 2).shape == (3, 2, 4)
+        assert Tensor(x).T.shape == (4, 3, 2)
+        assert Tensor(x).expand_dims(0).shape == (1, 2, 3, 4)
+        assert Tensor(x).expand_dims(0).squeeze(0).shape == (2, 3, 4)
+
+    def test_detach_cuts_graph(self):
+        p = Parameter([1.0, 2.0])
+        out = (p.detach() * 3.0).sum()
+        out.backward()
+        assert p.grad is None
+
+    def test_item_and_len(self):
+        assert Tensor([[5.0]]).item() == 5.0
+        assert len(Tensor(np.zeros((7, 2)))) == 7
+
+
+class TestBackward:
+    def test_add_broadcast_gradients(self, rng):
+        a, b = _param(rng, 3, 4), _param(rng, 4)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_mul_broadcast_gradients(self, rng):
+        a, b = _param(rng, 2, 3), _param(rng, 1, 3)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div_gradients(self, rng):
+        a = _param(rng, 4)
+        b = Parameter(rng.uniform(1.0, 2.0, size=(4,)))
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow_gradients(self, rng):
+        a = Parameter(rng.uniform(0.5, 1.5, size=(3,)))
+        check_gradients(lambda: (a**3.0).sum(), [a])
+
+    def test_matmul_gradients_2d(self, rng):
+        a, b = _param(rng, 3, 4), _param(rng, 4, 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_gradients_batched(self, rng):
+        a, b = _param(rng, 5, 2, 3), _param(rng, 5, 3, 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_gradients_broadcast_batch(self, rng):
+        # (m,k) @ (B,k,n): the left operand is broadcast over the batch.
+        a, b = _param(rng, 2, 3), _param(rng, 4, 3, 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_cases(self, rng):
+        a, b = _param(rng, 4), _param(rng, 4, 3)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+        c, d = _param(rng, 3, 4), _param(rng, 4)
+        check_gradients(lambda: (c @ d).sum(), [c, d])
+
+    def test_exp_log_tanh_sigmoid_abs(self, rng):
+        p = Parameter(rng.uniform(0.5, 1.5, size=(5,)))
+        check_gradients(lambda: p.exp().sum(), [p])
+        check_gradients(lambda: p.log().sum(), [p])
+        check_gradients(lambda: p.tanh().sum(), [p])
+        check_gradients(lambda: p.sigmoid().sum(), [p])
+        check_gradients(lambda: p.abs().sum(), [p])
+
+    def test_sum_axis_gradients(self, rng):
+        p = _param(rng, 3, 4, 2)
+        check_gradients(lambda: (p.sum(axis=(0, 2)) ** 2.0).sum(), [p])
+
+    def test_mean_gradients(self, rng):
+        p = _param(rng, 3, 4)
+        check_gradients(lambda: (p.mean(axis=1) ** 2.0).sum(), [p])
+
+    def test_max_gradient_splits_ties(self):
+        p = Parameter(np.array([[1.0, 1.0, 0.0]]))
+        p.zero_grad()
+        p.max(axis=1).sum().backward()
+        assert np.allclose(p.grad, [[0.5, 0.5, 0.0]])
+
+    def test_reshape_transpose_gradients(self, rng):
+        p = _param(rng, 2, 6)
+        check_gradients(lambda: ((p.reshape(3, 4).transpose(1, 0)) ** 2.0).sum(), [p])
+
+    def test_gradient_accumulates_across_uses(self):
+        p = Parameter([2.0])
+        out = (p * 3.0 + p * 4.0).sum()
+        out.backward()
+        assert np.allclose(p.grad, [7.0])
+
+    def test_backward_seed_grad(self):
+        p = Parameter([1.0, 2.0])
+        (p * 1.0).backward(np.array([10.0, 20.0]))
+        assert np.allclose(p.grad, [10.0, 20.0])
+
+    def test_zero_grad(self):
+        p = Parameter([1.0])
+        (p * 2.0).sum().backward()
+        assert p.grad is not None
+        p.zero_grad()
+        assert p.grad is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    broadcast_rows=st.booleans(),
+)
+def test_property_mul_gradients_any_broadcast(rows, cols, broadcast_rows):
+    """Gradients of broadcast multiply match finite differences for any shape."""
+    rng = np.random.default_rng(rows * 17 + cols)
+    a = Parameter(rng.normal(size=(rows, cols)))
+    b = Parameter(rng.normal(size=(1 if broadcast_rows else rows, cols)))
+    check_gradients(lambda: ((a * b) ** 2.0).sum(), [a, b])
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 6), m=st.integers(2, 6), k=st.integers(1, 5))
+def test_property_matmul_gradients(n, m, k):
+    rng = np.random.default_rng(n * 100 + m * 10 + k)
+    a = Parameter(rng.normal(size=(n, k)))
+    b = Parameter(rng.normal(size=(k, m)))
+    check_gradients(lambda: ((a @ b) ** 2.0).sum(), [a, b])

@@ -1,0 +1,77 @@
+"""Runtime admission control."""
+
+import numpy as np
+import pytest
+
+from repro.orchestration import AdmissionController
+
+
+class _StubBounds:
+    def __init__(self, base=1.0):
+        self.base = base
+
+    def predict_bound(self, w_idx, p_idx, interferers, epsilon):
+        n_int = (np.atleast_2d(interferers) >= 0).sum(axis=1)
+        return self.base * (1.0 + 0.5 * n_int) * np.ones(len(np.asarray(w_idx)))
+
+
+class TestAdmission:
+    def test_admit_when_feasible(self):
+        ctl = AdmissionController(_StubBounds(), platform=0)
+        decision = ctl.admit(job=1, deadline=2.0)
+        assert decision.admitted and decision.reason == "ok"
+        assert decision.budget == pytest.approx(1.0)
+
+    def test_reject_own_deadline(self):
+        ctl = AdmissionController(_StubBounds(), platform=0)
+        decision = ctl.admit(job=1, deadline=0.5)
+        assert not decision.admitted
+        assert decision.reason == "own-deadline"
+        assert ctl.residents == {}
+
+    def test_reject_resident_deadline(self):
+        ctl = AdmissionController(_StubBounds(), platform=0)
+        # Resident admitted alone with deadline below its 2-way budget 1.5.
+        assert ctl.admit(job=1, deadline=1.2).admitted
+        decision = ctl.admit(job=2, deadline=10.0)
+        assert not decision.admitted
+        assert decision.reason == "resident-deadline"
+        assert 2 not in ctl.residents
+
+    def test_capacity_limit(self):
+        ctl = AdmissionController(_StubBounds(), platform=0, max_residents=2)
+        assert ctl.admit(1, 100.0).admitted
+        assert ctl.admit(2, 100.0).admitted
+        decision = ctl.admit(3, 100.0)
+        assert not decision.admitted and decision.reason == "capacity"
+
+    def test_release_frees_capacity(self):
+        ctl = AdmissionController(_StubBounds(), platform=0, max_residents=1)
+        assert ctl.admit(1, 100.0).admitted
+        ctl.release(1)
+        assert ctl.admit(2, 100.0).admitted
+
+    def test_release_unknown_raises(self):
+        ctl = AdmissionController(_StubBounds(), platform=0)
+        with pytest.raises(KeyError):
+            ctl.release(42)
+
+    def test_check_does_not_mutate(self):
+        ctl = AdmissionController(_StubBounds(), platform=0)
+        ctl.check(1, 100.0)
+        assert ctl.residents == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(_StubBounds(), 0, epsilon=1.5)
+        with pytest.raises(ValueError):
+            AdmissionController(_StubBounds(), 0, max_residents=0)
+        ctl = AdmissionController(_StubBounds(), 0)
+        with pytest.raises(ValueError):
+            ctl.check(1, deadline=0.0)
+
+    def test_budget_grows_with_residency(self):
+        ctl = AdmissionController(_StubBounds(), platform=0)
+        first = ctl.admit(1, 100.0)
+        second = ctl.admit(2, 100.0)
+        assert second.budget > first.budget

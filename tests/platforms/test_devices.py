@@ -1,0 +1,77 @@
+"""Device inventory (Table 2)."""
+
+import numpy as np
+
+from repro.platforms import DEVICES, MICROARCHITECTURES, IsaFamily
+
+
+def test_cluster_has_24_devices():
+    assert len(DEVICES) == 24
+
+
+def test_names_unique():
+    names = [d.name for d in DEVICES]
+    assert len(set(names)) == len(names)
+
+
+def test_14_microarchitectures_all_used():
+    assert len(MICROARCHITECTURES) == 14
+    used = {d.microarch for d in DEVICES}
+    assert used == set(MICROARCHITECTURES)
+
+
+def test_isa_families_match_fig12():
+    families = {d.isa for d in DEVICES}
+    assert families == set(IsaFamily)
+
+
+def test_exactly_one_mcu():
+    mcus = [d for d in DEVICES if d.is_mcu]
+    assert len(mcus) == 1
+    assert mcus[0].microarch == "cortex-m7"
+    assert mcus[0].cores == 1
+
+
+def test_riscv_board_present():
+    riscv = [d for d in DEVICES if d.isa == IsaFamily.RISCV]
+    assert len(riscv) == 1
+    assert riscv[0].microarch == "sifive-u74"
+
+
+def test_mcu_is_slowest():
+    mcu = next(d for d in DEVICES if d.is_mcu)
+    assert mcu.log10_speed == min(d.log10_speed for d in DEVICES)
+
+
+def test_cache_fields_sane():
+    for d in DEVICES:
+        for kb in (d.l1d_kb, d.l1i_kb, d.l2_kb, d.l3_kb):
+            assert kb is None or kb > 0
+        assert d.mem_mb > 0
+        assert d.ghz > 0
+        assert d.cores >= 1
+
+
+def test_a72_devices_lack_l3():
+    # Paper App C.2 gives the A72's missing L3 as the presence-indicator
+    # example.
+    for d in DEVICES:
+        if d.microarch == "cortex-a72":
+            assert d.l3_kb is None
+
+
+def test_weak_devices_have_stronger_contention():
+    fast = [d for d in DEVICES if d.log10_speed > -0.2]
+    slow = [d for d in DEVICES if d.log10_speed < -1.0]
+    assert np.mean([d.contention_scale for d in slow]) > np.mean(
+        [d.contention_scale for d in fast]
+    )
+
+
+def test_nine_vendors():
+    # Paper: "24 devices from 9 different vendors".
+    cpu_vendors = {
+        "Intel", "AMD", "SiFive", "Broadcom", "Amlogic",
+        "RockChip", "Allwinner", "STMicro", "HP",
+    }
+    assert len({d.vendor for d in DEVICES}) >= 9

@@ -1,0 +1,60 @@
+"""Platform enumeration and the App C.1 support matrix."""
+
+from repro.platforms import (
+    DEVICES,
+    RUNTIMES,
+    IsaFamily,
+    generate_platforms,
+    is_supported,
+)
+
+
+def test_full_platform_count():
+    # 24 devices x 10 runtimes minus App C.1 exclusions = 220 (the paper
+    # reports 231 with its unpublished omission list; see DESIGN.md).
+    platforms = generate_platforms()
+    assert len(platforms) == 220
+
+
+def test_indices_sequential():
+    platforms = generate_platforms()
+    assert [p.index for p in platforms] == list(range(len(platforms)))
+
+
+def test_mcu_runs_only_wamr_aot():
+    mcu = next(d for d in DEVICES if d.is_mcu)
+    supported = [r.name for r in RUNTIMES if is_supported(mcu, r)]
+    assert supported == ["wamr-llvm-aot"]
+
+
+def test_riscv_runs_wamr_and_wasm3():
+    riscv = next(d for d in DEVICES if d.isa is IsaFamily.RISCV)
+    supported = {r.name for r in RUNTIMES if is_supported(riscv, r)}
+    assert supported == {"wasm3", "wamr-interp", "wamr-llvm-aot"}
+
+
+def test_a72_excludes_wamr_aot():
+    # Paper: codegen bug causes illegal instructions on Cortex-A72.
+    a72 = [d for d in DEVICES if d.microarch == "cortex-a72"]
+    assert a72
+    for dev in a72:
+        names = {r.name for r in RUNTIMES if is_supported(dev, r)}
+        assert "wamr-llvm-aot" not in names
+        assert len(names) == 9
+
+
+def test_x86_runs_everything():
+    x86 = [d for d in DEVICES if d.isa in (IsaFamily.INTEL_X86, IsaFamily.AMD_X86)]
+    for dev in x86:
+        assert all(is_supported(dev, r) for r in RUNTIMES)
+
+
+def test_platform_names_unique():
+    platforms = generate_platforms()
+    names = [p.name for p in platforms]
+    assert len(set(names)) == len(names)
+
+
+def test_custom_inventories():
+    platforms = generate_platforms(DEVICES[:2], RUNTIMES[:3])
+    assert len(platforms) == 6

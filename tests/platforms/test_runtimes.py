@@ -1,0 +1,52 @@
+"""Runtime inventory (Table 3)."""
+
+from repro.platforms import RUNTIMES, ExecutionMode
+
+
+def test_ten_configurations():
+    assert len(RUNTIMES) == 10
+
+
+def test_five_families():
+    assert {r.family for r in RUNTIMES} == {
+        "Wasm3", "WAMR", "WasmEdge", "Wasmtime", "Wasmer",
+    }
+
+
+def test_table3_modes():
+    by_name = {r.name: r for r in RUNTIMES}
+    assert by_name["wasm3"].mode is ExecutionMode.INTERPRETER
+    assert by_name["wamr-interp"].mode is ExecutionMode.INTERPRETER
+    assert by_name["wasmedge-interp"].mode is ExecutionMode.INTERPRETER
+    assert by_name["wamr-llvm-aot"].mode is ExecutionMode.AOT
+    assert by_name["wasmtime-cranelift-aot"].mode is ExecutionMode.AOT
+    assert by_name["wasmtime-cranelift-jit"].mode is ExecutionMode.JIT
+    assert by_name["wasmer-singlepass-jit"].mode is ExecutionMode.JIT
+    assert by_name["wasmer-cranelift-jit"].mode is ExecutionMode.JIT
+    assert by_name["wasmer-cranelift-aot"].mode is ExecutionMode.AOT
+    assert by_name["wasmer-llvm-aot"].mode is ExecutionMode.AOT
+
+
+def test_wasmer_has_four_configs():
+    assert sum(1 for r in RUNTIMES if r.family == "Wasmer") == 4
+
+
+def test_interpreters_are_order_of_magnitude_slower():
+    interp = [r.log10_slowdown for r in RUNTIMES if r.is_interpreter]
+    aot = [r.log10_slowdown for r in RUNTIMES if r.mode is ExecutionMode.AOT]
+    assert min(interp) >= 1.0  # ≥10x slower than the AOT reference
+    assert max(aot) < 0.5
+
+
+def test_singlepass_slower_than_cranelift():
+    by_name = {r.name: r for r in RUNTIMES}
+    assert (
+        by_name["wasmer-singlepass-jit"].log10_slowdown
+        > by_name["wasmer-cranelift-jit"].log10_slowdown
+    )
+
+
+def test_interpreters_more_contention_sensitive():
+    interp = [r.contention_factor for r in RUNTIMES if r.is_interpreter]
+    aot = [r.contention_factor for r in RUNTIMES if r.mode is ExecutionMode.AOT]
+    assert min(interp) > max(aot)

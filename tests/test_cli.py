@@ -1,0 +1,86 @@
+"""CLI workflows: collect → train → evaluate → predict."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """Run the full CLI pipeline once on a tiny configuration."""
+    root = tmp_path_factory.mktemp("cli")
+    dataset = root / "data.npz"
+    model = root / "model.npz"
+    assert main([
+        "collect", str(dataset), "--seed", "0",
+        "--workloads", "20", "--devices", "4", "--runtimes", "3",
+        "--sets-per-degree", "8",
+    ]) == 0
+    assert main([
+        "train", str(dataset), str(model),
+        "--steps", "60", "--hidden", "8", "--embedding-dim", "4",
+    ]) == 0
+    return dataset, model
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_collect_defaults(self):
+        args = build_parser().parse_args(["collect", "out.npz"])
+        assert args.sets_per_degree == 250 and args.seed == 0
+
+    def test_train_hidden_list(self):
+        args = build_parser().parse_args(
+            ["train", "d.npz", "m.npz", "--hidden", "64", "32"]
+        )
+        assert args.hidden == [64, 32]
+
+
+class TestPipeline:
+    def test_collect_creates_loadable_dataset(self, artifacts):
+        from repro.cluster import RuntimeDataset
+
+        dataset, _ = artifacts
+        ds = RuntimeDataset.load(dataset)
+        assert ds.n_observations > 0
+
+    def test_evaluate_runs(self, artifacts, capsys):
+        dataset, model = artifacts
+        assert main(["evaluate", str(model), str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out
+
+    def test_predict_outputs_seconds(self, artifacts, capsys):
+        _, model = artifacts
+        assert main([
+            "predict", str(model), "--workload", "0", "--platform", "1",
+            "--interferers", "2", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "predicted runtime" in out
+
+    def test_predict_range_validation(self, artifacts):
+        _, model = artifacts
+        assert main([
+            "predict", str(model), "--workload", "9999", "--platform", "0",
+        ]) == 2
+        assert main([
+            "predict", str(model), "--workload", "0", "--platform", "0",
+            "--interferers", "1", "2", "3", "4",
+        ]) == 2
+
+    def test_quantile_train_and_conformal_evaluate(self, tmp_path, artifacts):
+        dataset, _ = artifacts
+        model = tmp_path / "q.npz"
+        assert main([
+            "train", str(dataset), str(model),
+            "--steps", "60", "--hidden", "8", "--embedding-dim", "4",
+            "--quantiles",
+        ]) == 0
+        assert main([
+            "evaluate", str(model), str(dataset), "--epsilon", "0.2",
+        ]) == 0

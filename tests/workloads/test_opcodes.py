@@ -1,0 +1,40 @@
+"""Opcode inventory invariants."""
+
+import numpy as np
+
+from repro.workloads import OPCODE_NAMES, OPCODES, OpcodeCategory, category_matrix
+
+
+def test_inventory_is_nontrivial():
+    # The WASM 1.0 core instruction set has ~170 numbered opcodes.
+    assert len(OPCODES) > 150
+
+
+def test_names_are_unique():
+    assert len(set(OPCODE_NAMES)) == len(OPCODE_NAMES)
+
+
+def test_every_category_is_populated():
+    present = {op.category for op in OPCODES}
+    assert present == set(OpcodeCategory)
+
+
+def test_costs_positive():
+    assert all(op.base_cost > 0 for op in OPCODES)
+
+
+def test_divisions_cost_more_than_int_alu():
+    div = [op.base_cost for op in OPCODES if op.category == OpcodeCategory.INT_DIV]
+    alu = [op.base_cost for op in OPCODES if op.category == OpcodeCategory.INT_ARITH]
+    assert min(div) > max(alu)
+
+
+def test_category_matrix_one_hot():
+    mat = category_matrix()
+    assert mat.shape == (len(OPCODES), len(OpcodeCategory))
+    assert np.allclose(mat.sum(axis=1), 1.0)
+
+
+def test_well_known_opcodes_present():
+    for name in ("i32.add", "f64.mul", "local.get", "call", "i64.load", "f32.sqrt"):
+        assert name in OPCODE_NAMES

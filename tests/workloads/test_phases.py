@@ -1,0 +1,106 @@
+"""Phase-shift detection (Sec 3.1 assumption operationalized)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    PhaseDetector,
+    detect_phase_shifts,
+    split_phases,
+)
+
+
+def _history(rng, means, n_per=60, sigma=0.05):
+    return np.concatenate([rng.normal(m, sigma, n_per) for m in means])
+
+
+class TestDetector:
+    def test_no_shift_single_phase(self, rng):
+        y = _history(rng, [0.0])
+        segments = detect_phase_shifts(y)
+        assert len(segments) == 1
+        assert segments[0].length == len(y)
+
+    def test_detects_level_shift(self, rng):
+        y = _history(rng, [0.0, 1.0])
+        segments = detect_phase_shifts(y)
+        assert len(segments) == 2
+        # Change point within a few samples of the true boundary.
+        assert abs(segments[1].start - 60) < 10
+
+    def test_detects_multiple_shifts(self, rng):
+        y = _history(rng, [0.0, 1.5, -0.5])
+        segments = detect_phase_shifts(y)
+        assert len(segments) == 3
+
+    def test_shift_down_also_detected(self, rng):
+        y = _history(rng, [1.0, 0.0])
+        assert len(detect_phase_shifts(y)) == 2
+
+    def test_jitter_does_not_trigger(self, rng):
+        # Noise at the simulator's isolation level (~3%) must not split.
+        y = rng.normal(0.0, 0.03, 300)
+        assert len(detect_phase_shifts(y)) == 1
+
+    def test_short_history_single_phase(self, rng):
+        assert len(detect_phase_shifts(rng.normal(0, 1, 5))) == 1
+
+    def test_segment_means(self, rng):
+        y = _history(rng, [0.0, 2.0])
+        segments = detect_phase_shifts(y)
+        assert segments[0].mean_log_runtime == pytest.approx(0.0, abs=0.1)
+        assert segments[-1].mean_log_runtime == pytest.approx(2.0, abs=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhaseDetector(min_segment=1)
+
+
+class TestSplitPhases:
+    def test_new_ids_after_shift(self, rng):
+        n = 120
+        ids = np.zeros(n, dtype=int)
+        ts = np.arange(n)
+        y = _history(rng, [0.0, 1.0])
+        new_ids = split_phases(ids, ts, y)
+        assert set(new_ids[:50]) == {0}
+        assert set(new_ids[-50:]) == {1}
+
+    def test_stable_workloads_keep_ids(self, rng):
+        n = 100
+        ids = np.array([0] * n + [1] * n)
+        ts = np.concatenate([np.arange(n), np.arange(n)])
+        y = np.concatenate([rng.normal(0, 0.05, n), rng.normal(3, 0.05, n)])
+        new_ids = split_phases(ids, ts, y)
+        assert np.array_equal(new_ids, ids)
+
+    def test_respects_timestamps_not_row_order(self, rng):
+        n = 120
+        ids = np.zeros(n, dtype=int)
+        ts = np.arange(n)
+        y = _history(rng, [0.0, 1.0])
+        perm = rng.permutation(n)
+        new_ids = split_phases(ids[perm], ts[perm], y[perm])
+        # Recover by timestamp: early rows keep 0, late rows get the new id.
+        early = ts[perm] < 50
+        late = ts[perm] >= 70
+        assert set(new_ids[early]) == {0}
+        assert set(new_ids[late]) == {1}
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            split_phases(np.zeros(3), np.zeros(2), np.zeros(3))
+
+
+@settings(max_examples=15, deadline=None)
+@given(shift=st.floats(1.0, 4.0), seed=st.integers(0, 1000))
+def test_property_large_shifts_always_detected(shift, seed):
+    rng = np.random.default_rng(seed)
+    y = np.concatenate([
+        rng.normal(0.0, 0.05, 80), rng.normal(shift, 0.05, 80)
+    ])
+    assert len(detect_phase_shifts(y)) >= 2

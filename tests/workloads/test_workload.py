@@ -1,0 +1,103 @@
+"""Workload synthesis: determinism, structure, feature encoding."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    OPCODE_NAMES,
+    generate_workloads,
+    workload_feature_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return generate_workloads(np.random.default_rng(7))
+
+
+class TestGeneration:
+    def test_full_population_size(self, workloads):
+        assert len(workloads) == 249
+
+    def test_deterministic_by_seed(self):
+        a = generate_workloads(np.random.default_rng(3))
+        b = generate_workloads(np.random.default_rng(3))
+        assert all(
+            np.array_equal(x.opcode_counts, y.opcode_counts) for x, y in zip(a, b)
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_workloads(np.random.default_rng(3))
+        b = generate_workloads(np.random.default_rng(4))
+        assert any(
+            not np.array_equal(x.opcode_counts, y.opcode_counts)
+            for x, y in zip(a, b)
+        )
+
+    def test_indices_sequential(self, workloads):
+        assert [w.index for w in workloads] == list(range(249))
+
+    def test_counts_nonnegative_integers(self, workloads):
+        for w in workloads[:20]:
+            assert (w.opcode_counts >= 0).all()
+            assert np.allclose(w.opcode_counts, np.floor(w.opcode_counts))
+
+    def test_subset_generation(self):
+        subset = generate_workloads(np.random.default_rng(0), subset=10)
+        assert len(subset) == 10
+
+    def test_name_format(self, workloads):
+        w = workloads[0]
+        assert w.name == f"{w.suite}/{w.benchmark}@{w.size}"
+
+    def test_pressures_in_unit_interval(self, workloads):
+        for w in workloads:
+            assert 0.0 <= w.memory_pressure <= 1.0
+            assert 0.0 <= w.compute_pressure <= 1.0
+            assert 0.0 <= w.io_pressure <= 1.0
+
+    def test_size_variants_share_mix_but_differ_in_total(self, workloads):
+        # polybench/2mm@small vs @medium: same benchmark → same mix.
+        variants = [w for w in workloads if w.suite == "polybench" and w.benchmark == "2mm"]
+        assert len(variants) == 2
+        a, b = variants
+        assert np.allclose(a.category_mix, b.category_mix)
+        assert a.opcode_counts.sum() != b.opcode_counts.sum()
+
+    def test_runtime_spans_orders_of_magnitude(self, workloads):
+        logs = np.array([w.log10_ref_seconds for w in workloads])
+        assert logs.max() - logs.min() > 3.0  # >1000x spread
+
+    def test_suite_mixes_differ(self, workloads):
+        # Libsodium is integer-heavy; Polybench is float-heavy.
+        sodium = [w for w in workloads if w.suite == "libsodium"][0]
+        poly = [w for w in workloads if w.suite == "polybench"][0]
+        from repro.workloads.opcodes import OpcodeCategory
+        cats = list(OpcodeCategory)
+        int_idx = cats.index(OpcodeCategory.INT_ARITH)
+        float_idx = cats.index(OpcodeCategory.FLOAT_ARITH)
+        assert sodium.category_mix[int_idx] > poly.category_mix[int_idx]
+        assert poly.category_mix[float_idx] > sodium.category_mix[float_idx]
+
+
+class TestFeatureMatrix:
+    def test_shape_and_names(self, workloads):
+        feats, names = workload_feature_matrix(workloads)
+        assert feats.shape == (249, len(names))
+        assert set(names) <= set(OPCODE_NAMES)
+
+    def test_log1p_transform(self, workloads):
+        feats, names = workload_feature_matrix(workloads, prune_unused=False)
+        raw = np.stack([w.opcode_counts for w in workloads])
+        assert np.allclose(feats, np.log1p(raw))
+
+    def test_pruning_drops_only_unused(self, workloads):
+        full, full_names = workload_feature_matrix(workloads, prune_unused=False)
+        pruned, pruned_names = workload_feature_matrix(workloads, prune_unused=True)
+        assert pruned.shape[1] <= full.shape[1]
+        # Every retained column is used by at least one workload.
+        assert (pruned.sum(axis=0) > 0).all()
+
+    def test_features_nonnegative(self, workloads):
+        feats, _ = workload_feature_matrix(workloads)
+        assert (feats >= 0).all()
