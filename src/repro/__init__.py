@@ -24,10 +24,16 @@ Runtime bounds (Sec 3.5)::
               .calibrate(split.calibration, epsilons=(0.05,))
               .predict_bound(w_idx, p_idx, interferers, epsilon=0.05))
 
+Serving (batched, embedding-cached bound queries)::
+
+    from repro import PredictionService
+    service = PredictionService.from_predictor(calibrated_predictor)
+    budgets = service.predict_bound(w_idx, p_idx, interferers, epsilon=0.05)
+
 Sub-packages: :mod:`repro.nn` (autograd substrate), :mod:`repro.workloads`,
 :mod:`repro.platforms`, :mod:`repro.cluster` (simulator), :mod:`repro.core`
-(Pitot), :mod:`repro.conformal`, :mod:`repro.baselines`, :mod:`repro.eval`,
-:mod:`repro.analysis`.
+(Pitot), :mod:`repro.conformal`, :mod:`repro.serving`,
+:mod:`repro.baselines`, :mod:`repro.eval`, :mod:`repro.analysis`.
 """
 
 from .baselines import (
@@ -51,6 +57,7 @@ from .cluster import (
 from .conformal import ConformalRuntimePredictor, OnlineConformalizer, conformal_offset
 from .core import (
     PAPER_QUANTILES,
+    EmbeddingSnapshot,
     LinearScalingBaseline,
     PitotConfig,
     PitotModel,
@@ -67,6 +74,7 @@ from .orchestration import (
     flow_placement,
     greedy_placement,
 )
+from .serving import PredictionService
 
 __version__ = "1.0.0"
 
@@ -98,6 +106,9 @@ __all__ = [
     "ConformalRuntimePredictor",
     "OnlineConformalizer",
     "conformal_offset",
+    # serving
+    "EmbeddingSnapshot",
+    "PredictionService",
     # baselines
     "MatrixFactorizationBaseline",
     "NeuralNetworkBaseline",

@@ -6,17 +6,23 @@ Wraps the library's main flows for shell use:
 * ``train`` — fit Pitot on a saved dataset, save the model;
 * ``evaluate`` — MAPE / coverage / margin of a saved model on a dataset;
 * ``predict`` — runtime (and optional budget) for one workload/platform
-  pair with co-runners.
+  pair with co-runners;
+* ``serve`` — answer a stream of bound queries through the batched,
+  embedding-cached :class:`~repro.serving.PredictionService`;
+* ``bench-serve`` — compare serving throughput: per-call model forward
+  vs. snapshot batching vs. LRU-cached lookups.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
 from .cluster import RuntimeDataset, collect_dataset, make_split
+from .cluster.dataset import MAX_INTERFERERS, pad_interferers
 from .conformal import ConformalRuntimePredictor
 from .core import (
     PAPER_QUANTILES,
@@ -27,6 +33,7 @@ from .core import (
     train_pitot,
 )
 from .eval import coverage, mape, overprovision_margin
+from .serving import PredictionService
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +81,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", type=int, required=True)
     p.add_argument("--platform", type=int, required=True)
     p.add_argument("--interferers", type=int, nargs="*", default=[])
+
+    p = sub.add_parser(
+        "serve",
+        help="serve calibrated runtime budgets for a stream of queries",
+    )
+    p.add_argument("model", help=".npz model from `train`")
+    p.add_argument("dataset", help=".npz dataset (calibration source)")
+    p.add_argument("--queries", default=None,
+                   help="query file, one 'workload platform [co-runners...]' "
+                        "per line (default: stdin)")
+    p.add_argument("--epsilon", type=float, nargs="+", default=[0.05],
+                   help="miscoverage rates to calibrate and serve")
+    p.add_argument("--fraction", type=float, default=0.8,
+                   help="must match the `train` split to keep bounds honest")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="benchmark serving throughput (cold vs snapshot vs cached)",
+    )
+    p.add_argument("model", help=".npz model from `train`")
+    p.add_argument("dataset", help=".npz dataset")
+    p.add_argument("--n-queries", type=int, default=10_000)
+    p.add_argument("--cold-queries", type=int, default=200,
+                   help="cap on per-call queries timed for the cold path")
+    p.add_argument("--epsilon", type=float, default=0.05)
+    p.add_argument("--fraction", type=float, default=0.8)
+    p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -150,15 +185,167 @@ def _cmd_predict(args) -> int:
         return 2
     interferers = None
     if args.interferers:
-        if len(args.interferers) > 3:
-            print("at most 3 interferers supported", file=sys.stderr)
+        if len(args.interferers) > MAX_INTERFERERS:
+            print(f"at most {MAX_INTERFERERS} interferers supported",
+                  file=sys.stderr)
             return 2
-        pad = args.interferers + [-1] * (3 - len(args.interferers))
-        interferers = np.array([pad])
+        if not all(0 <= i < model.n_workloads for i in args.interferers):
+            print(f"interferer index out of range [0, {model.n_workloads})",
+                  file=sys.stderr)
+            return 2
+        interferers = pad_interferers([args.interferers])
     runtime = model.predict_runtime(
         np.array([args.workload]), np.array([args.platform]), interferers
     )[0]
     print(f"predicted runtime: {runtime:.6f} s")
+    return 0
+
+
+def _calibrated_service(args, epsilons: tuple[float, ...]) -> PredictionService:
+    """Load model + dataset, calibrate, and wrap for serving."""
+    model = load_model(args.model)
+    dataset = RuntimeDataset.load(args.dataset)
+    split = make_split(dataset, args.fraction, seed=args.seed)
+    return PredictionService.from_model(
+        model, split.calibration, epsilons=epsilons
+    )
+
+
+def _parse_query_line(line: str, service: PredictionService):
+    """Parse 'workload platform [co-runners...]'; None for comments/blank.
+
+    Range limits are enforced by ``service.validate_query`` so the CLI
+    and the queue API share one set of rules.
+    """
+    stripped = line.split("#", 1)[0].strip()
+    if not stripped:
+        return None
+    parts = [int(tok) for tok in stripped.split()]
+    if len(parts) < 2:
+        raise ValueError(f"need 'workload platform [co-runners...]': {line!r}")
+    workload, platform, *co = parts
+    return service.validate_query(workload, platform, co)
+
+
+def _check_epsilons(epsilons) -> bool:
+    bad = [eps for eps in epsilons if not 0.0 < eps < 1.0]
+    if bad:
+        print(f"epsilon must be in (0, 1), got {bad}", file=sys.stderr)
+    return not bad
+
+
+def _cmd_serve(args) -> int:
+    epsilons = tuple(args.epsilon)
+    if not _check_epsilons(epsilons):
+        return 2
+    service = _calibrated_service(args, epsilons)
+    if args.queries:
+        try:
+            lines = open(args.queries, encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot read queries: {exc}", file=sys.stderr)
+            return 2
+    else:
+        lines = sys.stdin
+    try:
+        queries = []
+        for line in lines:
+            try:
+                parsed = _parse_query_line(line, service)
+            except ValueError as exc:
+                print(f"bad query: {exc}", file=sys.stderr)
+                return 2
+            if parsed is not None:
+                queries.append(parsed)
+    finally:
+        if args.queries:
+            lines.close()
+
+    # One shared forward serves every ε (predict_log is ε-independent).
+    w = np.array([q[0] for q in queries], dtype=np.intp)
+    p = np.array([q[1] for q in queries], dtype=np.intp)
+    ints = pad_interferers([co for _, _, co in queries])
+    bounds = service.predict_bound_sweep(w, p, ints, epsilons)
+    for i, (workload, platform, co) in enumerate(queries):
+        budgets = " ".join(
+            f"bound[eps={eps}]={bounds[i, j]:.6f}s"
+            for j, eps in enumerate(epsilons)
+        )
+        co_text = ",".join(map(str, co)) if co else "-"
+        print(f"workload={workload} platform={platform} co={co_text} {budgets}")
+    print(f"served {len(queries)} queries in {service.stats.batches} "
+          f"batches ({len(epsilons)} epsilon(s) from one forward pass)")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    epsilon = float(args.epsilon)
+    if not _check_epsilons((epsilon,)):
+        return 2
+    if args.n_queries < 1 or args.cold_queries < 1:
+        print("--n-queries and --cold-queries must be >= 1", file=sys.stderr)
+        return 2
+    model = load_model(args.model)
+    dataset = RuntimeDataset.load(args.dataset)
+    split = make_split(dataset, args.fraction, seed=args.seed)
+    quantiles = model.config.quantiles
+    strategy = "pitot" if quantiles else "split"
+    predictor = ConformalRuntimePredictor(
+        model, quantiles=quantiles, strategy=strategy
+    ).calibrate(split.calibration, epsilons=(epsilon,))
+
+    rng = np.random.default_rng(args.seed)
+    test = split.test
+    rows = rng.integers(0, test.n_observations, size=args.n_queries)
+    w, p, k = test.w_idx[rows], test.p_idx[rows], test.interferers[rows]
+
+    # Cold: the pre-snapshot serving story — one model forward per query.
+    n_cold = min(args.cold_queries, args.n_queries)
+    start = time.perf_counter()
+    for i in range(n_cold):
+        predictor.predict_bound(w[i : i + 1], p[i : i + 1], k[i : i + 1],
+                                epsilon)
+    cold_rate = n_cold / (time.perf_counter() - start)
+
+    # Snapshot: vectorized inference-only forward, no memoization.
+    service = PredictionService.from_predictor(predictor, cache_size=0)
+    start = time.perf_counter()
+    snapshot_bounds = service.predict_bound(w, p, k, epsilon)
+    snapshot_rate = args.n_queries / (time.perf_counter() - start)
+
+    # Cached: steady state once the LRU has seen the working set.
+    cached_service = PredictionService.from_predictor(predictor)
+    cached_service.predict_bound(w, p, k, epsilon)  # warm
+    warm_hits, warm_misses = (
+        cached_service.cache.hits, cached_service.cache.misses
+    )
+    start = time.perf_counter()
+    cached_bounds = cached_service.predict_bound(w, p, k, epsilon)
+    cached_rate = args.n_queries / (time.perf_counter() - start)
+    steady_lookups = (
+        cached_service.cache.hits - warm_hits
+        + cached_service.cache.misses - warm_misses
+    )
+    steady_hit_rate = (
+        (cached_service.cache.hits - warm_hits) / steady_lookups
+        if steady_lookups
+        else 0.0
+    )
+
+    reference = predictor.predict_bound(w[:256], p[:256], k[:256], epsilon)
+    max_diff = float(np.abs(snapshot_bounds[:256] - reference).max())
+
+    print(f"queries: {args.n_queries:,} (cold path timed on {n_cold})")
+    print(f"cold per-call:  {cold_rate:12,.0f} q/s")
+    print(f"snapshot batch: {snapshot_rate:12,.0f} q/s "
+          f"({snapshot_rate / cold_rate:,.1f}x cold)")
+    print(f"cached (LRU):   {cached_rate:12,.0f} q/s "
+          f"({cached_rate / cold_rate:,.1f}x cold, steady-state hit rate "
+          f"{steady_hit_rate:.1%})")
+    print(f"max |snapshot - model| bound deviation: {max_diff:.2e} s")
+    print(np.allclose(snapshot_bounds, cached_bounds, rtol=0, atol=1e-10)
+          and "cached bounds match snapshot bounds (atol 1e-10)"
+          or "WARNING: cached bounds deviate from snapshot bounds")
     return 0
 
 
@@ -169,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "predict": _cmd_predict,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
     }[args.command]
     return handler(args)
 

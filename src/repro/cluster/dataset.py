@@ -17,12 +17,28 @@ import numpy as np
 from ..platforms.platform import Platform
 from ..workloads.workload import Workload
 
-__all__ = ["RuntimeDataset", "DEGREES", "MAX_INTERFERERS"]
+__all__ = ["RuntimeDataset", "DEGREES", "MAX_INTERFERERS", "pad_interferers"]
 
 #: Degrees present in the paper's dataset.
 DEGREES: tuple[int, ...] = (1, 2, 3, 4)
 #: Up to 3 interfering workloads (4-way).
 MAX_INTERFERERS: int = 3
+
+
+def pad_interferers(rows: list[tuple[int, ...]] | list[list[int]]) -> np.ndarray:
+    """Ragged interferer lists → the dataset's ``-1``-padded matrix.
+
+    The single place that knows the padding convention; shared by the
+    serving queue and the CLI front-ends.
+    """
+    out = np.full((len(rows), MAX_INTERFERERS), -1, dtype=np.intp)
+    for i, co in enumerate(rows):
+        if len(co) > MAX_INTERFERERS:
+            raise ValueError(
+                f"at most {MAX_INTERFERERS} interferers supported, got {len(co)}"
+            )
+        out[i, : len(co)] = co
+    return out
 
 
 @dataclass

@@ -6,7 +6,13 @@ degree calibration pools.
 """
 
 from .online import OnlineConformalizer
-from .predictor import ConformalRuntimePredictor, HeadChoice
+from .predictor import (
+    ConformalRuntimePredictor,
+    HeadChoice,
+    calibration_pools,
+    interference_pools,
+    resolve_head_offsets,
+)
 from .split import conformal_offset, conformal_offsets_by_pool
 
 __all__ = [
@@ -15,4 +21,7 @@ __all__ = [
     "HeadChoice",
     "conformal_offset",
     "conformal_offsets_by_pool",
+    "calibration_pools",
+    "interference_pools",
+    "resolve_head_offsets",
 ]

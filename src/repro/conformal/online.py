@@ -18,6 +18,7 @@ from collections import deque
 
 import numpy as np
 
+from .predictor import interference_pools
 from .split import conformal_offset
 
 __all__ = ["OnlineConformalizer"]
@@ -49,9 +50,7 @@ class OnlineConformalizer:
     # ------------------------------------------------------------------
     @staticmethod
     def _pool_of(interferers: np.ndarray | None, n: int) -> np.ndarray:
-        if interferers is None:
-            return np.ones(n, dtype=int)
-        return 1 + (np.atleast_2d(interferers) >= 0).sum(axis=1)
+        return interference_pools(interferers, n)
 
     def observe(
         self,

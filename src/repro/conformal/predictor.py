@@ -28,7 +28,13 @@ from ..cluster.dataset import RuntimeDataset
 from ..eval.metrics import overprovision_margin
 from .split import conformal_offset, conformal_offsets_by_pool
 
-__all__ = ["ConformalRuntimePredictor", "HeadChoice"]
+__all__ = [
+    "ConformalRuntimePredictor",
+    "HeadChoice",
+    "calibration_pools",
+    "interference_pools",
+    "resolve_head_offsets",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +43,58 @@ class HeadChoice:
 
     head: int
     offset: float
+
+
+def interference_pools(
+    interferers: np.ndarray | None, n: int
+) -> np.ndarray:
+    """Calibration-pool id (interference degree, 1..4) per query row."""
+    if interferers is None:
+        return np.ones(n, dtype=int)
+    return 1 + (np.atleast_2d(np.asarray(interferers)) >= 0).sum(axis=1)
+
+
+def calibration_pools(
+    interferers: np.ndarray | None, n: int, use_pools: bool
+) -> np.ndarray:
+    """Per-row pool ids, honoring the global-calibration ablation.
+
+    Pool ``0`` for every row when ``use_pools`` is off (one global
+    calibration set); per-degree pools otherwise.
+    """
+    if not use_pools:
+        return np.zeros(n, dtype=int)
+    return interference_pools(interferers, n)
+
+
+def resolve_head_offsets(
+    choices: dict[tuple[float, int], HeadChoice],
+    epsilon: float,
+    pools: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized (head, offset) lookup per query row.
+
+    Maps each row's pool to its calibrated :class:`HeadChoice` (falling
+    back to the global pool ``-1``) without a per-row Python loop, so the
+    serving layer can resolve large batches in O(unique pools) dict work.
+    Raises when ``epsilon`` was never calibrated.
+    """
+    if (epsilon, -1) not in choices:
+        calibrated = sorted({eps for eps, _ in choices})
+        raise RuntimeError(
+            f"predictor not calibrated for epsilon={epsilon}; "
+            f"calibrated: {calibrated}"
+        )
+    fallback = choices[(epsilon, -1)]
+    unique = np.unique(pools)
+    u_heads = np.empty(len(unique), dtype=np.intp)
+    u_offsets = np.empty(len(unique))
+    for i, pool in enumerate(unique):
+        choice = choices.get((epsilon, int(pool)), fallback)
+        u_heads[i] = choice.head
+        u_offsets[i] = choice.offset
+    position = np.searchsorted(unique, pools)
+    return u_heads[position], u_offsets[position]
 
 
 class ConformalRuntimePredictor:
@@ -146,24 +204,20 @@ class ConformalRuntimePredictor:
     ) -> np.ndarray:
         """Runtime budgets (seconds) with ``Pr(C* > bound) ≤ ε``."""
         if (epsilon, -1) not in self.choices:
+            # Guard before the model forward: the error path must not pay
+            # a full prediction pass.
             raise RuntimeError(
                 f"predictor not calibrated for epsilon={epsilon}; "
                 f"calibrated: {self._calibrated_epsilons}"
             )
         pred = self.model.predict_log(w_idx, p_idx, interferers)
-        if not self.use_pools:
-            pools = np.zeros(len(pred), dtype=int)
-        elif interferers is None:
-            pools = np.ones(len(pred), dtype=int)
-        else:
-            pools = 1 + (np.atleast_2d(interferers) >= 0).sum(axis=1)
+        pools = self.pools_for(interferers, len(pred))
+        heads, offsets = resolve_head_offsets(self.choices, epsilon, pools)
+        return np.exp(pred[np.arange(len(pred)), heads] + offsets)
 
-        bound_log = np.empty(len(pred))
-        for pool in np.unique(pools):
-            choice = self.choices.get((epsilon, int(pool)), self.choices[(epsilon, -1)])
-            rows = pools == pool
-            bound_log[rows] = pred[rows, choice.head] + choice.offset
-        return np.exp(bound_log)
+    def pools_for(self, interferers: np.ndarray | None, n: int) -> np.ndarray:
+        """Per-row calibration pool ids honoring ``use_pools``."""
+        return calibration_pools(interferers, n, self.use_pools)
 
     def predict_bound_dataset(
         self, ds: RuntimeDataset, epsilon: float

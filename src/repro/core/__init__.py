@@ -1,7 +1,7 @@
 """Pitot core: linear-scaling baseline, two-tower model, trainer."""
 
 from .config import PAPER_QUANTILES, PitotConfig, TrainerConfig
-from .model import PitotModel, standardize_features
+from .model import EmbeddingSnapshot, PitotModel, standardize_features
 from .scaling import LinearScalingBaseline
 from .serialization import load_model, save_model
 from .trainer import PitotTrainer, TrainingResult, train_pitot
@@ -11,6 +11,7 @@ __all__ = [
     "TrainerConfig",
     "PAPER_QUANTILES",
     "PitotModel",
+    "EmbeddingSnapshot",
     "standardize_features",
     "LinearScalingBaseline",
     "save_model",

@@ -18,6 +18,8 @@ Architecture (Fig 2):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..nn import (
@@ -33,7 +35,7 @@ from ..nn import (
 from .config import PitotConfig
 from .scaling import LinearScalingBaseline
 
-__all__ = ["PitotModel", "standardize_features"]
+__all__ = ["PitotModel", "EmbeddingSnapshot", "standardize_features"]
 
 
 def standardize_features(features: np.ndarray) -> np.ndarray:
@@ -42,6 +44,200 @@ def standardize_features(features: np.ndarray) -> np.ndarray:
     std = features.std(axis=0, keepdims=True)
     std = np.where(std < 1e-12, 1.0, std)
     return (features - mean) / std
+
+
+def _forward_batch(
+    W,
+    P,
+    VS,
+    VG,
+    w_idx: np.ndarray,
+    p_idx: np.ndarray,
+    interferers: np.ndarray | None,
+    *,
+    heads: int,
+    r: int,
+    s: int,
+    interference_mode: str,
+    activation,
+    gather,
+    const,
+):
+    """Eq. 9 residual prediction, generic over the array type.
+
+    Shared by the training path (autograd :class:`~repro.nn.Tensor`) and
+    the serving path (plain ``ndarray``); both perform the same NumPy
+    operations in the same order, so the two paths agree bitwise.
+    ``gather(a, idx)`` gathers rows along axis 0 and ``const`` lifts a raw
+    coefficient array into the operand type.
+    """
+    b = len(w_idx)
+    Wi = gather(W, w_idx)  # (B, H, r)
+    Pj = gather(P, p_idx)  # (B, r)
+    # Batched GEMMs keep temporaries 3-D (the broadcast-mul+sum
+    # formulation materializes (B,K,H,s,r) and is memory-bound).
+    base = (Wi @ Pj.reshape(b, r, 1)).reshape(b, heads)  # (B, H)
+
+    if interferers is None or VS is None or interference_mode == "ignore":
+        return base
+    interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
+    mask = (interferers >= 0).astype(np.float64)  # (B, K)
+    if not mask.any():
+        return base
+    k = interferers.shape[1]
+
+    safe = np.where(interferers >= 0, interferers, 0).ravel()
+    Wk = gather(W, safe).reshape(b, k * heads, r)  # (B, K*H, r)
+    VGj_t = gather(VG, p_idx).transpose(0, 2, 1)  # (B, r, s)
+    VSj_t = gather(VS, p_idx).transpose(0, 2, 1)  # (B, r, s)
+
+    # magnitude per interferer/type: (B, K*H, s) → (B, K, H, s)
+    mag = (Wk @ VGj_t).reshape(b, k, heads, s)
+    mag = mag * const(mask.reshape(b, k, 1, 1))
+    total = mag.sum(axis=1)  # (B, H, s)
+    act = activation(total)
+
+    sus = Wi @ VSj_t  # (B, H, s)
+    return base + (sus * act).sum(axis=2)
+
+
+def _numpy_activation(config: PitotConfig):
+    """Inference-path α matching the autograd activations elementwise."""
+    if config.interference_activation == "leaky_relu":
+        slope = config.leaky_slope
+        return lambda x: np.where(x > 0, x, x * slope)
+    if config.interference_activation == "relu":
+        return lambda x: np.where(x > 0, x, np.zeros_like(x))
+    return lambda x: x
+
+
+@dataclass(frozen=True)
+class EmbeddingSnapshot:
+    """Inference-only view of a trained Pitot model.
+
+    Freezes the tower outputs (and the fitted scaling baseline) into plain
+    NumPy arrays so serving-time predictions run a single vectorized
+    gather-and-GEMM forward — no autograd tape, no tower recomputation.
+    The forward is numerically identical to
+    :meth:`PitotModel.predict_log` (same operations, same order).
+
+    Staleness rule: a snapshot captures the model's parameter
+    ``generation`` at creation time; any further ``fit`` (or
+    ``load_state_dict``) bumps the generation, making the snapshot stale.
+    Callers holding a snapshot across retraining must re-snapshot —
+    :meth:`is_stale` makes the check cheap.
+    """
+
+    config: PitotConfig
+    W: np.ndarray  #: (Nw, H, r) workload embeddings, one per head
+    P: np.ndarray  #: (Np, r) platform embeddings
+    VS: np.ndarray | None  #: (Np, s, r) susceptibility vectors
+    VG: np.ndarray | None  #: (Np, s, r) magnitude vectors
+    baseline_w: np.ndarray | None  #: fitted w̄ (None when no baseline)
+    baseline_p: np.ndarray | None  #: fitted p̄ (None when no baseline)
+    generation: int  #: source model's parameter generation at capture
+
+    @classmethod
+    def from_model(cls, model: "PitotModel") -> "EmbeddingSnapshot":
+        """Run both towers once and freeze the outputs."""
+        W, P, VS, VG = model.compute_embeddings()
+        baseline = model.baseline
+        return cls(
+            config=model.config,
+            W=W.data.copy(),
+            P=P.data.copy(),
+            VS=None if VS is None else VS.data.copy(),
+            VG=None if VG is None else VG.data.copy(),
+            baseline_w=None if baseline is None else baseline.w_bar.copy(),
+            baseline_p=None if baseline is None else baseline.p_bar.copy(),
+            generation=model.generation,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_workloads(self) -> int:
+        return self.W.shape[0]
+
+    @property
+    def n_platforms(self) -> int:
+        return self.P.shape[0]
+
+    def is_stale(self, model: "PitotModel") -> bool:
+        """True when ``model`` has been re-fitted since this snapshot."""
+        return model.generation != self.generation
+
+    # ------------------------------------------------------------------
+    def baseline_log(self, w_idx: np.ndarray, p_idx: np.ndarray) -> np.ndarray:
+        """Baseline term ``log C̄`` (zeros for non-residual objectives)."""
+        if self.config.objective == "log_residual":
+            if self.baseline_w is None:
+                raise RuntimeError("log_residual model has no fitted baseline")
+            return (
+                self.baseline_w[np.asarray(w_idx)]
+                + self.baseline_p[np.asarray(p_idx)]
+            )
+        return np.zeros(len(np.asarray(w_idx)))
+
+    def forward(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Residual prediction ``ŷ`` for one batch; shape ``(B, H)``."""
+        cfg = self.config
+        return _forward_batch(
+            self.W,
+            self.P,
+            self.VS,
+            self.VG,
+            np.asarray(w_idx, dtype=np.intp),
+            np.asarray(p_idx, dtype=np.intp),
+            interferers,
+            heads=cfg.n_heads,
+            r=cfg.embedding_dim,
+            s=cfg.interference_types,
+            interference_mode=cfg.interference_mode,
+            activation=_numpy_activation(cfg),
+            gather=lambda a, idx: a.take(idx, axis=0),
+            const=lambda m: m,
+        )
+
+    def predict_log(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+        chunk: int = 65536,
+    ) -> np.ndarray:
+        """Full natural-log runtime predictions, shape ``(n, H)``.
+
+        Drop-in replacement for :meth:`PitotModel.predict_log`; the larger
+        default chunk reflects the cheaper per-row cost.
+        """
+        w_idx = np.asarray(w_idx, dtype=np.intp)
+        p_idx = np.asarray(p_idx, dtype=np.intp)
+        if interferers is not None:
+            # Normalize before chunk slicing: a 1-D row means one query,
+            # and slicing it per chunk would truncate it to one column.
+            interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
+        n = len(w_idx)
+        out = np.empty((n, self.config.n_heads))
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            sub_int = None if interferers is None else interferers[lo:hi]
+            out[lo:hi] = self.forward(w_idx[lo:hi], p_idx[lo:hi], sub_int)
+        return out + self.baseline_log(w_idx, p_idx)[:, None]
+
+    def predict_runtime(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+        head: int = 0,
+    ) -> np.ndarray:
+        """Point runtime prediction in seconds (one head)."""
+        return np.exp(self.predict_log(w_idx, p_idx, interferers)[:, head])
 
 
 class PitotModel(Module):
@@ -115,6 +311,10 @@ class PitotModel(Module):
         #: zeros for the "log"/"proportional" objectives).
         self.baseline: LinearScalingBaseline | None = None
 
+        #: Parameter generation, bumped by fit/load_state_dict; snapshots
+        #: record it so stale serving state is detectable.
+        self._generation = 0
+
         self._activation = {
             "leaky_relu": lambda t: leaky_relu(t, config.leaky_slope),
             "relu": relu,
@@ -163,45 +363,44 @@ class PitotModel(Module):
         all-padding matrix) yields the interference-free prediction. In
         ``interference_mode="ignore"`` interferers are disregarded.
         """
-        w_idx = np.asarray(w_idx, dtype=np.intp)
-        p_idx = np.asarray(p_idx, dtype=np.intp)
+        cfg = self.config
         W, P, VS, VG = embeddings if embeddings is not None else self.compute_embeddings()
-        b = len(w_idx)
-        heads = self.config.n_heads
+        return _forward_batch(
+            W,
+            P,
+            VS,
+            VG,
+            np.asarray(w_idx, dtype=np.intp),
+            np.asarray(p_idx, dtype=np.intp),
+            interferers,
+            heads=cfg.n_heads,
+            r=cfg.embedding_dim,
+            s=cfg.interference_types,
+            interference_mode=cfg.interference_mode,
+            activation=self._activation,
+            gather=lambda a, idx: a.take(idx),
+            const=Tensor,
+        )
 
-        r = self.config.embedding_dim
-        Wi = W.take(w_idx)  # (B, H, r)
-        Pj = P.take(p_idx)  # (B, r)
-        # Batched GEMMs keep temporaries 3-D (the broadcast-mul+sum
-        # formulation materializes (B,K,H,s,r) and is memory-bound).
-        base = (Wi @ Pj.reshape(b, r, 1)).reshape(b, heads)  # (B, H)
+    # ------------------------------------------------------------------
+    # Parameter-generation tracking (serving staleness)
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotone counter of parameter updates (fit / state loads)."""
+        return self._generation
 
-        if (
-            interferers is None
-            or VS is None
-            or self.config.interference_mode == "ignore"
-        ):
-            return base
-        interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
-        mask = (interferers >= 0).astype(np.float64)  # (B, K)
-        if not mask.any():
-            return base
-        k = interferers.shape[1]
-        s = self.config.interference_types
+    def mark_updated(self) -> None:
+        """Record that parameters changed; invalidates live snapshots."""
+        self._generation += 1
 
-        safe = np.where(interferers >= 0, interferers, 0).ravel()
-        Wk = W.take(safe).reshape(b, k * heads, r)  # (B, K*H, r)
-        VGj_t = VG.take(p_idx).transpose(0, 2, 1)  # (B, r, s)
-        VSj_t = VS.take(p_idx).transpose(0, 2, 1)  # (B, r, s)
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._generation += 1
 
-        # magnitude per interferer/type: (B, K*H, s) → (B, K, H, s)
-        mag = (Wk @ VGj_t).reshape(b, k, heads, s)
-        mag = mag * Tensor(mask.reshape(b, k, 1, 1))
-        total = mag.sum(axis=1)  # (B, H, s)
-        act = self._activation(total)
-
-        sus = Wi @ VSj_t  # (B, H, s)
-        return base + (sus * act).sum(axis=2)
+    def snapshot(self) -> EmbeddingSnapshot:
+        """Freeze current embeddings into an inference-only snapshot."""
+        return EmbeddingSnapshot.from_model(self)
 
     # ------------------------------------------------------------------
     # Prediction API (NumPy in/out, chunked)
@@ -228,6 +427,10 @@ class PitotModel(Module):
         """
         w_idx = np.asarray(w_idx, dtype=np.intp)
         p_idx = np.asarray(p_idx, dtype=np.intp)
+        if interferers is not None:
+            # Normalize before chunk slicing: a 1-D row means one query,
+            # and slicing it per chunk would truncate it to one column.
+            interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
         n = len(w_idx)
         embeddings = self.compute_embeddings()
         out = np.empty((n, self.config.n_heads))

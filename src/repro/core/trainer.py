@@ -27,8 +27,6 @@ from .scaling import LinearScalingBaseline
 
 __all__ = ["PitotTrainer", "TrainingResult", "train_pitot"]
 
-_DEGREE_WEIGHTS = {1: 1.0}  # interference degrees get β/3 each
-
 
 @dataclass
 class TrainingResult:
@@ -223,6 +221,10 @@ class PitotTrainer:
 
         if val_targets is not None:
             self.model.load_state_dict(best_state)
+        else:
+            # In-place optimizer updates bypass load_state_dict; record
+            # the parameter change so serving snapshots read as stale.
+            self.model.mark_updated()
         return result
 
 

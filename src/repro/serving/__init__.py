@@ -1,0 +1,20 @@
+"""Serving layer: batched, embedding-cached calibrated bound queries.
+
+The paper's selling point is that one trained Pitot model serves
+calibrated runtime budgets for *any* ε without retraining (Sec 3.5) —
+which only pays off if queries are cheap at serving time. This package
+provides that cheap path: :class:`PredictionService` freezes trained
+embeddings into an :class:`~repro.core.EmbeddingSnapshot` (no autograd
+tape, no tower recomputation), micro-batches queries into shape-stable
+per-interference-degree groups, and memoizes repeated
+``(workload, platform, interferer-set, ε)`` bounds in a bounded LRU.
+
+The service speaks both sides of the existing protocols — it exposes
+``predict_log`` (so :class:`~repro.conformal.ConformalRuntimePredictor`
+can wrap it like a model) and ``predict_bound`` (so
+:mod:`repro.orchestration` planners consume it unchanged).
+"""
+
+from .service import BoundCache, PredictionService, ServiceStats
+
+__all__ = ["PredictionService", "BoundCache", "ServiceStats"]

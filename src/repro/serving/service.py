@@ -1,0 +1,528 @@
+"""The prediction service: snapshot forward + micro-batching + LRU.
+
+Serving cost model (why each piece exists):
+
+* ``PitotModel.predict_log`` re-runs both towers through the autograd
+  engine on *every* call — training-time cost per query. The
+  :class:`~repro.core.EmbeddingSnapshot` pays that cost once and serves
+  every subsequent query with one gather-and-GEMM forward.
+* Orchestration consumers (placement sweeps, admission storms) issue
+  many small queries of mixed interference degree. Grouping them into
+  shape-stable per-degree batches keeps the interference term off the
+  isolation queries and the GEMMs fat.
+* The same ``(workload, platform, interferer-set, ε)`` bound is asked
+  for repeatedly (greedy placement revalidates co-residents on every
+  candidate platform), so a bounded LRU turns the steady state into
+  dictionary lookups. Interferer sets are canonicalized to sorted order:
+  the interference sum is commutative over interferers, so permutations
+  share one entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.dataset import MAX_INTERFERERS, pad_interferers
+from ..conformal.predictor import (
+    ConformalRuntimePredictor,
+    HeadChoice,
+    calibration_pools,
+    interference_pools,
+    resolve_head_offsets,
+)
+from ..core.model import EmbeddingSnapshot, PitotModel
+
+__all__ = ["PredictionService", "BoundCache", "ServiceStats"]
+
+#: Cache key: (workload, platform, sorted interferer tuple, epsilon).
+_Key = tuple[int, int, tuple[int, ...], float]
+
+
+class BoundCache:
+    """Bounded LRU for memoized bounds.
+
+    ``capacity == 0`` disables caching entirely (every lookup misses and
+    nothing is stored) — the configuration benchmarks use to time the
+    raw snapshot path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[_Key, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: _Key) -> float | None:
+        """Value for ``key`` (refreshing recency), or ``None``."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: _Key, value: float) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ServiceStats:
+    """Observability counters for one :class:`PredictionService`."""
+
+    queries: int = 0  #: bound queries received (rows, not calls)
+    rows_computed: int = 0  #: rows that reached the snapshot forward
+    batches: int = 0  #: shape-stable sub-batches executed
+    flushes: int = 0  #: micro-batch queue drains
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "rows_computed": self.rows_computed,
+            "batches": self.batches,
+            "flushes": self.flushes,
+        }
+
+
+@dataclass(frozen=True)
+class _PendingQuery:
+    workload: int
+    platform: int
+    interferers: tuple[int, ...]
+    epsilon: float
+
+
+class PredictionService:
+    """Batched, cached serving front-end over a trained Pitot model.
+
+    Speaks both existing protocols:
+
+    * ``predict_log(w_idx, p_idx, interferers) → (n, H)`` — so a
+      :class:`~repro.conformal.ConformalRuntimePredictor` can calibrate
+      against the service exactly as it would against the raw model;
+    * ``predict_bound(w_idx, p_idx, interferers, epsilon) → seconds`` —
+      so :func:`~repro.orchestration.greedy_placement`,
+      :func:`~repro.orchestration.flow_placement`, and
+      :class:`~repro.orchestration.AdmissionController` consume it
+      unchanged.
+
+    Parameters
+    ----------
+    snapshot:
+        Frozen embeddings of the trained model.
+    choices:
+        Calibrated ``(ε, pool) → HeadChoice`` mapping (from a
+        :class:`ConformalRuntimePredictor`); may be empty when the
+        service is only used for point predictions.
+    use_pools:
+        Whether bounds use per-degree calibration pools (must match the
+        calibration that produced ``choices``).
+    cache_size:
+        LRU capacity in entries; 0 disables memoization.
+    max_batch:
+        Upper bound on rows per shape-stable sub-batch.
+    """
+
+    def __init__(
+        self,
+        snapshot: EmbeddingSnapshot,
+        choices: dict[tuple[float, int], HeadChoice] | None = None,
+        use_pools: bool = True,
+        cache_size: int = 65536,
+        max_batch: int = 8192,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.snapshot = snapshot
+        self.choices = dict(choices or {})
+        self.use_pools = use_pools
+        self.cache = BoundCache(cache_size)
+        self.max_batch = max_batch
+        self.stats = ServiceStats()
+        self._queue: list[_PendingQuery] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_predictor(
+        cls,
+        predictor: ConformalRuntimePredictor,
+        cache_size: int = 65536,
+        max_batch: int = 8192,
+    ) -> "PredictionService":
+        """Snapshot a calibrated predictor's model and adopt its choices."""
+        return cls(
+            EmbeddingSnapshot.from_model(predictor.model),
+            choices=predictor.choices,
+            use_pools=predictor.use_pools,
+            cache_size=cache_size,
+            max_batch=max_batch,
+        )
+
+    @classmethod
+    def from_model(
+        cls,
+        model: PitotModel,
+        calibration,
+        epsilons: tuple[float, ...] = (0.1, 0.05, 0.01),
+        strategy: str | None = None,
+        use_pools: bool = True,
+        cache_size: int = 65536,
+        max_batch: int = 8192,
+    ) -> "PredictionService":
+        """Calibrate ``model`` on ``calibration`` and wrap it for serving.
+
+        ``strategy`` defaults to ``"pitot"`` for quantile models and
+        ``"split"`` for point predictors (how the paper calibrates each).
+        """
+        quantiles = model.config.quantiles
+        if strategy is None:
+            strategy = "pitot" if quantiles else "split"
+        predictor = ConformalRuntimePredictor(
+            model, quantiles=quantiles, strategy=strategy, use_pools=use_pools
+        ).calibrate(calibration, epsilons=epsilons)
+        return cls.from_predictor(
+            predictor, cache_size=cache_size, max_batch=max_batch
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def calibrated_epsilons(self) -> tuple[float, ...]:
+        return tuple(sorted({eps for eps, pool in self.choices if pool == -1}))
+
+    @property
+    def n_workloads(self) -> int:
+        return self.snapshot.n_workloads
+
+    @property
+    def n_platforms(self) -> int:
+        return self.snapshot.n_platforms
+
+    def is_stale(self, model: PitotModel) -> bool:
+        """True when ``model`` was re-fitted after this service's snapshot."""
+        return self.snapshot.is_stale(model)
+
+    def refresh(self, predictor: ConformalRuntimePredictor) -> None:
+        """Re-snapshot after retraining/recalibration; drops the cache."""
+        self.snapshot = EmbeddingSnapshot.from_model(predictor.model)
+        self.choices = dict(predictor.choices)
+        self.use_pools = predictor.use_pools
+        self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # Model protocol: predict_log
+    # ------------------------------------------------------------------
+    def predict_log(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Log-runtime predictions ``(n, H)`` via degree-grouped batches.
+
+        Rows are regrouped by interference degree so isolation rows skip
+        the interference term entirely and interference rows run in
+        shape-stable batches; results are scattered back to input order
+        and match :meth:`PitotModel.predict_log` bitwise.
+        """
+        w_idx = np.asarray(w_idx, dtype=np.intp)
+        p_idx = np.asarray(p_idx, dtype=np.intp)
+        n = len(w_idx)
+        if interferers is not None:
+            interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
+            if len(interferers) != n:
+                # The raw model raises for this shape mismatch; silently
+                # scattering would leave uninitialized output rows.
+                raise ValueError(
+                    f"interferers has {len(interferers)} rows for {n} queries"
+                )
+        out = np.empty((n, self.snapshot.config.n_heads))
+        for rows, sub_interferers in self._degree_groups(interferers, n):
+            for lo in range(0, len(rows), self.max_batch):
+                batch = rows[lo : lo + self.max_batch]
+                batch_int = (
+                    None
+                    if sub_interferers is None
+                    else sub_interferers[lo : lo + self.max_batch]
+                )
+                out[batch] = self.snapshot.forward(
+                    w_idx[batch], p_idx[batch], batch_int
+                )
+                self.stats.batches += 1
+                self.stats.rows_computed += len(batch)
+        return out + self.snapshot.baseline_log(w_idx, p_idx)[:, None]
+
+    def _degree_groups(self, interferers: np.ndarray | None, n: int):
+        """Yield ``(row_indices, interferer_rows | None)`` per degree.
+
+        ``interferers`` is already normalized to an ``(n, K)`` matrix by
+        :meth:`predict_log`.
+        """
+        if interferers is None:
+            yield np.arange(n), None
+            return
+        degrees = interference_pools(interferers, n)
+        for degree in np.unique(degrees):
+            rows = np.flatnonzero(degrees == degree)
+            yield rows, None if degree == 1 else interferers[rows]
+
+    def predict_runtime(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+        head: int = 0,
+    ) -> np.ndarray:
+        """Point runtime prediction in seconds (one head)."""
+        return np.exp(self.predict_log(w_idx, p_idx, interferers)[:, head])
+
+    # ------------------------------------------------------------------
+    # Bound protocol: predict_bound (memoized)
+    # ------------------------------------------------------------------
+    def predict_bound(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Runtime budgets (seconds) with ``Pr(C* > bound) ≤ ε``.
+
+        Matches :meth:`ConformalRuntimePredictor.predict_bound` on the
+        wrapped model to within floating-point commutativity of the
+        interferer sum (≪ 1e-10).
+        """
+        w_idx = np.asarray(w_idx, dtype=np.intp)
+        p_idx = np.asarray(p_idx, dtype=np.intp)
+        n = len(w_idx)
+        epsilon = float(epsilon)
+        if (epsilon, -1) not in self.choices:
+            raise RuntimeError(
+                f"service not calibrated for epsilon={epsilon}; "
+                f"calibrated: {list(self.calibrated_epsilons)}"
+            )
+        rows_int = (
+            None
+            if interferers is None
+            else np.atleast_2d(np.asarray(interferers, dtype=np.intp))
+        )
+        if rows_int is not None and len(rows_int) != n:
+            raise ValueError(
+                f"interferers has {len(rows_int)} rows for {n} queries"
+            )
+        self.stats.queries += n
+
+        bounds = np.empty(n)
+        if self.cache.capacity == 0:
+            misses = np.arange(n)
+        else:
+            keys = [
+                self._key(w_idx[i], p_idx[i], rows_int, i, epsilon)
+                for i in range(n)
+            ]
+            miss_list = []
+            for i, key in enumerate(keys):
+                cached = self.cache.get(key)
+                if cached is None:
+                    miss_list.append(i)
+                else:
+                    bounds[i] = cached
+            if not miss_list:
+                return bounds
+            misses = np.asarray(miss_list, dtype=np.intp)
+
+        sub_int = None if rows_int is None else rows_int[misses]
+        pred = self.predict_log(w_idx[misses], p_idx[misses], sub_int)
+        pools = calibration_pools(sub_int, len(misses), self.use_pools)
+        heads, offsets = resolve_head_offsets(self.choices, epsilon, pools)
+        fresh = np.exp(pred[np.arange(len(misses)), heads] + offsets)
+        bounds[misses] = fresh
+        if self.cache.capacity > 0:
+            for i, value in zip(misses, fresh):
+                self.cache.put(keys[i], float(value))
+        return bounds
+
+    @staticmethod
+    def _key(
+        workload: np.intp,
+        platform: np.intp,
+        interferers: np.ndarray | None,
+        row: int,
+        epsilon: float,
+    ) -> _Key:
+        if interferers is None:
+            co = ()
+        else:
+            co = tuple(sorted(int(x) for x in interferers[row] if x >= 0))
+        return (int(workload), int(platform), co, epsilon)
+
+    def predict_bound_dataset(self, ds, epsilon: float) -> np.ndarray:
+        """Bounds for every row of a dataset.
+
+        Bulk one-shot scoring: routed through the cache-bypassing sweep
+        so a large dataset neither pays per-row key building nor evicts
+        the hot working set that planner queries rely on.
+        """
+        return self.predict_bound_sweep(
+            ds.w_idx, ds.p_idx, ds.interferers, (epsilon,)
+        )[:, 0]
+
+    def predict_bound_sweep(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        epsilons: tuple[float, ...],
+    ) -> np.ndarray:
+        """Bounds at several ε from one shared forward; ``(n, len(ε))``.
+
+        The paper's "one model, any ε" story in one call: the embedding
+        forward is ε-independent, so it runs once and each ε only pays
+        the vectorized head/offset resolution. Bypasses the LRU (sweeps
+        are one-shot by nature); column *j* equals
+        ``predict_bound(..., epsilons[j])`` exactly.
+        """
+        w_idx = np.asarray(w_idx, dtype=np.intp)
+        p_idx = np.asarray(p_idx, dtype=np.intp)
+        n = len(w_idx)
+        epsilons = tuple(float(eps) for eps in epsilons)
+        for eps in epsilons:
+            if (eps, -1) not in self.choices:
+                raise RuntimeError(
+                    f"service not calibrated for epsilon={eps}; "
+                    f"calibrated: {list(self.calibrated_epsilons)}"
+                )
+        self.stats.queries += n * len(epsilons)
+        pred = self.predict_log(w_idx, p_idx, interferers)
+        pools = calibration_pools(interferers, n, self.use_pools)
+        out = np.empty((n, len(epsilons)))
+        for j, eps in enumerate(epsilons):
+            heads, offsets = resolve_head_offsets(self.choices, eps, pools)
+            out[:, j] = np.exp(pred[np.arange(n), heads] + offsets)
+        return out
+
+    # ------------------------------------------------------------------
+    # Micro-batch queue
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        workload: int,
+        platform: int,
+        interferers: tuple[int, ...] | list[int] = (),
+        epsilon: float = 0.05,
+    ) -> int:
+        """Enqueue one bound query; returns its ticket (flush position).
+
+        Queries are fully validated here — indices *and* ε — so a bad
+        one is rejected at submission instead of poisoning the whole
+        flush.
+        """
+        workload, platform, co = self.validate_query(
+            workload, platform, interferers
+        )
+        epsilon = float(epsilon)
+        if (epsilon, -1) not in self.choices:
+            raise ValueError(
+                f"service not calibrated for epsilon={epsilon}; "
+                f"calibrated: {list(self.calibrated_epsilons)}"
+            )
+        self._queue.append(
+            _PendingQuery(workload, platform, co, epsilon)
+        )
+        return len(self._queue) - 1
+
+    def validate_query(
+        self,
+        workload: int,
+        platform: int,
+        interferers: tuple[int, ...] | list[int] = (),
+    ) -> tuple[int, int, tuple[int, ...]]:
+        """Range-check one query; raises ``ValueError`` with a message
+        naming the offending field. Returns the canonicalized
+        ``(workload, platform, co)`` triple (``-1`` padding stripped).
+
+        Shared by :meth:`submit` and front-ends (the CLI ``serve``
+        command) so the limits live in one place. Only the dataset's
+        ``-1`` padding sentinel is stripped; any other negative index is
+        rejected as a typo rather than silently served as isolation.
+        """
+        co = tuple(int(x) for x in interferers if int(x) != -1)
+        if len(co) > MAX_INTERFERERS:
+            raise ValueError(
+                f"at most {MAX_INTERFERERS} interferers supported, got {len(co)}"
+            )
+        workload, platform = int(workload), int(platform)
+        if not 0 <= workload < self.n_workloads:
+            raise ValueError(
+                f"workload {workload} out of range [0, {self.n_workloads})"
+            )
+        if not 0 <= platform < self.n_platforms:
+            raise ValueError(
+                f"platform {platform} out of range [0, {self.n_platforms})"
+            )
+        for runner in co:
+            if not 0 <= runner < self.n_workloads:
+                raise ValueError(
+                    f"interferer {runner} out of range [0, {self.n_workloads})"
+                )
+        return workload, platform, co
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def flush(self) -> np.ndarray:
+        """Serve every queued query in one batched pass per ε group.
+
+        Returns bounds (seconds) aligned with submission tickets. The
+        queue is cleared only on success: if serving fails (e.g. a
+        ``refresh`` dropped an ε that was calibrated at submit time) the
+        queue is restored intact, so no accepted ticket is lost.
+        """
+        queue, self._queue = self._queue, []
+        try:
+            results = np.empty(len(queue))
+            by_epsilon: dict[float, list[int]] = {}
+            for ticket, query in enumerate(queue):
+                by_epsilon.setdefault(query.epsilon, []).append(ticket)
+            for epsilon, tickets in by_epsilon.items():
+                w = np.array(
+                    [queue[t].workload for t in tickets], dtype=np.intp
+                )
+                p = np.array(
+                    [queue[t].platform for t in tickets], dtype=np.intp
+                )
+                ints = pad_interferers([queue[t].interferers for t in tickets])
+                results[tickets] = self.predict_bound(w, p, ints, epsilon)
+        except Exception:
+            self._queue = queue + self._queue
+            raise
+        self.stats.flushes += 1
+        return results

@@ -32,5 +32,8 @@ def test_property_online_coverage_on_stationary_stream(epsilon, sigma, seed):
         np.zeros(n_test, int), np.zeros(n_test, int), None, epsilon
     )
     miscoverage = float(np.mean(fresh > bound))
-    slack = 4.0 * np.sqrt(epsilon * (1 - epsilon) / n_test)
+    # Conditional on the calibration draw, coverage itself fluctuates
+    # (the empirical quantile is Beta-distributed), so the binomial slack
+    # must include both the test-side and calibration-side variance.
+    slack = 4.0 * np.sqrt(epsilon * (1 - epsilon) * (1.0 / n_test + 1.0 / n_cal))
     assert miscoverage <= epsilon + slack + 1.0 / n_cal

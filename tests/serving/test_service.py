@@ -1,0 +1,328 @@
+"""PredictionService: cache behavior, batching, and bound equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.conformal import ConformalRuntimePredictor
+from repro.core import PAPER_QUANTILES
+from repro.serving import BoundCache, PredictionService
+
+
+@pytest.fixture(scope="module")
+def calibrated(trained_pitot_quantile, mini_split):
+    return ConformalRuntimePredictor(
+        trained_pitot_quantile.model,
+        quantiles=PAPER_QUANTILES,
+        strategy="pitot",
+    ).calibrate(mini_split.calibration, epsilons=(0.1, 0.05))
+
+
+@pytest.fixture()
+def service(calibrated):
+    return PredictionService.from_predictor(calibrated)
+
+
+class TestBoundCache:
+    def test_hit_refreshes_recency(self):
+        cache = BoundCache(capacity=2)
+        cache.put(("a",), 1.0)
+        cache.put(("b",), 2.0)
+        assert cache.get(("a",)) == 1.0  # refresh "a"
+        cache.put(("c",), 3.0)  # evicts "b", the LRU entry
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1.0
+        assert cache.get(("c",)) == 3.0
+        assert cache.evictions == 1
+
+    def test_eviction_bounds_size(self):
+        cache = BoundCache(capacity=8)
+        for i in range(50):
+            cache.put((i,), float(i))
+        assert len(cache) == 8
+        assert cache.evictions == 42
+        # Newest entries survive.
+        assert cache.get((49,)) == 49.0
+        assert cache.get((0,)) is None
+
+    def test_zero_capacity_disables_storage(self):
+        cache = BoundCache(capacity=0)
+        cache.put(("a",), 1.0)
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+    def test_hit_rate(self):
+        cache = BoundCache(capacity=4)
+        cache.put(("a",), 1.0)
+        cache.get(("a",))
+        cache.get(("missing",))
+        assert cache.hit_rate == 0.5
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundCache(capacity=-1)
+
+
+class TestBoundEquivalence:
+    ATOL = 1e-10
+
+    def test_bounds_match_conformal_predictor(
+        self, service, calibrated, mini_split
+    ):
+        test = mini_split.test
+        for eps in (0.1, 0.05):
+            expected = calibrated.predict_bound(
+                test.w_idx, test.p_idx, test.interferers, eps
+            )
+            actual = service.predict_bound(
+                test.w_idx, test.p_idx, test.interferers, eps
+            )
+            np.testing.assert_allclose(actual, expected, rtol=0, atol=self.ATOL)
+
+    def test_cached_second_pass_is_identical(self, service, mini_split):
+        test = mini_split.test
+        first = service.predict_bound(
+            test.w_idx, test.p_idx, test.interferers, 0.1
+        )
+        second = service.predict_bound(
+            test.w_idx, test.p_idx, test.interferers, 0.1
+        )
+        np.testing.assert_array_equal(first, second)
+        assert service.cache.hits >= test.n_observations
+
+    def test_predict_bound_dataset(self, service, calibrated, mini_split):
+        test = mini_split.test
+        np.testing.assert_allclose(
+            service.predict_bound_dataset(test, 0.05),
+            calibrated.predict_bound_dataset(test, 0.05),
+            rtol=0,
+            atol=self.ATOL,
+        )
+
+    def test_uncalibrated_epsilon_raises(self, service):
+        with pytest.raises(RuntimeError, match="not calibrated"):
+            service.predict_bound(np.array([0]), np.array([0]), None, 0.42)
+
+    def test_sweep_matches_per_epsilon_bounds(self, service, mini_split):
+        """predict_bound_sweep column j == predict_bound at epsilons[j]."""
+        test = mini_split.test
+        sweep = service.predict_bound_sweep(
+            test.w_idx, test.p_idx, test.interferers, (0.1, 0.05)
+        )
+        assert sweep.shape == (test.n_observations, 2)
+        for j, eps in enumerate((0.1, 0.05)):
+            single = service.predict_bound(
+                test.w_idx, test.p_idx, test.interferers, eps
+            )
+            np.testing.assert_allclose(
+                sweep[:, j], single, rtol=0, atol=self.ATOL
+            )
+
+    def test_sweep_rejects_uncalibrated_epsilon(self, service):
+        with pytest.raises(RuntimeError, match="not calibrated"):
+            service.predict_bound_sweep(
+                np.array([0]), np.array([0]), None, (0.1, 0.42)
+            )
+
+    def test_mismatched_interferer_rows_raise(self, service):
+        """Fewer interferer rows than queries must raise, not return
+        uninitialized output rows."""
+        with pytest.raises(ValueError, match="rows"):
+            service.predict_log(
+                np.arange(5), np.zeros(5, dtype=int),
+                np.full((3, 3), -1),
+            )
+
+    def test_service_as_model_for_conformal_predictor(
+        self, service, trained_pitot_quantile, mini_split
+    ):
+        """The service satisfies the model protocol: calibrating a fresh
+        ConformalRuntimePredictor against it reproduces calibrating
+        against the raw model."""
+        via_service = ConformalRuntimePredictor(
+            service, quantiles=PAPER_QUANTILES, strategy="pitot"
+        ).calibrate(mini_split.calibration, epsilons=(0.1,))
+        via_model = ConformalRuntimePredictor(
+            trained_pitot_quantile.model,
+            quantiles=PAPER_QUANTILES,
+            strategy="pitot",
+        ).calibrate(mini_split.calibration, epsilons=(0.1,))
+        test = mini_split.test
+        np.testing.assert_allclose(
+            via_service.predict_bound_dataset(test, 0.1),
+            via_model.predict_bound_dataset(test, 0.1),
+            rtol=0,
+            atol=self.ATOL,
+        )
+
+
+class TestDegreeBatching:
+    def test_predict_log_matches_model_on_mixed_degrees(
+        self, service, trained_pitot_quantile, mini_split
+    ):
+        """Degree-regrouped batches scatter back to input order."""
+        test = mini_split.test
+        # Interleave degrees adversarially.
+        order = np.argsort(test.degree, kind="stable")[::-1]
+        rows = np.concatenate([order[::2], order[1::2]])
+        expected = trained_pitot_quantile.model.predict_log(
+            test.w_idx[rows], test.p_idx[rows], test.interferers[rows]
+        )
+        actual = service.predict_log(
+            test.w_idx[rows], test.p_idx[rows], test.interferers[rows]
+        )
+        np.testing.assert_allclose(actual, expected, rtol=0, atol=1e-10)
+
+    def test_small_max_batch_is_exact(self, calibrated, mini_split):
+        tiny = PredictionService.from_predictor(calibrated, max_batch=3)
+        test = mini_split.test
+        np.testing.assert_array_equal(
+            tiny.predict_log(test.w_idx, test.p_idx, test.interferers),
+            PredictionService.from_predictor(calibrated).predict_log(
+                test.w_idx, test.p_idx, test.interferers
+            ),
+        )
+        # ceil-division per degree group, so at least n/3 batches ran.
+        assert tiny.stats.batches >= test.n_observations // 3
+
+    def test_isolation_rows_skip_interference_term(self, service, mini_split):
+        test = mini_split.test
+        iso = np.flatnonzero(test.degree == 1)[:16]
+        before = service.stats.batches
+        service.predict_log(
+            test.w_idx[iso], test.p_idx[iso], test.interferers[iso]
+        )
+        # One degree group → one shape-stable batch.
+        assert service.stats.batches == before + 1
+
+    def test_permuted_interferers_share_cache_entries(self, service, mini_split):
+        test = mini_split.test
+        rows = np.flatnonzero(test.degree == 4)[:4]
+        assert len(rows) > 0, "mini dataset must contain 4-way rows"
+        w, p = test.w_idx[rows], test.p_idx[rows]
+        forward = test.interferers[rows]
+        backward = forward[:, ::-1].copy()
+        first = service.predict_bound(w, p, forward, 0.1)
+        hits_before = service.cache.hits
+        second = service.predict_bound(w, p, backward, 0.1)
+        assert service.cache.hits == hits_before + len(rows)
+        np.testing.assert_allclose(first, second, rtol=0, atol=1e-10)
+
+
+class TestQueue:
+    def test_flush_matches_direct_queries(self, service, calibrated, mini_split):
+        test = mini_split.test
+        rows = np.arange(min(32, test.n_observations))
+        tickets = [
+            service.submit(
+                int(test.w_idx[i]),
+                int(test.p_idx[i]),
+                tuple(int(x) for x in test.interferers[i] if x >= 0),
+                epsilon=0.1,
+            )
+            for i in rows
+        ]
+        assert service.pending == len(rows)
+        bounds = service.flush()
+        assert service.pending == 0
+        direct = calibrated.predict_bound(
+            test.w_idx[rows], test.p_idx[rows], test.interferers[rows], 0.1
+        )
+        np.testing.assert_allclose(
+            bounds[tickets], direct, rtol=0, atol=1e-10
+        )
+
+    def test_flush_groups_mixed_epsilons(self, service, mini_split):
+        test = mini_split.test
+        t1 = service.submit(int(test.w_idx[0]), int(test.p_idx[0]), (), 0.1)
+        t2 = service.submit(int(test.w_idx[1]), int(test.p_idx[1]), (), 0.05)
+        bounds = service.flush()
+        assert np.isfinite(bounds[[t1, t2]]).all()
+        assert service.stats.flushes == 1
+
+    def test_submit_rejects_too_many_interferers(self, service):
+        with pytest.raises(ValueError, match="at most 3"):
+            service.submit(0, 0, (1, 2, 3, 4))
+
+    def test_submit_rejects_out_of_range_indices(self, service):
+        with pytest.raises(ValueError, match="workload .* out of range"):
+            service.submit(service.n_workloads, 0)
+        with pytest.raises(ValueError, match="platform .* out of range"):
+            service.submit(0, service.n_platforms)
+        with pytest.raises(ValueError, match="interferer .* out of range"):
+            service.submit(0, 0, (service.n_workloads,))
+        assert service.pending == 0
+
+    def test_submit_rejects_uncalibrated_epsilon(self, service):
+        with pytest.raises(ValueError, match="not calibrated"):
+            service.submit(0, 0, (), epsilon=0.42)
+        assert service.pending == 0
+
+    def test_submit_strips_padding_but_rejects_other_negatives(self, service):
+        ticket = service.submit(0, 0, (2, -1, -1), epsilon=0.1)
+        assert ticket == 0
+        with pytest.raises(ValueError, match="out of range"):
+            service.submit(0, 0, (-2,), epsilon=0.1)
+        service._queue.clear()
+
+    def test_flush_preserves_queue_when_calibration_dropped(self, service):
+        """A refresh/recalibration between submit and flush must not lose
+        accepted tickets."""
+        good = service.submit(0, 0, (), epsilon=0.1)
+        service.submit(1, 0, (), epsilon=0.05)
+        saved = dict(service.choices)
+        # Simulate a recalibration that dropped epsilon=0.05.
+        service.choices = {
+            key: value for key, value in saved.items() if key[0] != 0.05
+        }
+        try:
+            with pytest.raises(RuntimeError, match="not calibrated"):
+                service.flush()
+            # Nothing was lost: both tickets are still queued.
+            assert service.pending == 2
+            assert good == 0
+        finally:
+            service.choices = saved
+            service._queue.clear()
+
+
+class TestLifecycle:
+    def test_from_model_calibrates(self, trained_pitot_quantile, mini_split):
+        service = PredictionService.from_model(
+            trained_pitot_quantile.model,
+            mini_split.calibration,
+            epsilons=(0.1,),
+        )
+        assert service.calibrated_epsilons == (0.1,)
+        test = mini_split.test
+        bounds = service.predict_bound_dataset(test, 0.1)
+        assert np.isfinite(bounds).all()
+
+    def test_staleness_and_refresh(self, trained_pitot_quantile, mini_split):
+        from repro.core import PitotTrainer, TrainerConfig
+
+        model = trained_pitot_quantile.model
+        predictor = ConformalRuntimePredictor(
+            model, quantiles=PAPER_QUANTILES
+        ).calibrate(mini_split.calibration, epsilons=(0.1,))
+        service = PredictionService.from_predictor(predictor)
+        assert not service.is_stale(model)
+        state = model.state_dict()
+        try:
+            PitotTrainer(
+                model,
+                TrainerConfig(
+                    steps=5, eval_every=5, batch_per_degree=64, seed=9
+                ),
+            ).fit(mini_split.train, mini_split.calibration)
+            assert service.is_stale(model)
+            predictor.calibrate(mini_split.calibration, epsilons=(0.1,))
+            test = mini_split.test
+            service.predict_bound(
+                test.w_idx[:64], test.p_idx[:64], test.interferers[:64], 0.1
+            )
+            assert len(service.cache) > 0
+            service.refresh(predictor)
+            assert not service.is_stale(model)
+            assert len(service.cache) == 0
+        finally:
+            model.load_state_dict(state)

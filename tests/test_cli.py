@@ -84,3 +84,73 @@ class TestPipeline:
         assert main([
             "evaluate", str(model), str(dataset), "--epsilon", "0.2",
         ]) == 0
+
+
+class TestServing:
+    def test_serve_answers_query_file(self, tmp_path, artifacts, capsys):
+        dataset, model = artifacts
+        queries = tmp_path / "queries.txt"
+        queries.write_text("0 1\n2 3 4 5\n# comment\n\n1 0 2\n")
+        assert main([
+            "serve", str(model), str(dataset),
+            "--queries", str(queries), "--epsilon", "0.1", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("bound[eps=0.1]") == 3
+        assert out.count("bound[eps=0.05]") == 3
+        assert "served 3 queries" in out
+
+    def test_serve_rejects_out_of_range_query(self, tmp_path, artifacts,
+                                              capsys):
+        dataset, model = artifacts
+        queries = tmp_path / "bad.txt"
+        queries.write_text("9999 0\n")
+        assert main([
+            "serve", str(model), str(dataset), "--queries", str(queries),
+        ]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_serve_rejects_out_of_range_co_runner(self, tmp_path, artifacts,
+                                                  capsys):
+        dataset, model = artifacts
+        queries = tmp_path / "co.txt"
+        queries.write_text("0 1 99999\n")
+        assert main([
+            "serve", str(model), str(dataset), "--queries", str(queries),
+        ]) == 2
+        assert "interferer 99999 out of range" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_co_runner(self, tmp_path, artifacts,
+                                              capsys):
+        dataset, model = artifacts
+        queries = tmp_path / "neg.txt"
+        queries.write_text("0 1 -2\n")
+        assert main([
+            "serve", str(model), str(dataset), "--queries", str(queries),
+        ]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_serve_rejects_invalid_epsilon(self, artifacts, capsys):
+        dataset, model = artifacts
+        assert main([
+            "serve", str(model), str(dataset), "--epsilon", "0",
+        ]) == 2
+        assert "epsilon must be in (0, 1)" in capsys.readouterr().err
+
+    def test_serve_rejects_missing_query_file(self, artifacts, capsys):
+        dataset, model = artifacts
+        assert main([
+            "serve", str(model), str(dataset), "--queries", "/nonexistent.txt",
+        ]) == 2
+        assert "cannot read queries" in capsys.readouterr().err
+
+    def test_bench_serve_reports_throughput(self, artifacts, capsys):
+        dataset, model = artifacts
+        assert main([
+            "bench-serve", str(model), str(dataset),
+            "--n-queries", "500", "--cold-queries", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot batch" in out
+        assert "cached (LRU)" in out
+        assert "deviate" not in out

@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.cluster",
     "repro.core",
     "repro.conformal",
+    "repro.serving",
     "repro.baselines",
     "repro.eval",
     "repro.analysis",
@@ -62,5 +63,6 @@ def test_readme_quickstart_names_exist():
         "collect_dataset", "make_split", "train_pitot", "PitotConfig",
         "TrainerConfig", "PAPER_QUANTILES", "ConformalRuntimePredictor",
         "save_model", "load_model", "OnlineConformalizer",
+        "PredictionService", "EmbeddingSnapshot",
     ):
         assert hasattr(repro, name), name
