@@ -4,7 +4,8 @@ Paper: 111,200 parameters, ≈400 Kflops per inference call, 11.5 s median
 training (12.1 s with quantile heads) on an RTX 4090. We report the
 CPU-NumPy equivalents: parameter count at paper architecture, per-step
 training time, and per-call inference time (these are the only benches
-where wall-clock, not output, is the result).
+where wall-clock, not output, is the result; see also
+``bench_training_throughput.py`` for the sparse-vs-dense step comparison).
 """
 
 import numpy as np
@@ -33,7 +34,8 @@ def test_sec36_parameter_count(benchmark, bench_dataset):
         [["parameters", "111,200", f"{n:,}"]],
         title="Sec 3.6: model size at paper architecture",
     )
-    emit("sec36_parameter_count", table)
+    emit("sec36_parameter_count", table,
+         metrics={"parameters": (n, "count")})
     # Same order of magnitude; exact count depends on feature dims.
     assert 30_000 < n < 400_000
 
@@ -56,6 +58,16 @@ def test_sec36_training_step(benchmark, zoo, scale):
         trainer.fit(split.train, None)
 
     benchmark.pedantic(one_step, rounds=5, iterations=1, warmup_rounds=1)
+    step_seconds = benchmark.stats.stats.mean
+    emit(
+        "sec36_training_step",
+        format_table(
+            ["quantity", "value"],
+            [["seconds/step", f"{step_seconds:.4f}"]],
+            title="Sec 3.6: one optimizer step at bench scale",
+        ),
+        metrics={"step_time": (step_seconds, "seconds")},
+    )
 
 
 def test_sec36_inference_call(benchmark, zoo, scale):
@@ -70,4 +82,14 @@ def test_sec36_inference_call(benchmark, zoo, scale):
     benchmark.pedantic(
         lambda: model.predict_runtime(w, p, k),
         rounds=10, iterations=1, warmup_rounds=2,
+    )
+    call_seconds = benchmark.stats.stats.mean
+    emit(
+        "sec36_inference_call",
+        format_table(
+            ["quantity", "value"],
+            [["seconds/call (256 rows)", f"{call_seconds:.5f}"]],
+            title="Sec 3.6: per-call inference latency",
+        ),
+        metrics={"call_time": (call_seconds, "seconds")},
     )

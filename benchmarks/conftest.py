@@ -1,6 +1,6 @@
 """Shared benchmark infrastructure.
 
-Every bench regenerates one paper table/figure (see DESIGN.md §4). Two
+Every bench regenerates one paper table/figure (see DESIGN.md §7). Two
 grid scales:
 
 * ``fast`` (default): miniature cluster, 2 train fractions, ≤2 replicates,
@@ -19,6 +19,7 @@ Result tables are printed and archived under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -302,8 +303,29 @@ def sweep_error_tables(zoo, scale, model_for, names, title: str) -> str:
     ])
 
 
-def emit(name: str, table: str) -> None:
-    """Print a result table and archive it under benchmarks/results/."""
+def emit(
+    name: str,
+    table: str,
+    metrics: dict[str, tuple[float, str]] | None = None,
+) -> None:
+    """Print a result table and archive it under benchmarks/results/.
+
+    ``metrics`` maps a metric name to ``(value, units)``; when given, a
+    machine-readable ``BENCH_<name>.json`` is written alongside the text
+    table so trend trackers can diff runs without parsing tables.
+    """
     print(f"\n{table}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    if metrics is not None:
+        payload = {
+            "name": name,
+            "scale": current_scale().name,
+            "results": [
+                {"name": metric, "value": float(value), "units": units}
+                for metric, (value, units) in metrics.items()
+            ],
+        }
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cluster.dataset import RuntimeDataset
-from ..nn import AdaMax, Module, Tensor
+from ..nn import AdaMax, Module, Tensor, no_grad
 from ..core.config import TrainerConfig
 
 __all__ = ["BaselineModel", "BaselineTrainer", "BaselineTrainingResult"]
@@ -48,12 +48,13 @@ class BaselineModel(Module):
         p_idx = np.asarray(p_idx, dtype=np.intp)
         n = len(w_idx)
         out = np.empty((n, 1))
-        for lo in range(0, n, chunk):
-            hi = min(lo + chunk, n)
-            sub = None if interferers is None else interferers[lo:hi]
-            out[lo:hi] = self.forward(w_idx[lo:hi], p_idx[lo:hi], sub).data.reshape(
-                -1, 1
-            )
+        with no_grad():  # prediction never backpropagates
+            for lo in range(0, n, chunk):
+                hi = min(lo + chunk, n)
+                sub = None if interferers is None else interferers[lo:hi]
+                out[lo:hi] = self.forward(
+                    w_idx[lo:hi], p_idx[lo:hi], sub
+                ).data.reshape(-1, 1)
         return out
 
     def predict_runtime(

@@ -1,7 +1,13 @@
 """Pitot core: linear-scaling baseline, two-tower model, trainer."""
 
 from .config import PAPER_QUANTILES, PitotConfig, TrainerConfig
-from .model import EmbeddingSnapshot, PitotModel, standardize_features
+from .model import (
+    EmbeddingSnapshot,
+    PitotModel,
+    SparseBatchPlan,
+    plan_sparse_batch,
+    standardize_features,
+)
 from .scaling import LinearScalingBaseline
 from .serialization import load_model, save_model
 from .trainer import PitotTrainer, TrainingResult, train_pitot
@@ -12,6 +18,8 @@ __all__ = [
     "PAPER_QUANTILES",
     "PitotModel",
     "EmbeddingSnapshot",
+    "SparseBatchPlan",
+    "plan_sparse_batch",
     "standardize_features",
     "LinearScalingBaseline",
     "save_model",

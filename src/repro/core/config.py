@@ -95,3 +95,12 @@ class TrainerConfig:
     #: Cap on validation rows used for checkpoint selection (speed).
     max_eval_rows: int = 20000
     seed: int = 0
+    #: Batch-sparse tower evaluation: per step, forward only the entity
+    #: rows the batch references (App B.3 computes *all* embeddings, which
+    #: is the right call on a GPU but wasteful on CPU once the population
+    #: outgrows the batch). Row-identical to the dense path. ``None``
+    #: (default) auto-selects per step: sparse only when the batch
+    #: references at most half the population, since below that the
+    #: gather/scatter overhead outweighs the pruned tower rows. ``True``
+    #: / ``False`` force one path (benchmarks, equivalence tests).
+    sparse_embeddings: bool | None = None

@@ -30,12 +30,19 @@ from ..nn import (
     gelu,
     identity,
     leaky_relu,
+    no_grad,
     relu,
 )
 from .config import PitotConfig
 from .scaling import LinearScalingBaseline
 
-__all__ = ["PitotModel", "EmbeddingSnapshot", "standardize_features"]
+__all__ = [
+    "PitotModel",
+    "EmbeddingSnapshot",
+    "SparseBatchPlan",
+    "plan_sparse_batch",
+    "standardize_features",
+]
 
 
 def standardize_features(features: np.ndarray) -> np.ndarray:
@@ -44,6 +51,60 @@ def standardize_features(features: np.ndarray) -> np.ndarray:
     std = features.std(axis=0, keepdims=True)
     std = np.where(std < 1e-12, 1.0, std)
     return (features - mean) / std
+
+
+@dataclass(frozen=True)
+class SparseBatchPlan:
+    """Index bookkeeping for one batch-sparse training step.
+
+    Maps the global entity indices referenced by a batch (workloads,
+    platforms, and interferer columns) onto rows of the *subset* embedding
+    matrices produced by :meth:`PitotModel.compute_embeddings_sparse`, so
+    the towers only ever run over ``len(w_rows) + len(p_rows)`` rows
+    instead of the full population.
+    """
+
+    w_rows: np.ndarray  #: (Uw,) sorted unique global workload indices
+    p_rows: np.ndarray  #: (Up,) sorted unique global platform indices
+    w_local: np.ndarray  #: (B,) batch workload indices into ``w_rows``
+    p_local: np.ndarray  #: (B,) batch platform indices into ``p_rows``
+    interferers_local: np.ndarray | None  #: (B, K) remapped, ``-1``-padded
+
+
+def plan_sparse_batch(
+    w_idx: np.ndarray,
+    p_idx: np.ndarray,
+    interferers: np.ndarray | None = None,
+) -> SparseBatchPlan:
+    """Compute the unique-row plan for a training batch.
+
+    ``interferers`` uses the dataset's ``-1`` padding; padded cells stay
+    ``-1`` in the remapped matrix. Every interferer index is folded into
+    the workload row set, since interferer embeddings come from the same
+    workload tower.
+    """
+    w_idx = np.asarray(w_idx, dtype=np.intp)
+    p_idx = np.asarray(p_idx, dtype=np.intp)
+    if interferers is None:
+        w_rows, w_local = np.unique(w_idx, return_inverse=True)
+        interferers_local = None
+    else:
+        interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
+        mask = interferers >= 0
+        w_rows, inverse = np.unique(
+            np.concatenate([w_idx, interferers[mask]]), return_inverse=True
+        )
+        w_local = inverse[: len(w_idx)]
+        interferers_local = np.full_like(interferers, -1)
+        interferers_local[mask] = inverse[len(w_idx) :]
+    p_rows, p_local = np.unique(p_idx, return_inverse=True)
+    return SparseBatchPlan(
+        w_rows=w_rows,
+        p_rows=p_rows,
+        w_local=w_local,
+        p_local=p_local,
+        interferers_local=interferers_local,
+    )
 
 
 def _forward_batch(
@@ -139,8 +200,9 @@ class EmbeddingSnapshot:
 
     @classmethod
     def from_model(cls, model: "PitotModel") -> "EmbeddingSnapshot":
-        """Run both towers once and freeze the outputs."""
-        W, P, VS, VG = model.compute_embeddings()
+        """Run both towers once (tape-free) and freeze the outputs."""
+        with no_grad():
+            W, P, VS, VG = model.compute_embeddings()
         baseline = model.baseline
         return cls(
             config=model.config,
@@ -347,6 +409,38 @@ class PitotModel(Module):
         VG = p_out[:, r + s * r :].reshape(self.n_platforms, s, r)
         return W, P, VS, VG
 
+    def compute_embeddings_sparse(
+        self, w_rows: np.ndarray, p_rows: np.ndarray
+    ) -> tuple[Tensor, Tensor, Tensor | None, Tensor | None]:
+        """Run both towers for a *subset* of entities (training hot path).
+
+        The tower MLPs are row-independent, so row ``k`` of each returned
+        matrix equals row ``w_rows[k]`` / ``p_rows[k]`` of the full
+        :meth:`compute_embeddings` output; gradients scatter-add back to
+        the full parameter tables through the gather. Shapes are
+        ``(Uw, H, r)``, ``(Up, r)``, ``(Up, s, r)``, ``(Up, s, r)``.
+
+        Batch indices must be remapped onto the subset rows first — see
+        :func:`plan_sparse_batch`.
+        """
+        cfg = self.config
+        r, s, heads = cfg.embedding_dim, cfg.interference_types, cfg.n_heads
+        w_rows = np.asarray(w_rows, dtype=np.intp)
+        p_rows = np.asarray(p_rows, dtype=np.intp)
+
+        w_in = self.phi_w.concat_rows(self._xw, w_rows)
+        w_out = self.workload_tower(w_in)  # (Uw, r*H)
+        W = w_out.reshape(len(w_rows), heads, r)
+
+        p_in = self.phi_p.concat_rows(self._xp, p_rows)
+        p_out = self.platform_tower(p_in)  # (Up, r [+ 2sr])
+        P = p_out[:, :r]
+        if not cfg.models_interference:
+            return W, P, None, None
+        VS = p_out[:, r : r + s * r].reshape(len(p_rows), s, r)
+        VG = p_out[:, r + s * r :].reshape(len(p_rows), s, r)
+        return W, P, VS, VG
+
     # ------------------------------------------------------------------
     # Forward (residual prediction)
     # ------------------------------------------------------------------
@@ -432,15 +526,16 @@ class PitotModel(Module):
             # and slicing it per chunk would truncate it to one column.
             interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
         n = len(w_idx)
-        embeddings = self.compute_embeddings()
         out = np.empty((n, self.config.n_heads))
-        for lo in range(0, n, chunk):
-            hi = min(lo + chunk, n)
-            sub_int = None if interferers is None else interferers[lo:hi]
-            pred = self.forward(
-                w_idx[lo:hi], p_idx[lo:hi], sub_int, embeddings=embeddings
-            )
-            out[lo:hi] = pred.data
+        with no_grad():  # prediction never backpropagates
+            embeddings = self.compute_embeddings()
+            for lo in range(0, n, chunk):
+                hi = min(lo + chunk, n)
+                sub_int = None if interferers is None else interferers[lo:hi]
+                pred = self.forward(
+                    w_idx[lo:hi], p_idx[lo:hi], sub_int, embeddings=embeddings
+                )
+                out[lo:hi] = pred.data
         return out + self.baseline_log(w_idx, p_idx)[:, None]
 
     def predict_runtime(
@@ -458,12 +553,14 @@ class PitotModel(Module):
     # ------------------------------------------------------------------
     def workload_embeddings(self, head: int = 0) -> np.ndarray:
         """Trained workload embeddings ``w_i`` for one head; ``(Nw, r)``."""
-        W, _, _, _ = self.compute_embeddings()
+        with no_grad():
+            W, _, _, _ = self.compute_embeddings()
         return W.data[:, head, :].copy()
 
     def platform_embeddings(self) -> np.ndarray:
         """Trained platform embeddings ``p_j``; ``(Np, r)``."""
-        _, P, _, _ = self.compute_embeddings()
+        with no_grad():
+            _, P, _, _ = self.compute_embeddings()
         return P.data.copy()
 
     def interference_matrices(self) -> np.ndarray | None:
@@ -472,7 +569,8 @@ class PitotModel(Module):
         Shape ``(Np, r, r)``; ``None`` for interference-blind models.
         Used for the Fig 12d spectral-norm analysis.
         """
-        _, _, VS, VG = self.compute_embeddings()
+        with no_grad():
+            _, _, VS, VG = self.compute_embeddings()
         if VS is None:
             return None
         vs, vg = VS.data, VG.data  # (Np, s, r)

@@ -11,6 +11,13 @@ Reproduces the paper's procedure:
 * objectives: squared log-residual (Eq. 1), pinball for the quantile
   version (Eq. 13), plus the "log" and "naive proportional" ablation
   objectives of Fig 4a.
+
+Deviating from App B.3's "compute all embeddings" step (an optimization on
+GPU, a liability on CPU), the default hot path is *batch-sparse*: each
+step forwards only the entity rows its batch references through the
+towers (see :func:`repro.core.model.plan_sparse_batch`), and validation
+runs on the tape-free ndarray kernel. Both are row-identical to the dense
+formulation; ``TrainerConfig(sparse_embeddings=False)`` restores it.
 """
 
 from __future__ import annotations
@@ -20,12 +27,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cluster.dataset import RuntimeDataset
-from ..nn import AdaMax, Tensor, where
+from ..nn import AdaMax, Tensor, no_grad, where
 from .config import PitotConfig, TrainerConfig
-from .model import PitotModel
+from .model import PitotModel, plan_sparse_batch
 from .scaling import LinearScalingBaseline
 
 __all__ = ["PitotTrainer", "TrainingResult", "train_pitot"]
+
+#: Auto mode runs a batch-sparse step only when the batch references at
+#: most this fraction of the population; below the cutoff the pruned tower
+#: rows no longer pay for the extra gather/scatter (measured crossover on
+#: CPU BLAS is near 0.6; 0.5 keeps a safety margin).
+SPARSE_AUTO_FRACTION = 0.5
 
 
 @dataclass
@@ -123,29 +136,43 @@ class PitotTrainer:
     def evaluate_loss(
         self, ds: RuntimeDataset, targets: np.ndarray | None = None, chunk: int = 8192
     ) -> float:
-        """Weighted objective on a full dataset (for checkpoint selection)."""
+        """Weighted objective on a full dataset (for checkpoint selection).
+
+        Runs on the no-grad snapshot kernel: one tape-free tower forward,
+        then plain-ndarray batch forwards through the same
+        ``EmbeddingSnapshot.forward`` serving uses. The loss reuses the
+        training-path ``_loss_elementwise`` under ``no_grad`` (same ops,
+        no tape), so evaluation matches training values bitwise. The
+        previous implementation built (and discarded) a full autograd
+        graph for every validation sweep.
+        """
         if ds.n_observations == 0:
             return float("nan")
         if targets is None:
             targets = self._targets(ds)
         rows_by_degree = self._degree_rows(ds)
         n_int = sum(1 for d in rows_by_degree if d > 1)
-        embeddings = self.model.compute_embeddings()
+        snapshot = self.model.snapshot()
         total, weight_sum = 0.0, 0.0
-        for degree, rows in rows_by_degree.items():
-            w = self._degree_weight(degree, n_int)
-            losses = []
-            for lo in range(0, len(rows), chunk):
-                sub = rows[lo : lo + chunk]
-                pred = self.model.forward(
-                    ds.w_idx[sub],
-                    ds.p_idx[sub],
-                    ds.interferers[sub] if degree > 1 else None,
-                    embeddings=embeddings,
-                )
-                losses.append(self._loss(pred, targets[sub]).item() * len(sub))
-            total += w * (sum(losses) / len(rows))
-            weight_sum += w
+        with no_grad():
+            for degree, rows in rows_by_degree.items():
+                w = self._degree_weight(degree, n_int)
+                losses = []
+                for lo in range(0, len(rows), chunk):
+                    sub = rows[lo : lo + chunk]
+                    pred = snapshot.forward(
+                        ds.w_idx[sub],
+                        ds.p_idx[sub],
+                        ds.interferers[sub] if degree > 1 else None,
+                    )
+                    elem = self._loss_elementwise(Tensor(pred), targets[sub])
+                    # Mirror Tensor.mean (sum * 1/n): bitwise-aligned
+                    # with the training-path loss.
+                    losses.append(
+                        float(elem.data.sum() * (1.0 / elem.size)) * len(sub)
+                    )
+                total += w * (sum(losses) / len(rows))
+                weight_sum += w
         return total / max(weight_sum, 1e-12)
 
     def fit(
@@ -180,7 +207,6 @@ class PitotTrainer:
         any_interference = any(d > 1 for d in rows_by_degree)
         for step in range(cfg.steps):
             optimizer.zero_grad()
-            embeddings = self.model.compute_embeddings()
             # One combined batch with per-row coefficients reproduces the
             # paper's per-degree sub-batch weighting exactly (the weighted
             # sum of per-degree means) while traversing one graph.
@@ -194,12 +220,37 @@ class PitotTrainer:
                 )
             batch = np.concatenate(batches)
             coeff = np.concatenate(coeffs)
-            pred = self.model.forward(
-                train.w_idx[batch],
-                train.p_idx[batch],
-                train.interferers[batch] if any_interference else None,
-                embeddings=embeddings,
-            )
+            w_idx = train.w_idx[batch]
+            p_idx = train.p_idx[batch]
+            interferers = train.interferers[batch] if any_interference else None
+            # Batch-sparse step: towers run only over the unique entity
+            # rows this batch references; the gathers scatter gradients
+            # back to the full tables. Row-identical to the dense
+            # formulation (the towers are row-independent), so auto mode
+            # is free to choose per step on the pruning ratio alone.
+            use_sparse = cfg.sparse_embeddings
+            plan = None
+            if use_sparse is not False:
+                plan = plan_sparse_batch(w_idx, p_idx, interferers)
+                if use_sparse is None:
+                    population = self.model.n_workloads + self.model.n_platforms
+                    referenced = len(plan.w_rows) + len(plan.p_rows)
+                    use_sparse = referenced <= SPARSE_AUTO_FRACTION * population
+            if use_sparse:
+                embeddings = self.model.compute_embeddings_sparse(
+                    plan.w_rows, plan.p_rows
+                )
+                pred = self.model.forward(
+                    plan.w_local,
+                    plan.p_local,
+                    plan.interferers_local,
+                    embeddings=embeddings,
+                )
+            else:
+                embeddings = self.model.compute_embeddings()
+                pred = self.model.forward(
+                    w_idx, p_idx, interferers, embeddings=embeddings
+                )
             loss_elem = self._loss_elementwise(pred, train_targets[batch])
             total_loss = (loss_elem * Tensor(coeff[:, None])).sum() * (
                 1.0 / self.model.config.n_heads

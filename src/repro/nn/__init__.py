@@ -24,7 +24,17 @@ from .gradcheck import check_gradients, numerical_gradient
 from .layers import MLP, EmbeddingTable, Linear
 from .module import Module, Parameter
 from .optim import Adam, AdaMax, Optimizer, SGD
-from .tensor import Tensor, as_tensor, concatenate, maximum, minimum, stack, where
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
 
 __all__ = [
     "Tensor",
@@ -34,6 +44,8 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "no_grad",
+    "is_grad_enabled",
     "Module",
     "Parameter",
     "Linear",

@@ -64,7 +64,7 @@ def gelu(x: Tensor) -> Tensor:
         if x.requires_grad:
             du = _GELU_C * (1.0 + 3.0 * 0.044715 * v**2)
             local = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t**2) * du
-            x._accumulate(g * local)
+            x._accumulate(g * local, own=True)
 
     return Tensor._make(data, (x,), backward)
 

@@ -118,3 +118,23 @@ class EmbeddingTable(Module):
         if self.dim == 0:
             return Tensor(features)
         return concatenate([Tensor(features), self.table], axis=1)
+
+    def concat_rows(self, features: np.ndarray, rows: np.ndarray) -> Tensor:
+        """``[x, φ]`` restricted to a subset of entity rows.
+
+        The batch-sparse training path: the gather through
+        :meth:`Tensor.take` scatter-adds gradients back to the full table,
+        so only the referenced rows are ever forwarded through a tower.
+        Row ``k`` of the result equals row ``rows[k]`` of
+        :meth:`concat_with`.
+        """
+        if features.shape[0] != self.num_entities:
+            raise ValueError(
+                f"feature rows {features.shape[0]} != entities {self.num_entities}"
+            )
+        rows = np.asarray(rows, dtype=np.intp)
+        if self.dim == 0:
+            return Tensor(features[rows])
+        return concatenate(
+            [Tensor(features[rows]), self.table.take(rows)], axis=1
+        )

@@ -91,6 +91,11 @@ class AdaMax(Optimizer):
     Second moment is replaced by an exponentially-weighted infinity norm
     ``u = max(beta2 * u, |g|)``; only the first moment needs bias
     correction.
+
+    The update is fused: every intermediate goes through one preallocated
+    per-parameter scratch buffer, so a step allocates nothing. This is the
+    trainer's hot loop (one call per parameter per step), and the
+    temporaries of the naive formulation dominated its profile.
     """
 
     def __init__(
@@ -105,11 +110,24 @@ class AdaMax(Optimizer):
         self.beta1, self.beta2, self.eps = beta1, beta2, eps
         self._m = {id(p): np.zeros_like(p.data) for p in self.params}
         self._u = {id(p): np.zeros_like(p.data) for p in self.params}
+        self._scratch = {id(p): np.empty_like(p.data) for p in self.params}
 
     def _update(self, p: Parameter) -> None:
         t = self.step_count
         m, u = self._m[id(p)], self._u[id(p)]
+        s, g = self._scratch[id(p)], p.grad
+        if g.shape != s.shape:  # manually-assigned broadcastable grads
+            g = np.broadcast_to(g, s.shape)
+        # m = beta1 * m + (1 - beta1) * g
         m *= self.beta1
-        m += (1.0 - self.beta1) * p.grad
-        np.maximum(self.beta2 * u, np.abs(p.grad), out=u)
-        p.data -= (self.lr / (1.0 - self.beta1**t)) * m / (u + self.eps)
+        np.multiply(g, 1.0 - self.beta1, out=s)
+        m += s
+        # u = max(beta2 * u, |g|)
+        u *= self.beta2
+        np.abs(g, out=s)
+        np.maximum(u, s, out=u)
+        # p -= lr / (1 - beta1^t) * m / (u + eps)
+        np.add(u, self.eps, out=s)
+        np.divide(m, s, out=s)
+        s *= self.lr / (1.0 - self.beta1**t)
+        p.data -= s

@@ -14,10 +14,23 @@ shapes of ``tensor.grad`` always match ``tensor.data``.
 Only float64 is used. The models in this reproduction are ~1e5 parameters,
 so memory is not a concern and float64 keeps the numerical-gradient tests
 tight.
+
+Two mechanisms keep the training hot loop lean:
+
+* :class:`no_grad` disables graph construction entirely — ops executed
+  inside the context produce plain value tensors with no tape, which is
+  what validation/serving forwards want.
+* Backward closures hand freshly-computed gradient arrays to
+  ``_accumulate(..., own=True)``; the first accumulation into a tensor
+  then *adopts* the array as its gradient buffer instead of copying it,
+  and later accumulations add in place. Only closures that forward a view
+  of the upstream gradient (pure shape ops, concatenate slices) still pay
+  a defensive copy.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Sequence
 
 import numpy as np
@@ -32,7 +45,51 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "no_grad",
+    "is_grad_enabled",
 ]
+
+#: Global autograd switch; flipped by :class:`no_grad`.
+_GRAD_ENABLED: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager / decorator that disables gradient tracking.
+
+    Inside the context every operation produces a constant tensor
+    (``requires_grad=False``, no parents, no backward closure), so large
+    inference forwards — validation sweeps, embedding snapshots, serving —
+    skip tape construction and gradient-buffer allocation entirely.
+    Re-entrant and exception-safe; the previous state is restored on exit
+    (a stack, so one instance can be nested or reused).
+    """
+
+    def __init__(self) -> None:
+        self._previous: list[bool] = []
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous.append(_GRAD_ENABLED)
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous.pop()
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
 
 
 def _is_basic_index(index) -> bool:
@@ -127,12 +184,25 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph bookkeeping
     # ------------------------------------------------------------------
-    def _accumulate(self, grad: Array) -> None:
+    def _accumulate(self, grad: Array, own: bool = False) -> None:
+        """Add ``grad`` into ``self.grad`` (in place after the first call).
+
+        ``own=True`` is a promise from the caller that ``grad`` is a
+        freshly-computed array (or a view of one) referenced nowhere else;
+        the first accumulation then adopts it as the gradient buffer
+        instead of copying. Without the flag the upstream array may be a
+        shared view (reshape/transpose backward), so a copy is taken.
+        """
         if self.grad is None:
-            # Copy: upstream may pass views (reshape/transpose backward).
-            self.grad = np.array(grad, dtype=np.float64)
-            if self.grad.shape != self.data.shape:
-                self.grad = np.broadcast_to(grad, self.data.shape).copy()
+            if grad.shape != self.data.shape:
+                # Seeding with a broadcastable gradient (user-provided).
+                self.grad = np.broadcast_to(grad, self.data.shape).astype(
+                    np.float64
+                )
+            elif own and grad.dtype == np.float64:
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=np.float64)
         else:
             self.grad += grad
 
@@ -142,7 +212,7 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward: Callable[[Array], None],
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         if requires:
             out._backward = backward
@@ -156,9 +226,9 @@ class Tensor:
         tensor with ``requires_grad=True``.
         """
         if grad is None:
-            grad = np.ones_like(self.data)
+            grad, seed_owned = np.ones_like(self.data), True
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad, seed_owned = np.asarray(grad, dtype=np.float64), False
 
         # Topological order via iterative DFS (avoids recursion limits on
         # deep MLP graphs).
@@ -178,7 +248,7 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        self._accumulate(grad)
+        self._accumulate(grad, own=seed_owned)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
@@ -195,9 +265,13 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(g, self.shape))
+                gs = _unbroadcast(g, self.shape)
+                # `gs is g` when no broadcast happened: the upstream
+                # buffer is shared, so only summed results are adopted.
+                self._accumulate(gs, own=gs is not g)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(g, other.shape))
+                go = _unbroadcast(g, other.shape)
+                other._accumulate(go, own=go is not g)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -206,7 +280,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(-g)
+                self._accumulate(-g, own=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -222,9 +296,9 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(g * other.data, self.shape))
+                self._accumulate(_unbroadcast(g * other.data, self.shape), own=True)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(g * self.data, other.shape))
+                other._accumulate(_unbroadcast(g * self.data, other.shape), own=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -236,10 +310,11 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(g / other.data, self.shape))
+                self._accumulate(_unbroadcast(g / other.data, self.shape), own=True)
             if other.requires_grad:
                 other._accumulate(
-                    _unbroadcast(-g * self.data / other.data**2, other.shape)
+                    _unbroadcast(-g * self.data / other.data**2, other.shape),
+                    own=True,
                 )
 
         return Tensor._make(data, (self, other), backward)
@@ -254,7 +329,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * exponent * self.data ** (exponent - 1))
+                self._accumulate(g * exponent * self.data ** (exponent - 1), own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -278,10 +353,14 @@ class Tensor:
                 g2 = np.expand_dims(g2, -1)
             if self.requires_grad:
                 ga = g2 @ np.swapaxes(b2, -1, -2)
-                self._accumulate(_unbroadcast(ga, a2.shape).reshape(a.shape))
+                self._accumulate(
+                    _unbroadcast(ga, a2.shape).reshape(a.shape), own=True
+                )
             if other.requires_grad:
                 gb = np.swapaxes(a2, -1, -2) @ g2
-                other._accumulate(_unbroadcast(gb, b2.shape).reshape(b.shape))
+                other._accumulate(
+                    _unbroadcast(gb, b2.shape).reshape(b.shape), own=True
+                )
 
         return Tensor._make(data, (self, other), backward)
 
@@ -293,7 +372,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * data)
+                self._accumulate(g * data, own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -302,7 +381,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g / self.data)
+                self._accumulate(g / self.data, own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -311,7 +390,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * (1.0 - data**2))
+                self._accumulate(g * (1.0 - data**2), own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -320,7 +399,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * data * (1.0 - data))
+                self._accumulate(g * data * (1.0 - data), own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -329,7 +408,7 @@ class Tensor:
 
         def backward(g: Array) -> None:
             if self.requires_grad:
-                self._accumulate(g * np.sign(self.data))
+                self._accumulate(g * np.sign(self.data), own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -350,7 +429,7 @@ class Tensor:
                 axes = axis if isinstance(axis, tuple) else (axis,)
                 for ax in sorted(a % self.data.ndim for a in axes):
                     grad = np.expand_dims(grad, ax)
-            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            self._accumulate(np.broadcast_to(grad, self.shape).copy(), own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -380,7 +459,7 @@ class Tensor:
             counts = mask.sum(
                 axis=axis if axis is not None else None, keepdims=True
             )
-            self._accumulate(np.where(mask, grad / counts, 0.0))
+            self._accumulate(np.where(mask, grad / counts, 0.0), own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -454,7 +533,7 @@ class Tensor:
                 grad[index] += g
             else:
                 np.add.at(grad, index, g)
-            self._accumulate(grad)
+            self._accumulate(grad, own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -480,7 +559,7 @@ class Tensor:
             grad = np.bincount(
                 bins.ravel(), weights=g2.ravel(), minlength=n_rows * row_size
             ).reshape(self.data.shape)
-            self._accumulate(grad)
+            self._accumulate(grad, own=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -515,7 +594,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     def backward(g: Array) -> None:
         for k, t in enumerate(tensors):
             if t.requires_grad:
-                t._accumulate(np.take(g, k, axis=axis))
+                t._accumulate(np.take(g, k, axis=axis), own=True)
 
     return Tensor._make(data, tuple(tensors), backward)
 
@@ -528,9 +607,9 @@ def where(condition, a, b) -> Tensor:
 
     def backward(g: Array) -> None:
         if a.requires_grad:
-            a._accumulate(_unbroadcast(np.where(cond, g, 0.0), a.shape))
+            a._accumulate(_unbroadcast(np.where(cond, g, 0.0), a.shape), own=True)
         if b.requires_grad:
-            b._accumulate(_unbroadcast(np.where(cond, 0.0, g), b.shape))
+            b._accumulate(_unbroadcast(np.where(cond, 0.0, g), b.shape), own=True)
 
     return Tensor._make(data, (a, b), backward)
 

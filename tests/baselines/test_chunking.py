@@ -1,7 +1,6 @@
 """Chunked prediction consistency for baseline models."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import MatrixFactorizationBaseline, NeuralNetworkBaseline
 

@@ -1,7 +1,6 @@
 """make_cluster subsampling and index consistency."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import make_cluster
 

@@ -1,7 +1,6 @@
 """Pool-routing edge cases in the conformal predictor."""
 
 import numpy as np
-import pytest
 
 from repro.conformal import ConformalRuntimePredictor
 from repro.core import PAPER_QUANTILES

@@ -72,6 +72,9 @@ def test_property_marginal_coverage_guarantee(epsilon, seed):
     cal, test = pool[:n_cal], pool[n_cal:]
     offset = conformal_offset(cal, epsilon)
     miscoverage = float(np.mean(test > offset))
-    # Allow 4 binomial standard deviations of slack.
-    slack = 4.0 * np.sqrt(epsilon * (1 - epsilon) / n_test)
+    # Two independent noise sources: the test-set binomial fluctuation
+    # AND the calibration-quantile estimate (coverage of a split-
+    # conformal bound is Beta-distributed with sd ≈ √(ε(1−ε)/n_cal)).
+    # Allow 4 combined standard deviations of slack.
+    slack = 4.0 * np.sqrt(epsilon * (1 - epsilon) * (1.0 / n_cal + 1.0 / n_test))
     assert miscoverage <= epsilon + slack + 1.0 / n_cal

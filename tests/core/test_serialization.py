@@ -1,7 +1,6 @@
 """Model save/load round trips."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     PAPER_QUANTILES,

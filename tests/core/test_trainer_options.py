@@ -1,7 +1,6 @@
 """Trainer configuration paths not covered elsewhere."""
 
 import numpy as np
-import pytest
 
 from repro.core import PitotConfig, PitotModel, PitotTrainer, TrainerConfig
 

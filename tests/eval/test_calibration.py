@@ -1,9 +1,8 @@
 """Calibration-curve diagnostics."""
 
 import numpy as np
-import pytest
 
-from repro.eval import CalibrationCurve, calibration_curve
+from repro.eval import calibration_curve
 
 
 class _QuantileOracle:

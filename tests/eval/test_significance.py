@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.eval import PairedComparison, paired_bootstrap, two_stderr_interval
+from repro.eval import paired_bootstrap, two_stderr_interval
 
 
 class TestPairedBootstrap:

@@ -7,7 +7,7 @@ slowest orderings are marked ``slow``.
 import numpy as np
 import pytest
 
-from repro.cluster import collect_dataset, make_split
+from repro.cluster import make_split
 from repro.conformal import ConformalRuntimePredictor
 from repro.core import (
     PAPER_QUANTILES,

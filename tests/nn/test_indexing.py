@@ -1,7 +1,6 @@
 """Indexing, gathers, and structural ops (concat/stack/where/min/max)."""
 
 import numpy as np
-import pytest
 
 from repro.nn import (
     Parameter,

@@ -1,0 +1,232 @@
+"""no_grad semantics and the reduced-allocation backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    AdaMax,
+    EmbeddingTable,
+    Parameter,
+    Tensor,
+    check_gradients,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+)
+
+
+class TestNoGrad:
+    def test_ops_inside_context_build_no_graph(self):
+        p = Parameter([1.0, 2.0])
+        with no_grad():
+            out = (p * 3.0 + 1.0).sum()
+        assert not out.requires_grad
+        assert out._prev == ()
+        assert out._backward is None
+
+    def test_outside_context_graph_restored(self):
+        p = Parameter([1.0, 2.0])
+        with no_grad():
+            (p * 2.0).sum()
+        out = (p * 2.0).sum()
+        assert out.requires_grad
+        out.backward()
+        assert np.allclose(p.grad, [2.0, 2.0])
+
+    def test_values_match_grad_mode(self, rng):
+        table = EmbeddingTable(6, 3, rng, std=1.0)
+        x = rng.normal(size=(6, 2))
+        tracked = table.concat_with(x)
+        with no_grad():
+            untracked = table.concat_with(x)
+        assert np.array_equal(tracked.data, untracked.data)
+
+    def test_nested_contexts(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_single_instance_reused_nested(self):
+        # One instance entered twice must still restore the outer state.
+        ng = no_grad()
+        with ng:
+            with ng:
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_exception_restores_state(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_decorator_form(self):
+        p = Parameter([2.0])
+
+        @no_grad()
+        def forward():
+            assert not is_grad_enabled()
+            return p * 2.0
+
+        assert not forward().requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_through_mlp(self, rng):
+        mlp = MLP(4, (8,), 2, rng)
+        x = Tensor(rng.normal(size=(5, 4)))
+        with no_grad():
+            out = mlp(x)
+        assert not out.requires_grad
+        out.backward()  # no-op graph: must not touch parameters
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_leaf_creation_still_allowed(self):
+        with no_grad():
+            p = Parameter([1.0])
+        assert p.requires_grad  # leaves keep their flag; only ops detach
+
+
+class TestDetach:
+    def test_detach_shares_data(self):
+        p = Parameter([1.0, 2.0])
+        d = p.detach()
+        assert not d.requires_grad
+        assert d.data is p.data
+
+    def test_detach_blocks_backward(self):
+        p = Parameter([1.0, 2.0])
+        (p.detach() * 5.0).sum().backward()
+        assert p.grad is None
+
+
+class TestReducedAllocationBackward:
+    """The owned-buffer handoff must never alias gradients incorrectly."""
+
+    def test_fanout_gradients_do_not_alias(self):
+        # Both branches of p feed one add; the shared upstream gradient
+        # must not become the buffer of two different tensors.
+        a = Parameter([1.0, 2.0])
+        b = Parameter([3.0, 4.0])
+        (a + b).sum().backward()
+        assert a.grad is not b.grad
+        a.grad += 100.0
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_accumulation_across_uses_in_place(self):
+        p = Parameter([2.0])
+        (p * 3.0 + p * 4.0).sum().backward()
+        assert np.allclose(p.grad, [7.0])
+
+    def test_zero_grad_sets_none(self):
+        p = Parameter([1.0])
+        (p * 2.0).sum().backward()
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_second_backward_accumulates(self):
+        p = Parameter([1.0])
+        (p * 2.0).sum().backward()
+        (p * 3.0).sum().backward()
+        assert np.allclose(p.grad, [5.0])
+
+    def test_grad_never_aliases_parameter_data(self, rng):
+        mlp = MLP(3, (4,), 1, rng)
+        x = Tensor(rng.normal(size=(8, 3)))
+        mlp(x).sum().backward()
+        for p in mlp.parameters():
+            assert p.grad is not p.data
+            assert p.grad.shape == p.data.shape
+
+
+class TestFusedAdaMax:
+    def test_matches_reference_formula(self):
+        p = Parameter(np.array([1.0, -2.0, 3.0]))
+        opt = AdaMax([p], lr=0.05)
+        m = np.zeros(3)
+        u = np.zeros(3)
+        ref = p.data.copy()
+        rng = np.random.default_rng(3)
+        for t in range(1, 6):
+            g = rng.normal(size=3)
+            p.grad = g.copy()
+            opt.step()
+            m = opt.beta1 * m + (1 - opt.beta1) * g
+            u = np.maximum(opt.beta2 * u, np.abs(g))
+            ref = ref - (opt.lr / (1 - opt.beta1**t)) * m / (u + opt.eps)
+            assert np.allclose(p.data, ref, atol=1e-12)
+
+    def test_step_allocates_into_scratch(self):
+        p = Parameter(np.ones(4))
+        opt = AdaMax([p], lr=0.1)
+        p.grad = np.ones(4)
+        opt.step()
+        scratch = opt._scratch[id(p)]
+        p.grad = np.full(4, 2.0)
+        opt.step()
+        assert opt._scratch[id(p)] is scratch  # buffer reused, not replaced
+
+
+class TestSparseGatherScatter:
+    """Gradcheck for the batch-sparse embedding path."""
+
+    def test_concat_rows_matches_full_rows(self, rng):
+        table = EmbeddingTable(7, 3, rng, std=1.0)
+        x = rng.normal(size=(7, 2))
+        rows = np.array([5, 0, 5, 3])
+        sub = table.concat_rows(x, rows)
+        full = table.concat_with(x)
+        assert np.array_equal(sub.data, full.data[rows])
+
+    def test_concat_rows_gradcheck(self, rng):
+        table = EmbeddingTable(6, 2, rng, std=1.0)
+        x = rng.normal(size=(6, 3))
+        rows = np.array([0, 4, 4, 2])  # repeats must scatter-add
+        check_gradients(
+            lambda: (table.concat_rows(x, rows) ** 2.0).sum(),
+            [table.table],
+        )
+
+    def test_concat_rows_zero_dim_table(self, rng):
+        table = EmbeddingTable(5, 0)
+        x = rng.normal(size=(5, 3))
+        out = table.concat_rows(x, np.array([1, 1, 4]))
+        assert out.shape == (3, 3)
+        assert not out.requires_grad
+
+    def test_sparse_mlp_path_gradcheck(self, rng):
+        """Gather → MLP → gather again: the full training composition."""
+        table = EmbeddingTable(6, 2, rng, std=1.0)
+        x = rng.normal(size=(6, 2))
+        mlp = MLP(4, (5,), 3, rng)
+        rows = np.array([0, 2, 2, 5])
+        batch = np.array([1, 1, 3, 0, 2])
+
+        def loss():
+            emb = mlp(table.concat_rows(x, rows))
+            return (emb.take(batch) ** 2.0).sum()
+
+        check_gradients(loss, [table.table, *mlp.parameters()])
+
+    def test_scatter_reaches_only_referenced_rows(self, rng):
+        table = EmbeddingTable(8, 3, rng, std=1.0)
+        x = rng.normal(size=(8, 1))
+        rows = np.array([1, 6])
+        table.table.zero_grad()
+        (table.concat_rows(x, rows) ** 2.0).sum().backward()
+        grad_norms = np.abs(table.table.grad).sum(axis=1)
+        assert np.all(grad_norms[[1, 6]] > 0)
+        untouched = np.setdiff1d(np.arange(8), rows)
+        assert np.allclose(grad_norms[untouched], 0.0)
+
+
+def test_concatenate_inside_no_grad(rng):
+    a = Parameter(rng.normal(size=(2, 2)))
+    with no_grad():
+        out = concatenate([a, a], axis=0)
+    assert not out.requires_grad
