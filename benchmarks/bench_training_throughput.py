@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from repro.cluster.dataset import MAX_INTERFERERS, RuntimeDataset
+from repro.cluster.collection import synthetic_fleet_dataset
 from repro.core import PitotConfig, PitotModel, PitotTrainer, TrainerConfig
 from repro.eval import format_table
 
@@ -38,36 +38,7 @@ MEASURE_STEPS = 6
 WARMUP_STEPS = 2
 
 
-def _synthetic_population(
-    n_workloads: int, n_platforms: int, n_obs: int, seed: int = 0
-) -> RuntimeDataset:
-    """A runtime dataset with the published schema at arbitrary scale.
-
-    Feature/runtime values are random — throughput depends only on shapes
-    and index distributions, and synthesizing directly keeps the bench
-    setup O(n) where the trace collector would dominate the timings.
-    """
-    rng = np.random.default_rng(seed)
-    w_idx = rng.integers(0, n_workloads, n_obs)
-    p_idx = rng.integers(0, n_platforms, n_obs)
-    interferers = np.full((n_obs, MAX_INTERFERERS), -1, dtype=np.intp)
-    degree = rng.integers(1, 5, n_obs)
-    for d in (2, 3, 4):
-        rows = np.flatnonzero(degree == d)
-        interferers[rows[:, None], np.arange(d - 1)[None, :]] = rng.integers(
-            0, n_workloads, (len(rows), d - 1)
-        )
-    return RuntimeDataset(
-        w_idx=w_idx,
-        p_idx=p_idx,
-        interferers=interferers,
-        runtime=np.exp(rng.normal(0.0, 1.0, n_obs)),
-        workload_features=rng.normal(size=(n_workloads, 20)),
-        platform_features=rng.normal(size=(n_platforms, 12)),
-    )
-
-
-def _steps_per_sec(dataset: RuntimeDataset, sparse: bool) -> float:
+def _steps_per_sec(dataset, sparse: bool) -> float:
     """Steps/sec of ``PitotTrainer.fit`` with one embedding mode forced.
 
     Per-fit fixed costs (baseline fit, target preparation — O(n_obs) and
@@ -108,14 +79,14 @@ def test_training_throughput(benchmark):
     fleet = POPULATIONS[-1]
     benchmark.pedantic(
         lambda: _steps_per_sec(
-            _synthetic_population(fleet[1], fleet[2], n_obs=30000), sparse=True
+            synthetic_fleet_dataset(fleet[1], fleet[2], 30000), sparse=True
         ),
         rounds=1,
         iterations=1,
     )
     rows, metrics = [], {}
     for label, n_workloads, n_platforms in POPULATIONS:
-        dataset = _synthetic_population(n_workloads, n_platforms, n_obs=30000)
+        dataset = synthetic_fleet_dataset(n_workloads, n_platforms, 30000)
         sparse = _steps_per_sec(dataset, sparse=True)
         dense = _steps_per_sec(dataset, sparse=False)
         ratio = sparse / dense

@@ -1,6 +1,6 @@
 """Shared benchmark infrastructure.
 
-Every bench regenerates one paper table/figure (see DESIGN.md §7). Two
+Every bench regenerates one paper table/figure (see DESIGN.md §8). Two
 grid scales:
 
 * ``fast`` (default): miniature cluster, 2 train fractions, ≤2 replicates,
@@ -33,9 +33,10 @@ from repro.baselines import (
     MatrixFactorizationBaseline,
     NeuralNetworkBaseline,
 )
-from repro.cluster import collect_dataset, make_split
 from repro.conformal import ConformalRuntimePredictor
 from repro.core import PAPER_QUANTILES, PitotConfig, TrainerConfig, train_pitot
+from repro.pipeline import collect_stage, make_scenario_split
+from repro.scenarios import get_scenario
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -108,6 +109,21 @@ def current_scale() -> BenchScale:
     return FULL if os.environ.get("REPRO_SCALE", "fast") == "full" else FAST
 
 
+def bench_scenario(scale: BenchScale):
+    """The registry's paper scenario at the bench grid's fleet scale.
+
+    All bench data flows through the scenario layer, so the grid presets
+    above only decide *how much* of the paper campaign runs — the
+    campaign itself is the registered spec.
+    """
+    return get_scenario("paper").scaled(
+        n_workloads=scale.n_workloads,
+        n_devices=scale.n_devices,
+        n_runtimes=scale.n_runtimes,
+        sets_per_degree=scale.sets_per_degree,
+    )
+
+
 @pytest.fixture(scope="session")
 def scale() -> BenchScale:
     return current_scale()
@@ -116,13 +132,7 @@ def scale() -> BenchScale:
 @pytest.fixture(scope="session")
 def bench_dataset(scale):
     """The collected runtime dataset used by every experiment bench."""
-    return collect_dataset(
-        seed=0,
-        n_workloads=scale.n_workloads,
-        n_devices=scale.n_devices,
-        n_runtimes=scale.n_runtimes,
-        sets_per_degree=scale.sets_per_degree,
-    )
+    return collect_stage(bench_scenario(scale))
 
 
 class ModelZoo:
@@ -131,6 +141,7 @@ class ModelZoo:
     def __init__(self, dataset, scale: BenchScale) -> None:
         self.dataset = dataset
         self.scale = scale
+        self.scenario = bench_scenario(scale)
         self._splits: dict = {}
         self._models: dict = {}
 
@@ -138,8 +149,9 @@ class ModelZoo:
     def split(self, fraction: float, replicate: int):
         key = (round(fraction, 3), replicate)
         if key not in self._splits:
-            self._splits[key] = make_split(
-                self.dataset, fraction, seed=1000 * replicate + 7
+            self._splits[key] = make_scenario_split(
+                self.scenario, self.dataset, train_fraction=fraction,
+                seed=1000 * replicate + 7,
             )
         return self._splits[key]
 
@@ -277,9 +289,17 @@ def sweep_error_tables(zoo, scale, model_for, names, title: str) -> str:
     """Shared Fig 4/6a harness: MAPE series over train fractions.
 
     ``model_for(name, fraction, replicate)`` returns a fitted predictor;
-    returns the two per-interference tables the paper plots.
+    returns the two per-interference tables the paper plots. Cells show
+    mean ± 2·stderr with the replicate count (the error bar is omitted,
+    not zeroed, for single-replicate grids).
     """
-    from repro.eval import format_series_table, percent
+    from repro.eval import format_mean_2se, format_series_table, two_se
+
+    def cell(values):
+        arr = np.asarray(values, dtype=float)
+        return format_mean_2se(
+            float(arr.mean()), two_se(arr), n_replicates=len(arr)
+        )
 
     iso_series = {name: [] for name in names}
     int_series = {name: [] for name in names}
@@ -292,8 +312,8 @@ def sweep_error_tables(zoo, scale, model_for, names, title: str) -> str:
                 sums[name][0].append(iso)
                 sums[name][1].append(intf)
         for name in names:
-            iso_series[name].append(percent(float(np.mean(sums[name][0]))))
-            int_series[name].append(percent(float(np.mean(sums[name][1]))))
+            iso_series[name].append(cell(sums[name][0]))
+            int_series[name].append(cell(sums[name][1]))
     x = [f"{int(f * 100)}%" for f in scale.fractions]
     return "\n\n".join([
         format_series_table("train", x, iso_series,

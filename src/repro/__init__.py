@@ -30,10 +30,18 @@ Serving (batched, embedding-cached bound queries)::
     service = PredictionService.from_predictor(calibrated_predictor)
     budgets = service.predict_bound(w_idx, p_idx, interferers, epsilon=0.05)
 
+Scenarios + pipeline (one declarative path, cached stage-by-stage)::
+
+    from repro import run_pipeline
+    result = run_pipeline("paper", store=".repro-cache")
+    service = result.service()      # warm re-runs execute zero stages
+
 Sub-packages: :mod:`repro.nn` (autograd substrate), :mod:`repro.workloads`,
 :mod:`repro.platforms`, :mod:`repro.cluster` (simulator), :mod:`repro.core`
-(Pitot), :mod:`repro.conformal`, :mod:`repro.serving`,
-:mod:`repro.baselines`, :mod:`repro.eval`, :mod:`repro.analysis`.
+(Pitot), :mod:`repro.scenarios` (named campaign registry),
+:mod:`repro.pipeline` (staged, cached scenario pipeline),
+:mod:`repro.conformal`, :mod:`repro.serving`, :mod:`repro.baselines`,
+:mod:`repro.eval`, :mod:`repro.analysis`.
 """
 
 from .baselines import (
@@ -74,6 +82,15 @@ from .orchestration import (
     flow_placement,
     greedy_placement,
 )
+from .pipeline import ArtifactStore, PipelineResult, run_pipeline
+from .scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
 from .serving import PredictionService
 
 __version__ = "1.0.0"
@@ -102,6 +119,16 @@ __all__ = [
     "PAPER_QUANTILES",
     "save_model",
     "load_model",
+    # scenarios / pipeline
+    "ScenarioSpec",
+    "scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "ArtifactStore",
+    "PipelineResult",
+    "run_pipeline",
     # conformal
     "ConformalRuntimePredictor",
     "OnlineConformalizer",

@@ -2,7 +2,12 @@
 
 Wraps the library's main flows for shell use:
 
-* ``collect`` — run the simulated cluster campaign, save an ``.npz`` dataset;
+* ``scenarios list`` — show the named-scenario registry;
+* ``pipeline run`` — run the staged ``collect → scale → train →
+  calibrate → evaluate → snapshot`` pipeline for a scenario through the
+  content-addressed artifact cache;
+* ``collect`` — run the simulated cluster campaign, save an ``.npz``
+  dataset;
 * ``train`` — fit Pitot on a saved dataset, save the model;
 * ``evaluate`` — MAPE / coverage / margin of a saved model on a dataset;
 * ``predict`` — runtime (and optional budget) for one workload/platform
@@ -11,6 +16,10 @@ Wraps the library's main flows for shell use:
   embedding-cached :class:`~repro.serving.PredictionService`;
 * ``bench-serve`` — compare serving throughput: per-call model forward
   vs. snapshot batching vs. LRU-cached lookups.
+
+The one-off commands (``collect``/``train``/``evaluate``) are thin
+wrappers over the same stage functions the pipeline runs — the CLI no
+longer re-implements the campaign protocol, it parameterizes it.
 """
 
 from __future__ import annotations
@@ -21,18 +30,18 @@ import time
 
 import numpy as np
 
-from .cluster import RuntimeDataset, collect_dataset, make_split
+from .cluster import RuntimeDataset
 from .cluster.dataset import MAX_INTERFERERS, pad_interferers
-from .conformal import ConformalRuntimePredictor
-from .core import (
-    PAPER_QUANTILES,
-    PitotConfig,
-    TrainerConfig,
-    load_model,
-    save_model,
-    train_pitot,
-)
+from .core import PAPER_QUANTILES, load_model, save_model
 from .eval import coverage, mape, overprovision_margin
+from .pipeline import (
+    calibrate_stage,
+    collect_stage,
+    make_scenario_split,
+    run_pipeline,
+    train_stage,
+)
+from .scenarios import get_scenario, iter_scenarios
 from .serving import PredictionService
 
 __all__ = ["main", "build_parser"]
@@ -45,6 +54,38 @@ def build_parser() -> argparse.ArgumentParser:
                     "(MLSys 2025 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("scenarios", help="inspect the scenario registry")
+    scenario_sub = p.add_subparsers(dest="scenarios_command", required=True)
+    p = scenario_sub.add_parser("list", help="list registered scenarios")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print each scenario's knob summary")
+
+    p = sub.add_parser("pipeline", help="run the staged scenario pipeline")
+    pipeline_sub = p.add_subparsers(dest="pipeline_command", required=True)
+    p = pipeline_sub.add_parser(
+        "run",
+        help="run collect→scale→train→calibrate→evaluate→snapshot "
+             "through the artifact cache",
+    )
+    p.add_argument("--scenario", default="paper",
+                   help="registry name (see `repro scenarios list`)")
+    p.add_argument("--store", default=".repro-cache",
+                   help="artifact-store root (content-addressed stage cache)")
+    p.add_argument("--no-store", action="store_true",
+                   help="disable caching: compute fresh, persist nothing")
+    p.add_argument("--force", action="store_true",
+                   help="recompute every stage even on cache hits")
+    p.add_argument("--assert-warm", action="store_true",
+                   help="exit 1 unless every stage was a cache hit "
+                        "(CI cache validation)")
+    p.add_argument("--workloads", type=int, default=None,
+                   help="override the scenario's workload count")
+    p.add_argument("--devices", type=int, default=None)
+    p.add_argument("--runtimes", type=int, default=None)
+    p.add_argument("--sets-per-degree", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None,
+                   help="override the scenario's training steps")
 
     p = sub.add_parser("collect", help="run the simulated collection campaign")
     p.add_argument("output", help="output .npz dataset path")
@@ -112,14 +153,82 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------------------
+# Scenario / pipeline commands
+# ----------------------------------------------------------------------
+def _cmd_scenarios_list(args) -> int:
+    for spec in iter_scenarios():
+        print(f"{spec.name:24s} {spec.description}")
+        if args.verbose:
+            print(f"{'':24s} {spec.describe()}  hash={spec.spec_hash()[:12]}")
+    return 0
+
+
+def _cmd_pipeline_run(args) -> int:
+    try:
+        spec = get_scenario(args.scenario)
+        spec = spec.scaled(
+            n_workloads=args.workloads,
+            n_devices=args.devices,
+            n_runtimes=args.runtimes,
+            sets_per_degree=args.sets_per_degree,
+            steps=args.steps,
+        )
+    except (KeyError, ValueError) as exc:
+        # Unknown scenario, or an override the scenario rejects (e.g.
+        # --devices on a synthetic fleet).
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    store = None if args.no_store else args.store
+    start = time.perf_counter()
+    result = run_pipeline(spec, store=store, force=args.force)
+    elapsed = time.perf_counter() - start
+
+    print(f"scenario {spec.name} (spec {spec.spec_hash()[:12]})")
+    for stage, key in result.stage_keys.items():
+        status = "cached " if stage in result.cached else "run    "
+        print(f"  {status} {stage:10s} {key[:16]}")
+    for name in ("n_train", "n_calibration", "n_test",
+                 "best_val_loss", "final_train_loss",
+                 "mape_isolation", "mape_interference"):
+        print(f"{name}: {result.metrics[name]}")
+    for eps, stats in result.metrics["epsilons"].items():
+        print(f"eps={eps}: coverage {stats['coverage']:.3f}, "
+              f"margin {stats['margin']:.2%}")
+    print(f"{len(result.executed)} stage(s) run, "
+          f"{len(result.cached)} cached, {elapsed:.1f}s")
+    if args.assert_warm and result.executed:
+        print(f"expected a fully-warm run but executed: "
+              f"{list(result.executed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# One-off stage commands (thin wrappers over the pipeline stages)
+# ----------------------------------------------------------------------
+def _paper_split(dataset, fraction: float, seed: int,
+                 epsilons: tuple[float, ...] | None = None):
+    """The paper scenario at a caller's fraction/seed, plus its split.
+
+    The one place the artifact-file commands (``evaluate``/``serve``/
+    ``bench-serve``) derive their partition policy, so they cannot drift
+    apart from each other or from ``train``.
+    """
+    spec = get_scenario("paper").scaled(
+        train_fraction=fraction, epsilons=epsilons
+    ).with_seeds(split=seed)
+    return spec, make_scenario_split(spec, dataset)
+
+
 def _cmd_collect(args) -> int:
-    dataset = collect_dataset(
-        seed=args.seed,
+    spec = get_scenario("paper").scaled(
         n_workloads=args.workloads,
         n_devices=args.devices,
         n_runtimes=args.runtimes,
         sets_per_degree=args.sets_per_degree,
-    )
+    ).with_seeds(collect=args.seed)
+    dataset = collect_stage(spec)
     dataset.save(args.output)
     summary = dataset.summary()
     for key, value in summary.items():
@@ -130,18 +239,19 @@ def _cmd_collect(args) -> int:
 
 def _cmd_train(args) -> int:
     dataset = RuntimeDataset.load(args.dataset)
-    split = make_split(dataset, args.fraction, seed=args.seed)
-    config = PitotConfig(
+    # scaled() treats None as "keep the scenario default", so the
+    # quantile knob is only passed when the flag actually sets it (the
+    # paper spec is non-quantile by default).
+    quantile_knob = {"quantiles": PAPER_QUANTILES} if args.quantiles else {}
+    spec = get_scenario("paper").scaled(
+        train_fraction=args.fraction,
+        steps=args.steps,
         hidden=tuple(args.hidden),
         embedding_dim=args.embedding_dim,
-        quantiles=PAPER_QUANTILES if args.quantiles else None,
-    )
-    result = train_pitot(
-        split.train,
-        split.calibration,
-        model_config=config,
-        trainer_config=TrainerConfig(steps=args.steps, seed=args.seed),
-    )
+        **quantile_knob,
+    ).with_seeds(split=args.seed, train=args.seed)
+    split = make_scenario_split(spec, dataset)
+    result = train_stage(spec, split)
     save_model(result.model, args.output)
     print(f"trained {args.steps} steps; best val loss "
           f"{result.best_val_loss:.5f} @ step {result.best_step}")
@@ -152,7 +262,10 @@ def _cmd_train(args) -> int:
 def _cmd_evaluate(args) -> int:
     model = load_model(args.model)
     dataset = RuntimeDataset.load(args.dataset)
-    split = make_split(dataset, args.fraction, seed=args.seed)
+    spec, split = _paper_split(
+        dataset, args.fraction, args.seed,
+        epsilons=None if args.epsilon is None else (args.epsilon,),
+    )
     test = split.test
     pred = model.predict_runtime(test.w_idx, test.p_idx, test.interferers)
     iso = test.isolation_mask()
@@ -161,11 +274,7 @@ def _cmd_evaluate(args) -> int:
     print(f"MAPE with interference:    {mape(pred[~iso], test.runtime[~iso]):.2%}")
 
     if args.epsilon is not None:
-        quantiles = model.config.quantiles
-        strategy = "pitot" if quantiles else "split"
-        cp = ConformalRuntimePredictor(
-            model, quantiles=quantiles, strategy=strategy
-        ).calibrate(split.calibration, epsilons=(args.epsilon,))
+        cp = calibrate_stage(spec, model, split)
         bound = cp.predict_bound_dataset(test, args.epsilon)
         print(f"eps={args.epsilon}: coverage "
               f"{coverage(bound, test.runtime):.3f}, margin "
@@ -205,7 +314,7 @@ def _calibrated_service(args, epsilons: tuple[float, ...]) -> PredictionService:
     """Load model + dataset, calibrate, and wrap for serving."""
     model = load_model(args.model)
     dataset = RuntimeDataset.load(args.dataset)
-    split = make_split(dataset, args.fraction, seed=args.seed)
+    _, split = _paper_split(dataset, args.fraction, args.seed)
     return PredictionService.from_model(
         model, split.calibration, epsilons=epsilons
     )
@@ -287,12 +396,10 @@ def _cmd_bench_serve(args) -> int:
         return 2
     model = load_model(args.model)
     dataset = RuntimeDataset.load(args.dataset)
-    split = make_split(dataset, args.fraction, seed=args.seed)
-    quantiles = model.config.quantiles
-    strategy = "pitot" if quantiles else "split"
-    predictor = ConformalRuntimePredictor(
-        model, quantiles=quantiles, strategy=strategy
-    ).calibrate(split.calibration, epsilons=(epsilon,))
+    spec, split = _paper_split(
+        dataset, args.fraction, args.seed, epsilons=(epsilon,)
+    )
+    predictor = calibrate_stage(spec, model, split)
 
     rng = np.random.default_rng(args.seed)
     test = split.test
@@ -351,6 +458,10 @@ def _cmd_bench_serve(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "scenarios":
+        return _cmd_scenarios_list(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline_run(args)
     handler = {
         "collect": _cmd_collect,
         "train": _cmd_train,

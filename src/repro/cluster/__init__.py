@@ -9,10 +9,21 @@ from .collection import (
     CollectionConfig,
     collect_dataset,
     make_cluster,
+    synthetic_fleet_dataset,
 )
-from .dataset import DEGREES, MAX_INTERFERERS, RuntimeDataset
+from .dataset import (
+    DATASET_SCHEMA_VERSION,
+    DEGREES,
+    MAX_INTERFERERS,
+    RuntimeDataset,
+)
 from .performance import GroundTruthPerformanceModel, PerformanceModelConfig
-from .splits import DataSplit, make_split, replicate_splits
+from .splits import (
+    DataSplit,
+    make_cold_workload_split,
+    make_split,
+    replicate_splits,
+)
 from .trace_io import export_observations_csv, import_trace_csv
 
 __all__ = [
@@ -22,11 +33,14 @@ __all__ = [
     "CollectionConfig",
     "collect_dataset",
     "make_cluster",
+    "synthetic_fleet_dataset",
     "RuntimeDataset",
+    "DATASET_SCHEMA_VERSION",
     "DEGREES",
     "MAX_INTERFERERS",
     "DataSplit",
     "make_split",
+    "make_cold_workload_split",
     "replicate_splits",
     "export_observations_csv",
     "import_trace_csv",

@@ -28,7 +28,13 @@ from ..workloads.workload import generate_workloads, workload_feature_matrix
 from .dataset import MAX_INTERFERERS, RuntimeDataset
 from .performance import GroundTruthPerformanceModel, PerformanceModelConfig
 
-__all__ = ["CollectionConfig", "ClusterCollector", "collect_dataset", "make_cluster"]
+__all__ = [
+    "CollectionConfig",
+    "ClusterCollector",
+    "collect_dataset",
+    "make_cluster",
+    "synthetic_fleet_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -242,6 +248,45 @@ def make_cluster(
     platforms = generate_platforms(devices, runtimes)
     return GroundTruthPerformanceModel(
         workloads, platforms, rng, config=performance_config
+    )
+
+
+def synthetic_fleet_dataset(
+    n_workloads: int,
+    n_platforms: int,
+    n_observations: int | None = None,
+    seed: int = 0,
+    n_workload_features: int = 20,
+    n_platform_features: int = 12,
+) -> RuntimeDataset:
+    """A runtime dataset with the published schema at arbitrary scale.
+
+    The trace collector enumerates real (device, runtime) inventories and
+    tops out near the paper's 249×220 grid; fleet-scale scenarios
+    (e.g. ``fleet-large``'s 32768×4096) instead draw features, indices,
+    and log-normal runtimes directly. Shapes, index distributions, and the
+    2/3/4-way interference mix match the collected schema, so everything
+    downstream — sparse training, calibration, serving — runs unchanged.
+    """
+    if n_observations is None:
+        n_observations = 16 * max(n_workloads, n_platforms)
+    rng = np.random.default_rng(seed)
+    w_idx = rng.integers(0, n_workloads, n_observations)
+    p_idx = rng.integers(0, n_platforms, n_observations)
+    interferers = np.full((n_observations, MAX_INTERFERERS), -1, dtype=np.intp)
+    degree = rng.integers(1, 5, n_observations)
+    for d in (2, 3, 4):
+        rows = np.flatnonzero(degree == d)
+        interferers[rows[:, None], np.arange(d - 1)[None, :]] = rng.integers(
+            0, n_workloads, (len(rows), d - 1)
+        )
+    return RuntimeDataset(
+        w_idx=w_idx.astype(np.int64),
+        p_idx=p_idx.astype(np.int64),
+        interferers=interferers.astype(np.int64),
+        runtime=np.exp(rng.normal(0.0, 1.0, n_observations)),
+        workload_features=rng.normal(size=(n_workloads, n_workload_features)),
+        platform_features=rng.normal(size=(n_platforms, n_platform_features)),
     )
 
 

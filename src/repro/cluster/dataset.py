@@ -17,12 +17,49 @@ import numpy as np
 from ..platforms.platform import Platform
 from ..workloads.workload import Workload
 
-__all__ = ["RuntimeDataset", "DEGREES", "MAX_INTERFERERS", "pad_interferers"]
+__all__ = [
+    "RuntimeDataset",
+    "DATASET_SCHEMA_VERSION",
+    "check_schema_version",
+    "DEGREES",
+    "MAX_INTERFERERS",
+    "pad_interferers",
+]
 
 #: Degrees present in the paper's dataset.
 DEGREES: tuple[int, ...] = (1, 2, 3, 4)
 #: Up to 3 interfering workloads (4-way).
 MAX_INTERFERERS: int = 3
+#: On-disk ``.npz`` schema version. Bump whenever the archive layout
+#: changes shape or meaning; :meth:`RuntimeDataset.load` refuses archives
+#: written under any other version, so cached pipeline artifacts fail
+#: loudly instead of deserializing garbage.
+DATASET_SCHEMA_VERSION: int = 1
+
+
+def check_schema_version(
+    archive, expected: int, kind: str, path: str | Path
+) -> None:
+    """Validate an ``.npz`` archive's ``schema_version`` entry.
+
+    Shared by every persistence layer (datasets, models, pipeline
+    artifacts): raises ``ValueError`` naming the file, the found version,
+    and the expected one — both for archives written before versioning
+    existed (no entry) and for genuine mismatches.
+    """
+    if "schema_version" not in getattr(archive, "files", archive):
+        raise ValueError(
+            f"{path}: no schema_version entry; this {kind} archive predates "
+            f"schema versioning (expected version {expected}). Re-create it "
+            f"with the current code."
+        )
+    found = int(archive["schema_version"])
+    if found != expected:
+        raise ValueError(
+            f"{path}: {kind} schema version {found} does not match this "
+            f"code's version {expected}; re-create the archive rather than "
+            f"risking silent misinterpretation."
+        )
 
 
 def pad_interferers(rows: list[tuple[int, ...]] | list[list[int]]) -> np.ndarray:
@@ -179,6 +216,7 @@ class RuntimeDataset:
         """Save observations + features to an ``.npz`` archive."""
         np.savez_compressed(
             Path(path),
+            schema_version=np.array(DATASET_SCHEMA_VERSION),
             w_idx=self.w_idx,
             p_idx=self.p_idx,
             interferers=self.interferers,
@@ -191,8 +229,13 @@ class RuntimeDataset:
 
     @classmethod
     def load(cls, path: str | Path) -> "RuntimeDataset":
-        """Load a dataset saved with :meth:`save` (metadata-free)."""
+        """Load a dataset saved with :meth:`save` (metadata-free).
+
+        Raises ``ValueError`` when the archive's schema version is absent
+        or differs from :data:`DATASET_SCHEMA_VERSION`.
+        """
         with np.load(Path(path), allow_pickle=True) as archive:
+            check_schema_version(archive, DATASET_SCHEMA_VERSION, "dataset", path)
             return cls(
                 w_idx=archive["w_idx"],
                 p_idx=archive["p_idx"],

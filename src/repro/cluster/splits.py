@@ -9,17 +9,33 @@ Two paper assumptions are enforced (Sec 3.1): every workload and every
 platform must be observed at least once in the training portion — rows are
 promoted into train when a replicate would otherwise leave an entity
 unseen.
+
+Beyond the paper's random protocol, :func:`make_cold_workload_split`
+implements the unseen-entity regime (the ``cold-start-workloads``
+scenario): a workload subset is held out entirely, so every observation
+touching it — as target *or* interferer — is test-only and the model must
+generalize from side-information features alone.
+
+Every split records the row-index arrays it was built from
+(``train_rows`` / ``calibration_rows`` / ``test_rows``), so splits can be
+persisted, compared for determinism, and replayed by the pipeline's
+artifact cache without re-randomizing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .dataset import RuntimeDataset
 
-__all__ = ["DataSplit", "make_split", "replicate_splits"]
+__all__ = [
+    "DataSplit",
+    "make_split",
+    "make_cold_workload_split",
+    "replicate_splits",
+]
 
 
 @dataclass
@@ -28,7 +44,9 @@ class DataSplit:
 
     ``train`` is the 80% used for gradient descent; ``calibration`` is the
     20% validation/calibration hold-out; ``test`` is everything outside
-    the training fraction.
+    the training fraction. The ``*_rows`` arrays are the source-dataset
+    row indices backing each part (sorted order matches the subset
+    construction).
     """
 
     train: RuntimeDataset
@@ -36,6 +54,11 @@ class DataSplit:
     test: RuntimeDataset
     train_fraction: float
     seed: int
+    train_rows: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    calibration_rows: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=int)
+    )
+    test_rows: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
 
     @property
     def n_train(self) -> int:
@@ -49,25 +72,59 @@ class DataSplit:
     def n_test(self) -> int:
         return self.test.n_observations
 
+    @classmethod
+    def from_rows(
+        cls,
+        dataset: RuntimeDataset,
+        train_rows: np.ndarray,
+        calibration_rows: np.ndarray,
+        test_rows: np.ndarray,
+        train_fraction: float,
+        seed: int,
+    ) -> "DataSplit":
+        """Materialize a split from explicit row-index arrays.
+
+        The replay path: a split persisted as three index arrays (the
+        pipeline's ``scale`` artifact) reconstructs bit-identically.
+        """
+        train_rows = np.asarray(train_rows, dtype=int)
+        calibration_rows = np.asarray(calibration_rows, dtype=int)
+        test_rows = np.asarray(test_rows, dtype=int)
+        return cls(
+            train=dataset.subset(train_rows),
+            calibration=dataset.subset(calibration_rows),
+            test=dataset.subset(test_rows),
+            train_fraction=train_fraction,
+            seed=seed,
+            train_rows=train_rows,
+            calibration_rows=calibration_rows,
+            test_rows=test_rows,
+        )
+
 
 def _ensure_entity_coverage(
     dataset: RuntimeDataset,
     train_rows: np.ndarray,
     test_rows: np.ndarray,
     rng: np.random.Generator,
+    universe: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Move rows from test → train so every entity appears in training.
 
     Implements the "each workload/platform is observed at least once"
     assumption; predicting a never-observed entity is out of scope for
-    matrix completion (Sec 3.1).
+    matrix completion (Sec 3.1). ``universe`` restricts the entity sets to
+    those referenced by the given rows (the cold-workload split must not
+    pull held-out entities back into training).
     """
     train_set = set(train_rows.tolist())
     test_list = test_rows.tolist()
 
     for entity_ids, column in (
-        (np.unique(dataset.w_idx), dataset.w_idx),
-        (np.unique(dataset.p_idx), dataset.p_idx),
+        (np.unique(dataset.w_idx if universe is None else dataset.w_idx[universe]),
+         dataset.w_idx),
+        (np.unique(dataset.p_idx if universe is None else dataset.p_idx[universe]),
+         dataset.p_idx),
     ):
         covered = set(np.unique(column[train_rows]).tolist()) if len(train_rows) else set()
         missing = [e for e in entity_ids if e not in covered]
@@ -123,10 +180,84 @@ def make_split(
         dataset, train_rows, cal_rows, rng
     )
 
-    return DataSplit(
-        train=dataset.subset(train_rows),
-        calibration=dataset.subset(cal_rows),
-        test=dataset.subset(test_rows),
+    return DataSplit.from_rows(
+        dataset,
+        train_rows=train_rows,
+        calibration_rows=cal_rows,
+        test_rows=test_rows,
+        train_fraction=train_fraction,
+        seed=seed,
+    )
+
+
+def make_cold_workload_split(
+    dataset: RuntimeDataset,
+    train_fraction: float,
+    seed: int,
+    calibration_fraction: float = 0.2,
+    holdout_fraction: float = 0.2,
+) -> DataSplit:
+    """Hold out a workload subset entirely (the unseen-entity regime).
+
+    A ``holdout_fraction`` of workloads is drawn; every observation whose
+    target *or* interferer set references one of them goes to test, so
+    the model never sees those workloads during training or calibration
+    in any role. The remaining observations follow the
+    :func:`make_split` protocol (with entity coverage enforced over the
+    surviving entities only). Test therefore mixes cold rows with the
+    usual warm holdout — the warm/cold contrast is the scenario's
+    evaluation axis.
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError(
+            f"holdout_fraction must be in (0,1), got {holdout_fraction}"
+        )
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0,1), got {train_fraction}")
+    rng = np.random.default_rng(seed)
+    workload_ids = np.unique(dataset.w_idx)
+    n_cold = max(1, int(round(holdout_fraction * len(workload_ids))))
+    cold = rng.choice(workload_ids, size=n_cold, replace=False)
+    cold_set = np.zeros(dataset.n_workloads + 1, dtype=bool)
+    cold_set[cold] = True
+
+    touches_cold = cold_set[dataset.w_idx]
+    # Interferer padding is -1; index the sentinel onto a dedicated slot.
+    interferer_cold = cold_set[dataset.interferers]
+    interferer_cold[dataset.interferers < 0] = False
+    touches_cold |= interferer_cold.any(axis=1)
+
+    cold_rows = np.flatnonzero(touches_cold)
+    warm_rows = np.flatnonzero(~touches_cold)
+    if len(warm_rows) < 2:
+        raise ValueError(
+            f"cold-workload holdout left {len(warm_rows)} warm observation(s) "
+            f"to train on ({len(cold_rows)} of {dataset.n_observations} rows "
+            f"touch the {n_cold} held-out workloads); lower holdout_fraction "
+            f"or collect a denser dataset"
+        )
+
+    perm = rng.permutation(len(warm_rows))
+    n_train_total = int(round(train_fraction * len(warm_rows)))
+    train_total = warm_rows[perm[:n_train_total]]
+    warm_test = warm_rows[perm[n_train_total:]]
+    train_total, warm_test = _ensure_entity_coverage(
+        dataset, train_total, warm_test, rng, universe=warm_rows
+    )
+
+    perm2 = rng.permutation(len(train_total))
+    n_cal = int(round(calibration_fraction * len(train_total)))
+    cal_rows = train_total[perm2[:n_cal]]
+    train_rows = train_total[perm2[n_cal:]]
+    train_rows, cal_rows = _ensure_entity_coverage(
+        dataset, train_rows, cal_rows, rng, universe=warm_rows
+    )
+
+    return DataSplit.from_rows(
+        dataset,
+        train_rows=train_rows,
+        calibration_rows=cal_rows,
+        test_rows=np.concatenate([warm_test, cold_rows]),
         train_fraction=train_fraction,
         seed=seed,
     )

@@ -32,6 +32,23 @@ class LinearScalingBaseline:
         self.loss_history: list[float] = []
         self._fitted = False
 
+    @classmethod
+    def from_parameters(
+        cls, w_bar: np.ndarray, p_bar: np.ndarray
+    ) -> "LinearScalingBaseline":
+        """Rebuild a fitted baseline from persisted parameter vectors.
+
+        The restore path for model archives and pipeline artifacts: the
+        returned baseline predicts identically to the one that was saved.
+        Only the parameters are persisted — ``loss_history`` (a fit-time
+        convergence diagnostic) starts empty.
+        """
+        baseline = cls(len(w_bar), len(p_bar))
+        baseline.w_bar = np.asarray(w_bar, dtype=np.float64)
+        baseline.p_bar = np.asarray(p_bar, dtype=np.float64)
+        baseline._fitted = True
+        return baseline
+
     # ------------------------------------------------------------------
     def fit(
         self,

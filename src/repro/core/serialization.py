@@ -13,16 +13,23 @@ from pathlib import Path
 
 import numpy as np
 
+from ..cluster.dataset import check_schema_version
 from .config import PitotConfig
 from .model import PitotModel
 from .scaling import LinearScalingBaseline
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "MODEL_SCHEMA_VERSION"]
+
+#: On-disk model archive version; :func:`load_model` refuses any other
+#: version (see :func:`repro.cluster.dataset.check_schema_version`).
+MODEL_SCHEMA_VERSION: int = 1
 
 
 def save_model(model: PitotModel, path: str | Path) -> None:
     """Serialize a (trained) Pitot model to ``path`` (.npz)."""
-    payload: dict[str, np.ndarray] = {}
+    payload: dict[str, np.ndarray] = {
+        "schema_version": np.array(MODEL_SCHEMA_VERSION)
+    }
     for name, value in model.state_dict().items():
         payload[f"param::{name}"] = value
 
@@ -54,11 +61,14 @@ def save_model(model: PitotModel, path: str | Path) -> None:
 def load_model(path: str | Path) -> PitotModel:
     """Reconstruct a Pitot model saved with :func:`save_model`."""
     with np.load(Path(path), allow_pickle=False) as archive:
+        check_schema_version(archive, MODEL_SCHEMA_VERSION, "model", path)
         config_kwargs: dict = {}
         params: dict[str, np.ndarray] = {}
         features: dict[str, np.ndarray] = {}
         baseline_parts: dict[str, np.ndarray] = {}
         for key in archive.files:
+            if key == "schema_version":
+                continue
             kind, _, name = key.partition("::")
             value = archive[key]
             if kind == "param":
@@ -93,11 +103,7 @@ def load_model(path: str | Path) -> PitotModel:
     )
     model.load_state_dict(params)
     if baseline_parts:
-        baseline = LinearScalingBaseline(
-            model.n_workloads, model.n_platforms
+        model.baseline = LinearScalingBaseline.from_parameters(
+            baseline_parts["w_bar"], baseline_parts["p_bar"]
         )
-        baseline.w_bar = baseline_parts["w_bar"]
-        baseline.p_bar = baseline_parts["p_bar"]
-        baseline._fitted = True
-        model.baseline = baseline
     return model

@@ -4,6 +4,7 @@ from .experiments import (
     ErrorResult,
     TightnessResult,
     experiment_scale,
+    resolve_experiment_input,
     run_error_experiment,
     run_tightness_experiment,
 )
@@ -15,8 +16,18 @@ from .metrics import (
     split_by_interference,
 )
 from .calibration import CalibrationCurve, calibration_curve
-from .significance import PairedComparison, paired_bootstrap, two_stderr_interval
-from .reporting import format_series_table, format_table, percent
+from .significance import (
+    PairedComparison,
+    paired_bootstrap,
+    two_se,
+    two_stderr_interval,
+)
+from .reporting import (
+    format_mean_2se,
+    format_series_table,
+    format_table,
+    percent,
+)
 
 __all__ = [
     "mape",
@@ -28,9 +39,12 @@ __all__ = [
     "TightnessResult",
     "run_error_experiment",
     "run_tightness_experiment",
+    "resolve_experiment_input",
+    "two_se",
     "experiment_scale",
     "format_table",
     "format_series_table",
+    "format_mean_2se",
     "percent",
     "PairedComparison",
     "paired_bootstrap",

@@ -5,6 +5,13 @@ replicate splits, reporting MAPE with/without interference (the axes of
 Figs 4/6/9/10) and bound-tightness grids (Figs 5/6b/11). Grid sizes are
 caller-controlled; benches default to a scaled-down grid and honor
 ``REPRO_SCALE=full`` for the paper-size protocol.
+
+Experiments are scenario-aware: ``dataset`` may be a collected
+:class:`RuntimeDataset` (legacy), a :class:`~repro.scenarios.ScenarioSpec`,
+or a registry name — scenario inputs are collected through the pipeline's
+``collect`` stage (cached when ``store`` is given) and replicate splits
+follow the scenario's holdout policy, so e.g. the ``cold-start-workloads``
+regime flows through Figs 4/5 unchanged.
 """
 
 from __future__ import annotations
@@ -18,9 +25,11 @@ import numpy as np
 from ..cluster.dataset import RuntimeDataset
 from ..cluster.splits import DataSplit, make_split
 from .metrics import coverage, mape, overprovision_margin
+from .significance import two_se
 
 if TYPE_CHECKING:  # avoid a circular import (conformal uses eval.metrics)
     from ..conformal.predictor import ConformalRuntimePredictor
+    from ..scenarios.spec import ScenarioSpec
 
 __all__ = [
     "PointPredictor",
@@ -28,6 +37,7 @@ __all__ = [
     "TightnessResult",
     "run_error_experiment",
     "run_tightness_experiment",
+    "resolve_experiment_input",
     "experiment_scale",
 ]
 
@@ -49,6 +59,43 @@ PredictorFactory = Callable[[DataSplit, int], PointPredictor]
 BoundFactory = Callable[[DataSplit, int], "ConformalRuntimePredictor"]
 
 
+def resolve_experiment_input(
+    dataset: "RuntimeDataset | ScenarioSpec | str",
+    store=None,
+) -> tuple["ScenarioSpec | None", RuntimeDataset]:
+    """Normalize an experiment input to ``(spec | None, dataset)``.
+
+    Accepts a collected dataset (returned as-is, no spec), a
+    :class:`~repro.scenarios.ScenarioSpec`, or a scenario registry name.
+    Scenario inputs are collected via the pipeline's ``collect`` stage,
+    through the artifact cache when ``store`` is given.
+    """
+    if isinstance(dataset, RuntimeDataset):
+        return None, dataset
+    # Imported lazily: eval is a leaf dependency of the pipeline package.
+    from ..pipeline.stages import run_pipeline
+    from ..scenarios.registry import get_scenario
+
+    spec = get_scenario(dataset) if isinstance(dataset, str) else dataset
+    result = run_pipeline(spec, store=store, stop_after="collect")
+    return spec, result.dataset
+
+
+def _replicate_split(
+    spec: "ScenarioSpec | None",
+    dataset: RuntimeDataset,
+    fraction: float,
+    seed: int,
+) -> DataSplit:
+    """One replicate partition honoring the scenario's holdout policy."""
+    if spec is None:
+        return make_split(dataset, fraction, seed=seed)
+    from ..pipeline.stages import make_scenario_split
+
+    return make_scenario_split(dataset=dataset, spec=spec,
+                               train_fraction=fraction, seed=seed)
+
+
 @dataclass
 class ErrorResult:
     """MAPE per (method, train fraction, replicate)."""
@@ -61,19 +108,23 @@ class ErrorResult:
 
     @staticmethod
     def aggregate(results: list["ErrorResult"]) -> dict[tuple[str, float], dict]:
-        """Mean ± 2·stderr per (method, fraction), the papers' error bars."""
+        """Mean ± 2·stderr per (method, fraction), the papers' error bars.
+
+        The ``*_2se`` entries are ``None`` when only one replicate exists
+        (a single sample has no spread estimate).
+        """
         out: dict[tuple[str, float], dict] = {}
         keys = sorted({(r.method, r.train_fraction) for r in results})
         for key in keys:
             rows = [r for r in results if (r.method, r.train_fraction) == key]
             iso = np.array([r.mape_isolation for r in rows])
             intf = np.array([r.mape_interference for r in rows])
-            n = max(len(rows), 1)
+            n = len(rows)
             out[key] = {
                 "mape_isolation": float(iso.mean()),
-                "mape_isolation_2se": float(2 * iso.std(ddof=min(1, n - 1)) / np.sqrt(n)),
+                "mape_isolation_2se": two_se(iso, n),
                 "mape_interference": float(intf.mean()),
-                "mape_interference_2se": float(2 * intf.std(ddof=min(1, n - 1)) / np.sqrt(n)),
+                "mape_interference_2se": two_se(intf, n),
                 "n_replicates": n,
             }
         return out
@@ -96,6 +147,7 @@ class TightnessResult:
     def aggregate(
         results: list["TightnessResult"],
     ) -> dict[tuple[str, float, float], dict]:
+        """Mean ± 2·stderr per (method, fraction, ε); ``None`` bars at n=1."""
         out: dict[tuple[str, float, float], dict] = {}
         keys = sorted({(r.method, r.train_fraction, r.epsilon) for r in results})
         for key in keys:
@@ -104,14 +156,14 @@ class TightnessResult:
                 for r in results
                 if (r.method, r.train_fraction, r.epsilon) == key
             ]
-            n = max(len(rows), 1)
+            n = len(rows)
             mi = np.array([r.margin_isolation for r in rows])
             mf = np.array([r.margin_interference for r in rows])
             out[key] = {
                 "margin_isolation": float(mi.mean()),
-                "margin_isolation_2se": float(2 * mi.std(ddof=min(1, n - 1)) / np.sqrt(n)),
+                "margin_isolation_2se": two_se(mi, n),
                 "margin_interference": float(mf.mean()),
-                "margin_interference_2se": float(2 * mf.std(ddof=min(1, n - 1)) / np.sqrt(n)),
+                "margin_interference_2se": two_se(mf, n),
                 "coverage_isolation": float(
                     np.mean([r.coverage_isolation for r in rows])
                 ),
@@ -124,17 +176,30 @@ class TightnessResult:
 
 
 def run_error_experiment(
-    dataset: RuntimeDataset,
+    dataset: "RuntimeDataset | ScenarioSpec | str",
     methods: dict[str, PredictorFactory],
-    train_fractions: Sequence[float],
-    n_replicates: int,
+    train_fractions: Sequence[float] | None = None,
+    n_replicates: int = 1,
     base_seed: int = 0,
+    store=None,
 ) -> list[ErrorResult]:
-    """Fig 4/6a protocol: MAPE over methods × fractions × replicates."""
+    """Fig 4/6a protocol: MAPE over methods × fractions × replicates.
+
+    ``dataset`` may be a scenario (spec or registry name); then
+    ``train_fractions`` defaults to the scenario's own fraction and each
+    replicate split follows the scenario's holdout policy.
+    """
+    spec, dataset = resolve_experiment_input(dataset, store=store)
+    if train_fractions is None:
+        if spec is None:
+            raise ValueError("train_fractions is required for raw datasets")
+        train_fractions = (spec.split.train_fraction,)
     results: list[ErrorResult] = []
     for fraction in train_fractions:
         for rep in range(n_replicates):
-            split = make_split(dataset, fraction, seed=base_seed + 1000 * rep + 7)
+            split = _replicate_split(
+                spec, dataset, fraction, seed=base_seed + 1000 * rep + 7
+            )
             test = split.test
             iso = test.isolation_mask()
             for name, factory in methods.items():
@@ -155,18 +220,29 @@ def run_error_experiment(
 
 
 def run_tightness_experiment(
-    dataset: RuntimeDataset,
+    dataset: "RuntimeDataset | ScenarioSpec | str",
     methods: dict[str, BoundFactory],
     epsilons: Sequence[float],
-    train_fractions: Sequence[float],
-    n_replicates: int,
+    train_fractions: Sequence[float] | None = None,
+    n_replicates: int = 1,
     base_seed: int = 0,
+    store=None,
 ) -> list[TightnessResult]:
-    """Fig 5/6b/11 protocol: margins over methods × ε × replicates."""
+    """Fig 5/6b/11 protocol: margins over methods × ε × replicates.
+
+    Scenario-aware exactly like :func:`run_error_experiment`.
+    """
+    spec, dataset = resolve_experiment_input(dataset, store=store)
+    if train_fractions is None:
+        if spec is None:
+            raise ValueError("train_fractions is required for raw datasets")
+        train_fractions = (spec.split.train_fraction,)
     results: list[TightnessResult] = []
     for fraction in train_fractions:
         for rep in range(n_replicates):
-            split = make_split(dataset, fraction, seed=base_seed + 1000 * rep + 7)
+            split = _replicate_split(
+                spec, dataset, fraction, seed=base_seed + 1000 * rep + 7
+            )
             test = split.test
             iso = test.isolation_mask()
             for name, factory in methods.items():

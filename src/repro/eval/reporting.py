@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_series_table", "percent"]
+__all__ = ["format_table", "format_series_table", "format_mean_2se", "percent"]
 
 
 def percent(value: float, decimals: int = 1) -> str:
@@ -19,6 +19,29 @@ def percent(value: float, decimals: int = 1) -> str:
     if value == float("inf"):
         return "inf"
     return f"{100.0 * value:.{decimals}f}%"
+
+
+def format_mean_2se(
+    mean: float,
+    two_se: float | None,
+    n_replicates: int | None = None,
+    decimals: int = 1,
+    as_percent: bool = True,
+) -> str:
+    """One aggregate cell: ``mean ± 2·stderr (n=R)``.
+
+    ``two_se`` is ``None`` when only one replicate exists (see
+    ``ErrorResult.aggregate``); the cell then shows the replicate count
+    instead of a fabricated ``±0.0`` error bar, so single-replicate grids
+    are visibly single-replicate.
+    """
+    fmt = percent if as_percent else (lambda v, d=decimals: f"{v:.{d}f}")
+    cell = fmt(mean, decimals)
+    if two_se is not None:
+        cell += f" ± {fmt(two_se, decimals)}"
+    if n_replicates is not None:
+        cell += f" (n={n_replicates})"
+    return cell
 
 
 def format_table(

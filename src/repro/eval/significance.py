@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PairedComparison", "paired_bootstrap", "two_stderr_interval"]
+__all__ = ["PairedComparison", "paired_bootstrap", "two_se", "two_stderr_interval"]
 
 
 @dataclass(frozen=True)
@@ -68,13 +68,30 @@ def paired_bootstrap(
     )
 
 
+def two_se(values, n: int | None = None) -> float | None:
+    """2·stderr of the replicate mean; ``None`` when it is undefined.
+
+    A single replicate has no spread estimate — reporting ``0.0`` would
+    read as "perfectly tight error bar", so the n<2 case is explicit.
+    The one definition of the paper's error-bar width, shared by
+    :func:`two_stderr_interval`, the experiment aggregates
+    (``ErrorResult``/``TightnessResult``), and the benchmark tables.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if n is None:
+        n = len(values)
+    if n < 2:
+        return None
+    return float(2.0 * values.std(ddof=1) / np.sqrt(n))
+
+
 def two_stderr_interval(values: np.ndarray) -> tuple[float, float, float]:
     """(mean, low, high) with ±2·stderr — the paper's error bars."""
     values = np.asarray(values, dtype=np.float64)
     if len(values) == 0:
         return float("nan"), float("nan"), float("nan")
     mean = float(values.mean())
-    if len(values) == 1:
+    half = two_se(values)
+    if half is None:
         return mean, mean, mean
-    half = 2.0 * float(values.std(ddof=1)) / np.sqrt(len(values))
     return mean, mean - half, mean + half

@@ -1,0 +1,42 @@
+"""Staged, cached pipeline from scenario spec to calibrated serving.
+
+``run_pipeline("paper")`` executes the typed stage DAG
+``collect → scale → train → calibrate → evaluate → snapshot`` and returns
+a :class:`PipelineResult` exposing the dataset, split, fitted trainer,
+calibrated :class:`~repro.conformal.ConformalRuntimePredictor`,
+:class:`~repro.core.EmbeddingSnapshot`, and metrics. With an
+:class:`ArtifactStore`, every stage is persisted content-addressed on
+(spec components read, upstream keys), so warm re-runs execute zero
+stages and spec edits re-run only the affected suffix.
+"""
+
+from .artifacts import ArtifactStore, stage_key
+from .stages import (
+    PIPELINE_STAGES,
+    PipelineResult,
+    StageDef,
+    calibrate_stage,
+    collect_stage,
+    evaluate_stage,
+    make_scenario_split,
+    run_pipeline,
+    scale_stage,
+    snapshot_stage,
+    train_stage,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "stage_key",
+    "StageDef",
+    "PIPELINE_STAGES",
+    "PipelineResult",
+    "run_pipeline",
+    "collect_stage",
+    "scale_stage",
+    "train_stage",
+    "calibrate_stage",
+    "evaluate_stage",
+    "snapshot_stage",
+    "make_scenario_split",
+]

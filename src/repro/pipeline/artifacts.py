@@ -1,0 +1,122 @@
+"""Content-addressed artifact store for pipeline stages.
+
+Every stage's output is keyed on the hash of (the spec components the
+stage reads, the stage name, the upstream stage keys, and the artifact
+schema version). Equal keys therefore mean "this exact computation
+already ran" — re-running a pipeline, or running a second pipeline that
+shares a prefix (same fleet, different trainer), loads the shared stages
+instead of recomputing them.
+
+Layout on disk::
+
+    <root>/<stage>/<key[:24]>/         # one directory per artifact
+        ...stage files...              # written by the stage's saver
+        MANIFEST.json                  # written last: commit marker
+
+The manifest is the commit point: a crashed run leaves a directory
+without one, which reads as a miss and is overwritten by the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from pathlib import Path
+
+__all__ = ["ArtifactStore", "stage_key"]
+
+#: Bump when any stage's on-disk artifact layout changes; folded into
+#: every stage key so old caches read as misses, never as garbage.
+ARTIFACT_SCHEMA_VERSION = 1
+
+_MANIFEST = "MANIFEST.json"
+
+
+def stage_key(stage: str, spec_excerpt_hash: str, upstream: tuple[str, ...]) -> str:
+    """Cache key for one stage run (hex sha256).
+
+    ``spec_excerpt_hash`` covers exactly the spec components the stage
+    reads (:meth:`ScenarioSpec.component_hash`); ``upstream`` chains the
+    keys of the stage's declared inputs, so an invalidated input
+    transitively invalidates everything downstream.
+    """
+    payload = json.dumps(
+        {
+            "artifact_schema": ARTIFACT_SCHEMA_VERSION,
+            "stage": stage,
+            "spec": spec_excerpt_hash,
+            "upstream": list(upstream),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Filesystem-backed, content-addressed stage cache."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def _dir(self, stage: str, key: str) -> Path:
+        return self.root / stage / key[:24]
+
+    def has(self, stage: str, key: str) -> bool:
+        """True when a committed artifact exists for ``(stage, key)``."""
+        return (self._dir(stage, key) / _MANIFEST).exists()
+
+    def read_dir(self, stage: str, key: str) -> Path:
+        """Directory of a committed artifact; raises on a miss."""
+        path = self._dir(stage, key)
+        if not (path / _MANIFEST).exists():
+            raise KeyError(f"no committed artifact for {stage}/{key[:24]}")
+        return path
+
+    def manifest(self, stage: str, key: str) -> dict:
+        """The committed artifact's manifest (provenance metadata)."""
+        return json.loads(
+            (self.read_dir(stage, key) / _MANIFEST).read_text()
+        )
+
+    # ------------------------------------------------------------------
+    def write_dir(self, stage: str, key: str) -> Path:
+        """Fresh (emptied) directory to write a new artifact into.
+
+        Any partial leftovers from a crashed run are discarded; the
+        artifact only becomes visible once :meth:`commit` writes the
+        manifest.
+        """
+        path = self._dir(stage, key)
+        if path.exists():
+            shutil.rmtree(path)
+        path.mkdir(parents=True)
+        return path
+
+    def commit(self, stage: str, key: str, meta: dict | None = None) -> None:
+        """Publish the artifact written under ``(stage, key)``."""
+        path = self._dir(stage, key)
+        manifest = {
+            "stage": stage,
+            "key": key,
+            "artifact_schema": ARTIFACT_SCHEMA_VERSION,
+            **(meta or {}),
+        }
+        (path / _MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
+
+    # ------------------------------------------------------------------
+    def stage_entries(self) -> dict[str, int]:
+        """Committed artifact count per stage (observability/tests)."""
+        counts: dict[str, int] = {}
+        if not self.root.exists():
+            return counts
+        for stage_dir in sorted(self.root.iterdir()):
+            if stage_dir.is_dir():
+                counts[stage_dir.name] = sum(
+                    1
+                    for entry in stage_dir.iterdir()
+                    if (entry / _MANIFEST).exists()
+                )
+        return counts

@@ -1,0 +1,668 @@
+"""The staged pipeline: ``collect → scale → train → calibrate → evaluate
+→ snapshot``.
+
+One :class:`~repro.scenarios.ScenarioSpec` drives the whole path the
+paper's Sec 5.1 protocol describes (and ``cli.py``, the benchmarks, and
+the integration tests used to re-implement by hand):
+
+* **collect** — build the fleet and run the campaign → `RuntimeDataset`;
+* **scale** — draw the replicate split and fit the linear-scaling
+  baseline (App B.1) → `DataSplit` + `LinearScalingBaseline`;
+* **train** — fit Pitot under the spec's architecture/optimizer →
+  `TrainingResult`;
+* **calibrate** — conformalize on the calibration hold-out →
+  `ConformalRuntimePredictor`;
+* **evaluate** — MAPE / coverage / margin on test → metrics dict;
+* **snapshot** — freeze serving embeddings → `EmbeddingSnapshot`.
+
+Each stage declares which spec components it reads and which upstream
+stages it consumes; :func:`run_pipeline` keys every stage's artifact on
+exactly that (see :mod:`repro.pipeline.artifacts`), so a warm re-run
+executes zero stages and a spec edit re-runs only the affected suffix.
+
+The stage functions are plain and public — the CLI calls them directly
+for its one-off ``collect``/``train``/``evaluate`` commands — and every
+one is deterministic in (spec, inputs): the cached and freshly-computed
+paths are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..cluster.collection import (
+    ClusterCollector,
+    make_cluster,
+    synthetic_fleet_dataset,
+)
+from ..cluster.dataset import RuntimeDataset, check_schema_version
+from ..cluster.splits import DataSplit, make_cold_workload_split, make_split
+from ..conformal.predictor import ConformalRuntimePredictor, HeadChoice
+from ..core.model import EmbeddingSnapshot, PitotModel
+from ..core.scaling import LinearScalingBaseline
+from ..core.serialization import load_model, save_model
+from ..core.trainer import PitotTrainer, TrainingResult, train_pitot
+from ..eval.metrics import coverage, mape, overprovision_margin
+from ..scenarios.registry import get_scenario
+from ..scenarios.spec import ScenarioSpec
+from .artifacts import ArtifactStore, stage_key
+
+__all__ = [
+    "StageDef",
+    "PIPELINE_STAGES",
+    "PipelineResult",
+    "run_pipeline",
+    "collect_stage",
+    "scale_stage",
+    "train_stage",
+    "calibrate_stage",
+    "evaluate_stage",
+    "snapshot_stage",
+    "make_scenario_split",
+]
+
+#: Split-artifact npz schema (independent of the dataset schema).
+_SPLIT_SCHEMA_VERSION = 1
+_SNAPSHOT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StageDef:
+    """One pipeline stage's contract.
+
+    ``spec_components`` are the :class:`ScenarioSpec` parts whose content
+    feeds the stage's cache key; ``inputs`` are upstream stage names whose
+    keys are chained in. ``provides`` names the :class:`PipelineResult`
+    attributes the stage fills.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    spec_components: tuple[str, ...]
+    provides: tuple[str, ...]
+
+
+#: The typed stage DAG, in execution order.
+PIPELINE_STAGES: tuple[StageDef, ...] = (
+    StageDef(
+        "collect",
+        inputs=(),
+        spec_components=("fleet", "collection", "performance", "seeds.collect"),
+        provides=("dataset",),
+    ),
+    StageDef(
+        "scale",
+        inputs=("collect",),
+        spec_components=("split", "seeds.split"),
+        provides=("split", "baseline"),
+    ),
+    StageDef(
+        "train",
+        inputs=("scale",),
+        spec_components=(
+            "model",
+            "trainer",
+            "seeds.train",
+            "seeds.model_init",
+        ),
+        provides=("training",),
+    ),
+    StageDef(
+        "calibrate",
+        inputs=("train",),
+        spec_components=("conformal",),
+        provides=("predictor",),
+    ),
+    StageDef(
+        "evaluate",
+        inputs=("calibrate",),
+        spec_components=(),
+        provides=("metrics",),
+    ),
+    StageDef(
+        "snapshot",
+        inputs=("train",),
+        spec_components=(),
+        provides=("snapshot",),
+    ),
+)
+
+_STAGE_BY_NAME = {stage.name: stage for stage in PIPELINE_STAGES}
+
+
+# ----------------------------------------------------------------------
+# Stage implementations (pure functions of spec + upstream values)
+# ----------------------------------------------------------------------
+def collect_stage(spec: ScenarioSpec) -> RuntimeDataset:
+    """Build the spec's fleet and run the collection campaign."""
+    fleet = spec.fleet
+    if fleet.synthetic:
+        return synthetic_fleet_dataset(
+            n_workloads=fleet.n_workloads,
+            n_platforms=fleet.n_platforms,
+            n_observations=fleet.n_observations,
+            seed=spec.seeds.collect,
+        )
+    model = make_cluster(
+        seed=spec.seeds.collect,
+        n_workloads=fleet.n_workloads,
+        n_devices=fleet.n_devices,
+        n_runtimes=fleet.n_runtimes,
+        performance_config=spec.performance,
+    )
+    collector = ClusterCollector(model, spec.collection)
+    return collector.collect(np.random.default_rng(spec.seeds.collect + 1))
+
+
+def make_scenario_split(
+    spec: ScenarioSpec,
+    dataset: RuntimeDataset,
+    train_fraction: float | None = None,
+    seed: int | None = None,
+) -> DataSplit:
+    """Draw one split under the spec's holdout policy.
+
+    ``train_fraction`` / ``seed`` overrides support the replicate
+    protocol (experiment harnesses sweep fractions and seeds over one
+    scenario).
+    """
+    fraction = (
+        spec.split.train_fraction if train_fraction is None else train_fraction
+    )
+    seed = spec.seeds.split if seed is None else seed
+    if spec.split.holdout == "cold-workload":
+        return make_cold_workload_split(
+            dataset,
+            fraction,
+            seed=seed,
+            calibration_fraction=spec.split.calibration_fraction,
+            holdout_fraction=spec.split.holdout_fraction,
+        )
+    return make_split(
+        dataset,
+        fraction,
+        seed=seed,
+        calibration_fraction=spec.split.calibration_fraction,
+    )
+
+
+def scale_stage(
+    spec: ScenarioSpec, dataset: RuntimeDataset
+) -> tuple[DataSplit, LinearScalingBaseline]:
+    """Split the dataset and fit the linear-scaling baseline (App B.1).
+
+    The baseline is fit exactly as the trainer fits it (isolation rows of
+    the training part, all-rows fallback), so the artifact doubles as the
+    standalone Sec 3.2 predictor for this split.
+    """
+    split = make_scenario_split(spec, dataset)
+    baseline = LinearScalingBaseline(dataset.n_workloads, dataset.n_platforms)
+    train = split.train
+    iso = train.isolation_mask()
+    baseline.fit(
+        train.w_idx[iso],
+        train.p_idx[iso],
+        train.log_runtime[iso],
+        fallback=(train.w_idx, train.p_idx, train.log_runtime),
+    )
+    return split, baseline
+
+
+def train_stage(spec: ScenarioSpec, split: DataSplit) -> TrainingResult:
+    """Fit Pitot on the split under the spec's architecture/optimizer.
+
+    ``spec.trainer.seed`` already mirrors ``seeds.train`` (enforced by
+    ``ScenarioSpec.__post_init__``).
+    """
+    return train_pitot(
+        split.train,
+        split.calibration,
+        model_config=spec.model,
+        trainer_config=spec.trainer,
+        seed=spec.seeds.model_init,
+    )
+
+
+def calibrate_stage(
+    spec: ScenarioSpec, model: PitotModel, split: DataSplit
+) -> ConformalRuntimePredictor:
+    """Split-calibrate the trained model at the spec's ε grid."""
+    quantiles = model.config.quantiles
+    strategy = spec.conformal.strategy
+    if strategy is None:
+        strategy = "pitot" if quantiles else "split"
+    predictor = ConformalRuntimePredictor(
+        model,
+        quantiles=quantiles,
+        strategy=strategy,
+        use_pools=spec.conformal.use_pools,
+    )
+    return predictor.calibrate(
+        split.calibration, epsilons=spec.conformal.epsilons
+    )
+
+
+def evaluate_stage(
+    spec: ScenarioSpec,
+    training: TrainingResult,
+    predictor: ConformalRuntimePredictor,
+    split: DataSplit,
+) -> dict:
+    """Sec 5.1 test metrics: MAPE by interference, coverage/margin per ε."""
+    test = split.test
+    model = training.model
+    # The scenario *name* is provenance, not content — it lives in the
+    # artifact manifest, never in the cached payload, so a same-knob
+    # scenario alias hitting this cache is not mislabeled.
+    metrics: dict = {
+        "n_train": split.n_train,
+        "n_calibration": split.n_calibration,
+        "n_test": split.n_test,
+        "steps_run": training.steps_run,
+        "best_step": training.best_step,
+        "best_val_loss": (
+            training.best_val_loss
+            if np.isfinite(training.best_val_loss)
+            else None
+        ),
+        "final_train_loss": (
+            training.train_loss_history[-1]
+            if training.train_loss_history
+            else None
+        ),
+    }
+    pred = model.predict_runtime(test.w_idx, test.p_idx, test.interferers)
+    iso = test.isolation_mask()
+    # ``None`` (JSON null), not NaN, for empty partitions: metrics.json
+    # must stay strict JSON for non-Python consumers of the store.
+    metrics["mape_isolation"] = (
+        float(mape(pred[iso], test.runtime[iso])) if iso.any() else None
+    )
+    metrics["mape_interference"] = (
+        float(mape(pred[~iso], test.runtime[~iso])) if (~iso).any() else None
+    )
+    by_epsilon: dict[str, dict[str, float]] = {}
+    for eps in spec.conformal.epsilons:
+        bound = predictor.predict_bound_dataset(test, eps)
+        by_epsilon[repr(float(eps))] = {
+            "coverage": float(coverage(bound, test.runtime)),
+            "margin": float(overprovision_margin(bound, test.runtime)),
+        }
+    metrics["epsilons"] = by_epsilon
+    return metrics
+
+
+def snapshot_stage(model: PitotModel) -> EmbeddingSnapshot:
+    """Freeze the trained towers into the serving-side snapshot."""
+    return EmbeddingSnapshot.from_model(model)
+
+
+# ----------------------------------------------------------------------
+# Stage persistence (artifact directory ↔ in-memory value)
+# ----------------------------------------------------------------------
+def _save_collect(path: Path, out: dict) -> None:
+    out["dataset"].save(path / "dataset.npz")
+
+
+def _load_collect(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    out["dataset"] = RuntimeDataset.load(path / "dataset.npz")
+
+
+def _save_scale(path: Path, out: dict) -> None:
+    split: DataSplit = out["split"]
+    baseline: LinearScalingBaseline = out["baseline"]
+    np.savez_compressed(
+        path / "split.npz",
+        schema_version=np.array(_SPLIT_SCHEMA_VERSION),
+        train_rows=split.train_rows,
+        calibration_rows=split.calibration_rows,
+        test_rows=split.test_rows,
+        train_fraction=np.array(split.train_fraction),
+        seed=np.array(split.seed),
+        w_bar=baseline.w_bar,
+        p_bar=baseline.p_bar,
+    )
+
+
+def _load_scale(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    dataset: RuntimeDataset = out["dataset"]
+    with np.load(path / "split.npz") as archive:
+        check_schema_version(
+            archive, _SPLIT_SCHEMA_VERSION, "split", path / "split.npz"
+        )
+        out["split"] = DataSplit.from_rows(
+            dataset,
+            train_rows=archive["train_rows"],
+            calibration_rows=archive["calibration_rows"],
+            test_rows=archive["test_rows"],
+            train_fraction=float(archive["train_fraction"]),
+            seed=int(archive["seed"]),
+        )
+        out["baseline"] = LinearScalingBaseline.from_parameters(
+            archive["w_bar"], archive["p_bar"]
+        )
+
+
+def _save_train(path: Path, out: dict) -> None:
+    training: TrainingResult = out["training"]
+    save_model(training.model, path / "model.npz")
+    (path / "training.json").write_text(
+        json.dumps(
+            {
+                "train_loss_history": training.train_loss_history,
+                "val_loss_history": [
+                    [step, loss] for step, loss in training.val_loss_history
+                ],
+                "best_val_loss": training.best_val_loss,
+                "best_step": training.best_step,
+                "steps_run": training.steps_run,
+            }
+        )
+        + "\n"
+    )
+
+
+def _load_train(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    model = load_model(path / "model.npz")
+    history = json.loads((path / "training.json").read_text())
+    out["training"] = TrainingResult(
+        model=model,
+        train_loss_history=[float(v) for v in history["train_loss_history"]],
+        val_loss_history=[
+            (int(step), float(loss))
+            for step, loss in history["val_loss_history"]
+        ],
+        best_val_loss=float(history["best_val_loss"]),
+        best_step=int(history["best_step"]),
+        steps_run=int(history["steps_run"]),
+    )
+
+
+def _save_calibrate(path: Path, out: dict) -> None:
+    predictor: ConformalRuntimePredictor = out["predictor"]
+    (path / "calibration.json").write_text(
+        json.dumps(
+            {
+                "strategy": predictor.strategy,
+                "use_pools": predictor.use_pools,
+                "quantiles": predictor.quantiles,
+                "epsilons": predictor._calibrated_epsilons,
+                "choices": [
+                    {
+                        "epsilon": eps,
+                        "pool": pool,
+                        "head": choice.head,
+                        "offset": choice.offset,
+                    }
+                    for (eps, pool), choice in predictor.choices.items()
+                ],
+            }
+        )
+        + "\n"
+    )
+
+
+def _load_calibrate(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    payload = json.loads((path / "calibration.json").read_text())
+    quantiles = payload["quantiles"]
+    predictor = ConformalRuntimePredictor(
+        out["training"].model,
+        quantiles=None if quantiles is None else tuple(quantiles),
+        strategy=payload["strategy"],
+        use_pools=payload["use_pools"],
+    )
+    predictor.choices = {
+        (float(rec["epsilon"]), int(rec["pool"])): HeadChoice(
+            head=int(rec["head"]), offset=float(rec["offset"])
+        )
+        for rec in payload["choices"]
+    }
+    predictor._calibrated_epsilons = [float(e) for e in payload["epsilons"]]
+    out["predictor"] = predictor
+
+
+def _save_evaluate(path: Path, out: dict) -> None:
+    # allow_nan=False keeps the artifact strict JSON (jq/CI-readable);
+    # evaluate_stage emits None, never NaN/inf, for undefined metrics.
+    (path / "metrics.json").write_text(
+        json.dumps(out["metrics"], indent=2, allow_nan=False) + "\n"
+    )
+
+
+def _load_evaluate(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    out["metrics"] = json.loads((path / "metrics.json").read_text())
+
+
+def _save_snapshot(path: Path, out: dict) -> None:
+    snapshot: EmbeddingSnapshot = out["snapshot"]
+    arrays = {
+        "schema_version": np.array(_SNAPSHOT_SCHEMA_VERSION),
+        "W": snapshot.W,
+        "P": snapshot.P,
+    }
+    for name in ("VS", "VG", "baseline_w", "baseline_p"):
+        value = getattr(snapshot, name)
+        if value is not None:
+            arrays[name] = value
+    np.savez_compressed(path / "snapshot.npz", **arrays)
+
+
+def _load_snapshot(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    model: PitotModel = out["training"].model
+    with np.load(path / "snapshot.npz") as archive:
+        check_schema_version(
+            archive, _SNAPSHOT_SCHEMA_VERSION, "snapshot", path / "snapshot.npz"
+        )
+        def opt(name):
+            return archive[name] if name in archive.files else None
+
+        # Generation is pinned to the in-memory model (same parameters),
+        # so staleness checks keep working on the cached path.
+        out["snapshot"] = EmbeddingSnapshot(
+            config=model.config,
+            W=archive["W"],
+            P=archive["P"],
+            VS=opt("VS"),
+            VG=opt("VG"),
+            baseline_w=opt("baseline_w"),
+            baseline_p=opt("baseline_p"),
+            generation=model.generation,
+        )
+
+
+def _compute_collect(spec: ScenarioSpec, out: dict) -> None:
+    out["dataset"] = collect_stage(spec)
+
+
+def _compute_scale(spec: ScenarioSpec, out: dict) -> None:
+    out["split"], out["baseline"] = scale_stage(spec, out["dataset"])
+
+
+def _compute_train(spec: ScenarioSpec, out: dict) -> None:
+    out["training"] = train_stage(spec, out["split"])
+
+
+def _compute_calibrate(spec: ScenarioSpec, out: dict) -> None:
+    out["predictor"] = calibrate_stage(
+        spec, out["training"].model, out["split"]
+    )
+
+
+def _compute_evaluate(spec: ScenarioSpec, out: dict) -> None:
+    out["metrics"] = evaluate_stage(
+        spec, out["training"], out["predictor"], out["split"]
+    )
+
+
+def _compute_snapshot(spec: ScenarioSpec, out: dict) -> None:
+    out["snapshot"] = snapshot_stage(out["training"].model)
+
+
+_COMPUTE = {
+    "collect": _compute_collect,
+    "scale": _compute_scale,
+    "train": _compute_train,
+    "calibrate": _compute_calibrate,
+    "evaluate": _compute_evaluate,
+    "snapshot": _compute_snapshot,
+}
+_SAVERS = {
+    "collect": _save_collect,
+    "scale": _save_scale,
+    "train": _save_train,
+    "calibrate": _save_calibrate,
+    "evaluate": _save_evaluate,
+    "snapshot": _save_snapshot,
+}
+_LOADERS = {
+    "collect": _load_collect,
+    "scale": _load_scale,
+    "train": _load_train,
+    "calibrate": _load_calibrate,
+    "evaluate": _load_evaluate,
+    "snapshot": _load_snapshot,
+}
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced (or loaded from cache)."""
+
+    spec: ScenarioSpec
+    dataset: RuntimeDataset
+    split: DataSplit
+    baseline: LinearScalingBaseline
+    training: TrainingResult
+    predictor: ConformalRuntimePredictor
+    metrics: dict
+    snapshot: EmbeddingSnapshot
+    #: stage → content-addressed artifact key.
+    stage_keys: dict[str, str] = field(default_factory=dict)
+    #: Stages computed in this run, in order.
+    executed: tuple[str, ...] = ()
+    #: Stages served from the artifact store, in order.
+    cached: tuple[str, ...] = ()
+
+    @property
+    def model(self) -> PitotModel:
+        """The trained Pitot model (best-validation checkpoint)."""
+        return self.training.model
+
+    @property
+    def trainer(self) -> PitotTrainer:
+        """A trainer bound to the fitted model under the spec's config.
+
+        Supports post-hoc ``evaluate_loss`` sweeps and continued
+        fine-tuning without re-plumbing the configuration.
+        """
+        return PitotTrainer(self.training.model, self.spec.trainer)
+
+    def service(self, cache_size: int = 65536, max_batch: int = 8192):
+        """A calibrated :class:`~repro.serving.PredictionService`.
+
+        Built from the snapshot stage's frozen embeddings plus the
+        calibrate stage's head choices — the end of the declarative path:
+        spec in, serving-ready predictor out.
+        """
+        from ..serving.service import PredictionService
+
+        return PredictionService(
+            self.snapshot,
+            choices=self.predictor.choices,
+            use_pools=self.predictor.use_pools,
+            cache_size=cache_size,
+            max_batch=max_batch,
+        )
+
+
+def run_pipeline(
+    spec: ScenarioSpec | str,
+    store: ArtifactStore | str | Path | None = None,
+    stop_after: str = "snapshot",
+    force: bool = False,
+) -> PipelineResult:
+    """Run (or replay) the staged pipeline for one scenario.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`ScenarioSpec` or a registry name.
+    store:
+        Artifact store (or its root path). ``None`` disables caching:
+        every stage computes fresh and nothing is persisted.
+    stop_after:
+        Last stage to run (``"snapshot"`` = the full DAG). Earlier
+        stops leave later :class:`PipelineResult` fields unset —
+        ``collect``-only runs are how the CLI implements ``collect``.
+    force:
+        Recompute every stage even on a cache hit (artifacts are
+        rewritten, so downstream consumers see fresh keys' content).
+    """
+    if isinstance(spec, str):
+        spec = get_scenario(spec)
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    if stop_after not in _STAGE_BY_NAME:
+        raise ValueError(
+            f"unknown stage {stop_after!r}; "
+            f"stages: {[s.name for s in PIPELINE_STAGES]}"
+        )
+
+    keys: dict[str, str] = {}
+    executed: list[str] = []
+    cached: list[str] = []
+    out: dict = {}
+    for stage in PIPELINE_STAGES:
+        key = stage_key(
+            stage.name,
+            spec.component_hash(*stage.spec_components),
+            tuple(keys[name] for name in stage.inputs),
+        )
+        keys[stage.name] = key
+        loaded = False
+        if store is not None and not force and store.has(stage.name, key):
+            try:
+                _LOADERS[stage.name](store.read_dir(stage.name, key), spec, out)
+                loaded = True
+            except ValueError:
+                # A payload-schema bump (dataset/model/split/snapshot
+                # version) under an unchanged stage key: the committed
+                # artifact predates this code. Treat it as a miss and
+                # recompute — old caches must never abort a run.
+                loaded = False
+        if loaded:
+            cached.append(stage.name)
+        else:
+            _COMPUTE[stage.name](spec, out)
+            if store is not None:
+                path = store.write_dir(stage.name, key)
+                _SAVERS[stage.name](path, out)
+                store.commit(
+                    stage.name,
+                    key,
+                    meta={"scenario": spec.name, "spec_hash": spec.spec_hash()},
+                )
+            executed.append(stage.name)
+        if stage.name == stop_after:
+            break
+
+    return PipelineResult(
+        spec=spec,
+        dataset=out.get("dataset"),
+        split=out.get("split"),
+        baseline=out.get("baseline"),
+        training=out.get("training"),
+        predictor=out.get("predictor"),
+        metrics=out.get("metrics"),
+        snapshot=out.get("snapshot"),
+        stage_keys=keys,
+        executed=tuple(executed),
+        cached=tuple(cached),
+    )

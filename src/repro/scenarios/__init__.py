@@ -1,0 +1,37 @@
+"""Scenario layer: declarative campaign specs + named registry.
+
+A scenario turns "collect this fleet at this density, split it this way,
+train this architecture, calibrate at these ε" into one frozen,
+content-hashable value (:class:`ScenarioSpec`). The registry ships the
+paper's own campaign plus the fleet/interference/drift regimes the
+ROADMAP asks for; adding a new regime is a ~20-line builder under the
+:func:`scenario` decorator, not a new script.
+"""
+
+from .registry import (
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from .spec import (
+    ConformalSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SeedSpec,
+    SplitSpec,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "FleetSpec",
+    "SplitSpec",
+    "ConformalSpec",
+    "SeedSpec",
+    "scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+]

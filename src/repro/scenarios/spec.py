@@ -1,0 +1,334 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the single frozen value describing one complete
+campaign: which fleet to build, how densely to collect it, how to split,
+which architecture to train, and how to calibrate. Every knob that used
+to be plumbed by hand through ``cli.py``, the benchmarks, and the
+integration tests lives here, so one spec drives the whole
+``collect → scale → train → calibrate → evaluate → snapshot`` pipeline
+(:mod:`repro.pipeline`) and two equal specs are guaranteed to reproduce
+bit-identical artifacts (everything downstream is seeded NumPy).
+
+Specs are content-hashable (:meth:`ScenarioSpec.spec_hash`), which is what
+the pipeline's artifact store keys on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from ..cluster.collection import CollectionConfig
+from ..cluster.performance import PerformanceModelConfig
+from ..core.config import PitotConfig, TrainerConfig
+
+__all__ = [
+    "FleetSpec",
+    "SplitSpec",
+    "ConformalSpec",
+    "SeedSpec",
+    "ScenarioSpec",
+]
+
+#: Bump when the spec schema changes shape; part of every spec hash so
+#: stale cached artifacts keyed under an old schema can never be loaded.
+SPEC_SCHEMA_VERSION = 1
+
+#: Split holdout strategies understood by
+#: :func:`repro.pipeline.stages.make_scenario_split`.
+HOLDOUT_STRATEGIES = ("random", "cold-workload")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Population composition: which cluster the campaign runs against.
+
+    ``None`` limits keep the paper's full inventory (249 workloads, 24
+    devices × 10 runtimes → 220 platforms); integers subsample with
+    stride so every suite and device class stays represented.
+
+    ``synthetic=True`` switches to a schema-compatible synthetic fleet at
+    arbitrary scale (``n_workloads × n_platforms`` with ``n_observations``
+    rows) — the population regime the batch-sparse training path targets,
+    far beyond what the trace collector can enumerate.
+    """
+
+    n_workloads: int | None = None
+    n_devices: int | None = None
+    n_runtimes: int | None = None
+    #: Synthetic fleet switch (see :func:`repro.cluster.collection.
+    #: synthetic_fleet_dataset`).
+    synthetic: bool = False
+    #: Synthetic-only: direct platform count (real fleets derive platforms
+    #: from devices × runtimes).
+    n_platforms: int | None = None
+    #: Synthetic-only: observation rows to draw.
+    n_observations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.synthetic:
+            if self.n_workloads is None or self.n_platforms is None:
+                raise ValueError(
+                    "synthetic fleets need explicit n_workloads and n_platforms"
+                )
+            if self.n_devices is not None or self.n_runtimes is not None:
+                raise ValueError(
+                    "synthetic fleets have no device/runtime axis; set "
+                    "n_platforms directly"
+                )
+        elif self.n_platforms is not None or self.n_observations is not None:
+            raise ValueError(
+                "n_platforms / n_observations apply only to synthetic fleets"
+            )
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """Train/calibration/test partition policy (Sec 5.1 + holdout knobs)."""
+
+    #: Fraction of observations available for training + calibration.
+    train_fraction: float = 0.8
+    #: Portion of the training fraction held out for validation and
+    #: conformal calibration (paper: 20%).
+    calibration_fraction: float = 0.2
+    #: ``"random"`` (paper protocol) or ``"cold-workload"`` (all rows
+    #: touching a held-out workload subset go to test — the unseen-entity
+    #: regime).
+    holdout: str = "random"
+    #: Fraction of workloads held out under ``"cold-workload"``.
+    holdout_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.train_fraction < 1.0:
+            raise ValueError(
+                f"train_fraction must be in (0,1), got {self.train_fraction}"
+            )
+        if self.holdout not in HOLDOUT_STRATEGIES:
+            raise ValueError(
+                f"unknown holdout {self.holdout!r}; "
+                f"expected one of {HOLDOUT_STRATEGIES}"
+            )
+        if self.holdout == "cold-workload" and not 0.0 < self.holdout_fraction < 1.0:
+            raise ValueError(
+                "cold-workload holdout needs holdout_fraction in (0,1)"
+            )
+
+
+@dataclass(frozen=True)
+class ConformalSpec:
+    """Calibration policy for the conformal wrapper."""
+
+    #: Miscoverage rates to calibrate.
+    epsilons: tuple[float, ...] = (0.1, 0.05, 0.01)
+    #: ``None`` auto-selects: "pitot" for quantile models, "split" for
+    #: point predictors (how the paper calibrates each).
+    strategy: str | None = None
+    #: Per-interference-degree calibration pools (paper) vs global.
+    use_pools: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.epsilons:
+            raise ValueError("at least one epsilon is required")
+        if not all(0.0 < eps < 1.0 for eps in self.epsilons):
+            raise ValueError(f"epsilons must lie in (0, 1), got {self.epsilons}")
+
+
+@dataclass(frozen=True)
+class SeedSpec:
+    """Every random stream the pipeline consumes, in one place.
+
+    Two specs differing only here produce independent replicates of the
+    same scenario.
+    """
+
+    #: Cluster construction + campaign measurement noise.
+    collect: int = 0
+    #: Replicate partition seed.
+    split: int = 0
+    #: SGD batch draws + validation subsampling.
+    train: int = 0
+    #: Model parameter initialization.
+    model_init: int = 0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully-declarative campaign (see module docs).
+
+    ``seeds`` is the single source of randomness: ``trainer.seed`` is
+    kept synchronized with ``seeds.train`` on construction, so two specs
+    differing only in a redundant seed spelling cannot produce distinct
+    content hashes for identical computations.
+    """
+
+    name: str
+    description: str = ""
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    collection: CollectionConfig = field(default_factory=CollectionConfig)
+    performance: PerformanceModelConfig = field(
+        default_factory=PerformanceModelConfig
+    )
+    split: SplitSpec = field(default_factory=SplitSpec)
+    model: PitotConfig = field(default_factory=PitotConfig)
+    trainer: TrainerConfig = field(default_factory=TrainerConfig)
+    conformal: ConformalSpec = field(default_factory=ConformalSpec)
+    seeds: SeedSpec = field(default_factory=SeedSpec)
+
+    def __post_init__(self) -> None:
+        if self.trainer.seed != self.seeds.train:
+            object.__setattr__(
+                self, "trainer", replace(self.trainer, seed=self.seeds.train)
+            )
+        if self.fleet.synthetic:
+            # Synthetic fleets draw features/indices directly; the trace
+            # campaign and ground-truth knobs have no effect there, so a
+            # non-default value is a misconfiguration, not a no-op.
+            if self.collection != CollectionConfig():
+                raise ValueError(
+                    "collection knobs do not apply to synthetic fleets"
+                )
+            if self.performance != PerformanceModelConfig():
+                raise ValueError(
+                    "performance knobs do not apply to synthetic fleets"
+                )
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Nested plain-python dict (tuples become lists)."""
+        return asdict(self)
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the full spec (hex sha256).
+
+        The artifact-store cache key root: equal hashes ⇒ bit-identical
+        pipeline outputs.
+        """
+        payload = {"schema": SPEC_SCHEMA_VERSION, "spec": self.to_dict()}
+        return _stable_hash(payload)
+
+    def component_hash(self, *components: str) -> str:
+        """Hash of a subset of spec components (plus the schema version).
+
+        Stages key their artifacts on only the components they read, so
+        e.g. changing ``trainer.steps`` re-runs training without
+        invalidating the collected dataset.
+        """
+        payload = {"schema": SPEC_SCHEMA_VERSION}
+        full = self.to_dict()
+        for component in components:
+            key, _, leaf = component.partition(".")
+            value = full[key]
+            payload[component] = value[leaf] if leaf else value
+        return _stable_hash(payload)
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def scaled(self, **overrides) -> "ScenarioSpec":
+        """Replace leaf knobs by name, routing each to its component.
+
+        ``None`` values are ignored (convenient for optional CLI flags:
+        an unset ``--workloads`` keeps the scenario's own fleet size).
+        Unknown names raise. Example::
+
+            get_scenario("paper").scaled(n_workloads=40, steps=400)
+        """
+        updates: dict[str, dict] = {}
+        for key, value in overrides.items():
+            if value is None:
+                continue
+            component = _SCALED_FIELDS.get(key)
+            if component is None:
+                raise ValueError(
+                    f"unknown scenario knob {key!r}; "
+                    f"known: {sorted(_SCALED_FIELDS)}"
+                )
+            updates.setdefault(component, {})[key] = value
+        replaced = {
+            component: replace(getattr(self, component), **fields)
+            for component, fields in updates.items()
+        }
+        return replace(self, **replaced)
+
+    def with_seeds(
+        self,
+        collect: int | None = None,
+        split: int | None = None,
+        train: int | None = None,
+        model_init: int | None = None,
+    ) -> "ScenarioSpec":
+        """Replace seed streams (``None`` keeps the current value)."""
+        seeds = self.seeds
+        return replace(
+            self,
+            seeds=SeedSpec(
+                collect=seeds.collect if collect is None else collect,
+                split=seeds.split if split is None else split,
+                train=seeds.train if train is None else train,
+                model_init=(
+                    seeds.model_init if model_init is None else model_init
+                ),
+            ),
+        )
+
+    def describe(self) -> str:
+        """One-line human summary for ``repro scenarios list``."""
+        if self.fleet.synthetic:
+            fleet = f"synthetic {self.fleet.n_workloads}x{self.fleet.n_platforms}"
+        else:
+            fleet = "x".join(
+                "full" if v is None else str(v)
+                for v in (
+                    self.fleet.n_workloads,
+                    self.fleet.n_devices,
+                    self.fleet.n_runtimes,
+                )
+            )
+        return (
+            f"fleet={fleet} sets/deg={self.collection.sets_per_degree} "
+            f"train={self.split.train_fraction:.0%} "
+            f"holdout={self.split.holdout} steps={self.trainer.steps}"
+        )
+
+
+#: Leaf-knob → owning component routing for :meth:`ScenarioSpec.scaled`.
+_SCALED_FIELDS = {
+    "n_workloads": "fleet",
+    "n_devices": "fleet",
+    "n_runtimes": "fleet",
+    "n_platforms": "fleet",
+    "n_observations": "fleet",
+    "sets_per_degree": "collection",
+    "degrees": "collection",
+    "interference_timeout_base": "collection",
+    "set_crash_rate": "collection",
+    "interference_strength": "performance",
+    "train_fraction": "split",
+    "calibration_fraction": "split",
+    "holdout": "split",
+    "holdout_fraction": "split",
+    "hidden": "model",
+    "embedding_dim": "model",
+    "learned_features": "model",
+    "quantiles": "model",
+    "interference_mode": "model",
+    "objective": "model",
+    "steps": "trainer",
+    "batch_per_degree": "trainer",
+    "learning_rate": "trainer",
+    "eval_every": "trainer",
+    "max_eval_rows": "trainer",
+    "sparse_embeddings": "trainer",
+    "epsilons": "conformal",
+    "strategy": "conformal",
+    "use_pools": "conformal",
+}
+
+
+def _stable_hash(payload) -> str:
+    """sha256 of the canonical-JSON encoding of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

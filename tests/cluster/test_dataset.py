@@ -128,3 +128,43 @@ class TestPersistence:
         loaded = RuntimeDataset.load(path)
         assert loaded.workload_feature_names == ["a", "b"]
         assert loaded.platform_feature_names == ["x", "y"]
+
+
+class TestSchemaVersion:
+    def test_save_writes_current_version(self, tmp_path):
+        from repro.cluster import DATASET_SCHEMA_VERSION
+
+        path = tmp_path / "ds.npz"
+        _toy_dataset().save(path)
+        with np.load(path) as archive:
+            assert int(archive["schema_version"]) == DATASET_SCHEMA_VERSION
+
+    def test_round_trip_still_loads(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        ds = _toy_dataset()
+        ds.save(path)
+        loaded = RuntimeDataset.load(path)
+        assert np.array_equal(loaded.runtime, ds.runtime)
+
+    def test_version_mismatch_fails_loudly(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        _toy_dataset().save(path)
+        with np.load(path, allow_pickle=True) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["schema_version"] = np.array(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="schema version 999"):
+            RuntimeDataset.load(path)
+
+    def test_missing_version_fails_loudly(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        _toy_dataset().save(path)
+        with np.load(path, allow_pickle=True) as archive:
+            payload = {
+                name: archive[name]
+                for name in archive.files
+                if name != "schema_version"
+            }
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="no schema_version"):
+            RuntimeDataset.load(path)

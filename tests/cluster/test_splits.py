@@ -60,3 +60,89 @@ class TestReplicates:
     def test_metadata(self, mini_dataset):
         splits = replicate_splits(mini_dataset, 0.4, n_replicates=2, base_seed=5)
         assert all(s.train_fraction == 0.4 for s in splits)
+
+
+class TestColdWorkloadSplit:
+    @pytest.fixture(scope="class")
+    def cold_split(self, mini_dataset):
+        from repro.cluster import make_cold_workload_split
+
+        return make_cold_workload_split(
+            mini_dataset, train_fraction=0.7, seed=4, holdout_fraction=0.2
+        )
+
+    def test_partition_is_disjoint_and_complete(self, mini_dataset, cold_split):
+        merged = np.concatenate([
+            cold_split.train_rows,
+            cold_split.calibration_rows,
+            cold_split.test_rows,
+        ])
+        assert len(merged) == mini_dataset.n_observations
+        assert len(np.unique(merged)) == len(merged)
+
+    def test_held_out_workloads_never_seen_in_training(self, cold_split):
+        seen_targets = set(np.unique(cold_split.train.w_idx))
+        seen_targets |= set(np.unique(cold_split.calibration.w_idx))
+        seen_interferers = set(np.unique(cold_split.train.interferers))
+        seen_interferers |= set(np.unique(cold_split.calibration.interferers))
+        seen = seen_targets | (seen_interferers - {-1})
+        cold = set(np.unique(cold_split.test.w_idx)) - seen
+        assert cold, "expected fully-unseen workloads in test"
+
+    def test_deterministic_by_seed(self, mini_dataset):
+        from repro.cluster import make_cold_workload_split
+
+        a = make_cold_workload_split(mini_dataset, 0.7, seed=9)
+        b = make_cold_workload_split(mini_dataset, 0.7, seed=9)
+        assert np.array_equal(a.train_rows, b.train_rows)
+        assert np.array_equal(a.test_rows, b.test_rows)
+
+    def test_invalid_holdout_fraction_raises(self, mini_dataset):
+        from repro.cluster import make_cold_workload_split
+
+        with pytest.raises(ValueError, match="holdout_fraction"):
+            make_cold_workload_split(
+                mini_dataset, 0.7, seed=0, holdout_fraction=1.0
+            )
+
+    def test_all_rows_cold_fails_loudly(self):
+        # Dense interference + huge holdout: every row touches a cold
+        # workload, which must be a clear error at the split site, not a
+        # cryptic crash inside the trainer.
+        from repro.cluster import make_cold_workload_split, synthetic_fleet_dataset
+
+        ds = synthetic_fleet_dataset(4, 3, n_observations=60, seed=0)
+        with pytest.raises(ValueError, match="warm observation"):
+            make_cold_workload_split(
+                ds, 0.7, seed=0, holdout_fraction=0.9
+            )
+
+
+class TestSplitRowIndices:
+    def test_rows_back_the_subsets(self, mini_dataset):
+        split = make_split(mini_dataset, 0.5, seed=2)
+        assert np.array_equal(
+            mini_dataset.runtime[split.train_rows], split.train.runtime
+        )
+        assert np.array_equal(
+            mini_dataset.runtime[split.calibration_rows],
+            split.calibration.runtime,
+        )
+        assert np.array_equal(
+            mini_dataset.runtime[split.test_rows], split.test.runtime
+        )
+
+    def test_from_rows_round_trip(self, mini_dataset):
+        from repro.cluster import DataSplit
+
+        split = make_split(mini_dataset, 0.5, seed=2)
+        rebuilt = DataSplit.from_rows(
+            mini_dataset,
+            split.train_rows,
+            split.calibration_rows,
+            split.test_rows,
+            split.train_fraction,
+            split.seed,
+        )
+        assert np.array_equal(rebuilt.train.runtime, split.train.runtime)
+        assert np.array_equal(rebuilt.test.w_idx, split.test.w_idx)

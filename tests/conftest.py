@@ -9,29 +9,38 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster import collect_dataset, make_split
 from repro.core import (
     PAPER_QUANTILES,
     PitotConfig,
     TrainerConfig,
     train_pitot,
 )
+from repro.pipeline import collect_stage, make_scenario_split
+from repro.scenarios import get_scenario
 
 #: Small-but-structured architecture used by most training-dependent tests.
 TINY_MODEL = dict(hidden=(32,), embedding_dim=8, learned_features=1)
 
 
 @pytest.fixture(scope="session")
-def mini_dataset():
-    """A miniature collected dataset: ~40 workloads x ~20 platforms."""
-    return collect_dataset(
-        seed=0, n_workloads=40, n_devices=6, n_runtimes=4, sets_per_degree=20
-    )
+def mini_scenario():
+    """The paper scenario scaled to test size (~40 workloads x ~20
+    platforms); the single spec every miniature fixture derives from."""
+    return get_scenario("paper").scaled(
+        n_workloads=40, n_devices=6, n_runtimes=4, sets_per_degree=20,
+        train_fraction=0.6,
+    ).with_seeds(split=3)
 
 
 @pytest.fixture(scope="session")
-def mini_split(mini_dataset):
-    return make_split(mini_dataset, train_fraction=0.6, seed=3)
+def mini_dataset(mini_scenario):
+    """A miniature collected dataset: ~40 workloads x ~20 platforms."""
+    return collect_stage(mini_scenario)
+
+
+@pytest.fixture(scope="session")
+def mini_split(mini_scenario, mini_dataset):
+    return make_scenario_split(mini_scenario, mini_dataset)
 
 
 @pytest.fixture(scope="session")

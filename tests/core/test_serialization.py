@@ -80,3 +80,32 @@ class TestRoundTrip:
         assert np.allclose(
             model.interference_matrices(), loaded.interference_matrices()
         )
+
+
+class TestSchemaVersion:
+    def test_mismatch_fails_loudly(self, rng, tmp_path):
+        import pytest
+
+        path = tmp_path / "model.npz"
+        save_model(_model(rng), path)
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["schema_version"] = np.array(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="schema version 999"):
+            load_model(path)
+
+    def test_missing_version_fails_loudly(self, rng, tmp_path):
+        import pytest
+
+        path = tmp_path / "model.npz"
+        save_model(_model(rng), path)
+        with np.load(path) as archive:
+            payload = {
+                name: archive[name]
+                for name in archive.files
+                if name != "schema_version"
+            }
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="no schema_version"):
+            load_model(path)

@@ -95,3 +95,82 @@ class TestTightnessExperiment:
         agg = TightnessResult.aggregate(rows)[("m", 0.5, 0.1)]
         assert agg["margin_isolation"] == pytest.approx(0.3)
         assert agg["coverage_interference"] == pytest.approx(0.94)
+
+
+class TestSingleReplicateErrorBars:
+    def test_error_2se_none_at_one_replicate(self):
+        agg = ErrorResult.aggregate([ErrorResult("m", 0.5, 0, 0.10, 0.20)])
+        cell = agg[("m", 0.5)]
+        assert cell["n_replicates"] == 1
+        assert cell["mape_isolation_2se"] is None
+        assert cell["mape_interference_2se"] is None
+
+    def test_tightness_2se_none_at_one_replicate(self):
+        agg = TightnessResult.aggregate(
+            [TightnessResult("m", 0.5, 0.1, 0, 0.2, 0.3, 0.95, 0.93)]
+        )
+        cell = agg[("m", 0.5, 0.1)]
+        assert cell["n_replicates"] == 1
+        assert cell["margin_isolation_2se"] is None
+        assert cell["margin_interference_2se"] is None
+
+    def test_two_replicates_keep_real_error_bars(self):
+        agg = ErrorResult.aggregate([
+            ErrorResult("m", 0.5, 0, 0.10, 0.20),
+            ErrorResult("m", 0.5, 1, 0.20, 0.40),
+        ])
+        assert agg[("m", 0.5)]["mape_isolation_2se"] > 0
+
+
+class TestScenarioInputs:
+    def test_scenario_spec_resolves_and_defaults_fraction(self):
+        from repro.eval import resolve_experiment_input, run_error_experiment
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("paper").scaled(
+            n_workloads=16, n_devices=4, n_runtimes=3, sets_per_degree=5,
+            train_fraction=0.5,
+        )
+        resolved_spec, dataset = resolve_experiment_input(spec)
+        assert resolved_spec is spec
+        assert dataset.n_observations > 0
+
+        results = run_error_experiment(
+            spec,
+            methods={"biased": lambda split, seed: _OracleWithBias(split, 1.1)},
+            n_replicates=1,
+        )
+        assert [r.train_fraction for r in results] == [0.5]
+
+    def test_cold_scenario_uses_cold_splits(self):
+        import numpy as np
+
+        from repro.eval import run_error_experiment
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("cold-start-workloads").scaled(
+            n_workloads=20, n_devices=4, n_runtimes=3, sets_per_degree=5
+        )
+        captured = {}
+
+        def factory(split, seed):
+            captured["split"] = split
+            return _OracleWithBias(split, 1.0)
+
+        run_error_experiment(spec, methods={"o": factory}, n_replicates=1)
+        split = captured["split"]
+        seen = set(np.unique(split.train.w_idx))
+        seen |= set(np.unique(split.calibration.w_idx))
+        assert set(np.unique(split.test.w_idx)) - seen
+
+    def test_raw_dataset_requires_fractions(self, mini_dataset):
+        import pytest
+
+        from repro.eval import run_error_experiment
+
+        with pytest.raises(ValueError, match="train_fractions"):
+            run_error_experiment(
+                mini_dataset,
+                methods={"o": lambda split, seed: _OracleWithBias(split, 1.0)},
+                n_replicates=1,
+            )

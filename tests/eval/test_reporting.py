@@ -43,3 +43,22 @@ class TestSeriesTable:
         assert "pitot" in lines[0] and "nn" in lines[0]
         assert lines[2].startswith("10")
         assert lines[3].startswith("50")
+
+
+class TestFormatMean2se:
+    def test_mean_with_error_bar_and_replicates(self):
+        from repro.eval import format_mean_2se
+
+        cell = format_mean_2se(0.123, 0.011, n_replicates=5)
+        assert cell == "12.3% ± 1.1% (n=5)"
+
+    def test_single_replicate_omits_error_bar(self):
+        from repro.eval import format_mean_2se
+
+        assert format_mean_2se(0.123, None, n_replicates=1) == "12.3% (n=1)"
+
+    def test_non_percent_mode(self):
+        from repro.eval import format_mean_2se
+
+        cell = format_mean_2se(1.5, 0.25, decimals=2, as_percent=False)
+        assert cell == "1.50 ± 0.25"

@@ -7,7 +7,6 @@ slowest orderings are marked ``slow``.
 import numpy as np
 import pytest
 
-from repro.cluster import make_split
 from repro.conformal import ConformalRuntimePredictor
 from repro.core import (
     PAPER_QUANTILES,
@@ -16,13 +15,14 @@ from repro.core import (
     train_pitot,
 )
 from repro.eval import coverage, mape, overprovision_margin
+from repro.pipeline import make_scenario_split
 
 ARCH = dict(hidden=(32,), embedding_dim=8, learned_features=1)
 
 
 @pytest.fixture(scope="module")
-def split(mini_dataset):
-    return make_split(mini_dataset, train_fraction=0.6, seed=11)
+def split(mini_scenario, mini_dataset):
+    return make_scenario_split(mini_scenario, mini_dataset, seed=11)
 
 
 def _train(split, steps=800, **config_overrides):
@@ -112,14 +112,17 @@ class TestUncertainty:
 
 
 class TestPersistenceFlow:
-    def test_dataset_save_train_load_cycle(self, tmp_path, mini_dataset):
+    def test_dataset_save_train_load_cycle(self, tmp_path, mini_scenario,
+                                           mini_dataset):
         """The npz round trip preserves everything training needs."""
         path = tmp_path / "mini.npz"
         mini_dataset.save(path)
         from repro.cluster import RuntimeDataset
 
         loaded = RuntimeDataset.load(path)
-        split = make_split(loaded, 0.5, seed=0)
+        split = make_scenario_split(
+            mini_scenario, loaded, train_fraction=0.5, seed=0
+        )
         result = train_pitot(
             split.train,
             split.calibration,

@@ -1,0 +1,106 @@
+"""Acceptance: the ``paper`` scenario through the pipeline reproduces the
+historical manual path bit-for-bit (ISSUE 3).
+
+The manual path is the conftest fixture chain every integration test has
+always used — ``collect_dataset → make_split → train_pitot`` with the
+mini configuration — and the pipeline must land on identical train /
+validation losses and identical conformal coverage (asserted at
+atol 1e-9, observed exact), with a warm re-run executing zero stages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conformal import ConformalRuntimePredictor
+from repro.eval import coverage
+from repro.pipeline import run_pipeline
+from repro.scenarios import get_scenario
+
+#: Matches the conftest ``trained_pitot`` fixture's configuration exactly.
+MINI_KNOBS = dict(
+    n_workloads=40, n_devices=6, n_runtimes=4, sets_per_degree=20,
+    train_fraction=0.6,
+    hidden=(32,), embedding_dim=8, learned_features=1,
+    steps=400, eval_every=100, batch_per_degree=256,
+    epsilons=(0.1,),
+)
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("paper-pipeline-store")
+
+
+@pytest.fixture(scope="module")
+def pipeline_result(store_root):
+    spec = get_scenario("paper").scaled(**MINI_KNOBS).with_seeds(split=3)
+    return run_pipeline(spec, store=store_root)
+
+
+class TestPaperScenarioReproducesManualPath:
+    def test_dataset_matches_fixture(self, pipeline_result, mini_dataset):
+        ds = pipeline_result.dataset
+        assert np.array_equal(ds.runtime, mini_dataset.runtime)
+        assert np.array_equal(ds.w_idx, mini_dataset.w_idx)
+        assert np.array_equal(ds.interferers, mini_dataset.interferers)
+
+    def test_split_matches_fixture(self, pipeline_result, mini_split):
+        split = pipeline_result.split
+        assert np.array_equal(split.train_rows, mini_split.train_rows)
+        assert np.array_equal(
+            split.calibration_rows, mini_split.calibration_rows
+        )
+        assert np.array_equal(split.test_rows, mini_split.test_rows)
+
+    def test_training_losses_match_manual_path(self, pipeline_result,
+                                               trained_pitot):
+        pipe = pipeline_result.training
+        assert pipe.best_val_loss == pytest.approx(
+            trained_pitot.best_val_loss, abs=1e-9
+        )
+        assert pipe.best_step == trained_pitot.best_step
+        np.testing.assert_allclose(
+            pipe.train_loss_history,
+            trained_pitot.train_loss_history,
+            rtol=0, atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            np.array(pipe.val_loss_history),
+            np.array(trained_pitot.val_loss_history),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_conformal_coverage_matches_manual_path(self, pipeline_result,
+                                                    trained_pitot,
+                                                    mini_split):
+        manual = ConformalRuntimePredictor(
+            trained_pitot.model, strategy="split"
+        ).calibrate(mini_split.calibration, epsilons=(0.1,))
+        bound = manual.predict_bound_dataset(mini_split.test, 0.1)
+        manual_coverage = coverage(bound, mini_split.test.runtime)
+        pipeline_coverage = (
+            pipeline_result.metrics["epsilons"]["0.1"]["coverage"]
+        )
+        assert pipeline_coverage == pytest.approx(manual_coverage, abs=1e-9)
+
+    def test_model_predictions_match_manual_path(self, pipeline_result,
+                                                 trained_pitot, mini_split):
+        test = mini_split.test
+        manual = trained_pitot.model.predict_runtime(
+            test.w_idx, test.p_idx, test.interferers
+        )
+        pipe = pipeline_result.model.predict_runtime(
+            test.w_idx, test.p_idx, test.interferers
+        )
+        np.testing.assert_allclose(pipe, manual, rtol=0, atol=1e-9)
+
+
+class TestWarmReRun:
+    def test_warm_run_executes_zero_stages(self, pipeline_result, store_root):
+        spec = get_scenario("paper").scaled(**MINI_KNOBS).with_seeds(split=3)
+        warm = run_pipeline(spec, store=store_root)
+        assert warm.executed == ()
+        assert len(warm.cached) == 6
+        assert warm.training.best_val_loss == pytest.approx(
+            pipeline_result.training.best_val_loss, abs=0
+        )

@@ -1,0 +1,53 @@
+"""Artifact-store semantics: content addressing, commit protocol."""
+
+import pytest
+
+from repro.pipeline import ArtifactStore, stage_key
+
+
+class TestStageKey:
+    def test_deterministic(self):
+        assert stage_key("train", "abc", ("k1",)) == stage_key(
+            "train", "abc", ("k1",)
+        )
+
+    def test_sensitive_to_every_input(self):
+        base = stage_key("train", "abc", ("k1",))
+        assert stage_key("scale", "abc", ("k1",)) != base
+        assert stage_key("train", "abd", ("k1",)) != base
+        assert stage_key("train", "abc", ("k2",)) != base
+        assert stage_key("train", "abc", ()) != base
+
+
+class TestArtifactStore:
+    def test_miss_until_commit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = stage_key("collect", "spec", ())
+        assert not store.has("collect", key)
+        path = store.write_dir("collect", key)
+        (path / "data.txt").write_text("payload")
+        # Written but uncommitted: still a miss (crash-safety).
+        assert not store.has("collect", key)
+        store.commit("collect", key, meta={"scenario": "smoke"})
+        assert store.has("collect", key)
+        assert store.manifest("collect", key)["scenario"] == "smoke"
+
+    def test_read_dir_raises_on_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(KeyError):
+            store.read_dir("collect", stage_key("collect", "x", ()))
+
+    def test_write_dir_discards_partial_leftovers(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = stage_key("train", "spec", ())
+        (store.write_dir("train", key) / "stale.txt").write_text("old")
+        path = store.write_dir("train", key)
+        assert list(path.iterdir()) == []
+
+    def test_stage_entries_counts_committed_only(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        k1, k2 = stage_key("a", "1", ()), stage_key("a", "2", ())
+        store.write_dir("a", k1)
+        store.commit("a", k1)
+        store.write_dir("a", k2)  # never committed
+        assert store.stage_entries() == {"a": 1}

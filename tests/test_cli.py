@@ -1,6 +1,5 @@
 """CLI workflows: collect → train → evaluate → predict."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -154,3 +153,55 @@ class TestServing:
         assert "snapshot batch" in out
         assert "cached (LRU)" in out
         assert "deviate" not in out
+
+
+class TestScenarioCommands:
+    def test_scenarios_list_names_registry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper", "fleet-large", "cold-start-workloads", "smoke"):
+            assert name in out
+
+    def test_scenarios_list_verbose_shows_knobs(self, capsys):
+        assert main(["scenarios", "list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "hash=" in out
+        assert "fleet=" in out
+
+
+class TestPipelineCommand:
+    def test_cold_then_warm_run_through_cache(self, tmp_path, capsys):
+        store = tmp_path / "cache"
+        argv = ["pipeline", "run", "--scenario", "smoke",
+                "--store", str(store)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "6 stage(s) run, 0 cached" in out
+        # Warm: every stage must be a cache hit.
+        assert main(argv + ["--assert-warm"]) == 0
+        out = capsys.readouterr().out
+        assert "0 stage(s) run, 6 cached" in out
+        assert "coverage" in out
+
+    def test_assert_warm_fails_on_cold_run(self, tmp_path, capsys):
+        assert main([
+            "pipeline", "run", "--scenario", "smoke",
+            "--store", str(tmp_path / "cache"), "--assert-warm",
+        ]) == 1
+        assert "expected a fully-warm run" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, tmp_path, capsys):
+        assert main([
+            "pipeline", "run", "--scenario", "not-a-scenario",
+            "--store", str(tmp_path / "cache"),
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scale_overrides_apply(self, tmp_path, capsys):
+        assert main([
+            "pipeline", "run", "--scenario", "smoke",
+            "--store", str(tmp_path / "cache"),
+            "--workloads", "12", "--steps", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "6 stage(s) run" in out

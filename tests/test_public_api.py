@@ -13,6 +13,8 @@ SUBPACKAGES = [
     "repro.platforms",
     "repro.cluster",
     "repro.core",
+    "repro.scenarios",
+    "repro.pipeline",
     "repro.conformal",
     "repro.serving",
     "repro.baselines",
@@ -64,5 +66,7 @@ def test_readme_quickstart_names_exist():
         "TrainerConfig", "PAPER_QUANTILES", "ConformalRuntimePredictor",
         "save_model", "load_model", "OnlineConformalizer",
         "PredictionService", "EmbeddingSnapshot",
+        "ScenarioSpec", "get_scenario", "run_pipeline", "ArtifactStore",
+        "PipelineResult",
     ):
         assert hasattr(repro, name), name
