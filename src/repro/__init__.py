@@ -36,12 +36,20 @@ Scenarios + pipeline (one declarative path, cached stage-by-stage)::
     result = run_pipeline("paper", store=".repro-cache")
     service = result.service()      # warm re-runs execute zero stages
 
+Continual learning (streaming ingest → warm update → rolling
+recalibration → atomic swap)::
+
+    from repro import run_lifecycle
+    outcome = run_lifecycle(spec, dataset, result.model, result.predictor)
+    outcome.coverage_by_phase()     # adaptive vs never-recalibrated
+
 Sub-packages: :mod:`repro.nn` (autograd substrate), :mod:`repro.workloads`,
 :mod:`repro.platforms`, :mod:`repro.cluster` (simulator), :mod:`repro.core`
 (Pitot), :mod:`repro.scenarios` (named campaign registry),
 :mod:`repro.pipeline` (staged, cached scenario pipeline),
-:mod:`repro.conformal`, :mod:`repro.serving`, :mod:`repro.baselines`,
-:mod:`repro.eval`, :mod:`repro.analysis`.
+:mod:`repro.lifecycle` (continual-learning loop), :mod:`repro.conformal`,
+:mod:`repro.serving`, :mod:`repro.baselines`, :mod:`repro.eval`,
+:mod:`repro.analysis`.
 """
 
 from .baselines import (
@@ -55,6 +63,7 @@ from .cluster import (
     CollectionConfig,
     DataSplit,
     GroundTruthPerformanceModel,
+    ObservationBuffer,
     PerformanceModelConfig,
     RuntimeDataset,
     collect_dataset,
@@ -82,8 +91,15 @@ from .orchestration import (
     flow_placement,
     greedy_placement,
 )
+from .lifecycle import (
+    DriftTrace,
+    LifecycleManager,
+    make_drift_trace,
+    run_lifecycle,
+)
 from .pipeline import ArtifactStore, PipelineResult, run_pipeline
 from .scenarios import (
+    DriftSpec,
     ScenarioSpec,
     get_scenario,
     iter_scenarios,
@@ -108,6 +124,7 @@ __all__ = [
     "DataSplit",
     "make_split",
     "replicate_splits",
+    "ObservationBuffer",
     # core
     "PitotConfig",
     "TrainerConfig",
@@ -121,6 +138,7 @@ __all__ = [
     "load_model",
     # scenarios / pipeline
     "ScenarioSpec",
+    "DriftSpec",
     "scenario",
     "register_scenario",
     "get_scenario",
@@ -129,6 +147,11 @@ __all__ = [
     "ArtifactStore",
     "PipelineResult",
     "run_pipeline",
+    # lifecycle
+    "DriftTrace",
+    "make_drift_trace",
+    "LifecycleManager",
+    "run_lifecycle",
     # conformal
     "ConformalRuntimePredictor",
     "OnlineConformalizer",

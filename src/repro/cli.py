@@ -15,7 +15,11 @@ Wraps the library's main flows for shell use:
 * ``serve`` — answer a stream of bound queries through the batched,
   embedding-cached :class:`~repro.serving.PredictionService`;
 * ``bench-serve`` — compare serving throughput: per-call model forward
-  vs. snapshot batching vs. LRU-cached lookups.
+  vs. snapshot batching vs. LRU-cached lookups;
+* ``lifecycle run`` — replay a drift scenario's observation stream
+  through the continual loop (ingest → warm update → rolling
+  recalibration → atomic swap) and report coverage over time against a
+  never-recalibrated baseline.
 
 The one-off commands (``collect``/``train``/``evaluate``) are thin
 wrappers over the same stage functions the pipeline runs — the CLI no
@@ -35,9 +39,11 @@ from .cluster.dataset import MAX_INTERFERERS, pad_interferers
 from .core import PAPER_QUANTILES, load_model, save_model
 from .eval import coverage, mape, overprovision_margin
 from .pipeline import (
+    ArtifactStore,
     calibrate_stage,
     collect_stage,
     make_scenario_split,
+    pipeline_stage_keys,
     run_pipeline,
     train_stage,
 )
@@ -86,6 +92,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sets-per-degree", type=int, default=None)
     p.add_argument("--steps", type=int, default=None,
                    help="override the scenario's training steps")
+
+    p = sub.add_parser(
+        "lifecycle",
+        help="continual-learning lifecycle over a drift scenario",
+    )
+    lifecycle_sub = p.add_subparsers(dest="lifecycle_command", required=True)
+    p = lifecycle_sub.add_parser(
+        "run",
+        help="replay the scenario's drift trace "
+             "(ingest -> update -> recalibrate -> swap) and report "
+             "coverage over time",
+    )
+    p.add_argument("--scenario", default="drifting-fleet",
+                   help="a drift-enabled registry scenario")
+    p.add_argument("--store", default=".repro-cache",
+                   help="artifact store holding the trained snapshot "
+                        "(run `repro pipeline run` first)")
+    p.add_argument("--assert-warm", action="store_true",
+                   help="exit 1 unless every lifecycle stage was a cache "
+                        "hit (CI cache validation)")
+    p.add_argument("--workloads", type=int, default=None,
+                   help="override the scenario's workload count "
+                        "(must match the pipeline run that trained it)")
+    p.add_argument("--devices", type=int, default=None)
+    p.add_argument("--runtimes", type=int, default=None)
+    p.add_argument("--sets-per-degree", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--events-per-phase", type=int, default=None,
+                   help="override the drift stream's per-phase volume")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="events per lifecycle tick")
+    p.add_argument("--update-steps", type=int, default=None,
+                   help="warm-start gradient steps per update burst")
 
     p = sub.add_parser("collect", help="run the simulated collection campaign")
     p.add_argument("output", help="output .npz dataset path")
@@ -199,6 +238,90 @@ def _cmd_pipeline_run(args) -> int:
           f"{len(result.cached)} cached, {elapsed:.1f}s")
     if args.assert_warm and result.executed:
         print(f"expected a fully-warm run but executed: "
+              f"{list(result.executed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_lifecycle_run(args) -> int:
+    try:
+        spec = get_scenario(args.scenario).scaled(
+            n_workloads=args.workloads,
+            n_devices=args.devices,
+            n_runtimes=args.runtimes,
+            sets_per_degree=args.sets_per_degree,
+            steps=args.steps,
+            events_per_phase=args.events_per_phase,
+            chunk=args.chunk,
+            update_steps=args.update_steps,
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if not spec.drift.enabled:
+        print(
+            f"scenario {spec.name!r} defines no drift stream "
+            f"(drift.enabled is false); pick a drift scenario such as "
+            f"'drifting-fleet' (see `repro scenarios list`)",
+            file=sys.stderr,
+        )
+        return 2
+    store = ArtifactStore(args.store)
+    keys = pipeline_stage_keys(spec)
+    missing = [
+        stage for stage in ("collect", "scale", "train", "calibrate")
+        if not store.has(stage, keys[stage])
+    ]
+    if missing:
+        print(
+            f"no trained snapshot for scenario {spec.name!r} in store "
+            f"{args.store!r} (missing stage(s): {', '.join(missing)}).\n"
+            f"Train one first:\n"
+            f"  repro pipeline run --scenario {spec.name} --store {args.store}",
+            file=sys.stderr,
+        )
+        return 2
+
+    start = time.perf_counter()
+    result = run_pipeline(spec, store=store, stop_after="recalibrate")
+    elapsed = time.perf_counter() - start
+    epsilon = spec.conformal.epsilons[0]
+
+    print(f"scenario {spec.name} (spec {spec.spec_hash()[:12]})")
+    for stage in ("ingest", "update", "recalibrate"):
+        status = "cached " if stage in result.cached else "run    "
+        print(f"  {status} {stage:12s} {result.stage_keys[stage][:16]}")
+
+    print(f"\ncoverage over time (eps={epsilon}, target >= {1 - epsilon:.2f}; "
+          f"static = never recalibrated)")
+    print(f"{'tick':>4s} {'phase':>5s} {'events':>6s} {'adaptive':>8s} "
+          f"{'static':>8s} {'gen':>4s}  flags")
+    for tick in result.lifecycle.ticks:
+        flags = " ".join(
+            name for name in ("reset", "promoted") if tick.get(name)
+        )
+        print(f"{tick['tick']:>4d} {tick['phase']:>5d} {tick['events']:>6d} "
+              f"{tick['coverage_adaptive']:>8.3f} "
+              f"{tick['coverage_static']:>8.3f} "
+              f"{tick['generation']:>4d}  {flags}")
+
+    phases = sorted({tick["phase"] for tick in result.lifecycle.ticks})
+    print("\nper-phase mean coverage (adaptive vs static):")
+    for phase in phases:
+        rows = [t for t in result.lifecycle.ticks if t["phase"] == phase]
+        events = sum(t["events"] for t in rows)
+        adaptive = sum(
+            t["coverage_adaptive"] * t["events"] for t in rows
+        ) / events
+        static = sum(t["coverage_static"] * t["events"] for t in rows) / events
+        multiplier = spec.drift.phases[phase]
+        print(f"  phase {phase} ({multiplier:g}x): "
+              f"adaptive {adaptive:.3f}  static {static:.3f}")
+    swaps = sum(1 for t in result.lifecycle.ticks if t["promoted"])
+    print(f"\n{result.lifecycle.update_steps} warm-update step(s), "
+          f"{swaps} atomic swap(s), {elapsed:.1f}s")
+    if args.assert_warm and result.executed:
+        print(f"expected a fully-warm lifecycle but executed: "
               f"{list(result.executed)}", file=sys.stderr)
         return 1
     return 0
@@ -384,6 +507,12 @@ def _cmd_serve(args) -> int:
         print(f"workload={workload} platform={platform} co={co_text} {budgets}")
     print(f"served {len(queries)} queries in {service.stats.batches} "
           f"batches ({len(epsilons)} epsilon(s) from one forward pass)")
+    stats = service.stats.as_dict()
+    print(f"cache: {stats['cache_hits']} hit(s) / {stats['cache_misses']} "
+          f"miss(es), hit rate {stats['hit_rate']:.1%}; "
+          f"swaps: {stats['swaps']} "
+          f"(invalidations: {stats['invalidations']}); "
+          f"generation {service.generation}")
     return 0
 
 
@@ -462,6 +591,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenarios_list(args)
     if args.command == "pipeline":
         return _cmd_pipeline_run(args)
+    if args.command == "lifecycle":
+        return _cmd_lifecycle_run(args)
     handler = {
         "collect": _cmd_collect,
         "train": _cmd_train,

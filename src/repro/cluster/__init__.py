@@ -24,6 +24,7 @@ from .splits import (
     make_split,
     replicate_splits,
 )
+from .stream import ObservationBuffer, PoolDriftStat
 from .trace_io import export_observations_csv, import_trace_csv
 
 __all__ = [
@@ -42,6 +43,8 @@ __all__ = [
     "make_split",
     "make_cold_workload_split",
     "replicate_splits",
+    "ObservationBuffer",
+    "PoolDriftStat",
     "export_observations_csv",
     "import_trace_csv",
 ]

@@ -74,6 +74,16 @@ class OnlineConformalizer:
             return len(self._scores.get(pool, ()))
         return sum(len(q) for q in self._scores.values())
 
+    def pool_scores(self, pool: int) -> np.ndarray:
+        """The pool's retained score window, oldest first.
+
+        At most ``window`` entries — always the *most recent* scores fed
+        to the pool (FIFO trimming). Public so lifecycle observability
+        (and the window-trimming property tests) need not reach into
+        internals.
+        """
+        return np.asarray(self._scores.get(pool, ()), dtype=np.float64)
+
     # ------------------------------------------------------------------
     def offset(self, epsilon: float, pool: int) -> float:
         """Current conformal offset for a pool (global fallback if thin)."""

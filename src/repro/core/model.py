@@ -496,6 +496,28 @@ class PitotModel(Module):
         """Freeze current embeddings into an inference-only snapshot."""
         return EmbeddingSnapshot.from_model(self)
 
+    def clone(self) -> "PitotModel":
+        """An independent copy: same architecture, parameters, baseline.
+
+        The continual-learning path mutates parameters in place
+        (:meth:`~repro.core.PitotTrainer.update`); cloning first lets a
+        lifecycle run perturb a model while the original — possibly a
+        shared cached pipeline artifact — stays pristine. The clone
+        starts its own generation counter.
+        """
+        clone = PitotModel(
+            self._raw_workload_features,
+            self._raw_platform_features,
+            self.config,
+            np.random.default_rng(0),
+        )
+        clone.load_state_dict(self.state_dict())
+        if self.baseline is not None:
+            clone.baseline = LinearScalingBaseline.from_parameters(
+                self.baseline.w_bar.copy(), self.baseline.p_bar.copy()
+            )
+        return clone
+
     # ------------------------------------------------------------------
     # Prediction API (NumPy in/out, chunked)
     # ------------------------------------------------------------------

@@ -175,6 +175,80 @@ class PitotTrainer:
                 weight_sum += w
         return total / max(weight_sum, 1e-12)
 
+    def _gradient_step(
+        self,
+        train: RuntimeDataset,
+        train_targets: np.ndarray,
+        rows_by_degree: dict[int, np.ndarray],
+        n_int: int,
+        any_interference: bool,
+        rng: np.random.Generator,
+        optimizer: AdaMax,
+        force_sparse: bool | None = None,
+    ) -> float:
+        """One weighted SGD step; returns the batch loss.
+
+        Shared by :meth:`fit` and :meth:`update`; ``force_sparse``
+        overrides the config's sparse-embedding policy (warm-start
+        updates always run batch-sparse — their batches reference a tiny
+        fraction of the population by construction).
+        """
+        cfg = self.config
+        optimizer.zero_grad()
+        # One combined batch with per-row coefficients reproduces the
+        # paper's per-degree sub-batch weighting exactly (the weighted
+        # sum of per-degree means) while traversing one graph.
+        batches, coeffs = [], []
+        for degree, rows in rows_by_degree.items():
+            size = min(cfg.batch_per_degree, len(rows))
+            batch = rows[rng.integers(0, len(rows), size=size)]
+            batches.append(batch)
+            coeffs.append(
+                np.full(size, self._degree_weight(degree, n_int) / size)
+            )
+        batch = np.concatenate(batches)
+        coeff = np.concatenate(coeffs)
+        w_idx = train.w_idx[batch]
+        p_idx = train.p_idx[batch]
+        interferers = train.interferers[batch] if any_interference else None
+        # Batch-sparse step: towers run only over the unique entity
+        # rows this batch references; the gathers scatter gradients
+        # back to the full tables. Row-identical to the dense
+        # formulation (the towers are row-independent), so auto mode
+        # is free to choose per step on the pruning ratio alone.
+        use_sparse = (
+            cfg.sparse_embeddings if force_sparse is None else force_sparse
+        )
+        plan = None
+        if use_sparse is not False:
+            plan = plan_sparse_batch(w_idx, p_idx, interferers)
+            if use_sparse is None:
+                population = self.model.n_workloads + self.model.n_platforms
+                referenced = len(plan.w_rows) + len(plan.p_rows)
+                use_sparse = referenced <= SPARSE_AUTO_FRACTION * population
+        if use_sparse:
+            embeddings = self.model.compute_embeddings_sparse(
+                plan.w_rows, plan.p_rows
+            )
+            pred = self.model.forward(
+                plan.w_local,
+                plan.p_local,
+                plan.interferers_local,
+                embeddings=embeddings,
+            )
+        else:
+            embeddings = self.model.compute_embeddings()
+            pred = self.model.forward(
+                w_idx, p_idx, interferers, embeddings=embeddings
+            )
+        loss_elem = self._loss_elementwise(pred, train_targets[batch])
+        total_loss = (loss_elem * Tensor(coeff[:, None])).sum() * (
+            1.0 / self.model.config.n_heads
+        )
+        total_loss.backward()
+        optimizer.step()
+        return total_loss.item()
+
     def fit(
         self,
         train: RuntimeDataset,
@@ -206,58 +280,11 @@ class PitotTrainer:
 
         any_interference = any(d > 1 for d in rows_by_degree)
         for step in range(cfg.steps):
-            optimizer.zero_grad()
-            # One combined batch with per-row coefficients reproduces the
-            # paper's per-degree sub-batch weighting exactly (the weighted
-            # sum of per-degree means) while traversing one graph.
-            batches, coeffs = [], []
-            for degree, rows in rows_by_degree.items():
-                size = min(cfg.batch_per_degree, len(rows))
-                batch = rows[rng.integers(0, len(rows), size=size)]
-                batches.append(batch)
-                coeffs.append(
-                    np.full(size, self._degree_weight(degree, n_int) / size)
-                )
-            batch = np.concatenate(batches)
-            coeff = np.concatenate(coeffs)
-            w_idx = train.w_idx[batch]
-            p_idx = train.p_idx[batch]
-            interferers = train.interferers[batch] if any_interference else None
-            # Batch-sparse step: towers run only over the unique entity
-            # rows this batch references; the gathers scatter gradients
-            # back to the full tables. Row-identical to the dense
-            # formulation (the towers are row-independent), so auto mode
-            # is free to choose per step on the pruning ratio alone.
-            use_sparse = cfg.sparse_embeddings
-            plan = None
-            if use_sparse is not False:
-                plan = plan_sparse_batch(w_idx, p_idx, interferers)
-                if use_sparse is None:
-                    population = self.model.n_workloads + self.model.n_platforms
-                    referenced = len(plan.w_rows) + len(plan.p_rows)
-                    use_sparse = referenced <= SPARSE_AUTO_FRACTION * population
-            if use_sparse:
-                embeddings = self.model.compute_embeddings_sparse(
-                    plan.w_rows, plan.p_rows
-                )
-                pred = self.model.forward(
-                    plan.w_local,
-                    plan.p_local,
-                    plan.interferers_local,
-                    embeddings=embeddings,
-                )
-            else:
-                embeddings = self.model.compute_embeddings()
-                pred = self.model.forward(
-                    w_idx, p_idx, interferers, embeddings=embeddings
-                )
-            loss_elem = self._loss_elementwise(pred, train_targets[batch])
-            total_loss = (loss_elem * Tensor(coeff[:, None])).sum() * (
-                1.0 / self.model.config.n_heads
+            loss = self._gradient_step(
+                train, train_targets, rows_by_degree, n_int,
+                any_interference, rng, optimizer,
             )
-            total_loss.backward()
-            optimizer.step()
-            result.train_loss_history.append(total_loss.item())
+            result.train_loss_history.append(loss)
             result.steps_run = step + 1
 
             if val_targets is not None and (
@@ -276,6 +303,77 @@ class PitotTrainer:
             # In-place optimizer updates bypass load_state_dict; record
             # the parameter change so serving snapshots read as stale.
             self.model.mark_updated()
+        return result
+
+    def update(
+        self,
+        new_rows: RuntimeDataset,
+        steps: int = 200,
+        rng: np.random.Generator | int | None = None,
+    ) -> TrainingResult:
+        """Warm-start incremental training on freshly-streamed rows.
+
+        The continual-learning path: instead of re-fitting from scratch
+        when the fleet produces new observations, run a short burst of
+        gradient steps *from the current parameters*, sampling batches
+        only from ``new_rows``. Every step is forced through the
+        batch-sparse planner (:func:`~repro.core.model.plan_sparse_batch`),
+        so the towers forward only the entity rows the update batch
+        references — an update's cost scales with the stream slice, not
+        the population, which is where the ≥5x-over-retrain headroom at
+        fleet scale comes from (see ``benchmarks/bench_lifecycle_update``).
+
+        The scaling baseline and the best-checkpoint machinery are *not*
+        re-run: an update is a perturbation of an already-selected model,
+        and re-fitting the baseline would silently redefine the targets
+        the towers were trained against. The parameter generation is
+        bumped so serving snapshots read as stale and get re-promoted via
+        :meth:`~repro.serving.PredictionService.swap`.
+
+        Parameters
+        ----------
+        new_rows:
+            Recent observations (e.g. an
+            :class:`~repro.cluster.ObservationBuffer` window).
+        steps:
+            Gradient steps for this burst.
+        rng:
+            Batch-sampling stream (generator, seed, or ``None`` for the
+            trainer config's seed). Lifecycle loops pass one persistent
+            generator so successive update bursts draw fresh batches.
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if new_rows.n_observations == 0:
+            raise ValueError("update needs at least one new observation")
+        if (
+            self.model.config.objective == "log_residual"
+            and self.model.baseline is None
+        ):
+            raise RuntimeError(
+                "update() requires a fitted model (no scaling baseline "
+                "present); run fit() before streaming updates"
+            )
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(
+                self.config.seed if rng is None else rng
+            )
+        targets = self._targets(new_rows)
+        rows_by_degree = self._degree_rows(new_rows)
+        n_int = sum(1 for d in rows_by_degree if d > 1)
+        any_interference = any(d > 1 for d in rows_by_degree)
+        optimizer = AdaMax(
+            self.model.parameters(), lr=self.config.learning_rate
+        )
+        result = TrainingResult(model=self.model)
+        for step in range(steps):
+            loss = self._gradient_step(
+                new_rows, targets, rows_by_degree, n_int,
+                any_interference, rng, optimizer, force_sparse=True,
+            )
+            result.train_loss_history.append(loss)
+            result.steps_run = step + 1
+        self.model.mark_updated()
         return result
 
 

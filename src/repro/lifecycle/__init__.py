@@ -1,0 +1,40 @@
+"""Continual-learning lifecycle: the post-deployment half of the system.
+
+The batch pipeline (:mod:`repro.pipeline`) ends at a calibrated,
+snapshot-backed serving state; this package keeps that state valid while
+the fleet drifts. Four cooperating pieces:
+
+* :class:`~repro.lifecycle.trace.DriftTrace` /
+  :func:`~repro.lifecycle.trace.make_drift_trace` — the piecewise-
+  stationary observation stream a deployed predictor faces;
+* :class:`~repro.cluster.ObservationBuffer` (in ``repro.cluster``) —
+  per-pool rolling windows over that stream;
+* :class:`LifecycleManager` — the lifecycle verbs (``ingest`` /
+  ``update`` / ``recalibrate`` / ``promote``) around one live model and
+  its :class:`~repro.serving.PredictionService`;
+* :func:`run_lifecycle` — the replay cadence producing a
+  coverage-over-time report (``repro lifecycle run``).
+
+Conformal validity under drift is the whole point: Gui et al. (2023)
+show conformalized matrix completion's guarantee rests on calibration /
+serving exchangeability, which drift breaks. Rolling recalibration
+restores it window-by-window; warm-start updates keep the point
+predictions (and hence bound tightness) from decaying in between.
+"""
+
+from .manager import (
+    LifecycleManager,
+    LifecycleResult,
+    LifecycleTick,
+    run_lifecycle,
+)
+from .trace import DriftTrace, make_drift_trace
+
+__all__ = [
+    "DriftTrace",
+    "make_drift_trace",
+    "LifecycleManager",
+    "LifecycleTick",
+    "LifecycleResult",
+    "run_lifecycle",
+]

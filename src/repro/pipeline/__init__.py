@@ -13,16 +13,21 @@ stages and spec edits re-run only the affected suffix.
 from .artifacts import ArtifactStore, stage_key
 from .stages import (
     PIPELINE_STAGES,
+    LifecycleArtifact,
     PipelineResult,
     StageDef,
     calibrate_stage,
     collect_stage,
     evaluate_stage,
+    ingest_stage,
     make_scenario_split,
+    pipeline_stage_keys,
+    recalibrate_stage,
     run_pipeline,
     scale_stage,
     snapshot_stage,
     train_stage,
+    update_stage,
 )
 
 __all__ = [
@@ -31,12 +36,17 @@ __all__ = [
     "StageDef",
     "PIPELINE_STAGES",
     "PipelineResult",
+    "LifecycleArtifact",
     "run_pipeline",
+    "pipeline_stage_keys",
     "collect_stage",
     "scale_stage",
     "train_stage",
     "calibrate_stage",
     "evaluate_stage",
     "snapshot_stage",
+    "ingest_stage",
+    "update_stage",
+    "recalibrate_stage",
     "make_scenario_split",
 ]

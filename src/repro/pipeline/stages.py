@@ -15,6 +15,21 @@ the integration tests used to re-implement by hand):
 * **evaluate** — MAPE / coverage / margin on test → metrics dict;
 * **snapshot** — freeze serving embeddings → `EmbeddingSnapshot`.
 
+Scenarios with a drift stream (``spec.drift.enabled``) extend the DAG
+with the continual-learning suffix (run via ``stop_after="recalibrate"``
+or the ``repro lifecycle run`` command; the default ``snapshot`` stop
+leaves them untouched):
+
+* **ingest** — build the spec's :class:`~repro.lifecycle.DriftTrace`;
+* **update** — replay the trace through the continual loop
+  (:func:`~repro.lifecycle.run_lifecycle`): streaming ingestion,
+  warm-start updates, rolling recalibration, atomic swaps → the updated
+  model checkpoint, the coverage-over-time report, and the final rolling
+  window (content-addressed like every other artifact);
+* **recalibrate** — the final promotion: rebuild the conformal layer
+  from the persisted window against the updated model → a serving-ready
+  `ConformalRuntimePredictor`.
+
 Each stage declares which spec components it reads and which upstream
 stages it consumes; :func:`run_pipeline` keys every stage's artifact on
 exactly that (see :mod:`repro.pipeline.artifacts`), so a warm re-run
@@ -47,6 +62,8 @@ from ..core.scaling import LinearScalingBaseline
 from ..core.serialization import load_model, save_model
 from ..core.trainer import PitotTrainer, TrainingResult, train_pitot
 from ..eval.metrics import coverage, mape, overprovision_margin
+from ..lifecycle.manager import LifecycleManager, run_lifecycle
+from ..lifecycle.trace import DriftTrace, make_drift_trace
 from ..scenarios.registry import get_scenario
 from ..scenarios.spec import ScenarioSpec
 from .artifacts import ArtifactStore, stage_key
@@ -55,19 +72,25 @@ __all__ = [
     "StageDef",
     "PIPELINE_STAGES",
     "PipelineResult",
+    "LifecycleArtifact",
     "run_pipeline",
+    "pipeline_stage_keys",
     "collect_stage",
     "scale_stage",
     "train_stage",
     "calibrate_stage",
     "evaluate_stage",
     "snapshot_stage",
+    "ingest_stage",
+    "update_stage",
+    "recalibrate_stage",
     "make_scenario_split",
 ]
 
 #: Split-artifact npz schema (independent of the dataset schema).
 _SPLIT_SCHEMA_VERSION = 1
 _SNAPSHOT_SCHEMA_VERSION = 1
+_WINDOW_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -128,6 +151,31 @@ PIPELINE_STAGES: tuple[StageDef, ...] = (
         inputs=("train",),
         spec_components=(),
         provides=("snapshot",),
+    ),
+    # ------------------------------------------------------------------
+    # Continual-learning suffix (drift scenarios; default stop_after =
+    # "snapshot" leaves these inert).
+    # ------------------------------------------------------------------
+    StageDef(
+        "ingest",
+        inputs=("collect",),
+        spec_components=("drift", "seeds.drift"),
+        provides=("trace",),
+    ),
+    StageDef(
+        "update",
+        # The replay loop serves with the calibrated predictor, trains
+        # with the trainer policy, and recalibrates at the conformal ε
+        # grid, so all three components feed the checkpoint's key.
+        inputs=("calibrate", "ingest"),
+        spec_components=("drift", "trainer", "conformal", "seeds.drift"),
+        provides=("lifecycle",),
+    ),
+    StageDef(
+        "recalibrate",
+        inputs=("update",),
+        spec_components=("conformal",),
+        provides=("recalibrated",),
     ),
 )
 
@@ -301,6 +349,89 @@ def snapshot_stage(model: PitotModel) -> EmbeddingSnapshot:
     return EmbeddingSnapshot.from_model(model)
 
 
+@dataclass
+class LifecycleArtifact:
+    """The ``update`` stage's checkpoint: everything the continual loop
+    produced that downstream stages (and the CLI report) need.
+
+    ``window`` is the final rolling window as dataset-shaped arrays
+    ``(w_idx, p_idx, interferers, runtime)`` — the recalibrate stage
+    re-derives the final conformal layer from it deterministically.
+    """
+
+    model: PitotModel  #: the warm-updated model checkpoint
+    ticks: list[dict]  #: coverage-over-time rows (LifecycleTick.as_dict)
+    update_loss_history: list[float]
+    update_steps: int
+    window: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def ingest_stage(spec: ScenarioSpec, dataset: RuntimeDataset) -> DriftTrace:
+    """Build the spec's post-deployment drift trace."""
+    return make_drift_trace(spec, dataset)
+
+
+def update_stage(
+    spec: ScenarioSpec,
+    dataset: RuntimeDataset,
+    training: TrainingResult,
+    predictor: ConformalRuntimePredictor,
+    trace: DriftTrace,
+) -> LifecycleArtifact:
+    """Replay the trace through the continual loop (see
+    :func:`repro.lifecycle.run_lifecycle`).
+
+    The trained model is cloned inside the loop, so the cached ``train``
+    artifact this stage consumes is never mutated.
+    """
+    lc = run_lifecycle(spec, dataset, training.model, predictor, trace=trace)
+    return LifecycleArtifact(
+        model=lc.model,
+        ticks=[tick.as_dict() for tick in lc.ticks],
+        update_loss_history=lc.update_loss_history,
+        update_steps=lc.update_steps,
+        window=lc.buffer.window_rows(),
+    )
+
+
+def recalibrate_stage(
+    spec: ScenarioSpec,
+    lifecycle: LifecycleArtifact,
+    dataset: RuntimeDataset,
+) -> ConformalRuntimePredictor:
+    """The final promotion: conformal layer from the persisted window.
+
+    Applies the same interleaved calibration hold-out the lifecycle
+    manager used (``LifecycleManager.CALIBRATION_MODULUS``), so when the
+    replay's last tick promoted, this predictor reproduces the final
+    in-loop recalibration bit-for-bit — and when it did not (leftover
+    ticks under ``update_every`` > 1), this stage *is* the freshest
+    possible promotion over the full window.
+    """
+    model = lifecycle.model
+    w, p, interferers, runtime = lifecycle.window
+    window = RuntimeDataset(
+        w_idx=w,
+        p_idx=p,
+        interferers=interferers,
+        runtime=runtime,
+        workload_features=dataset.workload_features,
+        platform_features=dataset.platform_features,
+    )
+    _, calibration = LifecycleManager.split_window(window)
+    quantiles = model.config.quantiles
+    strategy = spec.conformal.strategy
+    if strategy is None:
+        strategy = "pitot" if quantiles else "split"
+    predictor = ConformalRuntimePredictor(
+        model,
+        quantiles=quantiles,
+        strategy=strategy,
+        use_pools=spec.conformal.use_pools,
+    )
+    return predictor.calibrate(calibration, epsilons=spec.conformal.epsilons)
+
+
 # ----------------------------------------------------------------------
 # Stage persistence (artifact directory ↔ in-memory value)
 # ----------------------------------------------------------------------
@@ -382,9 +513,9 @@ def _load_train(path: Path, spec: ScenarioSpec, out: dict) -> None:
     )
 
 
-def _save_calibrate(path: Path, out: dict) -> None:
-    predictor: ConformalRuntimePredictor = out["predictor"]
-    (path / "calibration.json").write_text(
+def _write_predictor_json(path: Path, predictor: ConformalRuntimePredictor) -> None:
+    """Persist a calibrated predictor's conformal layer (model excluded)."""
+    path.write_text(
         json.dumps(
             {
                 "strategy": predictor.strategy,
@@ -406,11 +537,12 @@ def _save_calibrate(path: Path, out: dict) -> None:
     )
 
 
-def _load_calibrate(path: Path, spec: ScenarioSpec, out: dict) -> None:
-    payload = json.loads((path / "calibration.json").read_text())
+def _read_predictor_json(path: Path, model: PitotModel) -> ConformalRuntimePredictor:
+    """Rebuild a calibrated predictor around ``model`` from its JSON."""
+    payload = json.loads(path.read_text())
     quantiles = payload["quantiles"]
     predictor = ConformalRuntimePredictor(
-        out["training"].model,
+        model,
         quantiles=None if quantiles is None else tuple(quantiles),
         strategy=payload["strategy"],
         use_pools=payload["use_pools"],
@@ -422,7 +554,17 @@ def _load_calibrate(path: Path, spec: ScenarioSpec, out: dict) -> None:
         for rec in payload["choices"]
     }
     predictor._calibrated_epsilons = [float(e) for e in payload["epsilons"]]
-    out["predictor"] = predictor
+    return predictor
+
+
+def _save_calibrate(path: Path, out: dict) -> None:
+    _write_predictor_json(path / "calibration.json", out["predictor"])
+
+
+def _load_calibrate(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    out["predictor"] = _read_predictor_json(
+        path / "calibration.json", out["training"].model
+    )
 
 
 def _save_evaluate(path: Path, out: dict) -> None:
@@ -474,6 +616,70 @@ def _load_snapshot(path: Path, spec: ScenarioSpec, out: dict) -> None:
         )
 
 
+def _save_ingest(path: Path, out: dict) -> None:
+    out["trace"].save(path / "trace.npz")
+
+
+def _load_ingest(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    out["trace"] = DriftTrace.load(path / "trace.npz")
+
+
+def _save_update(path: Path, out: dict) -> None:
+    lifecycle: LifecycleArtifact = out["lifecycle"]
+    save_model(lifecycle.model, path / "model.npz")
+    (path / "lifecycle.json").write_text(
+        json.dumps(
+            {
+                "ticks": lifecycle.ticks,
+                "update_loss_history": lifecycle.update_loss_history,
+                "update_steps": lifecycle.update_steps,
+            },
+            allow_nan=False,
+        )
+        + "\n"
+    )
+    w, p, interferers, runtime = lifecycle.window
+    np.savez_compressed(
+        path / "window.npz",
+        schema_version=np.array(_WINDOW_SCHEMA_VERSION),
+        w_idx=w,
+        p_idx=p,
+        interferers=interferers,
+        runtime=runtime,
+    )
+
+
+def _load_update(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    payload = json.loads((path / "lifecycle.json").read_text())
+    with np.load(path / "window.npz") as archive:
+        check_schema_version(
+            archive, _WINDOW_SCHEMA_VERSION, "window", path / "window.npz"
+        )
+        window = (
+            archive["w_idx"],
+            archive["p_idx"],
+            archive["interferers"],
+            archive["runtime"],
+        )
+    out["lifecycle"] = LifecycleArtifact(
+        model=load_model(path / "model.npz"),
+        ticks=payload["ticks"],
+        update_loss_history=[float(v) for v in payload["update_loss_history"]],
+        update_steps=int(payload["update_steps"]),
+        window=window,
+    )
+
+
+def _save_recalibrate(path: Path, out: dict) -> None:
+    _write_predictor_json(path / "calibration.json", out["recalibrated"])
+
+
+def _load_recalibrate(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    out["recalibrated"] = _read_predictor_json(
+        path / "calibration.json", out["lifecycle"].model
+    )
+
+
 def _compute_collect(spec: ScenarioSpec, out: dict) -> None:
     out["dataset"] = collect_stage(spec)
 
@@ -502,6 +708,22 @@ def _compute_snapshot(spec: ScenarioSpec, out: dict) -> None:
     out["snapshot"] = snapshot_stage(out["training"].model)
 
 
+def _compute_ingest(spec: ScenarioSpec, out: dict) -> None:
+    out["trace"] = ingest_stage(spec, out["dataset"])
+
+
+def _compute_update(spec: ScenarioSpec, out: dict) -> None:
+    out["lifecycle"] = update_stage(
+        spec, out["dataset"], out["training"], out["predictor"], out["trace"]
+    )
+
+
+def _compute_recalibrate(spec: ScenarioSpec, out: dict) -> None:
+    out["recalibrated"] = recalibrate_stage(
+        spec, out["lifecycle"], out["dataset"]
+    )
+
+
 _COMPUTE = {
     "collect": _compute_collect,
     "scale": _compute_scale,
@@ -509,6 +731,9 @@ _COMPUTE = {
     "calibrate": _compute_calibrate,
     "evaluate": _compute_evaluate,
     "snapshot": _compute_snapshot,
+    "ingest": _compute_ingest,
+    "update": _compute_update,
+    "recalibrate": _compute_recalibrate,
 }
 _SAVERS = {
     "collect": _save_collect,
@@ -517,6 +742,9 @@ _SAVERS = {
     "calibrate": _save_calibrate,
     "evaluate": _save_evaluate,
     "snapshot": _save_snapshot,
+    "ingest": _save_ingest,
+    "update": _save_update,
+    "recalibrate": _save_recalibrate,
 }
 _LOADERS = {
     "collect": _load_collect,
@@ -525,6 +753,9 @@ _LOADERS = {
     "calibrate": _load_calibrate,
     "evaluate": _load_evaluate,
     "snapshot": _load_snapshot,
+    "ingest": _load_ingest,
+    "update": _load_update,
+    "recalibrate": _load_recalibrate,
 }
 
 
@@ -543,6 +774,11 @@ class PipelineResult:
     predictor: ConformalRuntimePredictor
     metrics: dict
     snapshot: EmbeddingSnapshot
+    #: Continual-learning suffix outputs (``None`` unless the run
+    #: stopped at/after the corresponding lifecycle stage).
+    trace: "DriftTrace | None" = None
+    lifecycle: "LifecycleArtifact | None" = None
+    recalibrated: ConformalRuntimePredictor | None = None
     #: stage → content-addressed artifact key.
     stage_keys: dict[str, str] = field(default_factory=dict)
     #: Stages computed in this run, in order.
@@ -580,6 +816,49 @@ class PipelineResult:
             cache_size=cache_size,
             max_batch=max_batch,
         )
+
+    def recalibrated_service(
+        self, cache_size: int = 65536, max_batch: int = 8192
+    ):
+        """Serving state for the post-lifecycle generation.
+
+        Built from the ``update`` stage's warm-updated model and the
+        ``recalibrate`` stage's rolling-window conformal layer — what a
+        deployment would run after the drift trace. Requires a run with
+        ``stop_after="recalibrate"``.
+        """
+        from ..serving.service import PredictionService
+
+        if self.recalibrated is None or self.lifecycle is None:
+            raise RuntimeError(
+                "no recalibrated generation in this result; run the "
+                "pipeline with stop_after='recalibrate'"
+            )
+        return PredictionService(
+            EmbeddingSnapshot.from_model(self.lifecycle.model),
+            choices=self.recalibrated.choices,
+            use_pools=self.recalibrated.use_pools,
+            cache_size=cache_size,
+            max_batch=max_batch,
+        )
+
+
+def pipeline_stage_keys(spec: ScenarioSpec) -> dict[str, str]:
+    """Every stage's content-addressed key for ``spec``, without running.
+
+    The same chaining :func:`run_pipeline` applies; front-ends use it to
+    probe an :class:`ArtifactStore` for prerequisites (e.g. ``repro
+    lifecycle run`` refuses to start when the trained model it would
+    build on is not cached).
+    """
+    keys: dict[str, str] = {}
+    for stage in PIPELINE_STAGES:
+        keys[stage.name] = stage_key(
+            stage.name,
+            spec.component_hash(*stage.spec_components),
+            tuple(keys[name] for name in stage.inputs),
+        )
+    return keys
 
 
 def run_pipeline(
@@ -619,12 +898,9 @@ def run_pipeline(
     executed: list[str] = []
     cached: list[str] = []
     out: dict = {}
+    all_keys = pipeline_stage_keys(spec)
     for stage in PIPELINE_STAGES:
-        key = stage_key(
-            stage.name,
-            spec.component_hash(*stage.spec_components),
-            tuple(keys[name] for name in stage.inputs),
-        )
+        key = all_keys[stage.name]
         keys[stage.name] = key
         loaded = False
         if store is not None and not force and store.has(stage.name, key):
@@ -662,6 +938,9 @@ def run_pipeline(
         predictor=out.get("predictor"),
         metrics=out.get("metrics"),
         snapshot=out.get("snapshot"),
+        trace=out.get("trace"),
+        lifecycle=out.get("lifecycle"),
+        recalibrated=out.get("recalibrated"),
         stage_keys=keys,
         executed=tuple(executed),
         cached=tuple(cached),

@@ -17,6 +17,7 @@ from .registry import (
 )
 from .spec import (
     ConformalSpec,
+    DriftSpec,
     FleetSpec,
     ScenarioSpec,
     SeedSpec,
@@ -28,6 +29,7 @@ __all__ = [
     "FleetSpec",
     "SplitSpec",
     "ConformalSpec",
+    "DriftSpec",
     "SeedSpec",
     "scenario",
     "register_scenario",

@@ -22,7 +22,7 @@ from typing import Callable, Iterator
 from ..core.config import PAPER_QUANTILES, PitotConfig, TrainerConfig
 from ..cluster.collection import CollectionConfig
 from ..cluster.performance import PerformanceModelConfig
-from .spec import ConformalSpec, FleetSpec, ScenarioSpec, SplitSpec
+from .spec import ConformalSpec, DriftSpec, FleetSpec, ScenarioSpec, SplitSpec
 
 __all__ = [
     "scenario",
@@ -172,6 +172,34 @@ def sparse_observations() -> ScenarioSpec:
         ),
         collection=CollectionConfig(sets_per_degree=60),
         split=SplitSpec(train_fraction=0.3),
+    )
+
+
+@scenario
+def drifting_fleet() -> ScenarioSpec:
+    """Post-deployment runtime drift: the continual-learning regime."""
+    return ScenarioSpec(
+        name="drifting-fleet",
+        description=(
+            "fleet whose runtimes drift 1.0x -> 1.35x -> 1.8x after "
+            "calibration; exercises streaming ingest, warm-start updates, "
+            "and rolling recalibration with atomic snapshot swaps"
+        ),
+        fleet=FleetSpec(n_workloads=60, n_devices=8, n_runtimes=5),
+        collection=CollectionConfig(sets_per_degree=40),
+        model=PitotConfig(
+            quantiles=PAPER_QUANTILES, hidden=(64, 64), embedding_dim=32
+        ),
+        trainer=TrainerConfig(steps=800, eval_every=200, batch_per_degree=256),
+        conformal=ConformalSpec(epsilons=(0.1,)),
+        drift=DriftSpec(
+            enabled=True,
+            phases=(1.0, 1.35, 1.8),
+            events_per_phase=3000,
+            chunk=500,
+            window=3000,
+            update_steps=150,
+        ),
     )
 
 

@@ -27,13 +27,15 @@ __all__ = [
     "FleetSpec",
     "SplitSpec",
     "ConformalSpec",
+    "DriftSpec",
     "SeedSpec",
     "ScenarioSpec",
 ]
 
 #: Bump when the spec schema changes shape; part of every spec hash so
 #: stale cached artifacts keyed under an old schema can never be loaded.
-SPEC_SCHEMA_VERSION = 1
+#: v2: DriftSpec component + seeds.drift (the continual-learning axis).
+SPEC_SCHEMA_VERSION = 2
 
 #: Split holdout strategies understood by
 #: :func:`repro.pipeline.stages.make_scenario_split`.
@@ -135,6 +137,58 @@ class ConformalSpec:
 
 
 @dataclass(frozen=True)
+class DriftSpec:
+    """Post-deployment drift-trace policy (the continual-learning axis).
+
+    Describes the observation stream a deployed predictor faces after
+    calibration: consecutive *phases*, each a multiplicative runtime
+    drift over the collected distribution, replayed by the lifecycle
+    loop (:mod:`repro.lifecycle`) in fixed-size chunks with warm-start
+    updates and rolling recalibration in between. ``enabled=False``
+    (the default for every batch scenario) keeps the lifecycle stages
+    inert; they raise if run on a drift-free spec.
+    """
+
+    #: Whether the scenario defines a post-deployment stream at all.
+    enabled: bool = False
+    #: Runtime multiplier per phase, in replay order (1.0 = no drift).
+    phases: tuple[float, ...] = (1.0,)
+    #: Observations streamed per phase.
+    events_per_phase: int = 2000
+    #: Events per lifecycle tick (serve → ingest → maybe update/swap).
+    chunk: int = 500
+    #: Per-pool rolling-window capacity of the observation buffer.
+    window: int = 2000
+    #: Warm-start gradient steps per update burst.
+    update_steps: int = 100
+    #: Ticks between update + recalibrate + swap rounds.
+    update_every: int = 1
+    #: Change-point reset trigger: when a chunk's observed miscoverage
+    #: exceeds ``reset_miscoverage × ε`` the rolling window is cleared
+    #: before ingesting it, so recalibration keys on the new regime
+    #: instead of waiting for the window to turn over. Large values
+    #: effectively disable the reset.
+    reset_miscoverage: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("at least one drift phase is required")
+        if not all(m > 0.0 for m in self.phases):
+            raise ValueError(f"phase multipliers must be > 0, got {self.phases}")
+        if self.reset_miscoverage <= 0.0:
+            raise ValueError("reset_miscoverage must be > 0")
+        for name in ("events_per_phase", "chunk", "window", "update_steps",
+                     "update_every"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.chunk > self.events_per_phase:
+            raise ValueError(
+                "chunk must not exceed events_per_phase "
+                f"({self.chunk} > {self.events_per_phase})"
+            )
+
+
+@dataclass(frozen=True)
 class SeedSpec:
     """Every random stream the pipeline consumes, in one place.
 
@@ -150,6 +204,8 @@ class SeedSpec:
     train: int = 0
     #: Model parameter initialization.
     model_init: int = 0
+    #: Drift-trace event sampling + warm-update batch draws.
+    drift: int = 0
 
 
 @dataclass(frozen=True)
@@ -173,6 +229,7 @@ class ScenarioSpec:
     model: PitotConfig = field(default_factory=PitotConfig)
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
     conformal: ConformalSpec = field(default_factory=ConformalSpec)
+    drift: DriftSpec = field(default_factory=DriftSpec)
     seeds: SeedSpec = field(default_factory=SeedSpec)
 
     def __post_init__(self) -> None:
@@ -259,6 +316,7 @@ class ScenarioSpec:
         split: int | None = None,
         train: int | None = None,
         model_init: int | None = None,
+        drift: int | None = None,
     ) -> "ScenarioSpec":
         """Replace seed streams (``None`` keeps the current value)."""
         seeds = self.seeds
@@ -271,6 +329,7 @@ class ScenarioSpec:
                 model_init=(
                     seeds.model_init if model_init is None else model_init
                 ),
+                drift=seeds.drift if drift is None else drift,
             ),
         )
 
@@ -287,10 +346,17 @@ class ScenarioSpec:
                     self.fleet.n_runtimes,
                 )
             )
+        drift = ""
+        if self.drift.enabled:
+            drift = (
+                f" drift={'/'.join(f'{m:g}x' for m in self.drift.phases)}"
+                f"@{self.drift.events_per_phase}"
+            )
         return (
             f"fleet={fleet} sets/deg={self.collection.sets_per_degree} "
             f"train={self.split.train_fraction:.0%} "
             f"holdout={self.split.holdout} steps={self.trainer.steps}"
+            f"{drift}"
         )
 
 
@@ -325,6 +391,13 @@ _SCALED_FIELDS = {
     "epsilons": "conformal",
     "strategy": "conformal",
     "use_pools": "conformal",
+    "phases": "drift",
+    "events_per_phase": "drift",
+    "chunk": "drift",
+    "window": "drift",
+    "update_steps": "drift",
+    "update_every": "drift",
+    "reset_miscoverage": "drift",
 }
 
 

@@ -15,6 +15,6 @@ can wrap it like a model) and ``predict_bound`` (so
 :mod:`repro.orchestration` planners consume it unchanged).
 """
 
-from .service import BoundCache, PredictionService, ServiceStats
+from .service import BoundCache, PredictionService, ServiceStats, ServingState
 
-__all__ = ["PredictionService", "BoundCache", "ServiceStats"]
+__all__ = ["PredictionService", "BoundCache", "ServiceStats", "ServingState"]

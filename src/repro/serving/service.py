@@ -16,12 +16,25 @@ Serving cost model (why each piece exists):
   dictionary lookups. Interferer sets are canonicalized to sorted order:
   the interference sum is commutative over interferers, so permutations
   share one entry.
+
+Continual-learning contract (why :class:`ServingState` exists):
+
+* The lifecycle loop retrains and recalibrates while queries are in
+  flight. Everything a bound depends on — embeddings, head choices,
+  pool policy, and the memoized bounds themselves — lives in one
+  immutable, generation-tagged :class:`ServingState`; every query path
+  captures the state reference exactly once, so a concurrent
+  :meth:`PredictionService.swap` can never produce a torn read (new
+  offsets against old embeddings, or a pre-swap bound served from the
+  post-swap cache). Swapping installs a *fresh* cache: in-flight writers
+  finish into the orphaned old cache, which is unreachable from any new
+  query.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,7 +48,7 @@ from ..conformal.predictor import (
 )
 from ..core.model import EmbeddingSnapshot, PitotModel
 
-__all__ = ["PredictionService", "BoundCache", "ServiceStats"]
+__all__ = ["PredictionService", "BoundCache", "ServiceStats", "ServingState"]
 
 #: Cache key: (workload, platform, sorted interferer tuple, epsilon).
 _Key = tuple[int, int, tuple[int, ...], float]
@@ -92,20 +105,60 @@ class BoundCache:
 
 @dataclass
 class ServiceStats:
-    """Observability counters for one :class:`PredictionService`."""
+    """Observability counters for one :class:`PredictionService`.
+
+    The cache counters are cumulative across generations (each
+    :meth:`PredictionService.swap` installs a fresh :class:`BoundCache`
+    whose own counters restart at zero), so steady-state dashboards keep
+    a continuous series across promotions.
+    """
 
     queries: int = 0  #: bound queries received (rows, not calls)
     rows_computed: int = 0  #: rows that reached the snapshot forward
     batches: int = 0  #: shape-stable sub-batches executed
     flushes: int = 0  #: micro-batch queue drains
+    cache_hits: int = 0  #: memoized bound lookups served from the LRU
+    cache_misses: int = 0  #: lookups that fell through to the snapshot
+    swaps: int = 0  #: generation promotions (swap/refresh)
+    invalidations: int = 0  #: cache invalidation events (one per swap)
 
-    def as_dict(self) -> dict[str, int]:
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime cache hit rate across all serving generations."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
         return {
             "queries": self.queries,
             "rows_computed": self.rows_computed,
             "batches": self.batches,
             "flushes": self.flushes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "swaps": self.swaps,
+            "invalidations": self.invalidations,
         }
+
+
+@dataclass(frozen=True)
+class ServingState:
+    """One immutable serving generation, promoted atomically.
+
+    Bundles everything a bound computation reads — frozen embeddings,
+    calibrated head choices, the pool policy, and the generation's own
+    bound cache — so a query that captured this object once can never
+    mix artifacts from two generations. Python attribute assignment is
+    atomic, which makes ``service._state = new_state`` the entire
+    promotion protocol.
+    """
+
+    snapshot: EmbeddingSnapshot
+    choices: dict[tuple[float, int], HeadChoice]
+    use_pools: bool
+    cache: BoundCache
+    generation: int
 
 
 @dataclass(frozen=True)
@@ -157,10 +210,13 @@ class PredictionService:
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        self.snapshot = snapshot
-        self.choices = dict(choices or {})
-        self.use_pools = use_pools
-        self.cache = BoundCache(cache_size)
+        self._state = ServingState(
+            snapshot=snapshot,
+            choices=dict(choices or {}),
+            use_pools=use_pools,
+            cache=BoundCache(cache_size),
+            generation=0,
+        )
         self.max_batch = max_batch
         self.stats = ServiceStats()
         self._queue: list[_PendingQuery] = []
@@ -211,6 +267,53 @@ class PredictionService:
         )
 
     # ------------------------------------------------------------------
+    # State access (delegates to the current generation)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ServingState:
+        """The current serving generation (capture once per operation)."""
+        return self._state
+
+    @property
+    def snapshot(self) -> EmbeddingSnapshot:
+        return self._state.snapshot
+
+    @property
+    def choices(self) -> dict[tuple[float, int], HeadChoice]:
+        return self._state.choices
+
+    @choices.setter
+    def choices(self, choices: dict[tuple[float, int], HeadChoice]) -> None:
+        # Re-bundling keeps the atomicity invariant even for direct
+        # choice edits (tests simulate dropped calibrations this way).
+        # The cache is replaced, not kept: bounds memoized under the old
+        # choices must be unreachable under the new ones — the same
+        # stale-bound rule swap() enforces.
+        state = self._state
+        self._state = ServingState(
+            snapshot=state.snapshot,
+            choices=dict(choices),
+            use_pools=state.use_pools,
+            cache=BoundCache(state.cache.capacity),
+            generation=state.generation,
+        )
+        self.stats.invalidations += 1
+
+    @property
+    def use_pools(self) -> bool:
+        return self._state.use_pools
+
+    @property
+    def cache(self) -> BoundCache:
+        """The current generation's bound cache."""
+        return self._state.cache
+
+    @property
+    def generation(self) -> int:
+        """Monotonic serving generation (bumped by every swap/refresh)."""
+        return self._state.generation
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -219,22 +322,67 @@ class PredictionService:
 
     @property
     def n_workloads(self) -> int:
-        return self.snapshot.n_workloads
+        return self._state.snapshot.n_workloads
 
     @property
     def n_platforms(self) -> int:
-        return self.snapshot.n_platforms
+        return self._state.snapshot.n_platforms
 
     def is_stale(self, model: PitotModel) -> bool:
         """True when ``model`` was re-fitted after this service's snapshot."""
-        return self.snapshot.is_stale(model)
+        return self._state.snapshot.is_stale(model)
+
+    # ------------------------------------------------------------------
+    # Generation promotion
+    # ------------------------------------------------------------------
+    def swap(
+        self,
+        snapshot: EmbeddingSnapshot,
+        predictor: ConformalRuntimePredictor,
+    ) -> int:
+        """Atomically promote a new ``(snapshot, predictor)`` generation.
+
+        The continual-learning hand-off: after a warm-start update and a
+        rolling recalibration, the lifecycle promotes the new artifacts
+        in one attribute store. Queries already in flight finish against
+        the generation they captured; every query that starts after the
+        swap sees the new snapshot, the new head choices, *and* an empty
+        :class:`BoundCache` — a bound memoized under the old generation
+        is unreachable, so a stale budget can never be served
+        (recorded as an ``invalidations`` event in :class:`ServiceStats`).
+
+        Returns the new generation number.
+        """
+        choices = dict(predictor.choices)
+        n_heads = snapshot.config.n_heads
+        for (eps, pool), choice in choices.items():
+            if not 0 <= choice.head < n_heads:
+                raise ValueError(
+                    f"choice for (eps={eps}, pool={pool}) selects head "
+                    f"{choice.head}, but the snapshot has {n_heads} head(s); "
+                    f"snapshot and predictor are from different models"
+                )
+        old = self._state
+        self._state = ServingState(
+            snapshot=snapshot,
+            choices=choices,
+            use_pools=predictor.use_pools,
+            cache=BoundCache(old.cache.capacity),
+            generation=old.generation + 1,
+        )
+        self.stats.swaps += 1
+        self.stats.invalidations += 1
+        return self._state.generation
 
     def refresh(self, predictor: ConformalRuntimePredictor) -> None:
-        """Re-snapshot after retraining/recalibration; drops the cache."""
-        self.snapshot = EmbeddingSnapshot.from_model(predictor.model)
-        self.choices = dict(predictor.choices)
-        self.use_pools = predictor.use_pools
-        self.cache.clear()
+        """Re-snapshot after retraining/recalibration.
+
+        Convenience wrapper over :meth:`swap`: snapshots the predictor's
+        model and promotes it. The old generation's cache is dropped
+        wholesale — after a refresh, no previously-memoized bound can be
+        served.
+        """
+        self.swap(EmbeddingSnapshot.from_model(predictor.model), predictor)
 
     # ------------------------------------------------------------------
     # Model protocol: predict_log
@@ -252,6 +400,16 @@ class PredictionService:
         shape-stable batches; results are scattered back to input order
         and match :meth:`PitotModel.predict_log` bitwise.
         """
+        return self._predict_log(self._state, w_idx, p_idx, interferers)
+
+    def _predict_log(
+        self,
+        state: ServingState,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """The forward under one captured generation (see module docs)."""
         w_idx = np.asarray(w_idx, dtype=np.intp)
         p_idx = np.asarray(p_idx, dtype=np.intp)
         n = len(w_idx)
@@ -263,7 +421,8 @@ class PredictionService:
                 raise ValueError(
                     f"interferers has {len(interferers)} rows for {n} queries"
                 )
-        out = np.empty((n, self.snapshot.config.n_heads))
+        snapshot = state.snapshot
+        out = np.empty((n, snapshot.config.n_heads))
         for rows, sub_interferers in self._degree_groups(interferers, n):
             for lo in range(0, len(rows), self.max_batch):
                 batch = rows[lo : lo + self.max_batch]
@@ -272,12 +431,12 @@ class PredictionService:
                     if sub_interferers is None
                     else sub_interferers[lo : lo + self.max_batch]
                 )
-                out[batch] = self.snapshot.forward(
+                out[batch] = snapshot.forward(
                     w_idx[batch], p_idx[batch], batch_int
                 )
                 self.stats.batches += 1
                 self.stats.rows_computed += len(batch)
-        return out + self.snapshot.baseline_log(w_idx, p_idx)[:, None]
+        return out + snapshot.baseline_log(w_idx, p_idx)[:, None]
 
     def _degree_groups(self, interferers: np.ndarray | None, n: int):
         """Yield ``(row_indices, interferer_rows | None)`` per degree.
@@ -317,16 +476,30 @@ class PredictionService:
 
         Matches :meth:`ConformalRuntimePredictor.predict_bound` on the
         wrapped model to within floating-point commutativity of the
-        interferer sum (≪ 1e-10).
+        interferer sum (≪ 1e-10). The whole call runs under one captured
+        generation: a concurrent :meth:`swap` affects only calls that
+        start after it.
         """
+        return self._predict_bound(
+            self._state, w_idx, p_idx, interferers, epsilon
+        )
+
+    def _predict_bound(
+        self,
+        state: ServingState,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        epsilon: float,
+    ) -> np.ndarray:
         w_idx = np.asarray(w_idx, dtype=np.intp)
         p_idx = np.asarray(p_idx, dtype=np.intp)
         n = len(w_idx)
         epsilon = float(epsilon)
-        if (epsilon, -1) not in self.choices:
+        if (epsilon, -1) not in state.choices:
             raise RuntimeError(
                 f"service not calibrated for epsilon={epsilon}; "
-                f"calibrated: {list(self.calibrated_epsilons)}"
+                f"calibrated: {sorted({e for e, p in state.choices if p == -1})}"
             )
         rows_int = (
             None
@@ -339,8 +512,10 @@ class PredictionService:
             )
         self.stats.queries += n
 
+        cache = state.cache
         bounds = np.empty(n)
-        if self.cache.capacity == 0:
+        if cache.capacity == 0:
+            self.stats.cache_misses += n
             misses = np.arange(n)
         else:
             keys = [
@@ -349,24 +524,29 @@ class PredictionService:
             ]
             miss_list = []
             for i, key in enumerate(keys):
-                cached = self.cache.get(key)
+                cached = cache.get(key)
                 if cached is None:
                     miss_list.append(i)
                 else:
                     bounds[i] = cached
+            self.stats.cache_hits += n - len(miss_list)
+            self.stats.cache_misses += len(miss_list)
             if not miss_list:
                 return bounds
             misses = np.asarray(miss_list, dtype=np.intp)
 
         sub_int = None if rows_int is None else rows_int[misses]
-        pred = self.predict_log(w_idx[misses], p_idx[misses], sub_int)
-        pools = calibration_pools(sub_int, len(misses), self.use_pools)
-        heads, offsets = resolve_head_offsets(self.choices, epsilon, pools)
+        pred = self._predict_log(state, w_idx[misses], p_idx[misses], sub_int)
+        pools = calibration_pools(sub_int, len(misses), state.use_pools)
+        heads, offsets = resolve_head_offsets(state.choices, epsilon, pools)
         fresh = np.exp(pred[np.arange(len(misses)), heads] + offsets)
         bounds[misses] = fresh
-        if self.cache.capacity > 0:
+        if cache.capacity > 0:
+            # Writes go to the *captured* generation's cache: if a swap
+            # landed mid-computation these entries are orphaned with it,
+            # never served against the new snapshot.
             for i, value in zip(misses, fresh):
-                self.cache.put(keys[i], float(value))
+                cache.put(keys[i], float(value))
         return bounds
 
     @staticmethod
@@ -409,22 +589,24 @@ class PredictionService:
         are one-shot by nature); column *j* equals
         ``predict_bound(..., epsilons[j])`` exactly.
         """
+        state = self._state
         w_idx = np.asarray(w_idx, dtype=np.intp)
         p_idx = np.asarray(p_idx, dtype=np.intp)
         n = len(w_idx)
         epsilons = tuple(float(eps) for eps in epsilons)
+        calibrated = sorted({e for e, p in state.choices if p == -1})
         for eps in epsilons:
-            if (eps, -1) not in self.choices:
+            if (eps, -1) not in state.choices:
                 raise RuntimeError(
                     f"service not calibrated for epsilon={eps}; "
-                    f"calibrated: {list(self.calibrated_epsilons)}"
+                    f"calibrated: {calibrated}"
                 )
         self.stats.queries += n * len(epsilons)
-        pred = self.predict_log(w_idx, p_idx, interferers)
-        pools = calibration_pools(interferers, n, self.use_pools)
+        pred = self._predict_log(state, w_idx, p_idx, interferers)
+        pools = calibration_pools(interferers, n, state.use_pools)
         out = np.empty((n, len(epsilons)))
         for j, eps in enumerate(epsilons):
-            heads, offsets = resolve_head_offsets(self.choices, eps, pools)
+            heads, offsets = resolve_head_offsets(state.choices, eps, pools)
             out[:, j] = np.exp(pred[np.arange(n), heads] + offsets)
         return out
 
@@ -502,10 +684,13 @@ class PredictionService:
         """Serve every queued query in one batched pass per ε group.
 
         Returns bounds (seconds) aligned with submission tickets. The
-        queue is cleared only on success: if serving fails (e.g. a
-        ``refresh`` dropped an ε that was calibrated at submit time) the
-        queue is restored intact, so no accepted ticket is lost.
+        whole flush runs under one captured generation, so mixed-ε
+        drains cannot straddle a concurrent swap. The queue is cleared
+        only on success: if serving fails (e.g. a ``refresh`` dropped an
+        ε that was calibrated at submit time) the queue is restored
+        intact, so no accepted ticket is lost.
         """
+        state = self._state
         queue, self._queue = self._queue, []
         try:
             results = np.empty(len(queue))
@@ -520,7 +705,9 @@ class PredictionService:
                     [queue[t].platform for t in tickets], dtype=np.intp
                 )
                 ints = pad_interferers([queue[t].interferers for t in tickets])
-                results[tickets] = self.predict_bound(w, p, ints, epsilon)
+                results[tickets] = self._predict_bound(
+                    state, w, p, ints, epsilon
+                )
         except Exception:
             self._queue = queue + self._queue
             raise

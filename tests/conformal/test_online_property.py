@@ -1,6 +1,7 @@
 """Property: online conformal coverage on stationary exchangeable streams."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -37,3 +38,83 @@ def test_property_online_coverage_on_stationary_stream(epsilon, sigma, seed):
     # must include both the test-side and calibration-side variance.
     slack = 4.0 * np.sqrt(epsilon * (1 - epsilon) * (1.0 / n_test + 1.0 / n_cal))
     assert miscoverage <= epsilon + slack + 1.0 / n_cal
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    epsilon=st.sampled_from([0.05, 0.1, 0.2]),
+    drift=st.floats(1.3, 3.0),
+    sigma=st.floats(0.2, 1.0),
+    seed=st.integers(0, 10_000),
+)
+def test_property_coverage_recovers_after_step_change_drift(
+    epsilon, drift, sigma, seed
+):
+    """Step-change drift stream: once the window is dominated by
+    post-drift scores, bound coverage on fresh post-drift draws is back
+    within binomial tolerance of the 1−ε target — the sliding window
+    forgets the stale regime by construction."""
+    rng = np.random.default_rng(seed)
+    window = 1000
+    oc = OnlineConformalizer(_ZeroModel(), window=window)
+    zeros = np.zeros(1, int)
+
+    def observe(values):
+        n = len(values)
+        oc.observe(np.zeros(n, int), np.zeros(n, int), None, values)
+
+    # Pre-drift regime fills the window...
+    observe(np.exp(rng.normal(0.0, sigma, window)))
+    # ...then a step change: every runtime is `drift`x longer. Feeding a
+    # full window of post-drift scores evicts the stale regime entirely.
+    observe(drift * np.exp(rng.normal(0.0, sigma, window)))
+
+    n_test = 1500
+    fresh = drift * np.exp(rng.normal(0.0, sigma, n_test))
+    bound = oc.predict_bound(
+        np.zeros(n_test, int), np.zeros(n_test, int), None, epsilon
+    )
+    miscoverage = float(np.mean(fresh > bound))
+    slack = 4.0 * np.sqrt(
+        epsilon * (1 - epsilon) * (1.0 / n_test + 1.0 / window)
+    )
+    assert miscoverage <= epsilon + slack + 1.0 / window
+    # The window kept only post-drift scores (mean ≈ log drift, not ≈ 0).
+    assert oc.pool_scores(1).mean() == pytest.approx(
+        np.log(drift), abs=5 * sigma / np.sqrt(window) + 0.05
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    window=st.integers(2, 200),
+    batches=st.lists(st.integers(1, 150), min_size=1, max_size=8),
+    seed=st.integers(0, 10_000),
+)
+def test_property_window_keeps_most_recent_scores_per_pool(
+    window, batches, seed
+):
+    """FIFO trimming invariant: after any ingestion pattern, each pool
+    retains exactly the last min(window, fed) scores, in order."""
+    rng = np.random.default_rng(seed)
+    oc = OnlineConformalizer(_ZeroModel(), window=window)
+    fed: dict[int, list[float]] = {1: [], 2: []}
+    for n in batches:
+        # Split each batch across two pools (isolation and 2-way).
+        n_iso = int(rng.integers(0, n + 1))
+        for pool, count in ((1, n_iso), (2, n - n_iso)):
+            if count == 0:
+                continue
+            runtimes = np.exp(rng.normal(0.0, 1.0, count))
+            interferers = None
+            if pool == 2:
+                interferers = np.zeros((count, 1), int)
+            oc.observe(
+                np.zeros(count, int), np.zeros(count, int),
+                interferers, runtimes,
+            )
+            fed[pool].extend(np.log(runtimes).tolist())
+    for pool in (1, 2):
+        kept = oc.pool_scores(pool)
+        assert len(kept) == min(window, len(fed[pool]))
+        np.testing.assert_allclose(kept, fed[pool][-len(kept):] if len(kept) else [])

@@ -1,0 +1,80 @@
+"""PitotTrainer.update(): warm-start incremental training semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import PitotConfig, PitotTrainer, TrainerConfig, PitotModel
+from repro.core.model import EmbeddingSnapshot
+
+
+@pytest.fixture()
+def warm(trained_pitot, mini_split):
+    """A trainer bound to (a reference to) the session-trained model.
+
+    ``update`` mutates parameters in place, so each test works on a
+    state-restored copy to keep the shared fixture pristine.
+    """
+    model = trained_pitot.model
+    state = model.state_dict()
+    yield PitotTrainer(model, TrainerConfig(steps=0, seed=0))
+    model.load_state_dict(state)
+
+
+def _drifted_rows(split, factor=1.7, n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, split.test.n_observations, n)
+    ds = split.test.subset(rows)
+    ds.runtime = ds.runtime * factor
+    return ds
+
+
+class TestUpdate:
+    def test_reduces_loss_on_new_rows(self, warm, mini_split):
+        new = _drifted_rows(mini_split)
+        before = warm.evaluate_loss(new)
+        result = warm.update(new, steps=80)
+        after = warm.evaluate_loss(new)
+        assert result.steps_run == 80
+        assert len(result.train_loss_history) == 80
+        assert after < before
+
+    def test_bumps_generation_for_snapshot_staleness(self, warm, mini_split):
+        snapshot = EmbeddingSnapshot.from_model(warm.model)
+        assert not snapshot.is_stale(warm.model)
+        warm.update(_drifted_rows(mini_split), steps=2)
+        assert snapshot.is_stale(warm.model)
+
+    def test_baseline_is_not_refit(self, warm, mini_split):
+        w_bar = warm.model.baseline.w_bar.copy()
+        warm.update(_drifted_rows(mini_split), steps=5)
+        np.testing.assert_array_equal(warm.model.baseline.w_bar, w_bar)
+
+    def test_deterministic_given_rng_seed(self, trained_pitot, mini_split):
+        new = _drifted_rows(mini_split)
+        histories = []
+        state = trained_pitot.model.state_dict()
+        for _ in range(2):
+            trained_pitot.model.load_state_dict(state)
+            trainer = PitotTrainer(trained_pitot.model, TrainerConfig(seed=0))
+            histories.append(trainer.update(new, steps=10, rng=7).train_loss_history)
+        trained_pitot.model.load_state_dict(state)
+        assert histories[0] == histories[1]
+
+    def test_validation_errors(self, warm, mini_split):
+        new = _drifted_rows(mini_split)
+        with pytest.raises(ValueError, match="steps"):
+            warm.update(new, steps=0)
+        with pytest.raises(ValueError, match="observation"):
+            warm.update(new.subset(np.empty(0, dtype=int)), steps=1)
+
+    def test_unfitted_model_rejected(self, mini_dataset):
+        rng = np.random.default_rng(0)
+        model = PitotModel(
+            mini_dataset.workload_features,
+            mini_dataset.platform_features,
+            PitotConfig(hidden=(8,), embedding_dim=4),
+            rng,
+        )
+        trainer = PitotTrainer(model, TrainerConfig())
+        with pytest.raises(RuntimeError, match="fit"):
+            trainer.update(mini_dataset.subset(np.arange(10)), steps=1)

@@ -1,0 +1,92 @@
+"""Lifecycle pipeline stages: caching, determinism, gating."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import pipeline_stage_keys, run_pipeline
+from repro.scenarios import get_scenario
+
+#: A drift scenario small enough for stage tests to run in seconds.
+def _smoke_drift_spec():
+    return get_scenario("drifting-fleet").scaled(
+        n_workloads=16, n_devices=4, n_runtimes=3, sets_per_degree=8,
+        steps=60, events_per_phase=300, chunk=150, update_steps=20,
+        window=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def store_and_cold(tmp_path_factory):
+    store = tmp_path_factory.mktemp("lifecycle-store")
+    cold = run_pipeline(_smoke_drift_spec(), store=store,
+                        stop_after="recalibrate")
+    return store, cold
+
+
+class TestLifecycleStages:
+    def test_default_stop_excludes_lifecycle_suffix(self, tmp_path):
+        result = run_pipeline(
+            get_scenario("smoke"), store=tmp_path / "s"
+        )
+        assert "ingest" not in result.stage_keys or result.trace is None
+        assert result.lifecycle is None
+        assert result.recalibrated is None
+        assert set(result.executed) == {
+            "collect", "scale", "train", "calibrate", "evaluate", "snapshot"
+        }
+
+    def test_cold_run_executes_lifecycle_suffix(self, store_and_cold):
+        _, cold = store_and_cold
+        assert cold.executed[-3:] == ("ingest", "update", "recalibrate")
+        assert cold.trace is not None
+        assert cold.lifecycle.ticks
+        assert cold.recalibrated.choices
+
+    def test_warm_run_executes_zero_stages(self, store_and_cold):
+        store, cold = store_and_cold
+        warm = run_pipeline(_smoke_drift_spec(), store=store,
+                            stop_after="recalibrate")
+        assert warm.executed == ()
+        assert len(warm.cached) == 9
+        # The cached lifecycle artifacts reproduce the cold run exactly.
+        assert warm.recalibrated.choices == cold.recalibrated.choices
+        assert warm.lifecycle.ticks == cold.lifecycle.ticks
+        assert warm.lifecycle.update_steps == cold.lifecycle.update_steps
+        for a, b in zip(warm.lifecycle.window, cold.lifecycle.window):
+            np.testing.assert_array_equal(a, b)
+
+    def test_update_checkpoint_is_content_addressed(self, store_and_cold):
+        """Changing only a drift knob re-runs the lifecycle suffix while
+        every batch-pipeline stage stays cached."""
+        store, _ = store_and_cold
+        bumped = _smoke_drift_spec().scaled(update_steps=25)
+        again = run_pipeline(bumped, store=store, stop_after="recalibrate")
+        assert set(again.executed) == {"ingest", "update", "recalibrate"}
+        assert set(again.cached) == {
+            "collect", "scale", "train", "calibrate", "evaluate", "snapshot"
+        }
+
+    def test_recalibrated_service_serves_finite_bounds(self, store_and_cold):
+        _, cold = store_and_cold
+        service = cold.recalibrated_service()
+        assert service.generation == 0
+        test = cold.split.test
+        bounds = service.predict_bound(
+            test.w_idx[:16], test.p_idx[:16], test.interferers[:16], 0.1
+        )
+        assert np.isfinite(bounds).all()
+
+    def test_recalibrated_service_requires_lifecycle_run(self, tmp_path):
+        result = run_pipeline(get_scenario("smoke"), store=None)
+        with pytest.raises(RuntimeError, match="recalibrate"):
+            result.recalibrated_service()
+
+    def test_ingest_refuses_driftless_scenario(self, tmp_path):
+        with pytest.raises(ValueError, match="drift"):
+            run_pipeline(
+                get_scenario("smoke"), store=None, stop_after="recalibrate"
+            )
+
+    def test_stage_keys_match_run_pipeline(self, store_and_cold):
+        _, cold = store_and_cold
+        assert pipeline_stage_keys(_smoke_drift_spec()) == cold.stage_keys

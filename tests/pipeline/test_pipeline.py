@@ -10,7 +10,9 @@ from repro.pipeline import (
 )
 from repro.scenarios import get_scenario
 
-ALL_STAGES = tuple(stage.name for stage in PIPELINE_STAGES)
+#: The batch prefix a default (stop_after="snapshot") run covers; the
+#: continual-learning suffix is exercised in test_lifecycle_stages.py.
+ALL_STAGES = tuple(stage.name for stage in PIPELINE_STAGES)[:6]
 
 
 @pytest.fixture(scope="module")

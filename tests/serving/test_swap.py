@@ -1,0 +1,221 @@
+"""Atomic generation swap: no torn reads, no stale cached bounds."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.conformal import ConformalRuntimePredictor, HeadChoice
+from repro.core import PAPER_QUANTILES, PitotTrainer, TrainerConfig
+from repro.core.model import EmbeddingSnapshot
+from repro.serving import PredictionService
+
+
+@pytest.fixture(scope="module")
+def calibrated(trained_pitot_quantile, mini_split):
+    return ConformalRuntimePredictor(
+        trained_pitot_quantile.model,
+        quantiles=PAPER_QUANTILES,
+        strategy="pitot",
+    ).calibrate(mini_split.calibration, epsilons=(0.1, 0.05))
+
+
+def _shifted(predictor, delta):
+    """A predictor clone whose every conformal offset moves by ``delta``."""
+    clone = ConformalRuntimePredictor(
+        predictor.model,
+        quantiles=predictor.quantiles,
+        strategy=predictor.strategy,
+        use_pools=predictor.use_pools,
+    )
+    clone.choices = {
+        key: HeadChoice(head=c.head, offset=c.offset + delta)
+        for key, c in predictor.choices.items()
+    }
+    clone._calibrated_epsilons = list(predictor._calibrated_epsilons)
+    return clone
+
+
+@pytest.fixture(scope="module")
+def generations(trained_pitot_quantile, mini_split, calibrated):
+    """Two genuinely different (snapshot, predictor) generations.
+
+    Generation B comes from a warm-start update on drifted rows plus a
+    recalibration, so both its embeddings and its offsets differ from A.
+    """
+    model = trained_pitot_quantile.model
+    saved = model.state_dict()
+    snap_a = EmbeddingSnapshot.from_model(model)
+    drifted = mini_split.calibration.subset(
+        np.arange(min(400, mini_split.calibration.n_observations))
+    )
+    drifted.runtime = drifted.runtime * 2.0
+    PitotTrainer(model, TrainerConfig(seed=3)).update(drifted, steps=25)
+    pred_b = ConformalRuntimePredictor(
+        model, quantiles=PAPER_QUANTILES, strategy="pitot"
+    ).calibrate(drifted, epsilons=(0.1, 0.05))
+    snap_b = EmbeddingSnapshot.from_model(model)
+    model.load_state_dict(saved)
+    yield (snap_a, calibrated), (snap_b, pred_b)
+
+
+class TestSwap:
+    def test_swap_bumps_generation_and_installs_fresh_cache(
+        self, generations, mini_split
+    ):
+        (snap_a, pred_a), (snap_b, pred_b) = generations
+        service = PredictionService(snap_a, choices=pred_a.choices)
+        test = mini_split.test
+        service.predict_bound(
+            test.w_idx[:32], test.p_idx[:32], test.interferers[:32], 0.1
+        )
+        assert len(service.cache) > 0
+        old_cache = service.cache
+        assert service.generation == 0
+        generation = service.swap(snap_b, pred_b)
+        assert generation == 1 == service.generation
+        assert service.cache is not old_cache
+        assert len(service.cache) == 0
+        assert service.cache.capacity == old_cache.capacity
+        assert service.snapshot is snap_b
+        assert service.stats.swaps == 1
+        assert service.stats.invalidations == 1
+
+    def test_swap_rejects_head_mismatch(self, generations):
+        (snap_a, pred_a), _ = generations
+        service = PredictionService(snap_a, choices=pred_a.choices)
+        bad = _shifted(pred_a, 0.0)
+        bad.choices[(0.1, -1)] = HeadChoice(head=99, offset=0.0)
+        with pytest.raises(ValueError, match="head"):
+            service.swap(snap_a, bad)
+        assert service.generation == 0
+
+    def test_choices_setter_drops_cached_bounds(self, calibrated, mini_split):
+        """Direct choice edits obey the same stale-bound rule as swap():
+        a bound memoized under the old offsets must be unreachable."""
+        service = PredictionService.from_predictor(calibrated)
+        test = mini_split.test
+        args = (test.w_idx[:8], test.p_idx[:8], test.interferers[:8], 0.1)
+        before = service.predict_bound(*args)
+        service.choices = _shifted(calibrated, 1.0).choices
+        np.testing.assert_allclose(
+            service.predict_bound(*args), before * np.e, rtol=1e-12
+        )
+        assert service.stats.invalidations == 1
+
+    def test_refresh_never_serves_stale_cached_bound(
+        self, calibrated, mini_split
+    ):
+        """Satellite regression: a bound memoized before a refresh must be
+        unreachable afterwards — the shifted recalibration must show up
+        in the very next query."""
+        service = PredictionService.from_predictor(calibrated)
+        test = mini_split.test
+        args = (test.w_idx[:16], test.p_idx[:16], test.interferers[:16], 0.1)
+        before = service.predict_bound(*args)
+        hits0 = service.stats.cache_hits
+        np.testing.assert_allclose(service.predict_bound(*args), before)
+        assert service.stats.cache_hits == hits0 + 16  # served from cache
+        service.refresh(_shifted(calibrated, 1.0))
+        after = service.predict_bound(*args)
+        # Every bound reflects the new offsets (x e), not the stale cache.
+        np.testing.assert_allclose(after, before * np.e, rtol=1e-12)
+        assert service.stats.invalidations == 1
+        assert service.stats.swaps == 1
+
+    def test_concurrent_predict_bound_observes_one_generation(
+        self, generations, mini_split
+    ):
+        """Acceptance: while swap() flips generations, every predict_bound
+        call returns bounds consistent with exactly one (snapshot,
+        predictor) pair — never a mixture."""
+        (snap_a, pred_a), (snap_b, pred_b) = generations
+        test = mini_split.test
+        rows = np.arange(min(24, test.n_observations))
+        w, p, k = test.w_idx[rows], test.p_idx[rows], test.interferers[rows]
+
+        expected = []
+        for snap, pred in ((snap_a, pred_a), (snap_b, pred_b)):
+            reference = PredictionService(
+                snap, choices=pred.choices, use_pools=pred.use_pools,
+                cache_size=0,
+            )
+            expected.append(reference.predict_bound(w, p, k, 0.1))
+        assert not np.allclose(expected[0], expected[1])  # distinguishable
+
+        service = PredictionService(
+            snap_a, choices=pred_a.choices, use_pools=pred_a.use_pools,
+            cache_size=0,
+        )
+        torn: list[np.ndarray] = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                got = service.predict_bound(w, p, k, 0.1)
+                if not any(
+                    np.allclose(got, ref, rtol=1e-10) for ref in expected
+                ):
+                    torn.append(got)
+
+        def swapper():
+            for _ in range(150):
+                service.swap(snap_b, pred_b)
+                service.swap(snap_a, pred_a)
+            done.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        threads.append(threading.Thread(target=swapper))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not torn, f"torn generation read(s): {len(torn)}"
+        assert service.stats.swaps == 300
+
+
+class TestStats:
+    def test_as_dict_surfaces_cache_and_swap_counters(
+        self, calibrated, mini_split
+    ):
+        service = PredictionService.from_predictor(calibrated)
+        test = mini_split.test
+        args = (test.w_idx[:8], test.p_idx[:8], test.interferers[:8], 0.1)
+        service.predict_bound(*args)
+        service.predict_bound(*args)
+        stats = service.stats.as_dict()
+        for key in (
+            "queries", "rows_computed", "batches", "flushes",
+            "cache_hits", "cache_misses", "hit_rate", "swaps",
+            "invalidations",
+        ):
+            assert key in stats, key
+        assert stats["cache_hits"] == 8
+        assert stats["cache_misses"] == 8
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["swaps"] == 0
+
+    def test_hit_rate_survives_swap(self, generations, mini_split):
+        """Cache counters are cumulative across generations even though
+        each generation has its own BoundCache."""
+        (snap_a, pred_a), (snap_b, pred_b) = generations
+        service = PredictionService(snap_a, choices=pred_a.choices)
+        test = mini_split.test
+        args = (test.w_idx[:8], test.p_idx[:8], test.interferers[:8], 0.1)
+        service.predict_bound(*args)
+        service.predict_bound(*args)
+        service.swap(snap_b, pred_b)
+        service.predict_bound(*args)
+        assert service.stats.cache_hits == 8
+        assert service.stats.cache_misses == 16
+        assert service.cache.misses == 8  # the new generation's own view
+        assert service.stats.hit_rate == pytest.approx(8 / 24)
+
+    def test_disabled_cache_counts_misses(self, calibrated, mini_split):
+        service = PredictionService.from_predictor(calibrated, cache_size=0)
+        test = mini_split.test
+        service.predict_bound(
+            test.w_idx[:8], test.p_idx[:8], test.interferers[:8], 0.1
+        )
+        assert service.stats.cache_misses == 8
+        assert service.stats.hit_rate == 0.0

@@ -98,6 +98,10 @@ class TestServing:
         assert out.count("bound[eps=0.1]") == 3
         assert out.count("bound[eps=0.05]") == 3
         assert "served 3 queries" in out
+        # Cache/swap observability counters ride along on every serve.
+        assert "hit rate" in out
+        assert "swaps: 0" in out
+        assert "generation 0" in out
 
     def test_serve_rejects_out_of_range_query(self, tmp_path, artifacts,
                                               capsys):
@@ -205,3 +209,78 @@ class TestPipelineCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "6 stage(s) run" in out
+
+
+#: drifting-fleet scaled to CLI-test size; every lifecycle test shares it.
+LIFECYCLE_SCALE = [
+    "--workloads", "16", "--devices", "4", "--runtimes", "3",
+    "--sets-per-degree", "8", "--steps", "60",
+]
+LIFECYCLE_DRIFT = [
+    "--events-per-phase", "300", "--chunk", "150", "--update-steps", "20",
+]
+
+
+class TestLifecycleCommand:
+    def test_missing_trained_snapshot_is_a_clear_error(self, tmp_path,
+                                                       capsys):
+        """Satellite: no traceback, a message naming the fix."""
+        assert main([
+            "lifecycle", "run", "--scenario", "drifting-fleet",
+            "--store", str(tmp_path / "empty"), *LIFECYCLE_SCALE,
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "no trained snapshot" in err
+        assert "repro pipeline run --scenario drifting-fleet" in err
+
+    def test_driftless_scenario_rejected(self, tmp_path, capsys):
+        assert main([
+            "lifecycle", "run", "--scenario", "smoke",
+            "--store", str(tmp_path / "cache"),
+        ]) == 2
+        assert "no drift stream" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, tmp_path, capsys):
+        assert main([
+            "lifecycle", "run", "--scenario", "nope",
+            "--store", str(tmp_path / "cache"),
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_replay_after_pipeline_reports_coverage(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main([
+            "pipeline", "run", "--scenario", "drifting-fleet",
+            "--store", store, *LIFECYCLE_SCALE,
+        ]) == 0
+        capsys.readouterr()
+        argv = ["lifecycle", "run", "--scenario", "drifting-fleet",
+                "--store", store, *LIFECYCLE_SCALE, *LIFECYCLE_DRIFT]
+        # Cold lifecycle: the three lifecycle stages execute...
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "run     ingest" in out
+        assert "run     update" in out
+        assert "run     recalibrate" in out
+        assert "coverage over time" in out
+        assert "atomic swap(s)" in out
+        # ...and a warm replay reuses every checkpoint.
+        assert main(argv + ["--assert-warm"]) == 0
+        out = capsys.readouterr().out
+        assert "cached  ingest" in out
+        assert "cached  update" in out
+        assert "cached  recalibrate" in out
+
+    def test_assert_warm_fails_on_cold_lifecycle(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main([
+            "pipeline", "run", "--scenario", "drifting-fleet",
+            "--store", store, *LIFECYCLE_SCALE,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "lifecycle", "run", "--scenario", "drifting-fleet",
+            "--store", store, *LIFECYCLE_SCALE, *LIFECYCLE_DRIFT,
+            "--assert-warm",
+        ]) == 1
+        assert "fully-warm lifecycle" in capsys.readouterr().err

@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.scenarios",
     "repro.pipeline",
+    "repro.lifecycle",
     "repro.conformal",
     "repro.serving",
     "repro.baselines",
