@@ -1,6 +1,6 @@
 """Shared benchmark infrastructure.
 
-Every bench regenerates one paper table/figure (see DESIGN.md §9). Two
+Every bench regenerates one paper table/figure (see DESIGN.md §10). Two
 grid scales:
 
 * ``fast`` (default): miniature cluster, 2 train fractions, ≤2 replicates,

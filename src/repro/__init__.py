@@ -87,7 +87,11 @@ from .core.serialization import load_model, save_model
 from .eval import coverage, mape, overprovision_margin
 from .orchestration import (
     AdmissionController,
+    BudgetOracle,
+    ClusterSimulator,
+    FleetWorld,
     PlacementProblem,
+    ScheduleReport,
     flow_placement,
     greedy_placement,
 )
@@ -101,6 +105,7 @@ from .pipeline import ArtifactStore, PipelineResult, run_pipeline
 from .scenarios import (
     DriftSpec,
     ScenarioSpec,
+    SchedulingSpec,
     get_scenario,
     iter_scenarios,
     register_scenario,
@@ -139,6 +144,7 @@ __all__ = [
     # scenarios / pipeline
     "ScenarioSpec",
     "DriftSpec",
+    "SchedulingSpec",
     "scenario",
     "register_scenario",
     "get_scenario",
@@ -165,10 +171,14 @@ __all__ = [
     "AttentionBaseline",
     "BaselineTrainer",
     # orchestration
+    "BudgetOracle",
     "PlacementProblem",
     "greedy_placement",
     "flow_placement",
     "AdmissionController",
+    "FleetWorld",
+    "ClusterSimulator",
+    "ScheduleReport",
     # metrics
     "mape",
     "overprovision_margin",

@@ -19,7 +19,12 @@ Wraps the library's main flows for shell use:
 * ``lifecycle run`` — replay a drift scenario's observation stream
   through the continual loop (ingest → warm update → rolling
   recalibration → atomic swap) and report coverage over time against a
-  never-recalibrated baseline.
+  never-recalibrated baseline;
+* ``schedule run`` — play a scheduling scenario's job stream through
+  the event-driven cluster simulator (placement on batched conformal
+  budgets, deadline-risk migration, online lifecycle recalibration) and
+  report per-epoch placement/violation/utilization against a
+  never-recalibrated scheduler.
 
 The one-off commands (``collect``/``train``/``evaluate``) are thin
 wrappers over the same stage functions the pipeline runs — the CLI no
@@ -125,6 +130,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="events per lifecycle tick")
     p.add_argument("--update-steps", type=int, default=None,
                    help="warm-start gradient steps per update burst")
+
+    p = sub.add_parser(
+        "schedule",
+        help="event-driven fleet scheduling over a scenario",
+    )
+    schedule_sub = p.add_subparsers(dest="schedule_command", required=True)
+    p = schedule_sub.add_parser(
+        "run",
+        help="simulate the scenario's job stream (placement on batched "
+             "budgets, migration, online recalibration) and report "
+             "violations/utilization per epoch",
+    )
+    p.add_argument("--scenario", default="schedule",
+                   help="a scheduling-enabled registry scenario")
+    p.add_argument("--store", default=".repro-cache",
+                   help="artifact store holding the trained snapshot "
+                        "(run `repro pipeline run` first)")
+    p.add_argument("--assert-warm", action="store_true",
+                   help="exit 1 unless every stage was a cache hit "
+                        "(CI cache validation)")
+    p.add_argument("--workloads", type=int, default=None,
+                   help="override the scenario's workload count "
+                        "(must match the pipeline run that trained it)")
+    p.add_argument("--devices", type=int, default=None)
+    p.add_argument("--runtimes", type=int, default=None)
+    p.add_argument("--sets-per-degree", type=int, default=None)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--policy", default=None,
+                   help="placement policy override "
+                        "(greedy/flow/admission/random/utilization)")
+    p.add_argument("--epochs", type=int, default=None,
+                   help="scheduling epochs to simulate")
+    p.add_argument("--jobs-per-epoch", type=int, default=None)
+    p.add_argument("--warmup-events", type=int, default=None,
+                   help="world-calibration window size")
 
     p = sub.add_parser("collect", help="run the simulated collection campaign")
     p.add_argument("output", help="output .npz dataset path")
@@ -322,6 +362,94 @@ def _cmd_lifecycle_run(args) -> int:
           f"{swaps} atomic swap(s), {elapsed:.1f}s")
     if args.assert_warm and result.executed:
         print(f"expected a fully-warm lifecycle but executed: "
+              f"{list(result.executed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_schedule_run(args) -> int:
+    from .eval.reporting import format_schedule_table, percent
+
+    try:
+        spec = get_scenario(args.scenario).scaled(
+            n_workloads=args.workloads,
+            n_devices=args.devices,
+            n_runtimes=args.runtimes,
+            sets_per_degree=args.sets_per_degree,
+            steps=args.steps,
+            policy=args.policy,
+            epochs=args.epochs,
+            jobs_per_epoch=args.jobs_per_epoch,
+            warmup_events=args.warmup_events,
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if not spec.scheduling.enabled:
+        print(
+            f"scenario {spec.name!r} defines no scheduling simulation "
+            f"(scheduling.enabled is false); pick a scheduling scenario "
+            f"such as 'schedule' (see `repro scenarios list`)",
+            file=sys.stderr,
+        )
+        return 2
+    store = ArtifactStore(args.store)
+    keys = pipeline_stage_keys(spec)
+    missing = [
+        stage for stage in ("collect", "scale", "train", "calibrate")
+        if not store.has(stage, keys[stage])
+    ]
+    if missing:
+        print(
+            f"no trained snapshot for scenario {spec.name!r} in store "
+            f"{args.store!r} (missing stage(s): {', '.join(missing)}).\n"
+            f"Train one first:\n"
+            f"  repro pipeline run --scenario {spec.name} --store {args.store}",
+            file=sys.stderr,
+        )
+        return 2
+
+    start = time.perf_counter()
+    result = run_pipeline(
+        spec, store=store, stop_after="simulate", needed_only=True
+    )
+    elapsed = time.perf_counter() - start
+    report = result.schedule
+
+    print(f"scenario {spec.name} (spec {spec.spec_hash()[:12]})")
+    status = "cached " if "simulate" in result.cached else "run    "
+    print(f"  {status} simulate     {result.stage_keys['simulate'][:16]}")
+    print(
+        f"\npolicy {report.policy} over {len(report.adaptive)} epoch(s), "
+        f"{report.n_platforms} platform(s), epoch {report.epoch_seconds:.2f}s"
+    )
+    print(format_schedule_table(
+        report.adaptive, report.static, report.epsilon, report.multipliers
+    ))
+
+    summary = report.summary
+    adaptive, static = summary["adaptive"], summary["static"]
+    def pct(value):
+        return "-" if value is None else percent(value)
+    print(f"\nplacement rate: adaptive {pct(adaptive['placement_rate'])}, "
+          f"static {pct(static['placement_rate'])}")
+    print(f"budget violations (target {percent(report.epsilon)}): "
+          f"adaptive {pct(adaptive['budget_violation_rate'])}, "
+          f"static {pct(static['budget_violation_rate'])}")
+    steady_a = summary["steady_budget_violation_adaptive"]
+    steady_s = summary["steady_budget_violation_static"]
+    degradation = summary["degradation"]
+    print(f"steady state (final drift regime): adaptive {pct(steady_a)}, "
+          f"static {pct(steady_s)}"
+          + (f" ({degradation:.1f}x degradation)" if degradation else ""))
+    latency = adaptive["mean_decision_ms"]
+    if latency is not None:
+        print(f"decision latency: {latency:.3f} ms/job "
+              f"({adaptive['decisions_per_second']:,.0f} decisions/s)")
+    print(f"{adaptive['migrations']} migration(s), "
+          f"{adaptive['promotions']} promotion(s), {elapsed:.1f}s")
+    if args.assert_warm and result.executed:
+        print(f"expected a fully-warm schedule run but executed: "
               f"{list(result.executed)}", file=sys.stderr)
         return 1
     return 0
@@ -593,6 +721,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_pipeline_run(args)
     if args.command == "lifecycle":
         return _cmd_lifecycle_run(args)
+    if args.command == "schedule":
+        return _cmd_schedule_run(args)
     handler = {
         "collect": _cmd_collect,
         "train": _cmd_train,

@@ -24,6 +24,7 @@ from .significance import (
 )
 from .reporting import (
     format_mean_2se,
+    format_schedule_table,
     format_series_table,
     format_table,
     percent,
@@ -44,6 +45,7 @@ __all__ = [
     "experiment_scale",
     "format_table",
     "format_series_table",
+    "format_schedule_table",
     "format_mean_2se",
     "percent",
     "PairedComparison",

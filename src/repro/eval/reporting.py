@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_series_table", "format_mean_2se", "percent"]
+__all__ = [
+    "format_table",
+    "format_series_table",
+    "format_mean_2se",
+    "format_schedule_table",
+    "percent",
+]
 
 
 def percent(value: float, decimals: int = 1) -> str:
@@ -60,6 +66,52 @@ def format_table(
     for row in rows:
         lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_schedule_table(
+    adaptive: Sequence[dict],
+    static: Sequence[dict],
+    epsilon: float,
+    multipliers: Sequence[float],
+) -> str:
+    """The scheduler's violations/utilization table, one row per epoch.
+
+    ``adaptive``/``static`` are per-epoch metric dicts (the
+    ``ScheduleReport`` rows): the adaptive scheduler's placement and
+    utilization next to both schedulers' budget-violation rates against
+    the ε target, plus the serving generation and lifecycle flags.
+    """
+
+    def rate(row: dict, key: str) -> str:
+        value = row.get(key)
+        return "-" if value is None else percent(value)
+
+    rows = []
+    for i, row in enumerate(adaptive):
+        flags = " ".join(
+            name for name in ("reset", "promoted") if row.get(name)
+        )
+        rows.append([
+            str(row["epoch"]),
+            f"{multipliers[i]:g}x",
+            f"{row['placed']}/{row['arrivals']}",
+            percent(row["utilization"]),
+            str(row["migrations"]),
+            rate(row, "deadline_violation_rate"),
+            rate(row, "budget_violation_rate"),
+            rate(static[i], "budget_violation_rate"),
+            str(row["generation"]),
+            flags,
+        ])
+    return format_table(
+        ["epoch", "drift", "placed", "util", "migr",
+         "deadline-viol", "budget-viol", "static-viol", "gen", "flags"],
+        rows,
+        title=(
+            f"scheduling epochs (eps={epsilon:g}, budget-violation target "
+            f"<= {percent(epsilon)}; static = never recalibrated)"
+        ),
+    )
 
 
 def format_series_table(

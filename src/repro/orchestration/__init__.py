@@ -1,19 +1,54 @@
-"""Edge orchestration on conformal runtime budgets (the Sec 1 use case):
-offline placement planners and runtime admission control."""
+"""Edge orchestration on conformal runtime budgets (the Sec 1 use case).
+
+Three layers, bottom-up:
+
+* :class:`BudgetOracle` — the one bound-query path: scores whole
+  candidate sets (own budget + co-resident revalidations) in a single
+  vectorized ``predict_bound`` batch;
+* offline planners (:func:`greedy_placement`, :func:`flow_placement`)
+  and runtime :class:`AdmissionController` — oracle consumers;
+* :class:`ClusterSimulator` — the event-driven fleet loop: arrivals,
+  completions, deadline-risk migration, pluggable policies, and online
+  lifecycle recalibration, scored against a :class:`FleetWorld`
+  surrogate ground truth.
+"""
 
 from .admission import AdmissionController, AdmissionDecision
+from .oracle import BudgetOracle, CandidateCheck
 from .placement import (
     PlacementProblem,
     PlacementResult,
     flow_placement,
     greedy_placement,
 )
+from .simulator import (
+    ClusterSimulator,
+    EpochStats,
+    FleetWorld,
+    ScheduleReport,
+    SimJob,
+    SimulationResult,
+    build_schedule_report,
+    epoch_multipliers,
+    world_calibration_window,
+)
 
 __all__ = [
+    "BudgetOracle",
+    "CandidateCheck",
     "PlacementProblem",
     "PlacementResult",
     "greedy_placement",
     "flow_placement",
     "AdmissionController",
     "AdmissionDecision",
+    "FleetWorld",
+    "ClusterSimulator",
+    "SimJob",
+    "SimulationResult",
+    "EpochStats",
+    "ScheduleReport",
+    "build_schedule_report",
+    "epoch_multipliers",
+    "world_calibration_window",
 ]

@@ -5,13 +5,19 @@ holds a set of resident jobs with deadlines and decides whether an
 arriving job can be admitted without violating anyone's ε-budget —
 the "industrial controller must complete within a timeframe with high
 probability" scenario of Sec 1.
+
+One admission query needs the arriving job's budget *and* a revalidated
+budget per resident; the controller scores all of them in a single
+:class:`~repro.orchestration.BudgetOracle` batch, so an admission storm
+against a :class:`~repro.serving.PredictionService` costs one batched
+forward per decision instead of ``1 + n_residents`` scalar calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+from .oracle import BudgetOracle
 
 __all__ = ["AdmissionController", "AdmissionDecision"]
 
@@ -46,46 +52,42 @@ class AdmissionController:
 
     def __init__(self, predictor, platform: int, epsilon: float = 0.05,
                  max_residents: int = 4) -> None:
-        if not 0 < epsilon < 1:
-            raise ValueError("epsilon must be in (0, 1)")
         if not 1 <= max_residents <= 4:
             raise ValueError("max_residents must be in [1, 4]")
-        self.predictor = predictor
+        self.oracle = BudgetOracle(predictor, epsilon)
         self.platform = platform
-        self.epsilon = epsilon
         self.max_residents = max_residents
         self._residents: dict[int, float] = {}  # job -> deadline
 
     # ------------------------------------------------------------------
     @property
+    def predictor(self):
+        return self.oracle.predictor
+
+    @property
+    def epsilon(self) -> float:
+        return self.oracle.epsilon
+
+    @property
     def residents(self) -> dict[int, float]:
         return dict(self._residents)
 
-    def _budget(self, job: int, co: list[int]) -> float:
-        pad = co[:3] + [-1] * (3 - min(len(co), 3))
-        return float(
-            self.predictor.predict_bound(
-                np.array([job]), np.array([self.platform]),
-                np.array([pad]), self.epsilon,
-            )[0]
-        )
-
     # ------------------------------------------------------------------
     def check(self, job: int, deadline: float) -> AdmissionDecision:
-        """Evaluate admission without mutating state."""
+        """Evaluate admission without mutating state (one oracle batch)."""
         if deadline <= 0:
             raise ValueError("deadline must be positive")
         if len(self._residents) >= self.max_residents:
             return AdmissionDecision(False, float("nan"), "capacity")
-        co = list(self._residents)
-        budget = self._budget(job, co)
-        if budget > deadline:
-            return AdmissionDecision(False, budget, "own-deadline")
-        for other, other_deadline in self._residents.items():
-            others = [r for r in self._residents if r != other] + [job]
-            if self._budget(other, others) > other_deadline:
-                return AdmissionDecision(False, budget, "resident-deadline")
-        return AdmissionDecision(True, budget, "ok")
+        check = self.oracle.check_candidates(
+            job, deadline, [self.platform],
+            {self.platform: list(self._residents)}, dict(self._residents),
+        )[0]
+        if check.budget > deadline:
+            return AdmissionDecision(False, check.budget, "own-deadline")
+        if not check.feasible:
+            return AdmissionDecision(False, check.budget, "resident-deadline")
+        return AdmissionDecision(True, check.budget, "ok")
 
     def admit(self, job: int, deadline: float) -> AdmissionDecision:
         """Check and, if feasible, admit."""

@@ -25,7 +25,9 @@ from .stages import (
     recalibrate_stage,
     run_pipeline,
     scale_stage,
+    simulate_stage,
     snapshot_stage,
+    stage_closure,
     train_stage,
     update_stage,
 )
@@ -48,5 +50,7 @@ __all__ = [
     "ingest_stage",
     "update_stage",
     "recalibrate_stage",
+    "simulate_stage",
+    "stage_closure",
     "make_scenario_split",
 ]

@@ -30,6 +30,19 @@ leaves them untouched):
   from the persisted window against the updated model → a serving-ready
   `ConformalRuntimePredictor`.
 
+Scenarios with a scheduling simulation (``spec.scheduling.enabled``)
+add a final **simulate** stage: the event-driven cluster simulator
+(:mod:`repro.orchestration.simulator`) plays the spec's job stream
+against two schedulers sharing one world-calibrated starting point —
+one backed by a live :class:`~repro.lifecycle.LifecycleManager`
+(observations ingested, budgets recalibrated and promoted online), one
+frozen — and emits a :class:`~repro.orchestration.ScheduleReport`
+artifact of per-epoch placement/violation/utilization metrics. Reach it
+with ``stop_after="simulate", needed_only=True`` (the ``repro schedule
+run`` path), which runs only the stage's ancestor closure — the
+lifecycle replay stages are not prerequisites, so drift-free scheduling
+scenarios work too.
+
 Each stage declares which spec components it reads and which upstream
 stages it consumes; :func:`run_pipeline` keys every stage's artifact on
 exactly that (see :mod:`repro.pipeline.artifacts`), so a warm re-run
@@ -84,6 +97,8 @@ __all__ = [
     "ingest_stage",
     "update_stage",
     "recalibrate_stage",
+    "simulate_stage",
+    "stage_closure",
     "make_scenario_split",
 ]
 
@@ -176,6 +191,29 @@ PIPELINE_STAGES: tuple[StageDef, ...] = (
         inputs=("update",),
         spec_components=("conformal",),
         provides=("recalibrated",),
+    ),
+    # ------------------------------------------------------------------
+    # Fleet-scheduler suffix (scheduling scenarios; reached via
+    # stop_after="simulate", usually with needed_only=True so the
+    # lifecycle replay stages above are not forced to run).
+    # ------------------------------------------------------------------
+    StageDef(
+        "simulate",
+        # The simulation rebuilds its own (world-calibrated) conformal
+        # layer from the trained model, so it consumes no calibrate
+        # *artifact* — the input keeps the batch-calibration lineage in
+        # the cache key, since both apply the same ConformalSpec policy.
+        # The scheduler, drift, trainer (warm updates), and conformal
+        # (recalibration grid) components all shape the run.
+        inputs=("calibrate",),
+        spec_components=(
+            "scheduling",
+            "drift",
+            "trainer",
+            "conformal",
+            "seeds.schedule",
+        ),
+        provides=("schedule",),
     ),
 )
 
@@ -369,6 +407,112 @@ class LifecycleArtifact:
 def ingest_stage(spec: ScenarioSpec, dataset: RuntimeDataset) -> DriftTrace:
     """Build the spec's post-deployment drift trace."""
     return make_drift_trace(spec, dataset)
+
+
+def simulate_stage(
+    spec: ScenarioSpec,
+    dataset: RuntimeDataset,
+    training: TrainingResult,
+) -> "ScheduleReport":
+    """Play the spec's scheduling simulation: adaptive vs static.
+
+    Both schedulers start from one *world-calibrated* conformal layer
+    (so epoch 0 is honest ε-coverage against the simulator's surrogate
+    ground truth); the adaptive run then feeds its completions through a
+    live :class:`~repro.lifecycle.LifecycleManager` while the static run
+    keeps quoting the frozen generation. Raises when the spec has no
+    scheduling simulation (``scheduling.enabled`` is false) — the stage
+    must fail loudly on batch scenarios rather than simulate an empty
+    horizon.
+    """
+    from ..lifecycle.manager import LifecycleManager
+    from ..orchestration.simulator import (
+        ClusterSimulator,
+        FleetWorld,
+        build_schedule_report,
+        epoch_multipliers,
+        world_calibration_window,
+    )
+    from ..serving.service import PredictionService
+
+    sched = spec.scheduling
+    if not sched.enabled:
+        raise ValueError(
+            f"scenario {spec.name!r} defines no scheduling simulation "
+            f"(scheduling.enabled is false); the simulate stage needs one"
+        )
+    world = FleetWorld.from_dataset(dataset)
+    multipliers = epoch_multipliers(spec.drift, sched.epochs)
+
+    window = world_calibration_window(
+        world, dataset, sched.warmup_events, multipliers[0],
+        seed=spec.seeds.schedule + 101,
+    )
+    model = training.model
+    quantiles = model.config.quantiles
+    strategy = spec.conformal.strategy
+    if strategy is None:
+        strategy = "pitot" if quantiles else "split"
+
+    def world_calibrated(bound_model: PitotModel) -> ConformalRuntimePredictor:
+        return ConformalRuntimePredictor(
+            bound_model,
+            quantiles=quantiles,
+            strategy=strategy,
+            use_pools=spec.conformal.use_pools,
+        ).calibrate(window, epsilons=spec.conformal.epsilons)
+
+    epsilon = float(spec.conformal.epsilons[0])
+    drift = spec.drift
+
+    # Adaptive: a live lifecycle around a clone of the trained model.
+    owned = model.clone()
+    manager = LifecycleManager(
+        owned,
+        world_calibrated(owned),
+        features_from=dataset,
+        trainer_config=spec.trainer,
+        window=drift.window if drift.enabled else 4 * sched.warmup_events,
+        epsilons=spec.conformal.epsilons,
+    )
+    # The warmup window doubles as the deployment's observation history:
+    # pre-drift recalibrations draw from thousands of rows instead of a
+    # couple of epochs' completions, and only a change-point reset
+    # shrinks the window back to the fresh regime.
+    manager.buffer.ingest_dataset(window)
+    adaptive = ClusterSimulator(
+        world,
+        None,
+        sched,
+        epsilon=epsilon,
+        multipliers=multipliers,
+        seed=spec.seeds.schedule,
+        lifecycle=manager,
+        update_steps=drift.update_steps if drift.enabled else 100,
+        reset_miscoverage=drift.reset_miscoverage if drift.enabled else None,
+        probe_source=dataset,
+    ).run()
+
+    # Static: the same starting generation, never recalibrated.
+    base = world_calibrated(model)
+    static_service = PredictionService(
+        EmbeddingSnapshot.from_model(model),
+        choices=base.choices,
+        use_pools=base.use_pools,
+    )
+    static_sim = ClusterSimulator(
+        world,
+        static_service,
+        sched,
+        epsilon=epsilon,
+        multipliers=multipliers,
+        seed=spec.seeds.schedule,
+    )
+    static = static_sim.run()
+    return build_schedule_report(
+        spec.name, adaptive, static, multipliers, world.n_platforms,
+        static_sim.epoch_seconds,
+    )
 
 
 def update_stage(
@@ -670,6 +814,22 @@ def _load_update(path: Path, spec: ScenarioSpec, out: dict) -> None:
     )
 
 
+def _save_simulate(path: Path, out: dict) -> None:
+    # allow_nan=False: rates are None (JSON null) for empty epochs, so
+    # the report stays strict JSON for non-Python consumers.
+    (path / "schedule.json").write_text(
+        json.dumps(out["schedule"].as_dict(), indent=2, allow_nan=False) + "\n"
+    )
+
+
+def _load_simulate(path: Path, spec: ScenarioSpec, out: dict) -> None:
+    from ..orchestration.simulator import ScheduleReport
+
+    out["schedule"] = ScheduleReport.from_dict(
+        json.loads((path / "schedule.json").read_text())
+    )
+
+
 def _save_recalibrate(path: Path, out: dict) -> None:
     _write_predictor_json(path / "calibration.json", out["recalibrated"])
 
@@ -724,6 +884,10 @@ def _compute_recalibrate(spec: ScenarioSpec, out: dict) -> None:
     )
 
 
+def _compute_simulate(spec: ScenarioSpec, out: dict) -> None:
+    out["schedule"] = simulate_stage(spec, out["dataset"], out["training"])
+
+
 _COMPUTE = {
     "collect": _compute_collect,
     "scale": _compute_scale,
@@ -734,6 +898,7 @@ _COMPUTE = {
     "ingest": _compute_ingest,
     "update": _compute_update,
     "recalibrate": _compute_recalibrate,
+    "simulate": _compute_simulate,
 }
 _SAVERS = {
     "collect": _save_collect,
@@ -745,6 +910,7 @@ _SAVERS = {
     "ingest": _save_ingest,
     "update": _save_update,
     "recalibrate": _save_recalibrate,
+    "simulate": _save_simulate,
 }
 _LOADERS = {
     "collect": _load_collect,
@@ -756,6 +922,7 @@ _LOADERS = {
     "ingest": _load_ingest,
     "update": _load_update,
     "recalibrate": _load_recalibrate,
+    "simulate": _load_simulate,
 }
 
 
@@ -779,6 +946,9 @@ class PipelineResult:
     trace: "DriftTrace | None" = None
     lifecycle: "LifecycleArtifact | None" = None
     recalibrated: ConformalRuntimePredictor | None = None
+    #: Fleet-scheduler report (``None`` unless the run reached the
+    #: ``simulate`` stage).
+    schedule: "object | None" = None
     #: stage → content-addressed artifact key.
     stage_keys: dict[str, str] = field(default_factory=dict)
     #: Stages computed in this run, in order.
@@ -861,11 +1031,25 @@ def pipeline_stage_keys(spec: ScenarioSpec) -> dict[str, str]:
     return keys
 
 
+def stage_closure(stop_after: str) -> frozenset[str]:
+    """``stop_after`` plus its transitive input ancestors in the DAG."""
+    needed = {stop_after}
+    frontier = [stop_after]
+    while frontier:
+        stage = _STAGE_BY_NAME[frontier.pop()]
+        for name in stage.inputs:
+            if name not in needed:
+                needed.add(name)
+                frontier.append(name)
+    return frozenset(needed)
+
+
 def run_pipeline(
     spec: ScenarioSpec | str,
     store: ArtifactStore | str | Path | None = None,
     stop_after: str = "snapshot",
     force: bool = False,
+    needed_only: bool = False,
 ) -> PipelineResult:
     """Run (or replay) the staged pipeline for one scenario.
 
@@ -883,6 +1067,12 @@ def run_pipeline(
     force:
         Recompute every stage even on a cache hit (artifacts are
         rewritten, so downstream consumers see fresh keys' content).
+    needed_only:
+        Restrict the run to ``stop_after``'s ancestor closure in the
+        stage DAG instead of every stage listed before it — how ``repro
+        schedule run`` reaches ``simulate`` without forcing the
+        lifecycle replay stages (which a drift-free scheduling scenario
+        cannot run).
     """
     if isinstance(spec, str):
         spec = get_scenario(spec)
@@ -893,6 +1083,7 @@ def run_pipeline(
             f"unknown stage {stop_after!r}; "
             f"stages: {[s.name for s in PIPELINE_STAGES]}"
         )
+    needed = stage_closure(stop_after) if needed_only else None
 
     keys: dict[str, str] = {}
     executed: list[str] = []
@@ -900,6 +1091,8 @@ def run_pipeline(
     out: dict = {}
     all_keys = pipeline_stage_keys(spec)
     for stage in PIPELINE_STAGES:
+        if needed is not None and stage.name not in needed:
+            continue
         key = all_keys[stage.name]
         keys[stage.name] = key
         loaded = False
@@ -941,6 +1134,7 @@ def run_pipeline(
         trace=out.get("trace"),
         lifecycle=out.get("lifecycle"),
         recalibrated=out.get("recalibrated"),
+        schedule=out.get("schedule"),
         stage_keys=keys,
         executed=tuple(executed),
         cached=tuple(cached),

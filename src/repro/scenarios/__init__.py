@@ -16,10 +16,12 @@ from .registry import (
     scenario_names,
 )
 from .spec import (
+    SCHEDULER_POLICIES,
     ConformalSpec,
     DriftSpec,
     FleetSpec,
     ScenarioSpec,
+    SchedulingSpec,
     SeedSpec,
     SplitSpec,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "SplitSpec",
     "ConformalSpec",
     "DriftSpec",
+    "SchedulingSpec",
+    "SCHEDULER_POLICIES",
     "SeedSpec",
     "scenario",
     "register_scenario",

@@ -22,7 +22,14 @@ from typing import Callable, Iterator
 from ..core.config import PAPER_QUANTILES, PitotConfig, TrainerConfig
 from ..cluster.collection import CollectionConfig
 from ..cluster.performance import PerformanceModelConfig
-from .spec import ConformalSpec, DriftSpec, FleetSpec, ScenarioSpec, SplitSpec
+from .spec import (
+    ConformalSpec,
+    DriftSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SchedulingSpec,
+    SplitSpec,
+)
 
 __all__ = [
     "scenario",
@@ -199,6 +206,47 @@ def drifting_fleet() -> ScenarioSpec:
             chunk=500,
             window=3000,
             update_steps=150,
+        ),
+    )
+
+
+@scenario
+def schedule() -> ScenarioSpec:
+    """Fleet scheduling under drift: the event-driven orchestration regime."""
+    return ScenarioSpec(
+        name="schedule",
+        description=(
+            "drifting fleet scheduled end to end: greedy placement on "
+            "batched conformal budgets, online lifecycle recalibration "
+            "vs a never-recalibrated scheduler"
+        ),
+        fleet=FleetSpec(n_workloads=60, n_devices=8, n_runtimes=5),
+        collection=CollectionConfig(sets_per_degree=40),
+        model=PitotConfig(
+            quantiles=PAPER_QUANTILES, hidden=(64, 64), embedding_dim=32
+        ),
+        trainer=TrainerConfig(steps=800, eval_every=200, batch_per_degree=256),
+        # Fixed-head calibration (offsets only): the pitot head *search*
+        # re-uses the calibration set for model selection, which
+        # overfits the small post-reset windows online recalibration
+        # works from and costs several points of coverage right when
+        # drift makes them precious.
+        conformal=ConformalSpec(epsilons=(0.1,), strategy="naive_cqr"),
+        drift=DriftSpec(
+            enabled=True,
+            phases=(1.0, 2.0),
+            events_per_phase=3000,
+            chunk=500,
+            window=3000,
+            update_steps=150,
+        ),
+        scheduling=SchedulingSpec(
+            enabled=True,
+            policy="greedy",
+            epochs=16,
+            jobs_per_epoch=192,
+            warmup_events=2000,
+            probes_per_epoch=192,
         ),
     )
 

@@ -28,14 +28,21 @@ __all__ = [
     "SplitSpec",
     "ConformalSpec",
     "DriftSpec",
+    "SchedulingSpec",
     "SeedSpec",
     "ScenarioSpec",
+    "SCHEDULER_POLICIES",
 ]
 
 #: Bump when the spec schema changes shape; part of every spec hash so
 #: stale cached artifacts keyed under an old schema can never be loaded.
 #: v2: DriftSpec component + seeds.drift (the continual-learning axis).
-SPEC_SCHEMA_VERSION = 2
+#: v3: SchedulingSpec component + seeds.schedule (the fleet-scheduler axis).
+SPEC_SCHEMA_VERSION = 3
+
+#: Placement policies the cluster simulator implements
+#: (:mod:`repro.orchestration.simulator`).
+SCHEDULER_POLICIES = ("greedy", "flow", "admission", "random", "utilization")
 
 #: Split holdout strategies understood by
 #: :func:`repro.pipeline.stages.make_scenario_split`.
@@ -189,6 +196,76 @@ class DriftSpec:
 
 
 @dataclass(frozen=True)
+class SchedulingSpec:
+    """Fleet-scheduler simulation policy (the orchestration axis).
+
+    Describes the workload stream the event-driven cluster simulator
+    (:mod:`repro.orchestration.simulator`) plays against a calibrated
+    scheduler: how many scheduling epochs, how many arrivals each, which
+    placement policy decides, and how tight the deadlines run.
+    ``enabled=False`` (the default for every non-scheduling scenario)
+    keeps the ``simulate`` pipeline stage inert; it raises if run on a
+    scheduling-free spec.
+    """
+
+    #: Whether the scenario defines a scheduling simulation at all.
+    enabled: bool = False
+    #: Placement policy (see :data:`SCHEDULER_POLICIES`).
+    policy: str = "greedy"
+    #: Scheduling epochs (metric rows; also the lifecycle tick cadence).
+    epochs: int = 12
+    #: Job arrivals per epoch (0 = an idle horizon).
+    jobs_per_epoch: int = 64
+    #: Co-location cap per platform (≤ 4; interference model limit).
+    max_residents: int = 3
+    #: Target slot utilization the epoch length is sized for (leave
+    #: headroom: drift multiplies service times into this budget too).
+    load: float = 0.5
+    #: Deadline slack range: deadline = slack × reference runtime, with
+    #: slack drawn uniformly from this interval per job.
+    deadline_slack: tuple[float, float] = (1.5, 4.0)
+    #: Migrate running jobs whose budgets no longer fit their deadlines.
+    migrate: bool = True
+    #: World-calibration window size (observations drawn before epoch 0;
+    #: both the static and the adaptive scheduler calibrate on it).
+    warmup_events: int = 1500
+    #: Background-profiling observations ingested per epoch. Completed
+    #: jobs are a *length-biased* sample (slow jobs are still running
+    #: when the window recalibrates), so a deployment that calibrates on
+    #: completions alone silently under-covers; the profiling sidecar
+    #: keeps sampling the fleet the way the original campaign did.
+    probes_per_epoch: int = 0
+    #: Epochs between lifecycle update + recalibrate + promote rounds.
+    recalibrate_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.policy not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"expected one of {SCHEDULER_POLICIES}"
+            )
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.jobs_per_epoch < 0:
+            raise ValueError("jobs_per_epoch must be >= 0")
+        if not 1 <= self.max_residents <= 4:
+            raise ValueError("max_residents must be in [1, 4]")
+        if not 0.0 < self.load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+        lo, hi = self.deadline_slack
+        if not 0.0 < lo <= hi:
+            raise ValueError(
+                f"deadline_slack must satisfy 0 < lo <= hi, got {self.deadline_slack}"
+            )
+        if self.warmup_events < 1:
+            raise ValueError("warmup_events must be >= 1")
+        if self.probes_per_epoch < 0:
+            raise ValueError("probes_per_epoch must be >= 0")
+        if self.recalibrate_every < 1:
+            raise ValueError("recalibrate_every must be >= 1")
+
+
+@dataclass(frozen=True)
 class SeedSpec:
     """Every random stream the pipeline consumes, in one place.
 
@@ -206,6 +283,8 @@ class SeedSpec:
     model_init: int = 0
     #: Drift-trace event sampling + warm-update batch draws.
     drift: int = 0
+    #: Scheduler arrivals, world noise, and policy/update randomness.
+    schedule: int = 0
 
 
 @dataclass(frozen=True)
@@ -230,6 +309,7 @@ class ScenarioSpec:
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
     conformal: ConformalSpec = field(default_factory=ConformalSpec)
     drift: DriftSpec = field(default_factory=DriftSpec)
+    scheduling: SchedulingSpec = field(default_factory=SchedulingSpec)
     seeds: SeedSpec = field(default_factory=SeedSpec)
 
     def __post_init__(self) -> None:
@@ -317,6 +397,7 @@ class ScenarioSpec:
         train: int | None = None,
         model_init: int | None = None,
         drift: int | None = None,
+        schedule: int | None = None,
     ) -> "ScenarioSpec":
         """Replace seed streams (``None`` keeps the current value)."""
         seeds = self.seeds
@@ -330,6 +411,7 @@ class ScenarioSpec:
                     seeds.model_init if model_init is None else model_init
                 ),
                 drift=seeds.drift if drift is None else drift,
+                schedule=seeds.schedule if schedule is None else schedule,
             ),
         )
 
@@ -352,11 +434,17 @@ class ScenarioSpec:
                 f" drift={'/'.join(f'{m:g}x' for m in self.drift.phases)}"
                 f"@{self.drift.events_per_phase}"
             )
+        sched = ""
+        if self.scheduling.enabled:
+            sched = (
+                f" sched={self.scheduling.policy}"
+                f"@{self.scheduling.epochs}x{self.scheduling.jobs_per_epoch}"
+            )
         return (
             f"fleet={fleet} sets/deg={self.collection.sets_per_degree} "
             f"train={self.split.train_fraction:.0%} "
             f"holdout={self.split.holdout} steps={self.trainer.steps}"
-            f"{drift}"
+            f"{drift}{sched}"
         )
 
 
@@ -398,6 +486,16 @@ _SCALED_FIELDS = {
     "update_steps": "drift",
     "update_every": "drift",
     "reset_miscoverage": "drift",
+    "policy": "scheduling",
+    "epochs": "scheduling",
+    "jobs_per_epoch": "scheduling",
+    "max_residents": "scheduling",
+    "load": "scheduling",
+    "deadline_slack": "scheduling",
+    "migrate": "scheduling",
+    "warmup_events": "scheduling",
+    "probes_per_epoch": "scheduling",
+    "recalibrate_every": "scheduling",
 }
 
 

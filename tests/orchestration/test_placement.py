@@ -132,6 +132,173 @@ class TestFlow:
         assert set(greedy.placed) <= set(flow.placed)
 
 
+class TestDeadlineCache:
+    def test_deadline_of_built_once(self):
+        # The mapping is constructed in __post_init__ and reused: every
+        # property access returns the same object (the planners' inner
+        # loops used to rebuild it per access).
+        problem = _problem()
+        assert problem.deadline_of is problem.deadline_of
+        assert problem.deadline_of == dict(zip(problem.jobs, problem.deadlines))
+
+    def test_deadline_of_includes_occupied(self):
+        problem = _problem(
+            jobs=(0, 1), deadlines=(10.0, 10.0),
+            occupied={1: (3,)}, occupied_deadlines={3: 5.0},
+        )
+        assert problem.deadline_of[3] == 5.0
+
+
+class TestOccupied:
+    def test_occupied_consumes_capacity(self):
+        problem = _problem(
+            jobs=(0,), deadlines=(10.0,),
+            occupied={0: (2, 3)}, occupied_deadlines={2: 10.0, 3: 10.0},
+        )
+        result = greedy_placement(problem)
+        # Platform 0 is full (max_residents=2): the job lands on 1.
+        assert result.assignment[0] == 1
+        assert result.residents[0] == [2, 3]
+
+    def test_occupied_residents_revalidated(self):
+        # Resident 1 on platform 0 has a deadline any co-runner breaks;
+        # the arriving job must go to the (worse) platform 1.
+        problem = _problem(
+            jobs=(0,), deadlines=(10.0,),
+            occupied={0: (1,)}, occupied_deadlines={1: 1.2},
+        )
+        result = greedy_placement(problem)
+        assert result.assignment[0] == 1
+
+    def test_occupied_validation(self):
+        with pytest.raises(ValueError, match="not a candidate"):
+            _problem(occupied={9: (1,)}, occupied_deadlines={1: 1.0})
+        with pytest.raises(ValueError, match="no deadline"):
+            _problem(occupied={0: (1,)})
+        with pytest.raises(ValueError, match="over capacity"):
+            _problem(
+                occupied={0: (1, 2, 3)},
+                occupied_deadlines={1: 1.0, 2: 1.0, 3: 1.0},
+            )
+
+
+class TestEdgeCases:
+    def test_empty_job_list(self):
+        problem = _problem(jobs=(), deadlines=())
+        for planner in (greedy_placement, flow_placement):
+            result = planner(problem)
+            assert result.assignment == {}
+            assert result.placed == []
+
+    def test_zero_platforms(self):
+        problem = _problem(platforms=())
+        for planner in (greedy_placement, flow_placement):
+            result = planner(problem)
+            assert result.placed == []
+            assert set(result.unplaced) == set(problem.jobs)
+
+    def test_all_infeasible_deadlines(self):
+        problem = _problem(deadlines=(0.1, 0.1, 0.1, 0.1))
+        for planner in (greedy_placement, flow_placement):
+            result = planner(problem)
+            assert result.placed == []
+            assert result.budgets == {}
+
+    def test_max_residents_one(self):
+        # Solo slots only: no co-location, so at most one job per platform
+        # and no revalidation interplay.
+        problem = _problem(max_residents=1)
+        result = flow_placement(problem)
+        assert all(n <= 1 for n in result.utilization().values())
+        assert len(result.placed) == 2  # 2 platforms, 1 slot each
+
+
+class _PairwiseBounds:
+    """Identity-dependent interference: budget = B[w, p] + Σ I[w, c].
+
+    Flow rescue only exists because learned interference is *not*
+    monotone in the co-resident count — a job stranded at its EDF turn
+    can become feasible once a compatible workload lands (negative
+    pairwise term), exactly the non-monotonicity Pitot's interference
+    embeddings can express.
+    """
+
+    def __init__(self, B, I):
+        self.B = np.asarray(B, dtype=float)
+        self.I = np.asarray(I, dtype=float)
+
+    def predict_bound(self, w_idx, p_idx, interferers, epsilon):
+        w = np.asarray(w_idx)
+        out = self.B[w, np.asarray(p_idx)].astype(float).copy()
+        co = np.atleast_2d(interferers)
+        for k in range(co.shape[1]):
+            valid = co[:, k] >= 0
+            out[valid] += self.I[w[valid], co[valid, k]]
+        return out
+
+
+def _rescue_problem(pair_13: float) -> PlacementProblem:
+    """Two jobs stranded by greedy, both feasible on platform 1 once
+    workload 2 is resident there (I[*,2] = -1 speeds them up).
+    ``pair_13`` sets whether the two rescues are compatible with each
+    other (0.0) or mutually exclusive (+2.0)."""
+    B = [
+        [1.0, 99.0],  # w0: platform 0 only
+        [99.0, 2.5],  # w1: needs w2's company on platform 1 (2.5 > d=2)
+        [99.0, 1.0],  # w2: platform 1
+        [99.0, 2.8],  # w3: needs w2's company on platform 1 (2.8 > d=2.2)
+    ]
+    I = np.zeros((4, 4))
+    I[1, 2] = I[3, 2] = -1.0
+    I[1, 3] = I[3, 1] = pair_13
+    return PlacementProblem(
+        predictor=_PairwiseBounds(B, I),
+        jobs=(0, 1, 2, 3),
+        deadlines=(1.0, 2.0, 3.0, 2.2),
+        platforms=(0, 1),
+        max_residents=3,
+    )
+
+
+class TestMultiRescue:
+    def test_flow_rescues_two_jobs_onto_one_platform(self):
+        """A platform with spare slots absorbs *several* stranded jobs.
+
+        Greedy (EDF) strands workloads 1 and 3; both fit platform 1 once
+        workload 2 is resident. The historical one-rescue-per-platform
+        cap placed exactly one of them; lifting it to the platform's
+        spare capacity (with revalidation after each accepted rescue)
+        places both.
+        """
+        problem = _rescue_problem(pair_13=0.0)
+        greedy = greedy_placement(problem)
+        assert set(greedy.unplaced) == {1, 3}
+        flow = flow_placement(problem)
+        assert flow.unplaced == []
+        assert flow.assignment[1] == 1 and flow.assignment[3] == 1
+        deadline_of = problem.deadline_of
+        for job in flow.placed:
+            assert flow.budgets[job] <= deadline_of[job] + 1e-12
+
+    def test_rescue_revalidates_against_prior_rescue(self):
+        """A rescue invalidated by an earlier accepted rescue is dropped.
+
+        Same instance, but the two stranded workloads clash with each
+        other (+2.0 pairwise): each fits platform 1 with workload 2
+        alone, not together. The earliest-deadline rescue lands; the
+        second must be re-checked against the *post-rescue* residents
+        and rejected, never placed in violation.
+        """
+        problem = _rescue_problem(pair_13=2.0)
+        result = flow_placement(problem)
+        deadline_of = problem.deadline_of
+        for job in result.placed:
+            assert result.budgets[job] <= deadline_of[job] + 1e-12
+        # Workload 1 (deadline 2.0 < 2.2) wins the rescue slot.
+        assert result.assignment[1] == 1
+        assert result.assignment[3] is None
+
+
 class TestEndToEnd:
     def test_with_real_conformal_predictor(
         self, trained_pitot_quantile, mini_split, mini_dataset

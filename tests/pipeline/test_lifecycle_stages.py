@@ -89,4 +89,12 @@ class TestLifecycleStages:
 
     def test_stage_keys_match_run_pipeline(self, store_and_cold):
         _, cold = store_and_cold
-        assert pipeline_stage_keys(_smoke_drift_spec()) == cold.stage_keys
+        all_keys = pipeline_stage_keys(_smoke_drift_spec())
+        # The run stopped at "recalibrate": every visited stage's key must
+        # match the without-running computation (the scheduler's
+        # "simulate" stage lies beyond the stop and is not visited).
+        assert cold.stage_keys == {
+            name: all_keys[name] for name in cold.stage_keys
+        }
+        assert "recalibrate" in cold.stage_keys
+        assert "simulate" not in cold.stage_keys

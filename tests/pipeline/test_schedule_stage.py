@@ -1,0 +1,140 @@
+"""The ``simulate`` stage: scheduling through the content-addressed cache."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.pipeline import ArtifactStore, run_pipeline, stage_closure
+from repro.scenarios import SchedulingSpec, get_scenario
+
+
+def _tiny_schedule_spec():
+    """The smoke scenario with a minimal scheduling horizon bolted on."""
+    return replace(
+        get_scenario("smoke"),
+        name="smoke",
+        scheduling=SchedulingSpec(
+            enabled=True,
+            policy="greedy",
+            epochs=3,
+            jobs_per_epoch=12,
+            warmup_events=80,
+            probes_per_epoch=20,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("schedule-store")
+
+
+@pytest.fixture(scope="module")
+def cold(store_root):
+    return run_pipeline(
+        _tiny_schedule_spec(), store=store_root, stop_after="simulate",
+        needed_only=True,
+    )
+
+
+class TestStageClosure:
+    def test_simulate_closure_skips_lifecycle(self):
+        assert stage_closure("simulate") == {
+            "collect", "scale", "train", "calibrate", "simulate",
+        }
+
+    def test_snapshot_closure(self):
+        assert stage_closure("snapshot") == {
+            "collect", "scale", "train", "snapshot",
+        }
+
+
+class TestSimulateStage:
+    def test_refuses_scheduling_free_scenario(self):
+        with pytest.raises(ValueError, match="scheduling"):
+            run_pipeline(
+                get_scenario("smoke"), store=None, stop_after="simulate",
+                needed_only=True,
+            )
+
+    def test_cold_run_visits_only_ancestors(self, cold):
+        assert set(cold.executed) == {
+            "collect", "scale", "train", "calibrate", "simulate",
+        }
+        assert cold.metrics is None  # evaluate was skipped
+        assert cold.lifecycle is None  # lifecycle suffix was skipped
+
+    def test_report_shape(self, cold):
+        report = cold.schedule
+        assert report.policy == "greedy"
+        assert len(report.adaptive) == 3 and len(report.static) == 3
+        assert len(report.multipliers) == 3
+        total_arrivals = sum(r["arrivals"] for r in report.adaptive)
+        assert total_arrivals == 36
+        assert report.summary["adaptive"]["placed"] > 0
+        assert report.epoch_seconds > 0
+
+    def test_warm_run_serves_cached_report(self, cold, store_root):
+        warm = run_pipeline(
+            _tiny_schedule_spec(), store=store_root, stop_after="simulate",
+            needed_only=True,
+        )
+        assert warm.executed == ()
+        assert set(warm.cached) == set(cold.executed)
+        assert warm.schedule.as_dict() == cold.schedule.as_dict()
+
+    def test_scheduling_knob_invalidates_only_simulate(self, cold, store_root):
+        spec = _tiny_schedule_spec()
+        edited = replace(
+            spec, scheduling=replace(spec.scheduling, jobs_per_epoch=10)
+        )
+        result = run_pipeline(
+            edited, store=store_root, stop_after="simulate", needed_only=True
+        )
+        assert result.executed == ("simulate",)
+        assert set(result.cached) == {"collect", "scale", "train", "calibrate"}
+
+    def test_artifact_is_strict_json(self, cold, store_root):
+        import json
+
+        store = ArtifactStore(store_root)
+        path = store.read_dir("simulate", cold.stage_keys["simulate"])
+        payload = json.loads((path / "schedule.json").read_text())
+        assert payload["scenario"] == "smoke"
+        assert payload["summary"]["epsilon"] == 0.1
+
+
+class TestDriftingScheduler:
+    """The acceptance demo at test scale: recalibration keeps the
+    scheduler's ε-commitment while a static scheduler silently breaks it.
+
+    (The full-scale run — steady-state adaptive within 2pp of ε, ≥5x
+    static degradation — is recorded in EXPERIMENTS.md; this pins the
+    same ordering at a budget CI can afford.)
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        spec = get_scenario("schedule").scaled(
+            n_workloads=24, n_devices=5, n_runtimes=3, sets_per_degree=12,
+            steps=150, epochs=12, jobs_per_epoch=80, warmup_events=600,
+            probes_per_epoch=240,
+        )
+        store = tmp_path_factory.mktemp("drift-sched")
+        return run_pipeline(
+            spec, store=store, stop_after="simulate", needed_only=True
+        ).schedule
+
+    def test_static_scheduler_degrades_under_drift(self, report):
+        steady_static = report.summary["steady_budget_violation_static"]
+        steady_adaptive = report.summary["steady_budget_violation_adaptive"]
+        assert steady_static is not None and steady_adaptive is not None
+        # The frozen scheduler's commitment collapses under 2x drift...
+        assert steady_static >= 3.0 * report.epsilon
+        # ...while the recalibrated one stays in ε's neighborhood.
+        assert steady_adaptive <= steady_static / 2.0
+        assert abs(steady_adaptive - report.epsilon) <= 0.08
+
+    def test_adaptive_promotes_generations(self, report):
+        assert report.summary["adaptive"]["promotions"] >= 3
+        assert report.summary["static"]["promotions"] == 0

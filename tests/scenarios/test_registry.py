@@ -179,3 +179,64 @@ class TestSpecValidation:
             from repro.scenarios import registry
 
             registry._BUILDERS.pop("mismatched", None)
+
+
+class TestSchedulingSpec:
+    def test_schedule_scenario_registered(self):
+        spec = get_scenario("schedule")
+        assert spec.scheduling.enabled
+        assert spec.drift.enabled
+        assert spec.scheduling.policy == "greedy"
+        assert "sched=greedy" in spec.describe()
+
+    def test_batch_scenarios_keep_scheduling_inert(self):
+        for name in REQUIRED_SCENARIOS:
+            assert not get_scenario(name).scheduling.enabled
+
+    def test_policy_validated(self):
+        from repro.scenarios import SchedulingSpec
+
+        with pytest.raises(ValueError, match="unknown policy"):
+            SchedulingSpec(policy="mystery")
+
+    def test_knob_validation(self):
+        from repro.scenarios import SchedulingSpec
+
+        with pytest.raises(ValueError, match="epochs"):
+            SchedulingSpec(epochs=0)
+        with pytest.raises(ValueError, match="max_residents"):
+            SchedulingSpec(max_residents=5)
+        with pytest.raises(ValueError, match="load"):
+            SchedulingSpec(load=0.0)
+        with pytest.raises(ValueError, match="deadline_slack"):
+            SchedulingSpec(deadline_slack=(2.0, 1.0))
+        with pytest.raises(ValueError, match="probes_per_epoch"):
+            SchedulingSpec(probes_per_epoch=-1)
+        with pytest.raises(ValueError, match="recalibrate_every"):
+            SchedulingSpec(recalibrate_every=0)
+
+    def test_scheduling_knobs_route_through_scaled(self):
+        spec = get_scenario("schedule").scaled(
+            policy="flow", epochs=5, jobs_per_epoch=9, load=0.3,
+            probes_per_epoch=7,
+        )
+        assert spec.scheduling.policy == "flow"
+        assert spec.scheduling.epochs == 5
+        assert spec.scheduling.jobs_per_epoch == 9
+        assert spec.scheduling.load == 0.3
+        assert spec.scheduling.probes_per_epoch == 7
+
+    def test_schedule_seed_feeds_the_hash(self):
+        base = get_scenario("schedule")
+        reseeded = base.with_seeds(schedule=42)
+        assert reseeded.seeds.schedule == 42
+        assert base.spec_hash() != reseeded.spec_hash()
+        assert (
+            base.component_hash("seeds.schedule")
+            != reseeded.component_hash("seeds.schedule")
+        )
+        # The batch prefix is untouched: collect/train keys survive.
+        assert (
+            base.component_hash("fleet", "collection")
+            == reseeded.component_hash("fleet", "collection")
+        )

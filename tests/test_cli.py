@@ -284,3 +284,83 @@ class TestLifecycleCommand:
             "--assert-warm",
         ]) == 1
         assert "fully-warm lifecycle" in capsys.readouterr().err
+
+
+#: schedule scenario scaled to CLI-test size; every schedule test shares it.
+SCHEDULE_SCALE = [
+    "--workloads", "14", "--devices", "4", "--runtimes", "3",
+    "--sets-per-degree", "8", "--steps", "60",
+]
+SCHEDULE_SIM = [
+    "--epochs", "3", "--jobs-per-epoch", "12", "--warmup-events", "80",
+]
+
+
+class TestScheduleCommand:
+    def test_missing_trained_snapshot_is_a_clear_error(self, tmp_path,
+                                                       capsys):
+        assert main([
+            "schedule", "run", "--scenario", "schedule",
+            "--store", str(tmp_path / "empty"), *SCHEDULE_SCALE,
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "no trained snapshot" in err
+        assert "repro pipeline run --scenario schedule" in err
+
+    def test_scheduling_free_scenario_rejected(self, tmp_path, capsys):
+        assert main([
+            "schedule", "run", "--scenario", "smoke",
+            "--store", str(tmp_path / "cache"),
+        ]) == 2
+        assert "no scheduling simulation" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, tmp_path, capsys):
+        assert main([
+            "schedule", "run", "--scenario", "nope",
+            "--store", str(tmp_path / "cache"),
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_policy_override_rejected(self, tmp_path, capsys):
+        assert main([
+            "schedule", "run", "--scenario", "schedule",
+            "--store", str(tmp_path / "cache"), "--policy", "mystery",
+        ]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_simulation_after_pipeline_reports_violations(self, tmp_path,
+                                                          capsys):
+        store = str(tmp_path / "cache")
+        assert main([
+            "pipeline", "run", "--scenario", "schedule",
+            "--store", store, *SCHEDULE_SCALE,
+        ]) == 0
+        capsys.readouterr()
+        argv = ["schedule", "run", "--scenario", "schedule",
+                "--store", store, *SCHEDULE_SCALE, *SCHEDULE_SIM]
+        # Cold: the simulate stage executes and the table shows up...
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "run     simulate" in out
+        assert "budget-viol" in out
+        assert "static-viol" in out
+        assert "placement rate" in out
+        assert "decision latency" in out
+        # ...and a warm re-run serves the cached report.
+        assert main(argv + ["--assert-warm"]) == 0
+        out = capsys.readouterr().out
+        assert "cached  simulate" in out
+
+    def test_assert_warm_fails_on_cold_simulation(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main([
+            "pipeline", "run", "--scenario", "schedule",
+            "--store", store, *SCHEDULE_SCALE,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "schedule", "run", "--scenario", "schedule",
+            "--store", store, *SCHEDULE_SCALE, *SCHEDULE_SIM,
+            "--assert-warm",
+        ]) == 1
+        assert "fully-warm schedule" in capsys.readouterr().err

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.lifecycle",
     "repro.conformal",
     "repro.serving",
+    "repro.orchestration",
     "repro.baselines",
     "repro.eval",
     "repro.analysis",
