@@ -52,6 +52,8 @@ from .pipeline import (
     run_pipeline,
     train_stage,
 )
+from .devtools.lint import add_lint_arguments
+from .devtools.lint import run as _run_lint
 from .scenarios import get_scenario, iter_scenarios
 from .serving import PredictionService
 
@@ -229,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.05)
     p.add_argument("--fraction", type=float, default=0.8)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "lint",
+        help="check repo invariants (determinism, spec schema, "
+             "swap-atomicity, ...) with the AST linter",
+    )
+    add_lint_arguments(p)
     return parser
 
 
@@ -723,6 +732,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lifecycle_run(args)
     if args.command == "schedule":
         return _cmd_schedule_run(args)
+    if args.command == "lint":
+        return _run_lint(args)
     handler = {
         "collect": _cmd_collect,
         "train": _cmd_train,

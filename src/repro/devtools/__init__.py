@@ -1,0 +1,40 @@
+"""Development tooling: the ``repro-lint`` static-analysis framework.
+
+The repo's correctness rests on conventions no general-purpose linter
+knows about: content-addressed pipeline stages are only sound if every
+stage is deterministic under its spec seeds, conformal guarantees are
+only valid if calibration stays disjoint from training, and the serving
+hot-swap is only torn-read-free if ``self._state`` is captured exactly
+once per operation. This package turns those implicit contracts into
+machine-checked rules (``RPR001``–``RPR007``) enforced over ``src/`` as
+a tier-1 test and a CI gate.
+
+Entry points:
+
+* ``repro lint [paths...]`` — the CLI subcommand;
+* ``python -m repro.devtools.lint`` — the standalone module;
+* :func:`run_lint` — the library API the tests drive.
+"""
+
+from .config import LintConfig, load_config
+from .engine import (
+    LintRule,
+    LintResult,
+    SourceModule,
+    Violation,
+    all_rules,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "LintRule",
+    "LintResult",
+    "SourceModule",
+    "Violation",
+    "all_rules",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,70 @@
+"""Baseline files: grandfathered violations for incremental adoption.
+
+A baseline is a JSON list of ``{"path", "code", "message"}`` records;
+violations matching a record are reported as *baselined* instead of
+failing the run. Lines are deliberately not part of the match — edits
+above a grandfathered violation must not un-baseline it. The repo ships
+with an empty baseline (zero entries is the acceptance bar); the
+machinery exists so a future rule can land before its violations are
+all fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .engine import Violation
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered ``(path, code, message)`` triples."""
+
+    entries: frozenset[tuple[str, str, str]]
+    path: Path | None = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, violation: Violation) -> bool:
+        return (
+            violation.path,
+            violation.code,
+            violation.message,
+        ) in self.entries
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.is_file():
+        return Baseline(frozenset(), path=path)
+    records = json.loads(path.read_text(encoding="utf-8"))
+    entries = frozenset(
+        (record["path"], record["code"], record["message"])
+        for record in records
+    )
+    return Baseline(entries, path=path)
+
+
+def write_baseline(path: Path | str, violations: Iterable[Violation]) -> int:
+    """Write ``violations`` as the new baseline; returns the entry count."""
+    records = sorted(
+        {
+            (violation.path, violation.code, violation.message)
+            for violation in violations
+        }
+    )
+    payload = [
+        {"path": path_, "code": code, "message": message}
+        for path_, code, message in records
+    ]
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(payload)

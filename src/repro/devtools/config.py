@@ -1,0 +1,237 @@
+"""Lint configuration: ``[tool.repro-lint]`` in ``pyproject.toml``.
+
+Recognized keys::
+
+    [tool.repro-lint]
+    paths = ["src"]          # default lint roots when the CLI gets none
+    select = ["RPR001"]      # restrict to these codes (default: all)
+    ignore = ["RPR006"]      # drop these codes from the selection
+    exclude = ["*/_vendored/*"]  # path globs never linted
+    baseline = ".repro-lint-baseline.json"  # optional known-issue file
+
+    [tool.repro-lint.rpr003]     # per-rule options (lower-cased code)
+    writers = ["__init__", "swap"]
+
+Python 3.11+ parses the file with :mod:`tomllib`; on 3.10 (which has no
+stdlib TOML parser and this repo installs nothing) a minimal fallback
+parser handles the subset the lint section uses — tables, strings,
+booleans, integers, and (possibly multiline) string arrays.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["LintConfig", "load_config", "find_pyproject"]
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint settings for one run."""
+
+    paths: tuple[str, ...] = ("src",)
+    select: tuple[str, ...] = ()  #: empty = every registered rule
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    baseline: str | None = None
+    #: lower-cased rule code → option dict (from ``[tool.repro-lint.rprXXX]``).
+    rule_options: dict[str, dict] = field(default_factory=dict)
+
+    def selected_codes(self, registry: dict[str, type]) -> list[str]:
+        codes = sorted(registry)
+        if self.select:
+            wanted = {code.upper() for code in self.select}
+            unknown = wanted - set(codes)
+            if unknown:
+                raise ValueError(
+                    f"unknown rule code(s) in select: {sorted(unknown)}; "
+                    f"known: {codes}"
+                )
+            codes = [code for code in codes if code in wanted]
+        ignored = {code.upper() for code in self.ignore}
+        return [code for code in codes if code not in ignored]
+
+
+def find_pyproject(start: Path | None = None) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start`` (default cwd)."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        path = candidate / "pyproject.toml"
+        if path.is_file():
+            return path
+    return None
+
+
+def load_config(pyproject: Path | str | None = None) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``pyproject.toml`` (or defaults).
+
+    ``pyproject=None`` searches upward from the working directory; a
+    missing file or a file without ``[tool.repro-lint]`` yields the
+    defaults (all rules, ``src`` root, no excludes).
+    """
+    path = Path(pyproject) if pyproject is not None else find_pyproject()
+    if path is None or not path.is_file():
+        return LintConfig()
+    data = _parse_toml(path)
+    section = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, dict):
+        return LintConfig()
+    rule_options = {
+        key: value
+        for key, value in section.items()
+        if isinstance(value, dict)
+    }
+    return LintConfig(
+        paths=tuple(section.get("paths", ("src",))),
+        select=tuple(section.get("select", ())),
+        ignore=tuple(section.get("ignore", ())),
+        exclude=tuple(section.get("exclude", ())),
+        baseline=section.get("baseline"),
+        rule_options=rule_options,
+    )
+
+
+# ----------------------------------------------------------------------
+# TOML loading (stdlib on 3.11+, minimal fallback on 3.10)
+# ----------------------------------------------------------------------
+def _parse_toml(path: Path) -> dict:
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        return _mini_toml(path.read_text(encoding="utf-8"))
+    with path.open("rb") as handle:
+        return tomllib.load(handle)
+
+
+_TABLE_RE = re.compile(r"^\[([^\]]+)\]\s*$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_.\-\"']+)\s*=\s*(.*)$")
+
+
+def _mini_toml(text: str) -> dict:
+    """Parse the TOML subset ``[tool.repro-lint]`` uses.
+
+    Tables, bare/quoted keys, strings, booleans, ints, floats, and
+    arrays of scalars (which may span lines). Anything fancier (inline
+    tables, dates, arrays-of-tables) is skipped rather than mis-read —
+    this is a config reader for one known section, not a TOML library.
+    """
+    root: dict = {}
+    current = root
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = _strip_comment(lines[index])
+        index += 1
+        if not line:
+            continue
+        table = _TABLE_RE.match(line)
+        if table:
+            current = root
+            for part in _split_key(table.group(1)):
+                current = current.setdefault(part, {})
+                if not isinstance(current, dict):  # pragma: no cover
+                    current = {}
+            continue
+        pair = _KEY_RE.match(line)
+        if not pair:
+            continue
+        key = _split_key(pair.group(1))[-1]
+        value = pair.group(2).strip()
+        if value.startswith("[") and "]" not in value:
+            # Multiline array: accumulate until the closing bracket.
+            while index < len(lines) and "]" not in value:
+                value += " " + _strip_comment(lines[index])
+                index += 1
+        parsed = _parse_value(value.strip())
+        if parsed is not _SKIP:
+            current[key] = parsed
+    return root
+
+
+class _Skip:
+    pass
+
+
+_SKIP = _Skip()
+
+
+def _strip_comment(line: str) -> str:
+    out: list[str] = []
+    quote: str | None = None
+    for char in line:
+        if quote:
+            out.append(char)
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+            out.append(char)
+        elif char == "#":
+            break
+        else:
+            out.append(char)
+    return "".join(out).strip()
+
+
+def _split_key(raw: str) -> list[str]:
+    return [part.strip().strip("\"'") for part in raw.strip().split(".")]
+
+
+def _parse_value(value: str):
+    if not value:
+        return _SKIP
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        items = []
+        for item in _split_array(inner):
+            parsed = _parse_value(item.strip())
+            if parsed is not _SKIP:
+                items.append(parsed)
+        return items
+    if value in ("true", "false"):
+        return value == "true"
+    if (value.startswith('"') and value.endswith('"')) or (
+        value.startswith("'") and value.endswith("'")
+    ):
+        return value[1:-1]
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return _SKIP
+
+
+def _split_array(inner: str) -> list[str]:
+    items: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    for char in inner:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+            current.append(char)
+        elif char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if "".join(current).strip():
+        items.append("".join(current))
+    return items

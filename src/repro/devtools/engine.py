@@ -1,0 +1,291 @@
+"""The lint engine: rule registry, module model, suppressions, runner.
+
+A rule is a small AST visitor with a stable code (``RPRxxx``), a set of
+path globs selecting the files its invariant lives in, and a ``check``
+method yielding :class:`Violation` rows. The engine parses each file
+once into a :class:`SourceModule` (source, AST, parent links, suppression
+table) and runs every selected rule whose globs match the file.
+
+Suppressions are explicit and per-line::
+
+    rng = np.random.default_rng()  # repro-lint: disable=RPR001
+
+or file-wide (anywhere in the file, conventionally at the top)::
+
+    # repro-lint: disable-file=RPR006
+
+``disable=all`` silences every rule on that line. Suppressed violations
+are counted (reported in the summary) but never fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Violation",
+    "SourceModule",
+    "LintRule",
+    "LintResult",
+    "register",
+    "all_rules",
+    "run_lint",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class SourceModule:
+    """One parsed file plus the derived tables rules share.
+
+    ``relpath`` is the forward-slash path rules match their globs
+    against (relative to the lint invocation root when possible, so the
+    same rule scoping works on ``src/repro/...`` and on test fixture
+    trees that mirror the layout).
+    """
+
+    def __init__(self, path: Path, root: Path | None = None) -> None:
+        self.path = path
+        try:
+            rel = path.relative_to(root) if root is not None else path
+        except ValueError:
+            rel = path
+        self.relpath = rel.as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.tree = ast.parse(self.text, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self.line_suppressions, self.file_suppressions = _parse_suppressions(
+            self.lines
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent links over the AST (built on first use)."""
+        if self._parents is None:
+            table: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    table[child] = node
+            self._parents = table
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Enclosing nodes of ``node``, innermost first."""
+        parents = self.parents
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for parent in self.ancestors(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return parent
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for parent in self.ancestors(node):
+            if isinstance(parent, ast.ClassDef):
+                return parent
+        return None
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        for codes in (
+            self.file_suppressions,
+            self.line_suppressions.get(violation.line, frozenset()),
+        ):
+            if "all" in codes or violation.code in codes:
+                return True
+        return False
+
+
+def _parse_suppressions(
+    lines: list[str],
+) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    per_line: dict[int, frozenset[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper() if code.strip().lower() != "all" else "all"
+            for code in match.group(2).split(",")
+            if code.strip()
+        )
+        if match.group(1) == "disable-file":
+            file_wide |= codes
+        else:
+            per_line[lineno] = per_line.get(lineno, frozenset()) | codes
+    return per_line, frozenset(file_wide)
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class LintRule:
+    """Base class; subclasses set the class attributes and ``check``.
+
+    ``default_globs`` scope the rule to the files its invariant lives
+    in; per-rule ``[tool.repro-lint.rprXXX]`` config may override them
+    via the ``globs`` key, and any other option lands in
+    ``self.options``.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    default_globs: tuple[str, ...] = ("*.py",)
+
+    def __init__(self, options: dict | None = None) -> None:
+        self.options = dict(options or {})
+        globs = self.options.get("globs")
+        self.globs: tuple[str, ...] = (
+            tuple(globs) if globs else self.default_globs
+        )
+
+    def applies_to(self, relpath: str) -> bool:
+        return any(fnmatch.fnmatch(relpath, glob) for glob in self.globs)
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register(rule_cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.code:
+        raise ValueError(f"{rule_cls.__name__} has no code")
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[LintRule]]:
+    """code → rule class, with the built-in rule modules loaded."""
+    from . import rules  # noqa: F401  (import populates the registry)
+
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(
+    paths: Iterable[Path], exclude: tuple[str, ...] = ()
+) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint."""
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            rel = candidate.as_posix()
+            if any(fnmatch.fnmatch(rel, glob) for glob in exclude):
+                continue
+            yield candidate
+
+
+def run_lint(paths: Iterable[Path | str], config) -> LintResult:
+    """Lint ``paths`` under ``config`` (a :class:`LintConfig`)."""
+    from .baseline import load_baseline
+
+    result = LintResult()
+    rule_classes = all_rules()
+    selected = config.selected_codes(rule_classes)
+    rules = [
+        rule_classes[code](config.rule_options.get(code.lower(), {}))
+        for code in selected
+    ]
+    baseline = load_baseline(config.baseline) if config.baseline else None
+    root = Path.cwd()
+
+    resolved = [Path(p) for p in paths]
+    missing = [str(p) for p in resolved if not p.exists()]
+    if missing:
+        result.errors.extend(f"no such path: {p}" for p in missing)
+        return result
+
+    for path in iter_python_files(resolved, config.exclude):
+        try:
+            module = SourceModule(path, root=root)
+        except SyntaxError as exc:
+            result.errors.append(f"{path}: syntax error: {exc.msg}")
+            continue
+        result.files_checked += 1
+        for rule in rules:
+            if not rule.applies_to(module.relpath):
+                continue
+            for violation in rule.check(module):
+                if module.is_suppressed(violation):
+                    result.suppressed.append(violation)
+                elif baseline is not None and baseline.matches(violation):
+                    result.baselined.append(violation)
+                else:
+                    result.violations.append(violation)
+    result.violations.sort()
+    return result

@@ -1,0 +1,162 @@
+"""``repro lint`` / ``python -m repro.devtools.lint`` — the entry point.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import write_baseline
+from .config import LintConfig, load_config
+from .engine import all_rules, run_lint
+from .reporting import format_human, format_json
+
+__all__ = ["add_lint_arguments", "build_parser", "run", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: [tool.repro-lint] paths, "
+             "falling back to src/)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json emits the versioned machine schema)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="CODES", default=None,
+        help="run only these rule codes (comma-separated or repeated, "
+             "e.g. --select RPR001,RPR003)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="CODES", default=None,
+        help="drop these rule codes from the selection "
+             "(comma-separated or repeated)",
+    )
+    parser.add_argument(
+        "--config", default=None,
+        help="explicit pyproject.toml (default: search upward from cwd)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline file of grandfathered violations "
+             "(overrides the configured one)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current violations to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--update-spec-fingerprint", action="store_true",
+        help="regenerate the committed RPR002 spec-schema fingerprint "
+             "(run this alongside a SPEC_SCHEMA_VERSION bump) and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print suppressed violations",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro codebase "
+                    "(determinism, schema, and swap-atomicity contracts)",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _split_codes(groups: list[str]) -> tuple[str, ...]:
+    """Flatten repeated/comma-separated ``--select`` values."""
+    return tuple(
+        code.strip()
+        for group in groups
+        for code in group.split(",")
+        if code.strip()
+    )
+
+
+def _spec_paths(config: LintConfig) -> tuple[Path, Path | None]:
+    """(spec module, fingerprint file) from the rpr002 options."""
+    options = config.rule_options.get("rpr002", {})
+    spec = Path(options.get("spec-file", "src/repro/scenarios/spec.py"))
+    out = options.get("fingerprint-file")
+    return spec, Path(out) if out else None
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute one lint invocation from parsed arguments."""
+    if args.list_rules:
+        for code, rule_cls in sorted(all_rules().items()):
+            print(f"{code}  {rule_cls.name}: {rule_cls.description}")
+        return 0
+
+    try:
+        config = load_config(args.config)
+    except (OSError, ValueError) as exc:
+        print(f"repro-lint: bad configuration: {exc}", file=sys.stderr)
+        return 2
+
+    if args.select:
+        config.select = _split_codes(args.select)
+    if args.ignore:
+        config.ignore = _split_codes(args.ignore)
+    if args.baseline:
+        config.baseline = args.baseline
+
+    if args.update_spec_fingerprint:
+        from .rules.schema import write_spec_fingerprint
+
+        spec, out = _spec_paths(config)
+        if not spec.is_file():
+            print(f"repro-lint: no spec module at {spec}", file=sys.stderr)
+            return 2
+        try:
+            written = write_spec_fingerprint(spec, out)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        print(f"spec-schema fingerprint written to {written}")
+        return 0
+
+    paths = args.paths or list(config.paths)
+    try:
+        result = run_lint(paths, config)
+    except ValueError as exc:  # unknown rule code in select
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    if result.errors and not result.files_checked:
+        for error in result.errors:
+            print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = config.baseline or ".repro-lint-baseline.json"
+        count = write_baseline(target, result.violations)
+        print(f"baseline written to {target} ({count} entr"
+              f"{'y' if count == 1 else 'ies'})")
+        return 0
+
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_human(result, verbose=args.verbose))
+    return 1 if result.violations or result.errors else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

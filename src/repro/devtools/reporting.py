@@ -1,0 +1,61 @@
+"""Lint output: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+__all__ = ["format_human", "format_json", "JSON_SCHEMA_VERSION"]
+
+#: Bump when the JSON payload shape changes; consumers key on it.
+JSON_SCHEMA_VERSION = 1
+
+
+def format_human(result: LintResult, verbose: bool = False) -> str:
+    """``path:line:col CODE message`` rows plus a summary line."""
+    rows = [
+        f"{v.path}:{v.line}:{v.col} {v.code} {v.message}"
+        for v in result.violations
+    ]
+    counts = result.counts
+    if result.violations:
+        breakdown = ", ".join(
+            f"{code} x{count}" for code, count in counts.items()
+        )
+        rows.append(
+            f"{len(result.violations)} violation(s) in "
+            f"{result.files_checked} file(s): {breakdown}"
+        )
+    else:
+        rows.append(f"clean: {result.files_checked} file(s), 0 violations")
+    extras = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if extras:
+        rows.append("(" + ", ".join(extras) + ")")
+    if verbose and result.suppressed:
+        rows.append("suppressed:")
+        rows.extend(
+            f"  {v.path}:{v.line} {v.code} {v.message}"
+            for v in result.suppressed
+        )
+    for error in result.errors:
+        rows.append(f"error: {error}")
+    return "\n".join(rows)
+
+
+def format_json(result: LintResult) -> str:
+    """Stable JSON payload (schema versioned; see tests/devtools)."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "violations": [v.as_dict() for v in result.violations],
+        "summary": result.counts,
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "errors": list(result.errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,33 @@
+"""Built-in rule modules; importing this package populates the registry.
+
+Rule codes, one invariant each:
+
+* ``RPR001`` — seeded randomness only (cache-key honesty);
+* ``RPR002`` — spec-schema / ``SPEC_SCHEMA_VERSION`` coupling;
+* ``RPR003`` — swap-atomicity in the serving hot path;
+* ``RPR004`` — pipeline stages are pure in (spec, inputs);
+* ``RPR005`` — frozen dataclasses stay frozen after ``__post_init__``;
+* ``RPR006`` — ``__all__`` / re-export consistency;
+* ``RPR007`` — no grad-building calls outside ``no_grad()`` on
+  serving/eval/conformal paths.
+"""
+
+from . import (  # noqa: F401  (imports register the rules)
+    atomicity,
+    determinism,
+    exports,
+    frozen,
+    purity,
+    schema,
+    tape,
+)
+
+__all__ = [
+    "atomicity",
+    "determinism",
+    "exports",
+    "frozen",
+    "purity",
+    "schema",
+    "tape",
+]

@@ -1,0 +1,165 @@
+"""RPR003 — swap-atomicity in the serving hot path.
+
+The continual-learning hand-off relies on one protocol: everything a
+bound computation reads lives in an immutable, generation-tagged
+``ServingState``, and promotion is a single atomic attribute store
+(``self._state = new_state``). Two code shapes silently break it:
+
+* **Torn reads** — a method that reads ``self._state`` twice can observe
+  two different generations (a concurrent ``swap`` between the reads),
+  e.g. new head choices resolved against old embeddings. Every method
+  must bind the state to a local exactly once and work off that capture.
+* **State mutation** — any attribute write on a ``ServingState``
+  instance (or a store to ``self._state`` outside the sanctioned
+  promotion methods) re-introduces shared mutable state and defeats the
+  generation tagging.
+
+Options (``[tool.repro-lint.rpr003]``): ``state-attr`` (default
+``_state``), ``state-class`` (default ``ServingState``), ``writers``
+(method names allowed to store ``self._state``; default ``__init__`` and
+``swap``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import LintRule, SourceModule, Violation, register
+from .common import dotted_name
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@register
+class SwapAtomicityRule(LintRule):
+    code = "RPR003"
+    name = "swap-atomicity"
+    description = (
+        "serving methods must capture self._state exactly once; "
+        "ServingState instances are immutable and promoted only by "
+        "sanctioned writers"
+    )
+    default_globs = ("*serving/service.py",)
+
+    def __init__(self, options: dict | None = None) -> None:
+        super().__init__(options)
+        self.state_attr: str = self.options.get("state-attr", "_state")
+        self.state_class: str = self.options.get("state-class", "ServingState")
+        self.writers: tuple[str, ...] = tuple(
+            self.options.get("writers", ("__init__", "swap"))
+        )
+
+    # ------------------------------------------------------------------
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, _FUNCTION_NODES):
+                # Check methods only (direct children of a class); reads
+                # inside nested helpers count toward the enclosing
+                # method, which owns the capture discipline.
+                if isinstance(module.parents.get(node), ast.ClassDef):
+                    yield from self._check_method(module, node)
+        yield from self._check_state_mutations(module)
+
+    # ------------------------------------------------------------------
+    def _check_method(
+        self, module: SourceModule, func: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        reads: list[ast.Attribute] = []
+        writes: list[ast.AST] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr != self.state_attr:
+                continue
+            if not (
+                isinstance(node.value, ast.Name) and node.value.id == "self"
+            ):
+                continue
+            if isinstance(node.ctx, ast.Load):
+                reads.append(node)
+            else:
+                writes.append(node)
+        if len(reads) > 1:
+            yield self.violation(
+                module,
+                reads[1],
+                f"method {func.name!r} reads self.{self.state_attr} "
+                f"{len(reads)} times; a concurrent swap between reads "
+                f"serves a torn generation (e.g. new head choices "
+                f"against old embeddings) — bind it once "
+                f"(state = self.{self.state_attr}) and read the capture",
+            )
+        if writes and func.name not in self.writers:
+            yield self.violation(
+                module,
+                writes[0],
+                f"method {func.name!r} stores self.{self.state_attr}; "
+                f"generation promotion is restricted to "
+                f"{', '.join(self.writers)} so every swap installs a "
+                f"complete, validated {self.state_class}",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_state_mutations(
+        self, module: SourceModule
+    ) -> Iterator[Violation]:
+        """Attribute writes on values known to be ServingState instances."""
+        state_locals = self._state_bound_names(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    if self._is_state_value(target.value, state_locals):
+                        yield self._mutation(module, target)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if (
+                    name == "object.__setattr__"
+                    and node.args
+                    and self._is_state_value(node.args[0], state_locals)
+                ):
+                    yield self._mutation(module, node)
+
+    def _mutation(self, module: SourceModule, node: ast.AST) -> Violation:
+        return self.violation(
+            module,
+            node,
+            f"attribute write on a {self.state_class} instance: serving "
+            f"generations are immutable — build a new {self.state_class} "
+            f"and promote it atomically via swap()",
+        )
+
+    def _state_bound_names(self, module: SourceModule) -> frozenset[str]:
+        """Local names assigned from ``self._state`` / ``ServingState(...)``."""
+        names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if self._is_state_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return frozenset(names)
+
+    def _is_state_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == self.state_attr:
+            return isinstance(node.value, ast.Name) and node.value.id == "self"
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name is not None and name.split(".")[-1] == self.state_class
+        return False
+
+    def _is_state_value(
+        self, node: ast.expr, state_locals: frozenset[str]
+    ) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in state_locals
+        # self._state.attr = ... (a store through the live slot).
+        return self._is_state_expr(node)

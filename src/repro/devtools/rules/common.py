@@ -1,0 +1,85 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "build_aliases",
+    "dotted_name",
+    "is_frozen_dataclass",
+    "call_keyword",
+]
+
+
+def build_aliases(tree: ast.Module) -> dict[str, str]:
+    """Name → dotted origin for every top-level-ish import in the file.
+
+    Relative imports keep their leading dots (``from ..nn import Tensor``
+    binds ``Tensor`` to ``..nn.Tensor``), so rules can match package
+    segments without resolving the filesystem. Imports inside functions
+    are included too — a deferred import grants the same powers.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{prefix}.{alias.name}" if prefix else alias.name
+                )
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str] | None = None) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, with the root de-aliased.
+
+    Returns ``None`` for anything that is not a plain chain (calls,
+    subscripts, literals).
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = current.id
+    if aliases and root in aliases:
+        root = aliases[root]
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    """True when decorated ``@dataclass(frozen=True)`` (any alias spelling)."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if name is None or name.split(".")[-1] != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def call_keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None

@@ -1,0 +1,212 @@
+"""RPR006 — ``__all__`` consistency and re-export integrity.
+
+``__all__`` is the public-API contract every package ``__init__`` and
+module declares. Two rots accumulate silently: a name listed in
+``__all__`` that was renamed or deleted (consumers get an ImportError
+only on ``from pkg import *`` or documentation builds), and an
+``__init__`` re-export (``from .sub import name``) whose source symbol
+moved. Both are pure-static facts, so the rule checks them statically:
+
+* every name in ``__all__`` must be bound at module top level (def,
+  class, assignment, or import);
+* every *relative* ``from .sub import name`` must name a symbol bound at
+  the top level of the target module (resolved on disk; absolute
+  imports and unresolvable targets are skipped, star-imports disable
+  the check for that module).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from ..engine import LintRule, SourceModule, Violation, register
+
+#: Cross-module binding tables are cached per lint process (the same
+#: submodule backs many ``__init__`` re-exports).
+_BINDINGS_CACHE: dict[Path, frozenset[str] | None] = {}
+
+
+def module_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+    """Top-level bound names and whether a star-import was seen.
+
+    Recurses into top-level ``if``/``try``/``with``/loop bodies (where
+    conditional definitions legitimately live) but not into functions or
+    classes.
+    """
+    names: set[str] = {"__all__", "__doc__", "__name__", "__file__"}
+    star = False
+
+    def visit_block(stmts: list[ast.stmt]) -> None:
+        nonlocal star
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    _collect_targets(target, names)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                _collect_targets(stmt.target, names)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.If):
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit_block(stmt.body)
+                for handler in stmt.handlers:
+                    visit_block(handler.body)
+                visit_block(stmt.orelse)
+                visit_block(stmt.finalbody)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                visit_block(stmt.body)
+
+    visit_block(tree.body)
+    return names, star
+
+
+def _collect_targets(target: ast.expr, names: set[str]) -> None:
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _collect_targets(element, names)
+
+
+def declared_all(tree: ast.Module) -> tuple[list[tuple[str, ast.AST]], bool]:
+    """``__all__`` entries with their anchor nodes; bool = found."""
+    entries: list[tuple[str, ast.AST]] = []
+    found = False
+    for stmt in tree.body:
+        value = None
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in stmt.targets
+        ):
+            value = stmt.value
+        elif (
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"
+        ):
+            value = stmt.value
+        if value is None:
+            continue
+        found = True
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    entries.append((element.value, element))
+    return entries, found
+
+
+def _resolve_relative(
+    module_path: Path, level: int, target: str | None
+) -> Path | None:
+    """Filesystem location of ``from <dots><target> import ...``."""
+    # level=1 is the containing package — the parent directory both for
+    # a package __init__ and for a plain module.
+    base = module_path.parent
+    for _ in range(level - 1):
+        base = base.parent
+    if target:
+        for part in target.split("."):
+            base = base / part
+    if (base / "__init__.py").is_file():
+        return base / "__init__.py"
+    candidate = base.with_suffix(".py")
+    if candidate.is_file():
+        return candidate
+    return None
+
+
+def _target_bindings(path: Path) -> frozenset[str] | None:
+    """Top-level names of the module at ``path`` (None = unknowable)."""
+    if path not in _BINDINGS_CACHE:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            _BINDINGS_CACHE[path] = None
+        else:
+            names, star = module_bindings(tree)
+            _BINDINGS_CACHE[path] = None if star else frozenset(names)
+    return _BINDINGS_CACHE[path]
+
+
+@register
+class ExportConsistencyRule(LintRule):
+    code = "RPR006"
+    name = "export-consistency"
+    description = (
+        "every __all__ entry must resolve to a top-level binding and "
+        "every relative re-export must exist in its source module"
+    )
+    default_globs = ("*.py",)
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        bindings, star = module_bindings(module.tree)
+        entries, _ = declared_all(module.tree)
+        if not star:
+            for name, anchor in entries:
+                if name not in bindings:
+                    yield self.violation(
+                        module,
+                        anchor,
+                        f"__all__ exports {name!r} but the module never "
+                        f"binds it: consumers of the public API (star "
+                        f"imports, docs) get an ImportError — remove the "
+                        f"entry or restore the binding",
+                    )
+        yield from self._check_reexports(module)
+
+    def _check_reexports(self, module: SourceModule) -> Iterator[Violation]:
+        for stmt in ast.walk(module.tree):
+            if not isinstance(stmt, ast.ImportFrom) or stmt.level == 0:
+                continue
+            target = _resolve_relative(module.path, stmt.level, stmt.module)
+            if target is None:
+                continue
+            names = _target_bindings(target)
+            if names is None:
+                continue
+            dots = "." * stmt.level
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                # "from .pkg import submodule" imports a module object,
+                # not a symbol; accept it when the file exists.
+                if alias.name not in names and not self._is_submodule(
+                    target, alias.name
+                ):
+                    yield self.violation(
+                        module,
+                        stmt,
+                        f"re-export 'from {dots}{stmt.module or ''} import "
+                        f"{alias.name}' names a symbol that does not exist "
+                        f"in {target.as_posix()}: the public API promises "
+                        f"a name the package cannot deliver",
+                    )
+
+    @staticmethod
+    def _is_submodule(target: Path, name: str) -> bool:
+        if target.name != "__init__.py":
+            return False
+        package = target.parent
+        return (package / f"{name}.py").is_file() or (
+            package / name / "__init__.py"
+        ).is_file()

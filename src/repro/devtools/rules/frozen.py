@@ -1,0 +1,58 @@
+"""RPR005 — frozen dataclasses stay frozen after construction.
+
+The scenario specs are frozen dataclasses because their content hash is
+a cache key: mutate one after construction and every derived
+``spec_hash`` / ``component_hash`` silently describes a value that no
+longer exists. Python's frozen enforcement has exactly one sanctioned
+escape hatch — ``object.__setattr__`` inside ``__post_init__`` (used to
+normalize fields during construction, e.g. synchronizing
+``trainer.seed`` with ``seeds.train``). Anywhere else it is a mutation
+of a value other code believes immutable.
+
+The rule flags ``object.__setattr__`` calls lexically inside a
+``@dataclass(frozen=True)`` class body whose enclosing method is not
+``__post_init__``. Non-dataclass uses (e.g. the autograd ``Module``
+container bypassing its own ``__setattr__``) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import LintRule, SourceModule, Violation, register
+from .common import dotted_name, is_frozen_dataclass
+
+
+@register
+class FrozenSpecRule(LintRule):
+    code = "RPR005"
+    name = "frozen-spec-integrity"
+    description = (
+        "object.__setattr__ on frozen dataclasses is allowed only in "
+        "__post_init__; anything later invalidates content hashes"
+    )
+    default_globs = ("*.py",)
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "object.__setattr__":
+                continue
+            cls = module.enclosing_class(node)
+            if cls is None or not is_frozen_dataclass(cls):
+                continue
+            func = module.enclosing_function(node)
+            if func is not None and func.name == "__post_init__":
+                continue
+            where = f"method {func.name!r}" if func else "class body"
+            yield self.violation(
+                module,
+                node,
+                f"object.__setattr__ in {where} of frozen dataclass "
+                f"{cls.name!r}: a frozen spec mutated after construction "
+                f"invalidates every content hash derived from it — "
+                f"normalize in __post_init__ or build a new instance "
+                f"with dataclasses.replace()",
+            )

@@ -1,0 +1,209 @@
+"""RPR002 — spec-schema / ``SPEC_SCHEMA_VERSION`` coupling.
+
+Every artifact in the content-addressed store is keyed under
+``SPEC_SCHEMA_VERSION``. Changing the shape of the frozen spec
+dataclasses (adding, removing, retyping, or re-defaulting a field)
+without bumping the version would let stale cached artifacts — keyed
+under the old shape — load as if they matched the new semantics.
+
+The rule fingerprints the frozen-dataclass field signatures of
+``scenarios/spec.py`` straight from the AST (class name, field name,
+annotation, default) and compares both the fingerprint and the version
+against a committed golden file (``spec_schema.json`` next to the spec
+module). The failure modes:
+
+* fields changed, version unchanged → the silent-staleness bug; bump
+  ``SPEC_SCHEMA_VERSION`` *and* regenerate the golden file;
+* version bumped, golden not regenerated → half-finished bump;
+* golden missing → run ``python -m repro.devtools.lint
+  --update-spec-fingerprint`` once and commit the result.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator
+
+from ..engine import LintRule, SourceModule, Violation, register
+from .common import is_frozen_dataclass
+
+__all__ = [
+    "SpecSchemaRule",
+    "spec_schema_signature",
+    "spec_schema_fingerprint",
+    "write_spec_fingerprint",
+    "DEFAULT_FINGERPRINT_NAME",
+]
+
+DEFAULT_FINGERPRINT_NAME = "spec_schema.json"
+_VERSION_NAME = "SPEC_SCHEMA_VERSION"
+
+_HOW_TO_BUMP = (
+    "bump SPEC_SCHEMA_VERSION in the spec module (so old cached "
+    "artifacts key as misses, never as garbage) and regenerate the "
+    "committed fingerprint: python -m repro.devtools.lint "
+    "--update-spec-fingerprint"
+)
+
+
+def spec_schema_signature(tree: ast.Module) -> tuple[int | None, dict]:
+    """``(SPEC_SCHEMA_VERSION, {class: [[field, annotation, default]]})``.
+
+    Extracted purely from the AST so the fingerprint never depends on
+    runtime imports; ``version`` is ``None`` when the module defines no
+    integer ``SPEC_SCHEMA_VERSION``.
+    """
+    version: int | None = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == _VERSION_NAME
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    version = node.value.value
+    classes: dict[str, list[list[str]]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef) or not is_frozen_dataclass(node):
+            continue
+        fields: list[list[str]] = []
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            fields.append(
+                [
+                    stmt.target.id,
+                    ast.unparse(stmt.annotation),
+                    ast.unparse(stmt.value) if stmt.value is not None else "",
+                ]
+            )
+        classes[node.name] = fields
+    return version, classes
+
+
+def spec_schema_fingerprint(classes: dict) -> str:
+    """Stable hex digest of the field-signature table."""
+    text = json.dumps(classes, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def write_spec_fingerprint(
+    spec_path: Path | str, out_path: Path | str | None = None
+) -> Path:
+    """Regenerate the committed golden file for ``spec_path``."""
+    spec_path = Path(spec_path)
+    tree = ast.parse(spec_path.read_text(encoding="utf-8"))
+    version, classes = spec_schema_signature(tree)
+    if version is None:
+        raise ValueError(
+            f"{spec_path} defines no integer {_VERSION_NAME}; add one "
+            f"before committing a fingerprint"
+        )
+    out = (
+        Path(out_path)
+        if out_path is not None
+        else spec_path.parent / DEFAULT_FINGERPRINT_NAME
+    )
+    payload = {
+        "comment": (
+            "Committed spec-schema fingerprint (repro-lint RPR002). "
+            "Regenerate ONLY alongside a SPEC_SCHEMA_VERSION bump: "
+            "python -m repro.devtools.lint --update-spec-fingerprint"
+        ),
+        "schema_version": version,
+        "fingerprint": spec_schema_fingerprint(classes),
+        "classes": classes,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return out
+
+
+def _diff_classes(old: dict, new: dict) -> str:
+    """Human summary of what changed between two signature tables."""
+    changes: list[str] = []
+    for name in sorted(set(old) | set(new)):
+        if name not in new:
+            changes.append(f"class {name} removed")
+        elif name not in old:
+            changes.append(f"class {name} added")
+        elif old[name] != new[name]:
+            old_fields = {f[0]: f for f in old[name]}
+            new_fields = {f[0]: f for f in new[name]}
+            for field in sorted(set(old_fields) | set(new_fields)):
+                if field not in new_fields:
+                    changes.append(f"{name}.{field} removed")
+                elif field not in old_fields:
+                    changes.append(f"{name}.{field} added")
+                elif old_fields[field] != new_fields[field]:
+                    changes.append(f"{name}.{field} changed signature")
+    return "; ".join(changes) if changes else "field signatures differ"
+
+
+@register
+class SpecSchemaRule(LintRule):
+    code = "RPR002"
+    name = "spec-schema-version"
+    description = (
+        "frozen spec dataclass fields must match the committed "
+        "fingerprint; any shape change requires a SPEC_SCHEMA_VERSION bump"
+    )
+    default_globs = ("*scenarios/spec.py",)
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        version, classes = spec_schema_signature(module.tree)
+        anchor = module.tree.body[0] if module.tree.body else module.tree
+        if version is None:
+            yield self.violation(
+                module,
+                anchor,
+                f"spec module defines no integer {_VERSION_NAME}; the "
+                f"artifact cache cannot invalidate across schema changes "
+                f"without one",
+            )
+            return
+        golden_path = Path(
+            self.options.get(
+                "fingerprint-file",
+                module.path.parent / DEFAULT_FINGERPRINT_NAME,
+            )
+        )
+        if not golden_path.is_file():
+            yield self.violation(
+                module,
+                anchor,
+                f"no committed spec-schema fingerprint at {golden_path}; "
+                f"generate and commit it: python -m repro.devtools.lint "
+                f"--update-spec-fingerprint",
+            )
+            return
+        golden = json.loads(golden_path.read_text(encoding="utf-8"))
+        fingerprint = spec_schema_fingerprint(classes)
+        if version != golden.get("schema_version"):
+            yield self.violation(
+                module,
+                anchor,
+                f"{_VERSION_NAME} is {version} but the committed "
+                f"fingerprint records schema "
+                f"{golden.get('schema_version')}: the bump is "
+                f"half-finished — regenerate the golden file "
+                f"(python -m repro.devtools.lint "
+                f"--update-spec-fingerprint) and commit both together",
+            )
+            return
+        if fingerprint != golden.get("fingerprint"):
+            diff = _diff_classes(golden.get("classes", {}), classes)
+            yield self.violation(
+                module,
+                anchor,
+                f"spec dataclass fields changed ({diff}) but "
+                f"{_VERSION_NAME} is still {version}: cached artifacts "
+                f"keyed under schema {version} would load against the "
+                f"new field semantics — {_HOW_TO_BUMP}",
+            )

@@ -9,7 +9,7 @@ lowest validation loss).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -21,7 +21,7 @@ __all__ = ["Parameter", "Module"]
 class Parameter(Tensor):
     """A tensor flagged as trainable."""
 
-    def __init__(self, data) -> None:
+    def __init__(self, data: Any) -> None:
         super().__init__(data, requires_grad=True)
 
 
@@ -32,7 +32,7 @@ class Module:
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_modules", {})
 
-    def __setattr__(self, name: str, value) -> None:
+    def __setattr__(self, name: str, value: Any) -> None:
         if isinstance(value, Parameter):
             self._parameters[name] = value
         elif isinstance(value, Module):
@@ -84,8 +84,8 @@ class Module:
             p.data = state[name].copy()
 
     # ------------------------------------------------------------------
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
         return self.forward(*args, **kwargs)
 
-    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+    def forward(self, *args: Any, **kwargs: Any) -> Any:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -31,11 +31,14 @@ Two mechanisms keep the training hot loop lean:
 from __future__ import annotations
 
 import functools
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 Array = np.ndarray
+
+#: Anything `np.asarray` accepts: scalars, sequences, arrays, Tensors.
+TensorLike = Any
 
 __all__ = [
     "Tensor",
@@ -78,21 +81,21 @@ class no_grad:
         _GRAD_ENABLED = False
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._previous.pop()
         return False
 
-    def __call__(self, fn: Callable) -> Callable:
+    def __call__(self, fn: Callable[..., Any]) -> Callable[..., Any]:
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             with no_grad():
                 return fn(*args, **kwargs)
 
         return wrapper
 
 
-def _is_basic_index(index) -> bool:
+def _is_basic_index(index: Any) -> bool:
     """True when ``index`` uses only basic (non-fancy) indexing."""
     parts = index if isinstance(index, tuple) else (index,)
     return all(
@@ -137,7 +140,7 @@ class Tensor:
 
     def __init__(
         self,
-        data,
+        data: TensorLike,
         requires_grad: bool = False,
         _prev: tuple["Tensor", ...] = (),
     ) -> None:
@@ -259,7 +262,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Elementwise arithmetic
     # ------------------------------------------------------------------
-    def __add__(self, other) -> "Tensor":
+    def __add__(self, other: TensorLike) -> "Tensor":
         other = as_tensor(other)
         data = self.data + other.data
 
@@ -284,13 +287,13 @@ class Tensor:
 
         return Tensor._make(-self.data, (self,), backward)
 
-    def __sub__(self, other) -> "Tensor":
+    def __sub__(self, other: TensorLike) -> "Tensor":
         return self + (-as_tensor(other))
 
-    def __rsub__(self, other) -> "Tensor":
+    def __rsub__(self, other: TensorLike) -> "Tensor":
         return as_tensor(other) + (-self)
 
-    def __mul__(self, other) -> "Tensor":
+    def __mul__(self, other: TensorLike) -> "Tensor":
         other = as_tensor(other)
         data = self.data * other.data
 
@@ -304,7 +307,7 @@ class Tensor:
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other) -> "Tensor":
+    def __truediv__(self, other: TensorLike) -> "Tensor":
         other = as_tensor(other)
         data = self.data / other.data
 
@@ -319,7 +322,7 @@ class Tensor:
 
         return Tensor._make(data, (self, other), backward)
 
-    def __rtruediv__(self, other) -> "Tensor":
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
         return as_tensor(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
@@ -336,7 +339,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Matrix products
     # ------------------------------------------------------------------
-    def __matmul__(self, other) -> "Tensor":
+    def __matmul__(self, other: TensorLike) -> "Tensor":
         other = as_tensor(other)
         a, b = self.data, other.data
         data = a @ b
@@ -418,7 +421,11 @@ class Tensor:
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
-    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def sum(
+        self,
+        axis: int | tuple[int, ...] | None = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(g: Array) -> None:
@@ -433,7 +440,11 @@ class Tensor:
 
         return Tensor._make(data, (self,), backward)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def mean(
+        self,
+        axis: int | tuple[int, ...] | None = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
         if axis is None:
             count = self.data.size
         else:
@@ -441,7 +452,11 @@ class Tensor:
             count = int(np.prod([self.data.shape[a] for a in axes]))
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
-    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def max(
+        self,
+        axis: int | tuple[int, ...] | None = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(g: Array) -> None:
@@ -466,7 +481,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Shape manipulation
     # ------------------------------------------------------------------
-    def reshape(self, *shape) -> "Tensor":
+    def reshape(self, *shape: int | tuple[int, ...] | list[int]) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         data = self.data.reshape(shape)
@@ -478,7 +493,7 @@ class Tensor:
 
         return Tensor._make(data, (self,), backward)
 
-    def transpose(self, *axes) -> "Tensor":
+    def transpose(self, *axes: int | tuple[int, ...] | list[int]) -> "Tensor":
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -519,7 +534,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Indexing / gathers
     # ------------------------------------------------------------------
-    def __getitem__(self, index) -> "Tensor":
+    def __getitem__(self, index: Any) -> "Tensor":
         data = self.data[index]
         basic = _is_basic_index(index)
 
@@ -564,7 +579,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
 
-def as_tensor(value) -> Tensor:
+def as_tensor(value: TensorLike) -> Tensor:
     """Coerce a value to :class:`Tensor` (no copy when already one)."""
     return value if isinstance(value, Tensor) else Tensor(value)
 
@@ -599,7 +614,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(data, tuple(tensors), backward)
 
 
-def where(condition, a, b) -> Tensor:
+def where(condition: TensorLike, a: TensorLike, b: TensorLike) -> Tensor:
     """Differentiable ``np.where``; ``condition`` is a constant mask."""
     cond = np.asarray(condition, dtype=bool)
     a, b = as_tensor(a), as_tensor(b)
@@ -614,14 +629,14 @@ def where(condition, a, b) -> Tensor:
     return Tensor._make(data, (a, b), backward)
 
 
-def maximum(a, b) -> Tensor:
+def maximum(a: TensorLike, b: TensorLike) -> Tensor:
     """Differentiable elementwise maximum; ties send gradient to ``a``."""
     a, b = as_tensor(a), as_tensor(b)
     mask = a.data >= b.data
     return where(mask, a, b)
 
 
-def minimum(a, b) -> Tensor:
+def minimum(a: TensorLike, b: TensorLike) -> Tensor:
     """Differentiable elementwise minimum; ties send gradient to ``a``."""
     a, b = as_tensor(a), as_tensor(b)
     mask = a.data <= b.data

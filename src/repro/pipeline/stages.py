@@ -59,6 +59,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -78,6 +79,9 @@ from ..eval.metrics import coverage, mape, overprovision_margin
 from ..lifecycle.manager import LifecycleManager, run_lifecycle
 from ..lifecycle.trace import DriftTrace, make_drift_trace
 from ..scenarios.registry import get_scenario
+
+if TYPE_CHECKING:  # deferred: serving imports pipeline artifacts
+    from ..serving.service import PredictionService
 from ..scenarios.spec import ScenarioSpec
 from .artifacts import ArtifactStore, stage_key
 
@@ -743,7 +747,7 @@ def _load_snapshot(path: Path, spec: ScenarioSpec, out: dict) -> None:
         check_schema_version(
             archive, _SNAPSHOT_SCHEMA_VERSION, "snapshot", path / "snapshot.npz"
         )
-        def opt(name):
+        def opt(name: str) -> np.ndarray | None:
             return archive[name] if name in archive.files else None
 
         # Generation is pinned to the in-memory model (same parameters),
@@ -970,7 +974,9 @@ class PipelineResult:
         """
         return PitotTrainer(self.training.model, self.spec.trainer)
 
-    def service(self, cache_size: int = 65536, max_batch: int = 8192):
+    def service(
+        self, cache_size: int = 65536, max_batch: int = 8192
+    ) -> "PredictionService":
         """A calibrated :class:`~repro.serving.PredictionService`.
 
         Built from the snapshot stage's frozen embeddings plus the
@@ -989,7 +995,7 @@ class PipelineResult:
 
     def recalibrated_service(
         self, cache_size: int = 65536, max_batch: int = 8192
-    ):
+    ) -> "PredictionService":
         """Serving state for the post-lifecycle generation.
 
         Built from the ``update`` stage's warm-updated model and the

@@ -364,7 +364,7 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     # Derivation helpers
     # ------------------------------------------------------------------
-    def scaled(self, **overrides) -> "ScenarioSpec":
+    def scaled(self, **overrides: object) -> "ScenarioSpec":
         """Replace leaf knobs by name, routing each to its component.
 
         ``None`` values are ignored (convenient for optional CLI flags:
@@ -499,7 +499,7 @@ _SCALED_FIELDS = {
 }
 
 
-def _stable_hash(payload) -> str:
+def _stable_hash(payload: object) -> str:
     """sha256 of the canonical-JSON encoding of ``payload``."""
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

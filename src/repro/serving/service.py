@@ -363,16 +363,17 @@ class PredictionService:
                     f"snapshot and predictor are from different models"
                 )
         old = self._state
-        self._state = ServingState(
+        new = ServingState(
             snapshot=snapshot,
             choices=choices,
             use_pools=predictor.use_pools,
             cache=BoundCache(old.cache.capacity),
             generation=old.generation + 1,
         )
+        self._state = new
         self.stats.swaps += 1
         self.stats.invalidations += 1
-        return self._state.generation
+        return new.generation
 
     def refresh(self, predictor: ConformalRuntimePredictor) -> None:
         """Re-snapshot after retraining/recalibration.

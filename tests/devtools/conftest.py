@@ -1,0 +1,41 @@
+"""Fixtures for the repro-lint tests: tiny on-disk fixture trees.
+
+Rules scope themselves by path glob (``*serving/service.py``,
+``*pipeline/*.py``, ...), so a fixture tree that mirrors the repo layout
+under ``tmp_path`` exercises exactly the rules the real tree would.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import LintConfig, run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` under a temp dir and lint it.
+
+    Returns ``run(files, select=..., **config_kwargs) -> LintResult``.
+    """
+
+    def run(files: dict[str, str], select=(), **config_kwargs):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        config = LintConfig(select=tuple(select), **config_kwargs)
+        return run_lint([tmp_path], config)
+
+    run.root = tmp_path
+    return run
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    """The repository checkout (derived from the installed package)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2]

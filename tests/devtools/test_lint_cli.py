@@ -1,0 +1,130 @@
+"""CLI surface: exit codes, JSON mode, baseline/fingerprint flows, and
+the tier-1 acceptance bar — ``repro lint src`` is clean on this repo."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.devtools import lint as lint_cli
+
+UNSEEDED = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+@pytest.fixture
+def in_repo(repo_root, monkeypatch):
+    """Run from the checkout root (where pyproject.toml scopes the lint)."""
+    monkeypatch.chdir(repo_root)
+    return repo_root
+
+
+# ----------------------------------------------------------------------
+# Tier-1 acceptance: the repo's own source is clean, zero baseline.
+# ----------------------------------------------------------------------
+def test_repo_source_is_lint_clean(in_repo, capsys):
+    assert lint_cli.main(["src"]) == 0
+    out = capsys.readouterr().out
+    assert "0 violations" in out
+    assert "baselined" not in out  # acceptance bar: no grandfathered entries
+
+
+def test_repro_cli_lint_subcommand(in_repo, capsys):
+    assert cli.main(["lint", "src/repro/devtools"]) == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Exit codes and output modes
+# ----------------------------------------------------------------------
+def test_violations_exit_1_with_json_payload(tmp_path, monkeypatch, capsys):
+    (tmp_path / "mod.py").write_text(UNSEEDED, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    code = lint_cli.main(["--format", "json", "--select", "RPR001", "mod.py"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == 1
+    assert payload["summary"] == {"RPR001": 1}
+    assert payload["violations"][0]["path"] == "mod.py"
+
+
+def test_unknown_select_code_exits_2(in_repo, capsys):
+    assert lint_cli.main(["--select", "RPR999", "src"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_missing_path_exits_2(in_repo, capsys):
+    assert lint_cli.main(["no/such/path"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert lint_cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR004", "RPR007"):
+        assert code in out
+
+
+# ----------------------------------------------------------------------
+# Baseline flow
+# ----------------------------------------------------------------------
+def test_write_baseline_then_clean_run(tmp_path, monkeypatch, capsys):
+    (tmp_path / "mod.py").write_text(UNSEEDED, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    common = ["--select", "RPR001", "--baseline", "baseline.json", "mod.py"]
+    assert lint_cli.main(["--write-baseline", *common]) == 0
+    assert "baseline written" in capsys.readouterr().out
+    assert lint_cli.main(common) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Spec-fingerprint flow: the "delete a field, forget the bump" CI gate
+# ----------------------------------------------------------------------
+@pytest.fixture
+def mini_repo(tmp_path, monkeypatch, repo_root):
+    """A tmp checkout with the real spec.py and its committed golden."""
+    scenarios = tmp_path / "src" / "repro" / "scenarios"
+    scenarios.mkdir(parents=True)
+    real = repo_root / "src" / "repro" / "scenarios"
+    for name in ("spec.py", "spec_schema.json"):
+        (scenarios / name).write_text(
+            (real / name).read_text(encoding="utf-8"), encoding="utf-8"
+        )
+    monkeypatch.chdir(tmp_path)
+    return scenarios
+
+
+def test_committed_fingerprint_matches_spec(mini_repo):
+    assert lint_cli.main(["--select", "RPR002", "src"]) == 0
+
+
+def test_deleting_a_spec_field_without_bump_fails(mini_repo, capsys):
+    spec = mini_repo / "spec.py"
+    text = spec.read_text(encoding="utf-8")
+    assert "    split: int" in text  # SeedSpec field we are deleting
+    spec.write_text(
+        "\n".join(
+            line
+            for line in text.splitlines()
+            if not line.startswith("    split: int")
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    assert lint_cli.main(["--select", "RPR002", "src"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR002" in out
+    assert "bump SPEC_SCHEMA_VERSION" in out
+
+
+def test_update_spec_fingerprint_flag(mini_repo, capsys):
+    golden = mini_repo / "spec_schema.json"
+    golden.unlink()
+    assert lint_cli.main(["--select", "RPR002", "src"]) == 1
+    capsys.readouterr()
+    assert lint_cli.main(["--update-spec-fingerprint"]) == 0
+    assert "fingerprint written" in capsys.readouterr().out
+    assert golden.is_file()
+    assert lint_cli.main(["--select", "RPR002", "src"]) == 0

@@ -1,0 +1,111 @@
+"""Configuration loading: pyproject parsing and the 3.10 TOML fallback."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.config import LintConfig, _mini_toml, load_config
+
+PYPROJECT = textwrap.dedent(
+    """
+    [project]
+    name = "demo"  # unrelated section
+
+    [tool.repro-lint]
+    paths = ["src", "tools"]
+    ignore = ["RPR006"]
+    exclude = ["*/_vendored/*"]
+    baseline = ".lint-baseline.json"
+
+    [tool.repro-lint.rpr003]
+    writers = [
+        "__init__",
+        "swap",  # trailing comment inside the array
+    ]
+    state-attr = "_state"
+    """
+)
+
+
+def test_load_config_reads_the_lint_section(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(PYPROJECT, encoding="utf-8")
+    config = load_config(pyproject)
+    assert config.paths == ("src", "tools")
+    assert config.ignore == ("RPR006",)
+    assert config.exclude == ("*/_vendored/*",)
+    assert config.baseline == ".lint-baseline.json"
+    assert config.rule_options["rpr003"]["writers"] == ["__init__", "swap"]
+    assert config.rule_options["rpr003"]["state-attr"] == "_state"
+
+
+def test_load_config_defaults_without_section(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text('[project]\nname = "demo"\n', encoding="utf-8")
+    config = load_config(pyproject)
+    assert config == LintConfig()
+
+
+def test_load_config_missing_file_yields_defaults(tmp_path):
+    assert load_config(tmp_path / "absent.toml") == LintConfig()
+
+
+def test_mini_toml_matches_expected_shape():
+    # The fallback parser (Python 3.10 has no tomllib and the offline
+    # image installs nothing) must agree with tomllib on our section.
+    data = _mini_toml(PYPROJECT)
+    section = data["tool"]["repro-lint"]
+    assert section["paths"] == ["src", "tools"]
+    assert section["baseline"] == ".lint-baseline.json"
+    assert section["rpr003"]["writers"] == ["__init__", "swap"]
+
+
+def test_mini_toml_scalars_and_comments():
+    data = _mini_toml(
+        textwrap.dedent(
+            """
+            # full-line comment
+            [table]
+            flag = true
+            count = 3
+            ratio = 0.5
+            text = "a # not-a-comment"
+            empty = []
+            """
+        )
+    )
+    table = data["table"]
+    assert table == {
+        "flag": True,
+        "count": 3,
+        "ratio": 0.5,
+        "text": "a # not-a-comment",
+        "empty": [],
+    }
+
+
+def test_mini_toml_skips_what_it_cannot_parse():
+    data = _mini_toml(
+        textwrap.dedent(
+            """
+            [table]
+            weird = { inline = "table" }
+            date = 2025-01-01
+            ok = "kept"
+            """
+        )
+    )
+    assert data["table"] == {"ok": "kept"}
+
+
+def test_mini_toml_agrees_with_tomllib_on_repo_pyproject(repo_root):
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        import pytest
+
+        pytest.skip("no tomllib on this interpreter")
+    text = (repo_root / "pyproject.toml").read_text(encoding="utf-8")
+    with (repo_root / "pyproject.toml").open("rb") as handle:
+        reference = tomllib.load(handle)["tool"]["repro-lint"]
+    assert _mini_toml(text)["tool"]["repro-lint"] == reference

@@ -1,0 +1,167 @@
+"""Engine behavior: suppressions, selection, baselines, error paths."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools import LintConfig, all_rules, run_lint
+from repro.devtools.baseline import load_baseline, write_baseline
+
+UNSEEDED = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def test_registry_has_the_seven_contract_rules():
+    assert sorted(all_rules()) == [
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+        "RPR006",
+        "RPR007",
+    ]
+
+
+def test_line_suppression_moves_violation_to_suppressed(lint_tree):
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # repro-lint: disable=RPR001\n"
+    )
+    result = lint_tree({"mod.py": source}, select=["RPR001"])
+    assert result.violations == []
+    assert [v.code for v in result.suppressed] == ["RPR001"]
+
+
+def test_file_suppression_silences_the_whole_module(lint_tree):
+    source = (
+        "# repro-lint: disable-file=RPR001\n"
+        "import numpy as np\n"
+        "a = np.random.default_rng()\n"
+        "b = np.random.default_rng()\n"
+    )
+    result = lint_tree({"mod.py": source}, select=["RPR001"])
+    assert result.violations == []
+    assert len(result.suppressed) == 2
+
+
+def test_disable_all_silences_every_rule_on_the_line(lint_tree):
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # repro-lint: disable=all\n"
+    )
+    result = lint_tree({"mod.py": source}, select=["RPR001"])
+    assert result.violations == []
+    assert len(result.suppressed) == 1
+
+
+def test_suppressing_one_code_keeps_the_other(lint_tree):
+    # RPR003 suppressed on the line, but the RPR001 draw still fails.
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+
+        class PredictionService:
+            def jitter(self):
+                self._state = np.random.default_rng()  # repro-lint: disable=RPR003
+        """
+    )
+    result = lint_tree(
+        {"serving/service.py": source}, select=["RPR001", "RPR003"]
+    )
+    assert [v.code for v in result.violations] == ["RPR001"]
+    assert [v.code for v in result.suppressed] == ["RPR003"]
+
+
+def test_rule_scoping_by_glob(lint_tree):
+    # The same torn-read shape outside *serving/service.py is not RPR003's
+    # business (other files have no generation protocol to break).
+    source = textwrap.dedent(
+        """
+        class Anything:
+            def f(self):
+                return self._state.a + self._state.b
+        """
+    )
+    result = lint_tree({"core/model.py": source}, select=["RPR003"])
+    assert result.violations == []
+
+
+def test_unknown_select_code_raises():
+    config = LintConfig(select=("RPR999",))
+    with pytest.raises(ValueError, match="unknown rule code"):
+        config.selected_codes(all_rules())
+
+
+def test_ignore_drops_codes():
+    config = LintConfig(ignore=("RPR006", "rpr007"))
+    codes = config.selected_codes(all_rules())
+    assert "RPR006" not in codes and "RPR007" not in codes
+    assert "RPR001" in codes
+
+
+def test_syntax_error_is_reported_not_raised(lint_tree):
+    result = lint_tree({"broken.py": "def broken(:\n"})
+    assert result.violations == []
+    assert any("syntax error" in error for error in result.errors)
+
+
+def test_missing_path_is_an_error():
+    result = run_lint(["no/such/dir"], LintConfig())
+    assert any("no such path" in error for error in result.errors)
+    assert result.files_checked == 0
+
+
+def test_exclude_globs_skip_files(lint_tree):
+    result = lint_tree(
+        {"vendored/blob.py": UNSEEDED},
+        select=["RPR001"],
+        exclude=("*/vendored/*",),
+    )
+    assert result.violations == []
+    assert result.files_checked == 0
+
+
+def test_baseline_roundtrip(lint_tree, tmp_path):
+    first = lint_tree({"mod.py": UNSEEDED}, select=["RPR001"])
+    assert len(first.violations) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    assert write_baseline(baseline_path, first.violations) == 1
+    loaded = load_baseline(baseline_path)
+    assert loaded.matches(first.violations[0])
+
+    second = lint_tree(
+        {}, select=["RPR001"], baseline=str(baseline_path)
+    )
+    assert second.violations == []
+    assert [v.code for v in second.baselined] == ["RPR001"]
+
+
+def test_baseline_does_not_match_new_violations(lint_tree, tmp_path):
+    first = lint_tree({"mod.py": UNSEEDED}, select=["RPR001"])
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.violations)
+
+    # A different file with the same defect is NOT grandfathered.
+    third = lint_tree(
+        {"other.py": UNSEEDED}, select=["RPR001"], baseline=str(baseline_path)
+    )
+    assert [v.code for v in third.violations] == ["RPR001"]
+    assert third.violations[0].path.endswith("other.py")
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = load_baseline(tmp_path / "absent.json")
+    assert len(baseline) == 0
+
+
+def test_baseline_entries_have_no_line_numbers(lint_tree, tmp_path):
+    result = lint_tree({"mod.py": UNSEEDED}, select=["RPR001"])
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, result.violations)
+    records = json.loads(baseline_path.read_text())
+    assert records and set(records[0]) == {"path", "code", "message"}

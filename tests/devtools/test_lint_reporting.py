@@ -1,0 +1,72 @@
+"""Output formats: the JSON schema contract and the human summary."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.engine import LintResult, Violation
+from repro.devtools.reporting import (
+    JSON_SCHEMA_VERSION,
+    format_human,
+    format_json,
+)
+
+
+def _result():
+    return LintResult(
+        violations=[
+            Violation("src/a.py", 3, 4, "RPR001", "unseeded rng"),
+            Violation("src/b.py", 7, 0, "RPR003", "torn read"),
+        ],
+        suppressed=[Violation("src/c.py", 1, 0, "RPR001", "hushed")],
+        files_checked=3,
+    )
+
+
+def test_json_payload_schema():
+    payload = json.loads(format_json(_result()))
+    assert set(payload) == {
+        "schema_version",
+        "files_checked",
+        "violations",
+        "summary",
+        "suppressed",
+        "baselined",
+        "errors",
+    }
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["files_checked"] == 3
+    assert payload["summary"] == {"RPR001": 1, "RPR003": 1}
+    assert payload["suppressed"] == 1
+    first = payload["violations"][0]
+    assert set(first) == {"path", "line", "col", "code", "message"}
+    assert first == {
+        "path": "src/a.py",
+        "line": 3,
+        "col": 4,
+        "code": "RPR001",
+        "message": "unseeded rng",
+    }
+
+
+def test_human_format_rows_and_summary():
+    text = format_human(_result())
+    assert "src/a.py:3:4 RPR001 unseeded rng" in text
+    assert "2 violation(s) in 3 file(s): RPR001 x1, RPR003 x1" in text
+    assert "(1 suppressed)" in text
+
+
+def test_human_format_clean():
+    text = format_human(LintResult(files_checked=5))
+    assert text == "clean: 5 file(s), 0 violations"
+
+
+def test_human_format_verbose_lists_suppressed():
+    text = format_human(_result(), verbose=True)
+    assert "suppressed:" in text
+    assert "src/c.py:1 RPR001 hushed" in text
+
+
+def test_human_format_reports_errors():
+    result = LintResult(errors=["bad.py: syntax error: invalid syntax"])
+    assert "error: bad.py" in format_human(result)
