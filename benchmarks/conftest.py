@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -323,6 +324,31 @@ def sweep_error_tables(zoo, scale, model_for, names, title: str) -> str:
     ])
 
 
+#: BENCH_<name>.json schema. v1 carried name/scale/results; v2 adds
+#: ``git_sha`` and ``timestamp`` so the perf trajectory is attributable
+#: across PRs. Readers must treat the provenance fields as optional
+#: (``.get``) so v1 archives stay loadable.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_sha() -> str | None:
+    """Current commit SHA, or ``None`` outside a usable git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
 def emit(
     name: str,
     table: str,
@@ -331,16 +357,22 @@ def emit(
     """Print a result table and archive it under benchmarks/results/.
 
     ``metrics`` maps a metric name to ``(value, units)``; when given, a
-    machine-readable ``BENCH_<name>.json`` is written alongside the text
-    table so trend trackers can diff runs without parsing tables.
+    machine-readable ``BENCH_<name>.json`` (schema
+    :data:`BENCH_SCHEMA_VERSION`) is written alongside the text table so
+    trend trackers can diff runs without parsing tables.
     """
     print(f"\n{table}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
     if metrics is not None:
         payload = {
+            "schema": BENCH_SCHEMA_VERSION,
             "name": name,
             "scale": current_scale().name,
+            "git_sha": _git_sha(),
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
             "results": [
                 {"name": metric, "value": float(value), "units": units}
                 for metric, (value, units) in metrics.items()
@@ -349,3 +381,14 @@ def emit(
         (RESULTS_DIR / f"BENCH_{name}.json").write_text(
             json.dumps(payload, indent=2) + "\n"
         )
+
+
+def load_bench(path: Path) -> dict[str, float]:
+    """Read a ``BENCH_<name>.json`` of any schema into {metric: value}.
+
+    Tolerant by construction: only the ``results`` triple list is
+    required, so v1 files (no schema/provenance fields) parse the same
+    as v2.
+    """
+    payload = json.loads(Path(path).read_text())
+    return {row["name"]: float(row["value"]) for row in payload["results"]}

@@ -8,9 +8,10 @@ from .model import (
     plan_sparse_batch,
     standardize_features,
 )
+from .parallel import GradientWorkerPool
 from .scaling import LinearScalingBaseline
 from .serialization import load_model, save_model
-from .trainer import PitotTrainer, TrainingResult, train_pitot
+from .trainer import PitotTrainer, TrainingResult, choose_sparse, train_pitot
 
 __all__ = [
     "PitotConfig",
@@ -22,9 +23,11 @@ __all__ = [
     "plan_sparse_batch",
     "standardize_features",
     "LinearScalingBaseline",
+    "GradientWorkerPool",
     "save_model",
     "load_model",
     "PitotTrainer",
     "TrainingResult",
     "train_pitot",
+    "choose_sparse",
 ]

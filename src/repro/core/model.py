@@ -26,8 +26,14 @@ from ..nn import (
     MLP,
     EmbeddingTable,
     Module,
+    ScratchArena,
     Tensor,
+    concatenate,
+    fused_leaky_relu,
+    fused_mlp,
+    fused_relu,
     gelu,
+    get_default_dtype,
     identity,
     leaky_relu,
     no_grad,
@@ -123,6 +129,8 @@ def _forward_batch(
     activation,
     gather,
     const,
+    mask: np.ndarray | None = None,
+    safe: np.ndarray | None = None,
 ):
     """Eq. 9 residual prediction, generic over the array type.
 
@@ -131,6 +139,12 @@ def _forward_batch(
     operations in the same order, so the two paths agree bitwise.
     ``gather(a, idx)`` gathers rows along axis 0 and ``const`` lifts a raw
     coefficient array into the operand type.
+
+    ``mask``/``safe`` optionally supply the precomputed interference mask
+    ``(B, K)`` and padded-safe interferer indices ``(B*K,)``. Tape-cached
+    steps pass persistent buffers here so the recorded graph captures them
+    by reference; when omitted they are derived from ``interferers``
+    exactly as before.
     """
     b = len(w_idx)
     Wi = gather(W, w_idx)  # (B, H, r)
@@ -139,15 +153,19 @@ def _forward_batch(
     # formulation materializes (B,K,H,s,r) and is memory-bound).
     base = (Wi @ Pj.reshape(b, r, 1)).reshape(b, heads)  # (B, H)
 
-    if interferers is None or VS is None or interference_mode == "ignore":
+    if VS is None or interference_mode == "ignore":
         return base
-    interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
-    mask = (interferers >= 0).astype(np.float64)  # (B, K)
-    if not mask.any():
-        return base
-    k = interferers.shape[1]
+    if mask is None:
+        if interferers is None:
+            return base
+        interferers = np.atleast_2d(np.asarray(interferers, dtype=np.intp))
+        dt = P.dtype if isinstance(P, np.ndarray) else P.data.dtype
+        mask = (interferers >= 0).astype(dt)  # (B, K)
+        if not mask.any():
+            return base
+        safe = np.where(interferers >= 0, interferers, 0).ravel()
+    k = mask.shape[1]
 
-    safe = np.where(interferers >= 0, interferers, 0).ravel()
     Wk = gather(W, safe).reshape(b, k * heads, r)  # (B, K*H, r)
     VGj_t = gather(VG, p_idx).transpose(0, 2, 1)  # (B, r, s)
     VSj_t = gather(VS, p_idx).transpose(0, 2, 1)  # (B, r, s)
@@ -382,26 +400,86 @@ class PitotModel(Module):
             "relu": relu,
             "identity": identity,
         }[config.interference_activation]
+        #: Replayable variant used by fused/tape-cached training steps;
+        #: bitwise-identical to ``_activation``.
+        self._fused_activation = {
+            "leaky_relu": lambda t: fused_leaky_relu(t, config.leaky_slope),
+            "relu": fused_relu,
+            "identity": identity,
+        }[config.interference_activation]
+
+        #: Scratch buffers for the fused tower kernels: one live buffer
+        #: per (tag, shape, dtype) — zero per-step allocation on the
+        #: training hot path once shapes stabilize.
+        self._arena = ScratchArena()
+        #: Per-dtype constant feature tensors (fused path; avoids
+        #: re-coercing the feature matrices every step).
+        self._feature_cache: dict[tuple[str, str], Tensor] = {}
 
     # ------------------------------------------------------------------
     # Embedding computation (always all entities; App B.3 optimization)
     # ------------------------------------------------------------------
-    def compute_embeddings(self) -> tuple[Tensor, Tensor, Tensor | None, Tensor | None]:
+    def _const_features(self, which: str) -> Tensor:
+        """Constant feature tensor in the ambient default dtype, cached.
+
+        The fused path re-uses one leaf per dtype so replayed steps do not
+        re-coerce the (static) feature matrices.
+        """
+        key = (which, np.dtype(get_default_dtype()).str)
+        cached = self._feature_cache.get(key)
+        if cached is None:
+            cached = Tensor(self._xw if which == "w" else self._xp)
+            self._feature_cache[key] = cached
+        return cached
+
+    def _fused_tower_input(
+        self, table: EmbeddingTable, which: str, rows: np.ndarray | None
+    ) -> Tensor:
+        """Tower input ``[x, φ]`` built from replayable gathers.
+
+        Value-identical to :meth:`EmbeddingTable.concat_with` /
+        ``concat_rows``, but the feature gather goes through
+        :meth:`Tensor.take` (capturing ``rows`` by reference) so a
+        recorded tape can rebind the row buffer and replay.
+        """
+        feats = self._const_features(which)
+        if rows is None:
+            if table.dim == 0:
+                return feats
+            return concatenate([feats, table.table], axis=1)
+        gathered = feats.take(rows)
+        if table.dim == 0:
+            return gathered
+        return concatenate([gathered, table.table.take(rows)], axis=1)
+
+    def compute_embeddings(
+        self, fused: bool = False
+    ) -> tuple[Tensor, Tensor, Tensor | None, Tensor | None]:
         """Run both towers for the whole population.
 
         Returns ``(W, P, VS, VG)`` with shapes ``(Nw, H, r)``, ``(Np, r)``,
         ``(Np, s, r)``, ``(Np, s, r)``; the last two are ``None`` when the
-        model is interference-blind.
+        model is interference-blind. ``fused=True`` routes the towers
+        through the arena-backed fused kernels (:mod:`repro.nn.fused`) —
+        bitwise-identical outputs, zero per-step allocation.
         """
         cfg = self.config
         r, s, heads = cfg.embedding_dim, cfg.interference_types, cfg.n_heads
 
-        w_in = self.phi_w.concat_with(self._xw)
-        w_out = self.workload_tower(w_in)  # (Nw, r*H)
+        if fused:
+            w_in = self._fused_tower_input(self.phi_w, "w", None)
+            w_out = fused_mlp(self.workload_tower, w_in, self._arena, "wt")
+        else:
+            w_in = self.phi_w.concat_with(self._xw)
+            w_out = self.workload_tower(w_in)  # (Nw, r*H)
         W = w_out.reshape(self.n_workloads, heads, r)
 
-        p_in = self.phi_p.concat_with(self._xp)
-        p_out = self.platform_tower(p_in)  # (Np, r [+ 2sr])
+        if fused:
+            p_in = self._fused_tower_input(self.phi_p, "p", None)
+            p_out = fused_mlp(self.platform_tower, p_in, self._arena, "pt")
+        else:
+            p_in = self.phi_p.concat_with(self._xp)
+            p_out = self.platform_tower(p_in)  # (Np, r [+ 2sr])
         P = p_out[:, :r]
         if not cfg.models_interference:
             return W, P, None, None
@@ -410,7 +488,7 @@ class PitotModel(Module):
         return W, P, VS, VG
 
     def compute_embeddings_sparse(
-        self, w_rows: np.ndarray, p_rows: np.ndarray
+        self, w_rows: np.ndarray, p_rows: np.ndarray, fused: bool = False
     ) -> tuple[Tensor, Tensor, Tensor | None, Tensor | None]:
         """Run both towers for a *subset* of entities (training hot path).
 
@@ -421,19 +499,28 @@ class PitotModel(Module):
         ``(Uw, H, r)``, ``(Up, r)``, ``(Up, s, r)``, ``(Up, s, r)``.
 
         Batch indices must be remapped onto the subset rows first — see
-        :func:`plan_sparse_batch`.
+        :func:`plan_sparse_batch`. ``fused=True`` uses the arena-backed
+        kernels (bitwise-identical).
         """
         cfg = self.config
         r, s, heads = cfg.embedding_dim, cfg.interference_types, cfg.n_heads
         w_rows = np.asarray(w_rows, dtype=np.intp)
         p_rows = np.asarray(p_rows, dtype=np.intp)
 
-        w_in = self.phi_w.concat_rows(self._xw, w_rows)
-        w_out = self.workload_tower(w_in)  # (Uw, r*H)
+        if fused:
+            w_in = self._fused_tower_input(self.phi_w, "w", w_rows)
+            w_out = fused_mlp(self.workload_tower, w_in, self._arena, "wt")
+        else:
+            w_in = self.phi_w.concat_rows(self._xw, w_rows)
+            w_out = self.workload_tower(w_in)  # (Uw, r*H)
         W = w_out.reshape(len(w_rows), heads, r)
 
-        p_in = self.phi_p.concat_rows(self._xp, p_rows)
-        p_out = self.platform_tower(p_in)  # (Up, r [+ 2sr])
+        if fused:
+            p_in = self._fused_tower_input(self.phi_p, "p", p_rows)
+            p_out = fused_mlp(self.platform_tower, p_in, self._arena, "pt")
+        else:
+            p_in = self.phi_p.concat_rows(self._xp, p_rows)
+            p_out = self.platform_tower(p_in)  # (Up, r [+ 2sr])
         P = p_out[:, :r]
         if not cfg.models_interference:
             return W, P, None, None
@@ -450,15 +537,25 @@ class PitotModel(Module):
         p_idx: np.ndarray,
         interferers: np.ndarray | None = None,
         embeddings: tuple | None = None,
+        mask: np.ndarray | None = None,
+        safe: np.ndarray | None = None,
+        fused: bool = False,
     ) -> Tensor:
         """Residual prediction ``ŷ`` for a batch; shape ``(B, H)``.
 
         ``interferers`` is ``(B, K)`` with ``-1`` padding; ``None`` (or an
         all-padding matrix) yields the interference-free prediction. In
         ``interference_mode="ignore"`` interferers are disregarded.
+        ``mask``/``safe`` let the tape-cached training path pass persistent
+        precomputed buffers (see :func:`_forward_batch`); ``fused`` selects
+        the replayable interference activation (bitwise-identical).
         """
         cfg = self.config
-        W, P, VS, VG = embeddings if embeddings is not None else self.compute_embeddings()
+        W, P, VS, VG = (
+            embeddings
+            if embeddings is not None
+            else self.compute_embeddings(fused=fused)
+        )
         return _forward_batch(
             W,
             P,
@@ -471,9 +568,11 @@ class PitotModel(Module):
             r=cfg.embedding_dim,
             s=cfg.interference_types,
             interference_mode=cfg.interference_mode,
-            activation=self._activation,
+            activation=self._fused_activation if fused else self._activation,
             gather=lambda a, idx: a.take(idx),
             const=Tensor,
+            mask=mask,
+            safe=safe,
         )
 
     # ------------------------------------------------------------------
@@ -490,6 +589,26 @@ class PitotModel(Module):
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         super().load_state_dict(state)
+        self._generation += 1
+
+    def cast(self, dtype: np.dtype | type | str) -> None:
+        """Rebind every parameter buffer to ``dtype`` (training precision).
+
+        Used by the trainer's ``dtype="float32"`` path before the
+        optimizer captures parameter references. Rebinding (not in-place
+        casting) means any previously recorded tape programs or fused
+        closures hold stale buffers, so the arena and feature cache are
+        cleared and the generation bumped.
+        """
+        dt = np.dtype(dtype)
+        if dt.kind != "f":
+            raise TypeError(f"cast requires a float dtype, got {dt}")
+        for p in self.parameters():
+            if p.data.dtype != dt:
+                p.data = p.data.astype(dt)
+                p.grad = None
+        self._arena.clear()
+        self._feature_cache.clear()
         self._generation += 1
 
     def snapshot(self) -> EmbeddingSnapshot:

@@ -1,0 +1,211 @@
+"""Shared-memory parallel gradient accumulation.
+
+The training step's loss is a per-row weighted sum, so its gradient
+decomposes exactly across any partition of the batch:
+``∇L = Σ_chunks ∇L_chunk``. This module exploits that: a
+:class:`GradientWorkerPool` forks ``n`` workers that each run the
+trainer's ordinary fused engine (:meth:`PitotTrainer._batch_loss_backward`)
+on one contiguous chunk and write their flattened gradients into a
+per-worker shared-memory block; the master reduces the blocks in fixed
+worker order and hands the result to the optimizer.
+
+Sharing model:
+
+* **Parameters** live in one ``multiprocessing.RawArray`` block. The pool
+  rebinds every ``Parameter.data`` to a view of it *before* forking, so
+  the anonymous shared mapping is inherited by every worker — the
+  master's in-place optimizer updates are visible to workers with zero
+  copies per step.
+* **Gradients** get one block per worker — no locks, no contention; only
+  the master reads them, after the worker has acknowledged its chunk.
+
+Determinism: the master samples batches exactly as the serial path does
+(same RNG stream), chunks are split contiguously, the loss and gradient
+reductions run in fixed worker order, and each worker's computation is
+itself deterministic — so two runs with the same seed and the same
+``grad_workers`` produce identical parameter trajectories.
+
+This module is training-only, so unlike serving/eval code it *does*
+build autograd tapes outside ``no_grad()`` — the worker loop carries a
+sanctioned lint suppression for exactly that call.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import multiprocessing
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .trainer import PitotTrainer
+
+__all__ = ["GradientWorkerPool"]
+
+
+def _worker_main(trainer: "PitotTrainer", conn: Any, grad_block: Any) -> None:
+    """Worker loop: receive a batch chunk, backprop, publish gradients.
+
+    Runs in a forked child. ``trainer`` (and its model, whose parameter
+    buffers are views of the shared block) arrives via fork inheritance,
+    not pickling. The protocol is strictly request/response: the master
+    never sends the next chunk before reading this worker's gradients,
+    so the worker may overwrite its block freely.
+    """
+    params = trainer.model.parameters()
+    dtype = params[0].data.dtype
+    grads = np.frombuffer(grad_block, dtype=dtype)
+    while True:
+        message = conn.recv()
+        if message is None:
+            break
+        w_idx, p_idx, interferers, targets_b, coeff = message
+        for p in params:
+            p.grad = None
+        loss = trainer._batch_loss_backward(  # repro-lint: disable=RPR007
+            w_idx, p_idx, interferers, targets_b, coeff
+        )
+        offset = 0
+        for p in params:
+            size = p.data.size
+            segment = grads[offset : offset + size]
+            if p.grad is None:
+                segment[:] = 0.0
+            else:
+                np.copyto(segment, p.grad.ravel())
+            offset += size
+        conn.send(loss)
+    conn.close()
+
+
+class GradientWorkerPool:
+    """Forked workers accumulating batch-chunk gradients in shared memory.
+
+    Created by :meth:`PitotTrainer.fit` when ``TrainerConfig.grad_workers
+    > 0``; requires the ``fork`` start method (POSIX). Callers must
+    :meth:`close` the pool (``fit`` does, in a ``finally``).
+    """
+
+    def __init__(self, trainer: "PitotTrainer", n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "GradientWorkerPool requires the 'fork' start method "
+                "(shared parameter views are inherited, not pickled)"
+            )
+        ctx = multiprocessing.get_context("fork")
+        self.n_workers = n_workers
+        self._params = trainer.model.parameters()
+        if not self._params:
+            raise ValueError("model has no parameters")
+        dtype = self._params[0].data.dtype
+        total = int(sum(p.data.size for p in self._params))
+
+        # Move parameters into the shared block (views preserve in-place
+        # optimizer semantics), then fork so children inherit the mapping.
+        self._param_block = ctx.RawArray(ctypes.c_byte, total * dtype.itemsize)
+        flat = np.frombuffer(self._param_block, dtype=dtype)
+        offset = 0
+        for p in self._params:
+            view = flat[offset : offset + p.data.size].reshape(p.data.shape)
+            np.copyto(view, p.data)
+            p.data = view
+            offset += view.size
+        # Rebinding orphaned any recorded tape programs' parameter refs.
+        trainer._tape_cache.invalidate()
+        trainer.model._arena.clear()
+
+        self._grad_blocks = [
+            ctx.RawArray(ctypes.c_byte, total * dtype.itemsize)
+            for _ in range(n_workers)
+        ]
+        self._grad_views = [
+            np.frombuffer(block, dtype=dtype) for block in self._grad_blocks
+        ]
+        self._reduced = np.zeros(total, dtype=dtype)
+        self._conns = []
+        self._procs = []
+        for worker_id in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(trainer, child_conn, self._grad_blocks[worker_id]),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        targets_b: np.ndarray,
+        coeff: np.ndarray,
+    ) -> float:
+        """Distribute one batch, reduce gradients into ``p.grad``.
+
+        Returns the batch loss (sum of chunk losses, accumulated in
+        fixed worker order). After this call every parameter's ``grad``
+        is a view into the master-side reduction buffer, ready for the
+        optimizer.
+        """
+        n = len(w_idx)
+        bounds = [len(chunk) for chunk in np.array_split(np.arange(n), self.n_workers)]
+        active: list[int] = []
+        lo = 0
+        for worker_id, size in enumerate(bounds):
+            if size == 0:
+                continue
+            hi = lo + size
+            self._conns[worker_id].send(
+                (
+                    w_idx[lo:hi],
+                    p_idx[lo:hi],
+                    None if interferers is None else interferers[lo:hi],
+                    targets_b[lo:hi],
+                    coeff[lo:hi],
+                )
+            )
+            active.append(worker_id)
+            lo = hi
+        loss = 0.0
+        for worker_id in active:
+            loss += self._conns[worker_id].recv()
+
+        reduced = self._reduced
+        np.copyto(reduced, self._grad_views[active[0]])
+        for worker_id in active[1:]:
+            reduced += self._grad_views[worker_id]
+        offset = 0
+        for p in self._params:
+            size = p.data.size
+            p.grad = reduced[offset : offset + size].reshape(p.data.shape)
+            offset += size
+        return float(loss)
+
+    def close(self) -> None:
+        """Shut workers down; idempotent."""
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "GradientWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

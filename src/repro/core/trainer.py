@@ -27,18 +27,55 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cluster.dataset import RuntimeDataset
-from ..nn import AdaMax, Tensor, no_grad, where
+from ..nn import (
+    AdaMax,
+    TapeCache,
+    TapeProgram,
+    TapeRecorder,
+    Tensor,
+    default_dtype,
+    fused_pinball,
+    no_grad,
+    where,
+)
 from .config import PitotConfig, TrainerConfig
-from .model import PitotModel, plan_sparse_batch
+from .model import PitotModel, SparseBatchPlan, plan_sparse_batch
 from .scaling import LinearScalingBaseline
 
-__all__ = ["PitotTrainer", "TrainingResult", "train_pitot"]
+__all__ = [
+    "PitotTrainer",
+    "TrainingResult",
+    "train_pitot",
+    "choose_sparse",
+]
 
 #: Auto mode runs a batch-sparse step only when the batch references at
 #: most this fraction of the population; below the cutoff the pruned tower
 #: rows no longer pay for the extra gather/scatter (measured crossover on
 #: CPU BLAS is near 0.6; 0.5 keeps a safety margin).
 SPARSE_AUTO_FRACTION = 0.5
+
+#: Auto mode additionally requires the sparse step to prune at least this
+#: many tower rows. At small populations the *fraction* test alone lets
+#: sparse win on a few hundred saved rows — less than the fixed cost of
+#: the unique/gather/scatter bookkeeping, which measured as a ~3% slowdown
+#: at paper scale (BENCH_training_throughput ``paper_sparse``).
+SPARSE_MIN_SAVED_ROWS = 768
+
+
+def choose_sparse(referenced: int, population: int) -> bool:
+    """Auto-mode policy: run this step batch-sparse?
+
+    ``referenced`` is the number of unique entity rows (workloads +
+    platforms) the batch touches; ``population`` the total entity count.
+    Sparse must both prune a meaningful *fraction* of the population
+    (:data:`SPARSE_AUTO_FRACTION`) and a meaningful *absolute* number of
+    rows (:data:`SPARSE_MIN_SAVED_ROWS`) to pay for its bookkeeping.
+    """
+    return (
+        referenced <= SPARSE_AUTO_FRACTION * population
+        and population - referenced >= SPARSE_MIN_SAVED_ROWS
+    )
 
 
 @dataclass
@@ -53,6 +90,14 @@ class TrainingResult:
     steps_run: int = 0
 
 
+#: Consecutive tape-cache misses tolerated before a trainer concludes the
+#: batch-shape regime is unstable and stops recording (see
+#: ``PitotTrainer._tape_step``). Stable regimes (dense, or sparse with
+#: repeating row counts) record each distinct shape once and then hit, so
+#: a streak this long only occurs when shapes genuinely never repeat.
+TAPE_BAILOUT_MISSES = 4
+
+
 class PitotTrainer:
     """Trains a :class:`PitotModel` on a train/validation dataset pair."""
 
@@ -63,6 +108,28 @@ class PitotTrainer:
     ) -> None:
         self.model = model
         self.config = config or TrainerConfig()
+        #: Training precision; parameters are cast lazily on first step.
+        self._dtype = np.dtype(self.config.dtype)
+        #: Recorded tape programs keyed by batch-shape signature.
+        self._tape_cache = TapeCache()
+        #: Adaptive bail-out: when batch shapes never repeat (fleet-scale
+        #: sparse steps draw a different unique-row count every batch),
+        #: every step would miss and pay recording overhead on top of the
+        #: fused forward. After this many consecutive misses the trainer
+        #: stops taping for the rest of the run and releases the cached
+        #: programs; replay and the plain fused path are bitwise
+        #: identical, so the switch is invisible to the loss history.
+        self._tape_miss_streak = 0
+        self._tape_disabled = False
+
+    def _ensure_dtype(self) -> None:
+        """Cast model parameters to the training precision (once)."""
+        params = self.model.parameters()
+        if params and params[0].data.dtype != self._dtype:
+            self.model.cast(self._dtype)
+            # Cast rebinds parameter buffers: recorded programs hold the
+            # old ones and would silently train stale copies.
+            self._tape_cache.invalidate()
 
     # ------------------------------------------------------------------
     # Targets
@@ -113,6 +180,29 @@ class PitotTrainer:
     def _loss(self, pred: Tensor, target: np.ndarray) -> Tensor:
         """Mean loss for one sub-batch."""
         return self._loss_elementwise(pred, target).mean()
+
+    def _engine_loss(self, pred: Tensor, t2d: np.ndarray, c2d: np.ndarray) -> Tensor:
+        """Replayable scalar step loss, bitwise-equal to the primitive path.
+
+        ``t2d``/``c2d`` are ``(B, 1)`` target/coefficient arrays in the
+        training dtype — persistent buffers on the tape-cached path, so
+        every op here captures them by reference. The quantile branch uses
+        :func:`~repro.nn.fused_pinball` because the primitive ``where``
+        freezes its mask at build time (non-replayable); the other
+        objectives compose from replayable primitives directly.
+        """
+        cfg = self.model.config
+        if cfg.quantiles is not None:
+            xi = np.asarray(cfg.quantiles, dtype=pred.data.dtype)[None, :]
+            loss_elem = fused_pinball(pred, t2d, xi)
+        elif cfg.objective == "proportional":
+            diff = pred - Tensor(t2d)
+            clamped = (diff * (1.0 / 15.0)).tanh() * 15.0
+            loss_elem = (clamped.exp() - 1.0) ** 2.0
+        else:
+            diff = pred - Tensor(t2d)
+            loss_elem = diff * diff
+        return (loss_elem * Tensor(c2d)).sum() * (1.0 / cfg.n_heads)
 
     # ------------------------------------------------------------------
     # Training
@@ -185,13 +275,16 @@ class PitotTrainer:
         rng: np.random.Generator,
         optimizer: AdaMax,
         force_sparse: bool | None = None,
+        pool=None,
     ) -> float:
         """One weighted SGD step; returns the batch loss.
 
         Shared by :meth:`fit` and :meth:`update`; ``force_sparse``
         overrides the config's sparse-embedding policy (warm-start
         updates always run batch-sparse — their batches reference a tiny
-        fraction of the population by construction).
+        fraction of the population by construction). ``pool`` (a
+        :class:`~repro.core.parallel.GradientWorkerPool`) offloads the
+        gradient accumulation to forked workers over shared memory.
         """
         cfg = self.config
         optimizer.zero_grad()
@@ -211,6 +304,31 @@ class PitotTrainer:
         w_idx = train.w_idx[batch]
         p_idx = train.p_idx[batch]
         interferers = train.interferers[batch] if any_interference else None
+        targets_b = train_targets[batch]
+        if pool is not None:
+            loss = pool.step(w_idx, p_idx, interferers, targets_b, coeff)
+            optimizer.step()
+            return loss
+        loss = self._batch_loss_backward(
+            w_idx, p_idx, interferers, targets_b, coeff, force_sparse
+        )
+        optimizer.step()
+        return loss
+
+    def _batch_loss_backward(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        targets_b: np.ndarray,
+        coeff: np.ndarray,
+        force_sparse: bool | None = None,
+    ) -> float:
+        """Forward + backward for one (sub-)batch; gradients land in
+        ``p.grad``. The engine core, shared by serial steps and the
+        worker-pool chunk path (each worker calls it on its slice).
+        """
+        cfg = self.config
         # Batch-sparse step: towers run only over the unique entity
         # rows this batch references; the gathers scatter gradients
         # back to the full tables. Row-identical to the dense
@@ -223,30 +341,163 @@ class PitotTrainer:
         if use_sparse is not False:
             plan = plan_sparse_batch(w_idx, p_idx, interferers)
             if use_sparse is None:
-                population = self.model.n_workloads + self.model.n_platforms
-                referenced = len(plan.w_rows) + len(plan.p_rows)
-                use_sparse = referenced <= SPARSE_AUTO_FRACTION * population
-        if use_sparse:
-            embeddings = self.model.compute_embeddings_sparse(
-                plan.w_rows, plan.p_rows
-            )
-            pred = self.model.forward(
-                plan.w_local,
-                plan.p_local,
-                plan.interferers_local,
-                embeddings=embeddings,
-            )
-        else:
-            embeddings = self.model.compute_embeddings()
-            pred = self.model.forward(
-                w_idx, p_idx, interferers, embeddings=embeddings
-            )
-        loss_elem = self._loss_elementwise(pred, train_targets[batch])
-        total_loss = (loss_elem * Tensor(coeff[:, None])).sum() * (
-            1.0 / self.model.config.n_heads
+                use_sparse = choose_sparse(
+                    len(plan.w_rows) + len(plan.p_rows),
+                    self.model.n_workloads + self.model.n_platforms,
+                )
+        with default_dtype(self._dtype):
+            if cfg.fused_kernels and cfg.tape_cache and not self._tape_disabled:
+                return self._tape_step(
+                    w_idx,
+                    p_idx,
+                    interferers,
+                    plan if use_sparse else None,
+                    targets_b,
+                    coeff,
+                )
+            fused = cfg.fused_kernels
+            if use_sparse:
+                embeddings = self.model.compute_embeddings_sparse(
+                    plan.w_rows, plan.p_rows, fused=fused
+                )
+                pred = self.model.forward(
+                    plan.w_local,
+                    plan.p_local,
+                    plan.interferers_local,
+                    embeddings=embeddings,
+                    fused=fused,
+                )
+            else:
+                embeddings = self.model.compute_embeddings(fused=fused)
+                pred = self.model.forward(
+                    w_idx, p_idx, interferers, embeddings=embeddings, fused=fused
+                )
+            if fused:
+                dt = self._dtype
+                total_loss = self._engine_loss(
+                    pred,
+                    np.ascontiguousarray(targets_b[:, None], dtype=dt),
+                    np.ascontiguousarray(coeff[:, None], dtype=dt),
+                )
+            else:
+                loss_elem = self._loss_elementwise(pred, targets_b)
+                total_loss = (loss_elem * Tensor(coeff[:, None])).sum() * (
+                    1.0 / self.model.config.n_heads
+                )
+            total_loss.backward()
+            return total_loss.item()
+
+    def _tape_step(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray | None,
+        plan: SparseBatchPlan | None,
+        targets_b: np.ndarray,
+        coeff: np.ndarray,
+    ) -> float:
+        """Tape-cached gradient step (forward + backward).
+
+        The batch-shape *signature* — path, batch size, interferer width,
+        whether any interference is active, unique-row counts, dtype —
+        fully determines the recorded graph's structure. On a hit the
+        step is pure buffer rebinding + in-place replay: zero graph
+        construction, zero allocation. On a miss the graph is recorded
+        once against persistent input buffers and cached. Dense runs hit
+        from step 2 onward; sparse steps hit whenever
+        :func:`~repro.core.model.plan_sparse_batch` repeats a shape.
+        """
+        model = self.model
+        dt = self._dtype
+        sparse = plan is not None
+        ints = plan.interferers_local if sparse else interferers
+        mask = safe = None
+        if model.config.models_interference and ints is not None:
+            m = ints >= 0
+            if bool(m.any()):
+                mask = m.astype(dt)
+                safe = np.ascontiguousarray(
+                    np.where(m, ints, 0).ravel(), dtype=np.intp
+                )
+        signature = (
+            sparse,
+            len(w_idx),
+            -1 if mask is None else mask.shape[1],
+            len(plan.w_rows) if sparse else -1,
+            len(plan.p_rows) if sparse else -1,
+            dt.str,
         )
+        binds: dict[str, np.ndarray] = {
+            "t": targets_b[:, None],
+            "coeff": coeff[:, None],
+        }
+        if sparse:
+            binds["w_rows"] = plan.w_rows
+            binds["p_rows"] = plan.p_rows
+            binds["w_local"] = plan.w_local
+            binds["p_local"] = plan.p_local
+        else:
+            binds["w_idx"] = w_idx
+            binds["p_idx"] = p_idx
+        if mask is not None:
+            binds["mask"] = mask
+            binds["safe"] = safe
+
+        program = self._tape_cache.get(signature)
+        if program is not None:
+            self._tape_miss_streak = 0
+            program.bind(binds)
+            return program.replay()
+        self._tape_miss_streak += 1
+        if self._tape_miss_streak >= TAPE_BAILOUT_MISSES:
+            # Shapes are not repeating: recording every step costs more
+            # than it saves, and the cached programs pin step-sized
+            # graphs. Fall back to the plain fused path for this run.
+            self._tape_disabled = True
+            self._tape_cache.invalidate()
+
+        # Miss: materialize persistent buffers (exact training dtype for
+        # floats, intp for indices — `np.asarray` inside the forward then
+        # passes them through uncopied, so the graph captures them by
+        # reference and `bind` re-routes future replays).
+        bufs = {
+            name: np.ascontiguousarray(
+                value, dtype=dt if name in ("t", "coeff", "mask") else np.intp
+            )
+            for name, value in binds.items()
+        }
+        recorder = TapeRecorder()
+        with recorder:
+            if sparse:
+                embeddings = model.compute_embeddings_sparse(
+                    bufs["w_rows"], bufs["p_rows"], fused=True
+                )
+                pred = model.forward(
+                    bufs["w_local"],
+                    bufs["p_local"],
+                    None,
+                    embeddings=embeddings,
+                    mask=bufs.get("mask"),
+                    safe=bufs.get("safe"),
+                    fused=True,
+                )
+            else:
+                embeddings = model.compute_embeddings(fused=True)
+                pred = model.forward(
+                    bufs["w_idx"],
+                    bufs["p_idx"],
+                    None,
+                    embeddings=embeddings,
+                    mask=bufs.get("mask"),
+                    safe=bufs.get("safe"),
+                    fused=True,
+                )
+            total_loss = self._engine_loss(pred, bufs["t"], bufs["coeff"])
         total_loss.backward()
-        optimizer.step()
+        if not self._tape_disabled:
+            self._tape_cache.put(
+                signature, TapeProgram(total_loss, recorder.nodes, bufs)
+            )
         return total_loss.item()
 
     def fit(
@@ -257,6 +508,10 @@ class PitotTrainer:
         """Run the full training procedure; returns history + best model."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
+        # A fresh run may have a stable batch-shape regime even if the
+        # last one didn't: give taping another chance.
+        self._tape_miss_streak = 0
+        self._tape_disabled = False
         self._fit_baseline(train)
         train_targets = self._targets(train)
         val_targets = (
@@ -274,28 +529,38 @@ class PitotTrainer:
 
         rows_by_degree = self._degree_rows(train)
         n_int = sum(1 for d in rows_by_degree if d > 1)
+        self._ensure_dtype()
         optimizer = AdaMax(self.model.parameters(), lr=cfg.learning_rate)
         result = TrainingResult(model=self.model)
         best_state = self.model.state_dict()
 
-        any_interference = any(d > 1 for d in rows_by_degree)
-        for step in range(cfg.steps):
-            loss = self._gradient_step(
-                train, train_targets, rows_by_degree, n_int,
-                any_interference, rng, optimizer,
-            )
-            result.train_loss_history.append(loss)
-            result.steps_run = step + 1
+        pool = None
+        if cfg.grad_workers > 0:
+            from .parallel import GradientWorkerPool
 
-            if val_targets is not None and (
-                (step + 1) % cfg.eval_every == 0 or step == cfg.steps - 1
-            ):
-                val_loss = self.evaluate_loss(validation, val_targets)
-                result.val_loss_history.append((step + 1, val_loss))
-                if val_loss < result.best_val_loss:
-                    result.best_val_loss = val_loss
-                    result.best_step = step + 1
-                    best_state = self.model.state_dict()
+            pool = GradientWorkerPool(self, cfg.grad_workers)
+        any_interference = any(d > 1 for d in rows_by_degree)
+        try:
+            for step in range(cfg.steps):
+                loss = self._gradient_step(
+                    train, train_targets, rows_by_degree, n_int,
+                    any_interference, rng, optimizer, pool=pool,
+                )
+                result.train_loss_history.append(loss)
+                result.steps_run = step + 1
+
+                if val_targets is not None and (
+                    (step + 1) % cfg.eval_every == 0 or step == cfg.steps - 1
+                ):
+                    val_loss = self.evaluate_loss(validation, val_targets)
+                    result.val_loss_history.append((step + 1, val_loss))
+                    if val_loss < result.best_val_loss:
+                        result.best_val_loss = val_loss
+                        result.best_step = step + 1
+                        best_state = self.model.state_dict()
+        finally:
+            if pool is not None:
+                pool.close()
 
         if val_targets is not None:
             self.model.load_state_dict(best_state)
@@ -358,10 +623,15 @@ class PitotTrainer:
             rng = np.random.default_rng(
                 self.config.seed if rng is None else rng
             )
+        # Update bursts sample a different slice than the last run; the
+        # shape regime may be stable here even if fit()'s wasn't.
+        self._tape_miss_streak = 0
+        self._tape_disabled = False
         targets = self._targets(new_rows)
         rows_by_degree = self._degree_rows(new_rows)
         n_int = sum(1 for d in rows_by_degree if d > 1)
         any_interference = any(d > 1 for d in rows_by_degree)
+        self._ensure_dtype()
         optimizer = AdaMax(
             self.model.parameters(), lr=self.config.learning_rate
         )

@@ -1,0 +1,135 @@
+"""Benchmark regression guard over committed ``BENCH_<name>.json`` files.
+
+The benches under ``benchmarks/`` emit machine-readable metric archives
+(see ``benchmarks/conftest.emit``). Absolute throughput numbers move
+with the host, so they cannot gate CI — but the *ratio* metrics
+(``units == "x"``: sparse-vs-dense speedup, engine-vs-reference speedup,
+batched-vs-loop event speedup) are contracts about the code, not the
+machine. This module compares a freshly-generated results directory
+against the committed baselines and fails when any ratio metric
+regresses by more than the tolerance (30% by default — generous enough
+for shared-runner noise, tight enough to catch a real perf loss).
+
+Reader tolerance: only the ``results`` triple list is required of a
+``BENCH_*.json``, so schema-v1 archives (no ``schema``/``git_sha``/
+``timestamp`` fields) load identically to v2.
+
+Entry point: ``python -m repro.devtools.bench_guard --baseline <dir>
+--current <dir>`` (the CI ``bench-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "load_metrics",
+    "compare_metrics",
+    "guard_directories",
+    "main",
+]
+
+#: Maximum tolerated fractional drop of a ratio metric before failing.
+DEFAULT_TOLERANCE = 0.30
+
+#: Units marking machine-independent ratio metrics (the guarded kind).
+_RATIO_UNITS = frozenset({"x"})
+
+
+def load_metrics(path: Path) -> dict[str, tuple[float, str]]:
+    """``{metric: (value, units)}`` from a BENCH json of any schema."""
+    payload = json.loads(Path(path).read_text())
+    return {
+        row["name"]: (float(row["value"]), str(row.get("units", "")))
+        for row in payload["results"]
+    }
+
+
+def compare_metrics(
+    name: str,
+    baseline: dict[str, tuple[float, str]],
+    current: dict[str, tuple[float, str]],
+    tolerance: float,
+) -> list[str]:
+    """Regression messages for every guarded metric that dropped too far.
+
+    Only ratio metrics present in *both* snapshots are compared: a
+    removed metric is an API change for review, not a perf regression,
+    and absolute metrics are machine-dependent by nature.
+    """
+    problems: list[str] = []
+    for metric, (base_value, units) in sorted(baseline.items()):
+        if units not in _RATIO_UNITS or metric not in current:
+            continue
+        cur_value = current[metric][0]
+        floor = base_value * (1.0 - tolerance)
+        if cur_value < floor:
+            problems.append(
+                f"{name}: {metric} regressed {base_value:.2f}x -> "
+                f"{cur_value:.2f}x (floor {floor:.2f}x at "
+                f"{tolerance:.0%} tolerance)"
+            )
+    return problems
+
+
+def guard_directories(
+    baseline_dir: Path,
+    current_dir: Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[int, list[str]]:
+    """Compare every freshly-run bench against its committed baseline.
+
+    Returns ``(n_benches_checked, regression_messages)``. Benches with a
+    current result but no baseline are new — nothing to guard; baselines
+    without a current run were simply not re-run by this smoke pass.
+    """
+    checked, problems = 0, []
+    for current_path in sorted(Path(current_dir).glob("BENCH_*.json")):
+        baseline_path = Path(baseline_dir) / current_path.name
+        if not baseline_path.exists():
+            continue
+        checked += 1
+        problems.extend(
+            compare_metrics(
+                current_path.stem,
+                load_metrics(baseline_path),
+                load_metrics(current_path),
+                tolerance,
+            )
+        )
+    return checked, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-guard", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory of committed BENCH_*.json files")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="directory of freshly-generated results")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="max fractional ratio drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    checked, problems = guard_directories(
+        args.baseline, args.current, args.tolerance
+    )
+    if checked == 0:
+        print("bench-guard: no overlapping BENCH_*.json files to check")
+        return 2
+    for message in problems:
+        print(f"REGRESSION {message}")
+    print(
+        f"bench-guard: {checked} bench(es) checked, "
+        f"{len(problems)} regression(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

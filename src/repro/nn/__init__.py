@@ -20,14 +20,24 @@ from .functional import (
     softplus,
     squared_error,
 )
+from .fused import (
+    fused_leaky_relu,
+    fused_linear,
+    fused_mlp,
+    fused_pinball,
+    fused_relu,
+)
 from .gradcheck import check_gradients, numerical_gradient
 from .layers import MLP, EmbeddingTable, Linear
 from .module import Module, Parameter
 from .optim import Adam, AdaMax, Optimizer, SGD
+from .tape import ScratchArena, TapeCache, TapeProgram, TapeRecorder
 from .tensor import (
     Tensor,
     as_tensor,
     concatenate,
+    default_dtype,
+    get_default_dtype,
     is_grad_enabled,
     maximum,
     minimum,
@@ -46,6 +56,17 @@ __all__ = [
     "minimum",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "ScratchArena",
+    "TapeRecorder",
+    "TapeProgram",
+    "TapeCache",
+    "fused_linear",
+    "fused_mlp",
+    "fused_leaky_relu",
+    "fused_relu",
+    "fused_pinball",
     "Module",
     "Parameter",
     "Linear",

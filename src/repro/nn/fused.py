@@ -1,0 +1,251 @@
+"""Fused, replayable kernels for the training hot path.
+
+Each function here collapses a chain of primitive autograd ops into one
+tape node whose forward runs entirely in preallocated
+:class:`~repro.nn.tape.ScratchArena` buffers and whose backward/replay
+closures recompute in place. Every kernel is **bitwise identical** to the
+primitive composition it replaces (same elementwise association order,
+same GEMM calls, same accumulation order into shared parents) — the
+equivalence suite in ``tests/core/test_engine_equivalence.py`` pins this.
+
+Fusing matters twice over:
+
+* the forward allocates nothing per step (the arena owns one buffer per
+  operand), and
+* the node is *replayable*: unlike ``where``-based primitives, whose
+  branch masks are frozen at build time, these kernels recompute their
+  masks from the parents' live buffers, so a recorded tape
+  (:class:`~repro.nn.tape.TapeProgram`) can re-run them against fresh
+  inputs.
+"""
+
+from __future__ import annotations
+
+from typing import cast
+
+import numpy as np
+
+from .functional import gelu as _gelu_primitive
+from .module import Module
+from .tape import ScratchArena
+from .tensor import Array, Tensor
+
+__all__ = [
+    "fused_linear",
+    "fused_mlp",
+    "fused_leaky_relu",
+    "fused_relu",
+    "fused_pinball",
+    "gelu_forward",
+    "gelu_grad_local",
+]
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+_GELU_A = 0.044715
+_GELU_K3 = 3.0 * _GELU_A
+
+
+def gelu_forward(v: Array, out: Array, t: Array, s: Array) -> None:
+    """tanh-approximation GELU, in place: ``out = 0.5 v (1 + tanh(u))``.
+
+    ``t`` receives ``tanh(u)`` (needed by the backward pass); ``s`` is
+    scratch. Elementwise association matches :func:`repro.nn.gelu`
+    exactly: ``u = C * (v + a * ((v*v)*v))``, ``out = (0.5*v) * (1+t)``.
+    """
+    np.multiply(v, v, out=s)
+    s *= v
+    s *= _GELU_A
+    s += v
+    s *= _GELU_C
+    np.tanh(s, out=t)
+    np.multiply(v, 0.5, out=out)
+    np.add(t, 1.0, out=s)
+    out *= s
+
+
+def gelu_grad_local(
+    g: Array, v: Array, t: Array, out: Array, s: Array, r: Array
+) -> None:
+    """``out = g * dGELU/dv`` in place, matching :func:`repro.nn.gelu`.
+
+    Association mirrors the primitive backward exactly:
+    ``du = C * (1 + 3a * (v*v))`` and
+    ``local = 0.5*(1+t) + ((0.5*v) * (1 - t*t)) * du``.
+    """
+    np.multiply(v, v, out=s)
+    s *= _GELU_K3
+    s += 1.0
+    s *= _GELU_C  # s = du
+    np.multiply(t, t, out=r)
+    np.subtract(1.0, r, out=r)  # r = 1 - t^2
+    np.multiply(v, 0.5, out=out)
+    out *= r
+    out *= s  # out = ((0.5 v)(1 - t^2)) du
+    np.add(t, 1.0, out=r)
+    r *= 0.5  # r = 0.5 (1 + t)
+    out += r  # out = local  (F + A == A + F bitwise)
+    out *= g  # g * local (commutative pair)
+
+
+def fused_linear(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    arena: ScratchArena,
+    tag: str,
+    gelu: bool = False,
+) -> Tensor:
+    """``x @ W + b`` (optionally GELU-activated) as one arena-backed node.
+
+    Replaces the ``matmul -> add -> gelu`` primitive chain of a tower
+    layer. All intermediates — pre-activation, tanh cache, gradient
+    scratch, parameter gradients — live in ``arena`` buffers keyed by
+    ``tag``, so repeated same-shape steps allocate nothing.
+    """
+    xd, Wd, bd = x.data, weight.data, bias.data
+    n, dout = xd.shape[0], Wd.shape[1]
+    dt = xd.dtype
+    h = arena.get(f"{tag}.h", (n, dout), dt)
+    np.matmul(xd, Wd, out=h)
+    h += bd
+    if gelu:
+        t = arena.get(f"{tag}.t", (n, dout), dt)
+        s = arena.get(f"{tag}.s", (n, dout), dt)
+        out_data = arena.get(f"{tag}.out", (n, dout), dt)
+        gelu_forward(h, out_data, t, s)
+    else:
+        out_data = h
+
+    def backward(g: Array) -> None:
+        if gelu:
+            dh = arena.get(f"{tag}.dh", (n, dout), dt)
+            r = arena.get(f"{tag}.r", (n, dout), dt)
+            gelu_grad_local(g, h, t, dh, s, r)
+        else:
+            dh = np.asarray(g)
+        if bias.requires_grad:
+            gb = arena.get(f"{tag}.gb", (dout,), dt)
+            np.sum(dh, axis=0, out=gb)
+            bias._accumulate(gb, own=True)
+        if x.requires_grad:
+            gx = arena.get(f"{tag}.gx", xd.shape, dt)
+            np.matmul(dh, Wd.T, out=gx)
+            x._accumulate(gx, own=True)
+        if weight.requires_grad:
+            gw = arena.get(f"{tag}.gw", Wd.shape, dt)
+            np.matmul(xd.T, dh, out=gw)
+            weight._accumulate(gw, own=True)
+
+    def replay() -> None:
+        np.matmul(xd, Wd, out=h)
+        np.add(h, bd, out=h)  # `h += bd`; augmented form would bind h local
+        if gelu:
+            gelu_forward(h, out_data, t, s)
+
+    return Tensor._make(out_data, (x, weight, bias), backward, replay)
+
+
+def fused_mlp(mlp: Module, x: Tensor, arena: ScratchArena, tag: str) -> Tensor:
+    """Run an :class:`~repro.nn.MLP` through fused layer kernels.
+
+    Falls back to the module's own forward when the hidden activation is
+    not GELU (ablation configs) — correctness first, fusion when it
+    applies.
+    """
+    if getattr(mlp, "activation", None) is not _gelu_primitive:
+        return cast(Tensor, mlp(x))
+    n_layers = int(getattr(mlp, "n_layers"))
+    for idx in range(n_layers):
+        layer = getattr(mlp, f"layer{idx}")
+        x = fused_linear(
+            x,
+            layer.weight,
+            layer.bias,
+            arena,
+            f"{tag}{idx}",
+            gelu=idx < n_layers - 1,
+        )
+    return x
+
+
+def fused_leaky_relu(x: Tensor, negative_slope: float = 0.1) -> Tensor:
+    """Replayable LeakyReLU, bitwise-matching :func:`repro.nn.leaky_relu`.
+
+    The primitive form freezes its ``where`` mask at build time; this node
+    recomputes the mask from the live buffer on replay. The backward keeps
+    the primitive composition's two-term accumulation order so gradients
+    agree bitwise even at signed-zero edge cases.
+    """
+    v = x.data
+    data = np.where(v > 0, v, v * negative_slope)
+
+    def backward(g: Array) -> None:
+        if x.requires_grad:
+            m = v > 0
+            gx = np.where(m, g, 0.0).astype(v.dtype, copy=False)
+            gx += np.where(m, 0.0, g).astype(v.dtype, copy=False) * negative_slope
+            x._accumulate(gx, own=True)
+
+    out = Tensor._make(data, (x,), backward)
+    out_data = out.data  # buffer, not tensor: keep the node acyclic
+    out._replay = lambda: _leaky_recompute(v, negative_slope, out_data)
+    return out
+
+
+def _leaky_recompute(v: Array, slope: float, out: Array) -> None:
+    np.multiply(v, slope, out=out)
+    np.copyto(out, v, where=v > 0)
+
+
+def fused_relu(x: Tensor) -> Tensor:
+    """Replayable ReLU, bitwise-matching :func:`repro.nn.relu`."""
+    v = x.data
+    data = np.where(v > 0, v, np.zeros_like(v))
+
+    def backward(g: Array) -> None:
+        if x.requires_grad:
+            gx = np.where(v > 0, g, 0.0).astype(v.dtype, copy=False)
+            x._accumulate(gx, own=True)
+
+    out = Tensor._make(data, (x,), backward)
+    out_data = out.data  # buffer, not tensor: keep the node acyclic
+    out._replay = lambda: _relu_recompute(v, out_data)
+    return out
+
+
+def _relu_recompute(v: Array, out: Array) -> None:
+    out.fill(0.0)
+    np.copyto(out, v, where=v > 0)
+
+
+def fused_pinball(pred: Tensor, target: Array, quantiles: Array) -> Tensor:
+    """Replayable multi-head pinball loss, ``(B, H)`` elementwise.
+
+    Bitwise-matches the trainer's primitive composition
+    ``where(u > 0, u * xi, u * (xi - 1))`` with ``u = target - pred``
+    (IEEE subtraction equals adding the negation exactly). ``target`` is
+    captured by reference — ``(B, 1)`` — so a tape program can rebind it.
+    """
+    xi = np.asarray(quantiles)
+    xi_m1 = xi - 1.0
+    u = target - pred.data
+
+    def backward(g: Array) -> None:
+        if pred.requires_grad:
+            m = u > 0
+            gu = np.where(m, 0.0, g).astype(u.dtype, copy=False) * xi_m1
+            gu += np.where(m, g, 0.0).astype(u.dtype, copy=False) * xi
+            np.negative(gu, out=gu)
+            pred._accumulate(gu, own=True)
+
+    data = np.where(u > 0, u * xi, u * xi_m1)
+    out = Tensor._make(data, (pred,), backward)
+    out_data = out.data  # buffer, not tensor: keep the node acyclic
+
+    def replay() -> None:
+        np.subtract(target, pred.data, out=u)
+        np.multiply(u, xi_m1, out=out_data)
+        np.copyto(out_data, u * xi, where=u > 0)
+
+    out._replay = replay
+    return out

@@ -81,7 +81,11 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{p.data.shape} vs {state[name].shape}"
                 )
-            p.data = state[name].copy()
+            # In-place copy (not rebinding) keeps the parameter's buffer
+            # identity stable: recorded tape programs, fused-kernel
+            # closures, and shared-memory worker views all capture
+            # ``p.data`` by reference and must observe checkpoint loads.
+            np.copyto(p.data, state[name])
 
     # ------------------------------------------------------------------
     def __call__(self, *args: Any, **kwargs: Any) -> Any:

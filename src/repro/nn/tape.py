@@ -1,0 +1,206 @@
+"""Tape-structure caching: record an autograd step once, replay it.
+
+The training loop builds an identical graph every step whenever batch
+shapes repeat (the dense path repeats for the whole run; the sparse path
+repeats whenever ``plan_sparse_batch`` yields the same unique-row counts).
+Rebuilding that graph costs thousands of Python closure allocations per
+step. This module removes the rebuild:
+
+* :class:`TapeRecorder` — installed around graph construction, it captures
+  every op output in creation order. Ops additionally store a ``_replay``
+  closure that recomputes their forward value *in place* from the parents'
+  current buffers (see :meth:`repro.nn.Tensor._make`).
+* :class:`TapeProgram` — a recorded step bound to named input buffers.
+  :meth:`TapeProgram.replay` re-runs the forward closures in creation
+  order and the backward closures in reverse (LIFO), which is bitwise
+  identical to a fresh :meth:`~repro.nn.Tensor.backward` because
+  ``backward`` also schedules by creation order (``Tensor._seq``).
+* :class:`TapeCache` — signature-keyed LRU of programs with hit/miss/
+  invalidation counters.
+* :class:`ScratchArena` — named preallocated buffers for the fused tower
+  kernels (:mod:`repro.nn.fused`); one live buffer per (tag, shape,
+  dtype), reallocated only when a tag's shape changes.
+
+A program is *replayable* only if every recorded op supplied a replay
+closure; ops whose structure is data-dependent (``where`` masks, fancy
+indexing) poison the tape, and the cache refuses to store it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+import numpy as np
+
+from .tensor import Tensor, _pop_tape, _push_tape
+
+__all__ = ["ScratchArena", "TapeRecorder", "TapeProgram", "TapeCache"]
+
+
+class ScratchArena:
+    """Named reusable buffers: ``get(tag, shape, dtype)`` with realloc-on-
+    shape-change semantics.
+
+    Each tag owns exactly one live buffer, so memory is bounded by the
+    number of distinct tags (one per fused-kernel operand), not by the
+    number of distinct batch shapes seen. A recorded program keeps
+    references to the buffers it captured; reallocating a tag for a new
+    shape orphans the old buffer without invalidating the program.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self.reallocations = 0
+
+    def get(self, tag: str, shape: tuple[int, ...], dtype: Any) -> np.ndarray:
+        dt = np.dtype(dtype)
+        buf = self._buffers.get(tag)
+        if buf is None or buf.shape != shape or buf.dtype != dt:
+            if buf is not None:
+                self.reallocations += 1
+            buf = np.empty(shape, dtype=dt)
+            self._buffers[tag] = buf
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+class TapeRecorder:
+    """Context manager that records every op output created inside it."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Tensor] = []
+        self._previous: Any = None
+
+    def record(self, node: Tensor) -> None:
+        self.nodes.append(node)
+
+    @property
+    def replayable(self) -> bool:
+        """True when every recorded op can recompute itself in place.
+
+        Evaluated lazily (ops assign ``_replay`` after ``_make`` returns),
+        so only meaningful once recording has finished.
+        """
+        return all(t._replay is not None for t in self.nodes)
+
+    def __enter__(self) -> "TapeRecorder":
+        self._previous = _push_tape(self)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        _pop_tape(self._previous)
+        return False
+
+
+class TapeProgram:
+    """A recorded step: named input buffers + the taped op list + loss.
+
+    ``inputs`` maps names to the *exact* ndarray buffers the recorded graph
+    captured (index arrays, masks, targets, coefficients). :meth:`bind`
+    copies fresh step data into them; :meth:`replay` then recomputes every
+    op forward in creation order and runs the backward closures LIFO.
+    Parameter gradients accumulate exactly as a fresh backward would —
+    callers zero them first (``optimizer.zero_grad()``), as usual.
+    """
+
+    def __init__(
+        self,
+        loss: Tensor,
+        nodes: list[Tensor],
+        inputs: dict[str, np.ndarray],
+    ) -> None:
+        if loss.data.shape != ():
+            raise ValueError("TapeProgram expects a scalar loss")
+        self.loss = loss
+        self.nodes = nodes
+        self.inputs = inputs
+        self._seed = np.ones_like(loss.data)
+
+    @property
+    def replayable(self) -> bool:
+        return all(t._replay is not None for t in self.nodes)
+
+    def bind(self, values: Mapping[str, np.ndarray]) -> None:
+        """Copy fresh step data into the captured input buffers."""
+        for name, value in values.items():
+            buf = self.inputs[name]
+            if buf.shape != np.shape(value):
+                raise ValueError(
+                    f"input {name!r}: shape {np.shape(value)} does not match "
+                    f"recorded buffer {buf.shape}"
+                )
+            np.copyto(buf, value)
+
+    def replay(self) -> float:
+        """Recompute forward in place, backpropagate, return the loss."""
+        nodes = self.nodes
+        for t in nodes:
+            t.grad = None
+        for t in nodes:
+            replay = t._replay
+            if replay is not None:
+                replay()
+        loss = self.loss
+        loss._accumulate(self._seed.copy(), own=True)
+        for t in reversed(nodes):
+            if t._backward is not None and t.grad is not None:
+                t._backward(t.grad)
+        return float(loss.data)
+
+
+class TapeCache:
+    """Signature-keyed LRU cache of :class:`TapeProgram` with stats."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._programs: OrderedDict[Hashable, TapeProgram] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.rejected = 0
+
+    def get(self, signature: Hashable) -> TapeProgram | None:
+        program = self._programs.get(signature)
+        if program is None:
+            self.misses += 1
+            return None
+        self._programs.move_to_end(signature)
+        self.hits += 1
+        return program
+
+    def put(self, signature: Hashable, program: TapeProgram) -> bool:
+        """Store a program; refuses (and counts) non-replayable tapes."""
+        if not program.replayable:
+            self.rejected += 1
+            return False
+        self._programs[signature] = program
+        self._programs.move_to_end(signature)
+        while len(self._programs) > self.capacity:
+            self._programs.popitem(last=False)
+        return True
+
+    def invalidate(self) -> None:
+        """Drop every program (parameter buffers rebound, dtype cast...)."""
+        if self._programs:
+            self.invalidations += 1
+        self._programs.clear()
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "rejected": self.rejected,
+            "programs": len(self._programs),
+        }

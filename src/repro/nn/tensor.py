@@ -11,9 +11,12 @@ All operations support full NumPy broadcasting. Gradients flowing into a
 broadcast operand are summed over the broadcast axes (``_unbroadcast``), so
 shapes of ``tensor.grad`` always match ``tensor.data``.
 
-Only float64 is used. The models in this reproduction are ~1e5 parameters,
-so memory is not a concern and float64 keeps the numerical-gradient tests
-tight.
+float64 is the default dtype: the models in this reproduction are ~1e5
+parameters, so memory is not a concern and float64 keeps the
+numerical-gradient tests tight. The :class:`default_dtype` context switches
+new tensors (and therefore whole training runs) to another float dtype —
+the trainer's optional float32 path uses it for the 2-2.5x BLAS/tanh
+throughput win on CPU.
 
 Two mechanisms keep the training hot loop lean:
 
@@ -50,10 +53,77 @@ __all__ = [
     "minimum",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
 ]
 
 #: Global autograd switch; flipped by :class:`no_grad`.
 _GRAD_ENABLED: bool = True
+
+#: Dtype given to newly-created tensors; flipped by :class:`default_dtype`.
+_DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
+
+#: Monotone creation-sequence counter. Every tensor is stamped with the
+#: next value; :meth:`Tensor.backward` runs closures in *descending* stamp
+#: order (creation order is a valid topological order, parents always
+#: precede children), which makes gradient-accumulation order a
+#: deterministic function of graph construction — the property that lets a
+#: recorded tape (:mod:`repro.nn.tape`) replay bitwise-identically to a
+#: fresh backward pass.
+_SEQ: int = 0
+
+#: Active tape recorder (or ``None``); see :mod:`repro.nn.tape`. Kept here
+#: so the `_make` hot path pays one global load when recording is off.
+_ACTIVE_TAPE: Any = None
+
+
+def get_default_dtype() -> np.dtype:
+    """Dtype assigned to tensors created outside a ``default_dtype``."""
+    return _DEFAULT_DTYPE
+
+
+class default_dtype:
+    """Context manager that switches the dtype of newly-created tensors.
+
+    Re-entrant and exception-safe, mirroring :class:`no_grad`. Only float
+    dtypes make sense for autograd; the constructor rejects others.
+    """
+
+    def __init__(self, dtype: Any) -> None:
+        dt = np.dtype(dtype)
+        if dt.kind != "f":
+            raise TypeError(f"default_dtype requires a float dtype, got {dt}")
+        self._dtype = dt
+        self._previous: list[np.dtype] = []
+
+    def __enter__(self) -> "default_dtype":
+        global _DEFAULT_DTYPE
+        self._previous.append(_DEFAULT_DTYPE)
+        _DEFAULT_DTYPE = self._dtype
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        global _DEFAULT_DTYPE
+        _DEFAULT_DTYPE = self._previous.pop()
+        return False
+
+
+def _push_tape(recorder: Any) -> Any:
+    """Install ``recorder`` as the active tape; returns the previous one."""
+    global _ACTIVE_TAPE
+    previous = _ACTIVE_TAPE
+    _ACTIVE_TAPE = recorder
+    return previous
+
+
+def _pop_tape(previous: Any) -> None:
+    global _ACTIVE_TAPE
+    _ACTIVE_TAPE = previous
+
+
+def _noop_replay() -> None:
+    """Replay marker for view outputs: recomputing the parent in place
+    updates the view automatically, so there is nothing to do."""
 
 
 def is_grad_enabled() -> bool:
@@ -130,13 +200,14 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to a float64 ``ndarray``.
+        Array-like payload; converted to an ``ndarray`` of the ambient
+        default dtype (float64 unless inside :class:`default_dtype`).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_seq", "_replay")
 
     def __init__(
         self,
@@ -144,11 +215,15 @@ class Tensor:
         requires_grad: bool = False,
         _prev: tuple["Tensor", ...] = (),
     ) -> None:
-        self.data: Array = np.asarray(data, dtype=np.float64)
+        global _SEQ
+        self.data: Array = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.grad: Array | None = None
         self.requires_grad = bool(requires_grad)
         self._backward: Callable[[Array], None] | None = None
         self._prev: tuple[Tensor, ...] = _prev
+        _SEQ += 1
+        self._seq: int = _SEQ
+        self._replay: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -200,12 +275,12 @@ class Tensor:
             if grad.shape != self.data.shape:
                 # Seeding with a broadcastable gradient (user-provided).
                 self.grad = np.broadcast_to(grad, self.data.shape).astype(
-                    np.float64
+                    self.data.dtype
                 )
-            elif own and grad.dtype == np.float64:
+            elif own and grad.dtype == self.data.dtype:
                 self.grad = grad
             else:
-                self.grad = np.array(grad, dtype=np.float64)
+                self.grad = np.array(grad, dtype=self.data.dtype)
         else:
             self.grad += grad
 
@@ -214,11 +289,24 @@ class Tensor:
         data: Array,
         parents: tuple["Tensor", ...],
         backward: Callable[[Array], None],
+        replay: Callable[[], None] | None = None,
     ) -> "Tensor":
+        """Build an op-output tensor.
+
+        ``replay`` is an optional closure that recomputes ``data`` *in
+        place* from the parents' current buffers; an active tape recorder
+        (:mod:`repro.nn.tape`) stores it so an identical-shape step can be
+        re-executed without rebuilding the graph. Ops whose structure
+        depends on runtime values (``where`` masks, fancy indexing) pass
+        ``None``, which marks the recorded tape non-replayable.
+        """
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         if requires:
             out._backward = backward
+        if _ACTIVE_TAPE is not None:
+            out._replay = replay
+            _ACTIVE_TAPE.record(out)
         return out
 
     def backward(self, grad: Array | None = None) -> None:
@@ -231,28 +319,31 @@ class Tensor:
         if grad is None:
             grad, seed_owned = np.ones_like(self.data), True
         else:
-            grad, seed_owned = np.asarray(grad, dtype=np.float64), False
+            grad, seed_owned = np.asarray(grad, dtype=self.data.dtype), False
 
-        # Topological order via iterative DFS (avoids recursion limits on
-        # deep MLP graphs).
-        topo: list[Tensor] = []
+        # Collect the reachable subgraph (iterative, avoiding recursion
+        # limits on deep MLP graphs), then run closures in *descending
+        # creation order*. Creation order is a valid topological order —
+        # parents always exist before children — and unlike DFS post-order
+        # it does not depend on traversal tie-breaking, so the
+        # gradient-accumulation order (bit-significant for nodes with 3+
+        # consumers) is exactly the order a recorded tape replays in.
+        reachable: list[Tensor] = []
         visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        stack: list[Tensor] = [self]
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
+            node = stack.pop()
             if id(node) in visited:
                 continue
             visited.add(id(node))
-            stack.append((node, True))
+            reachable.append(node)
             for parent in node._prev:
                 if id(parent) not in visited:
-                    stack.append((parent, False))
+                    stack.append(parent)
+        reachable.sort(key=lambda t: t._seq, reverse=True)
 
         self._accumulate(grad, own=seed_owned)
-        for node in reversed(topo):
+        for node in reachable:
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
@@ -276,7 +367,17 @@ class Tensor:
                 go = _unbroadcast(g, other.shape)
                 other._accumulate(go, own=go is not g)
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _ACTIVE_TAPE is not None:
+            # Replay closures (here and in every op below) must capture
+            # the output *buffer*, never `out` itself: a lambda holding
+            # its own tensor turns each recorded graph into a reference
+            # cycle, so dropped steps wait for the cyclic GC instead of
+            # freeing by refcount — at fleet scale that backlog slows
+            # later fits in the same process by several x.
+            out_data = out.data
+            out._replay = lambda: np.add(self.data, other.data, out=out_data)
+        return out
 
     __radd__ = __add__
 
@@ -285,7 +386,11 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-g, own=True)
 
-        return Tensor._make(-self.data, (self,), backward)
+        out = Tensor._make(-self.data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.negative(self.data, out=out_data)
+        return out
 
     def __sub__(self, other: TensorLike) -> "Tensor":
         return self + (-as_tensor(other))
@@ -303,7 +408,11 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(g * self.data, other.shape), own=True)
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.multiply(self.data, other.data, out=out_data)
+        return out
 
     __rmul__ = __mul__
 
@@ -320,7 +429,11 @@ class Tensor:
                     own=True,
                 )
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.divide(self.data, other.data, out=out_data)
+        return out
 
     def __rtruediv__(self, other: TensorLike) -> "Tensor":
         return as_tensor(other) / self
@@ -334,7 +447,11 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * exponent * self.data ** (exponent - 1), own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.power(self.data, exponent, out=out_data)
+        return out
 
     # ------------------------------------------------------------------
     # Matrix products
@@ -365,7 +482,11 @@ class Tensor:
                     _unbroadcast(gb, b2.shape).reshape(b.shape), own=True
                 )
 
-        return Tensor._make(data, (self, other), backward)
+        out = Tensor._make(data, (self, other), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.matmul(a, b, out=out_data)
+        return out
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
@@ -377,7 +498,11 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * data, own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.exp(self.data, out=out_data)
+        return out
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
@@ -386,7 +511,11 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g / self.data, own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.log(self.data, out=out_data)
+        return out
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
@@ -395,7 +524,11 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * (1.0 - data**2), own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.tanh(self.data, out=out_data)
+        return out
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
@@ -404,7 +537,13 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * data * (1.0 - data), own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.copyto(
+                out_data, 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+            )
+        return out
 
     def abs(self) -> "Tensor":
         data = np.abs(self.data)
@@ -413,7 +552,11 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * np.sign(self.data), own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.abs(self.data, out=out_data)
+        return out
 
     def sqrt(self) -> "Tensor":
         return self**0.5
@@ -438,7 +581,13 @@ class Tensor:
                     grad = np.expand_dims(grad, ax)
             self._accumulate(np.broadcast_to(grad, self.shape).copy(), own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out_data = out.data
+            out._replay = lambda: np.sum(
+                self.data, axis=axis, keepdims=keepdims, out=out_data
+            )
+        return out
 
     def mean(
         self,
@@ -491,7 +640,16 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g.reshape(original))
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            if np.shares_memory(out.data, self.data):
+                out._replay = _noop_replay
+            else:
+                out_data = out.data
+                out._replay = lambda: np.copyto(
+                    out_data, self.data.reshape(out_data.shape)
+                )
+        return out
 
     def transpose(self, *axes: int | tuple[int, ...] | list[int]) -> "Tensor":
         if not axes:
@@ -505,7 +663,11 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g.transpose(inverse))
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            # transpose always returns a view of the parent buffer.
+            out._replay = _noop_replay
+        return out
 
     @property
     def T(self) -> "Tensor":
@@ -519,7 +681,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g.reshape(original))
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out._replay = _noop_replay  # always a view
+        return out
 
     def expand_dims(self, axis: int) -> "Tensor":
         data = np.expand_dims(self.data, axis)
@@ -529,7 +694,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g.reshape(original))
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            out._replay = _noop_replay  # always a view
+        return out
 
     # ------------------------------------------------------------------
     # Indexing / gathers
@@ -550,7 +718,11 @@ class Tensor:
                 np.add.at(grad, index, g)
             self._accumulate(grad, own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None and basic:
+            # Basic indexing returns a view of the parent buffer.
+            out._replay = _noop_replay
+        return out
 
     def take(self, indices: Array) -> "Tensor":
         """Gather rows along axis 0 (embedding lookup).
@@ -574,9 +746,17 @@ class Tensor:
             grad = np.bincount(
                 bins.ravel(), weights=g2.ravel(), minlength=n_rows * row_size
             ).reshape(self.data.shape)
+            if grad.dtype != self.data.dtype:  # bincount yields float64
+                grad = grad.astype(self.data.dtype)
             self._accumulate(grad, own=True)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _ACTIVE_TAPE is not None:
+            # `indices` is captured by reference: rebinding a program's
+            # index buffer (np.copyto) re-routes the replayed gather.
+            out_data = out.data
+            out._replay = lambda: np.take(self.data, indices, axis=0, out=out_data)
+        return out
 
 
 def as_tensor(value: TensorLike) -> Tensor:
@@ -598,7 +778,12 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 sl[axis] = slice(lo, hi)
                 t._accumulate(g[tuple(sl)])
 
-    return Tensor._make(data, tuple(tensors), backward)
+    out = Tensor._make(data, tuple(tensors), backward)
+    if _ACTIVE_TAPE is not None:
+        parts = [t.data for t in tensors]
+        out_data = out.data
+        out._replay = lambda: np.concatenate(parts, axis=axis, out=out_data)
+    return out
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

@@ -113,6 +113,38 @@ class BudgetOracle:
         """Single-row convenience wrapper over :meth:`budgets`."""
         return float(self.budgets([(workload, platform, tuple(co))])[0])
 
+    def budgets_arrays(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        interferers: np.ndarray,
+    ) -> np.ndarray:
+        """Array-native :meth:`budgets`: rows arrive already ``-1``-padded.
+
+        The simulator's batched event path maintains padded co-resident
+        matrices incrementally, so it skips the per-row tuple building
+        and re-padding :meth:`budgets` performs. Same contract: one
+        ``predict_bound`` batch when ``batched``, else a per-row loop.
+        """
+        if len(w_idx) == 0:
+            return np.empty(0)
+        if self.batched:
+            return np.asarray(
+                self.predictor.predict_bound(
+                    w_idx, p_idx, interferers, self.epsilon
+                ),
+                dtype=float,
+            )
+        out = np.empty(len(w_idx))
+        for i in range(len(w_idx)):
+            out[i] = float(
+                self.predictor.predict_bound(
+                    w_idx[i : i + 1], p_idx[i : i + 1],
+                    interferers[i : i + 1], self.epsilon,
+                )[0]
+            )
+        return out
+
     # ------------------------------------------------------------------
     # Feasibility-checked candidate scans
     # ------------------------------------------------------------------

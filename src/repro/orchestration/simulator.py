@@ -50,7 +50,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from ..cluster.dataset import RuntimeDataset, pad_interferers
+from ..cluster.dataset import MAX_INTERFERERS, RuntimeDataset, pad_interferers
 from ..conformal.predictor import interference_pools
 from ..core.scaling import LinearScalingBaseline
 from ..scenarios.spec import SCHEDULER_POLICIES, SchedulingSpec
@@ -156,6 +156,29 @@ class FleetWorld:
             np.exp(self.log_mean(workload, platform, n_co) + self.sigma * z)
             * multiplier
         )
+
+    def sample_batch(
+        self,
+        workloads: np.ndarray,
+        platforms: np.ndarray,
+        n_co: np.ndarray,
+        multiplier: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample` over row arrays — one RNG array draw.
+
+        Bitwise-identical to calling :meth:`sample` once per row in
+        order: ``Generator.standard_normal(n)`` consumes the stream
+        exactly as ``n`` scalar draws do, and the elementwise arithmetic
+        keeps the scalar path's association
+        (``(w + p) + offset``, ``exp(mean + σz) · m``).
+        """
+        w = np.asarray(workloads, dtype=np.intp)
+        p = np.asarray(platforms, dtype=np.intp)
+        degree = np.minimum(1 + np.asarray(n_co, dtype=np.intp), MAX_RESIDENTS)
+        z = rng.standard_normal(w.size)
+        mean = self.w_base[w] + self.p_base[p] + self.degree_offsets[degree - 1]
+        return np.exp(mean + self.sigma * z) * multiplier
 
     def reference_runtime(self, workload: int) -> float:
         """Deadline anchor: expected isolation runtime on a median platform."""
@@ -347,17 +370,8 @@ def world_calibration_window(
     rng = np.random.default_rng(seed)
     rows = rng.integers(0, dataset.n_observations, size=n_events)
     degrees = interference_pools(dataset.interferers[rows], n_events)
-    runtime = np.array(
-        [
-            world.sample(
-                int(dataset.w_idx[r]),
-                int(dataset.p_idx[r]),
-                int(degrees[i] - 1),
-                multiplier,
-                rng,
-            )
-            for i, r in enumerate(rows)
-        ]
+    runtime = world.sample_batch(
+        dataset.w_idx[rows], dataset.p_idx[rows], degrees - 1, multiplier, rng
     )
     return RuntimeDataset(
         w_idx=dataset.w_idx[rows],
@@ -410,6 +424,14 @@ class ClusterSimulator:
         Completed jobs alone are a length-biased calibration sample —
         the probes restore the uncensored view. Required when
         ``probes_per_epoch > 0`` and a lifecycle is attached.
+    batch_events:
+        ``True`` (default) runs the batched epoch-event path: migration
+        screening quotes are scored in one :meth:`BudgetOracle.budgets`
+        batch across all co-resident platforms, probe draws use
+        :meth:`FleetWorld.sample_batch`, and the open-platform scan
+        reads an incrementally-maintained occupancy array. ``False``
+        replays the historical per-platform Python loops — the
+        reference the trace-parity tests compare against.
     """
 
     def __init__(
@@ -425,6 +447,7 @@ class ClusterSimulator:
         update_steps: int = 100,
         reset_miscoverage: float | None = None,
         probe_source: RuntimeDataset | None = None,
+        batch_events: bool = True,
     ) -> None:
         if scheduling.policy not in SCHEDULER_POLICIES:
             raise ValueError(
@@ -458,6 +481,7 @@ class ClusterSimulator:
                 "probes_per_epoch > 0 needs a probe_source dataset"
             )
         self.seed = seed
+        self.batch_events = bool(batch_events)
         self.oracle = BudgetOracle(self.service, self.epsilon)
         self.epoch_seconds = self._epoch_seconds()
 
@@ -523,6 +547,34 @@ class ClusterSimulator:
         self._residents: dict[int, list[int]] = {
             p: [] for p in range(self.world.n_platforms)
         }
+        #: Incremental occupancy: ``len(self._residents[p])`` for all p,
+        #: maintained at the three mutation points (start / completion /
+        #: migration) so the per-arrival open-platform scan is one
+        #: vectorized comparison instead of a Python comprehension.
+        self._n_res = np.zeros(self.world.n_platforms, dtype=np.intp)
+        #: Resident workloads / deadlines per platform slot, kept in
+        #: resident-*list* order (removals shift left) so rows read back
+        #: exactly the co-tuples ``_co_workloads`` would build. ``-1`` /
+        #: ``inf`` padded; the batched candidate scan slices these
+        #: directly instead of rebuilding tuples per decision.
+        self._res_w = np.full(
+            (self.world.n_platforms, MAX_RESIDENTS), -1, dtype=np.intp
+        )
+        self._res_dl = np.full((self.world.n_platforms, MAX_RESIDENTS), np.inf)
+        #: Per-workload scratch for the candidate scan's deadline map.
+        self._dl_scratch = np.full(max(self.world.n_workloads, 1), np.inf)
+        #: Per-workload deadline anchors (the `reference_runtime` scalar
+        #: path recomputes a median per arrival; same floats).
+        p_ref = (
+            float(np.median(self.world.p_base))
+            if self.world.n_platforms
+            else 0.0
+        )
+        self._ref_runtimes = (
+            np.exp(self.world.w_base + p_ref + self.world.degree_offsets[0])
+            if self.world.n_workloads
+            else np.empty(0)
+        )
         self._jobs = {job.job_id: job for job in jobs}
         self._flow_queue: list[SimJob] = []
         self._pending_obs: list[tuple[int, int, tuple[int, ...], float]] = []
@@ -582,13 +634,22 @@ class ClusterSimulator:
     def _on_arrival(self, t: float, job: SimJob, heap, seq: int) -> int:
         stats = self._stats[self._epoch_of(t)]
         stats.arrivals += 1
-        job.deadline = (
-            job.slack
-            * self.world.reference_runtime(job.workload)
-            * self._multiplier_at(t)
-            if self.world.n_workloads
-            else job.slack
-        )
+        if not self.world.n_workloads:
+            job.deadline = job.slack
+        elif self.batch_events:
+            # Same floats as reference_runtime(): the anchor vector is
+            # precomputed once instead of re-deriving a median per job.
+            job.deadline = (
+                job.slack
+                * float(self._ref_runtimes[job.workload])
+                * self._multiplier_at(t)
+            )
+        else:
+            job.deadline = (
+                job.slack
+                * self.world.reference_runtime(job.workload)
+                * self._multiplier_at(t)
+            )
         self._result.events.append(
             ("arrival", t, job.job_id, job.workload)
         )
@@ -607,14 +668,27 @@ class ClusterSimulator:
         return self._start(t, job, platform, heap, seq,
                            epoch=self._epoch_of(t))
 
-    def _decide(self, job: SimJob) -> int | None:
-        """One placement decision under the active policy."""
-        policy = self.scheduling.policy
-        open_platforms = [
+    def _open_platforms(self) -> list[int]:
+        """Platforms with spare capacity, ascending.
+
+        The batched path reads the occupancy array (one C-level
+        comparison); the reference path replays the historical
+        comprehension. Identical output by the ``_n_res`` invariant.
+        """
+        if self.batch_events:
+            return np.flatnonzero(
+                self._n_res < self.scheduling.max_residents
+            ).tolist()
+        return [
             p
             for p in range(self.world.n_platforms)
             if len(self._residents[p]) < self.scheduling.max_residents
         ]
+
+    def _decide(self, job: SimJob) -> int | None:
+        """One placement decision under the active policy."""
+        policy = self.scheduling.policy
+        open_platforms = self._open_platforms()
         if not open_platforms:
             return None
         if policy == "random":
@@ -639,6 +713,14 @@ class ClusterSimulator:
             candidates = [target]
         else:  # greedy
             candidates = open_platforms
+        if self.batch_events:
+            budgets, reval_ok = self._scan_candidates(job.workload, candidates)
+            feasible = (budgets <= job.deadline) & reval_ok
+            if not feasible.any():
+                return None
+            best = int(np.argmin(np.where(feasible, budgets, np.inf)))
+            job.quote = float(budgets[best])
+            return int(candidates[best])
         residents = {p: self._co_workloads(p) for p in candidates}
         deadlines: dict[int, float] = {}
         for p in candidates:
@@ -658,6 +740,63 @@ class ClusterSimulator:
         job.quote = float(best_budget)
         return best
 
+    def _scan_candidates(
+        self, workload: int, candidates: list[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized candidate scan over *open* platforms.
+
+        Returns ``(budgets, reval_ok)``: the job's ε-budget on each
+        candidate and whether every prospective co-resident's
+        revalidated budget stays within its deadline (the global
+        per-workload minimum across the candidate set, exactly as the
+        reference path's merged ``deadlines`` dict). One
+        ``predict_bound`` batch; rows are sliced from the incremental
+        slot matrices instead of rebuilt as tuples.
+        """
+        C = np.asarray(candidates, dtype=np.intp)
+        k = self._n_res[C]
+        n_c = len(C)
+        # Job rows: the arriving workload among each candidate's
+        # residents. Open platforms hold <= MAX_RESIDENTS - 1 co-
+        # residents, so the first MAX_INTERFERERS slots carry them all.
+        co_job = self._res_w[C][:, :MAX_INTERFERERS]
+        n_rev = int(k.sum())
+        if n_rev:
+            # Revalidation rows: resident i on platform p sees its
+            # co-residents minus itself, plus the arriving job —
+            # list-order preserved, exactly `_candidate_rows`.
+            p_rev = np.repeat(C, k)
+            ii = np.arange(n_rev) - np.repeat(np.cumsum(k) - k, k)
+            w_rev = self._res_w[p_rev, ii]
+            block = self._res_w[p_rev]
+            keep = np.arange(MAX_RESIDENTS)[None, :] != ii[:, None]
+            others = block[keep].reshape(n_rev, MAX_RESIDENTS - 1)[
+                :, :MAX_INTERFERERS
+            ]
+            k_row = np.repeat(k, k)
+            others[np.arange(n_rev), k_row - 1] = workload
+            w_all = np.concatenate(
+                [np.full(n_c, workload, dtype=np.intp), w_rev]
+            )
+            p_all = np.concatenate([C, p_rev])
+            co_all = np.concatenate([co_job, others])
+        else:
+            w_all = np.full(n_c, workload, dtype=np.intp)
+            p_all, co_all = C, np.ascontiguousarray(co_job)
+        values = self.oracle.budgets_arrays(w_all, p_all, co_all)
+        budgets = values[:n_c]
+        reval_ok = np.ones(n_c, dtype=bool)
+        if n_rev:
+            dl_of = self._dl_scratch
+            dl_of.fill(np.inf)
+            flat_w = self._res_w[C].ravel()
+            flat_dl = self._res_dl[C].ravel()
+            valid = flat_w >= 0
+            np.minimum.at(dl_of, flat_w[valid], flat_dl[valid])
+            bad = values[n_c:] > dl_of[w_rev]
+            np.logical_and.at(reval_ok, np.repeat(np.arange(n_c), k), ~bad)
+        return budgets, reval_ok
+
     def _start(
         self, t: float, job: SimJob, platform: int, heap, seq: int,
         epoch: int,
@@ -673,7 +812,7 @@ class ClusterSimulator:
             self._world_rng,
         )
         job.completion = t + job.runtime_current
-        self._residents[platform].append(job.job_id)
+        self._admit(job, platform)
         # The caller names the epoch: a flow flush starts jobs at the
         # epoch-end sentinel, whose timestamp already rounds into the
         # *next* epoch's bucket.
@@ -683,11 +822,32 @@ class ClusterSimulator:
         heapq.heappush(heap, (job.completion, _COMPLETION, seq, job.job_id))
         return seq + 1
 
+    def _admit(self, job: SimJob, platform: int) -> None:
+        """Register a job on a platform (resident list + slot matrices)."""
+        slot = len(self._residents[platform])
+        self._residents[platform].append(job.job_id)
+        self._n_res[platform] += 1
+        self._res_w[platform, slot] = job.workload
+        self._res_dl[platform, slot] = job.deadline
+
+    def _evict(self, job: SimJob) -> None:
+        """Remove a job from its platform, shifting later slots left so
+        the matrices stay in resident-list order."""
+        platform = job.platform
+        slot = self._residents[platform].index(job.job_id)
+        self._residents[platform].remove(job.job_id)
+        self._n_res[platform] -= 1
+        row_w, row_dl = self._res_w[platform], self._res_dl[platform]
+        row_w[slot:-1] = row_w[slot + 1 :]
+        row_w[-1] = -1
+        row_dl[slot:-1] = row_dl[slot + 1 :]
+        row_dl[-1] = np.inf
+
     def _on_completion(self, t: float, job: SimJob) -> None:
         if job.completed or job.completion != t:
             return  # stale event from before a migration
         job.completed = True
-        self._residents[job.platform].remove(job.job_id)
+        self._evict(job)
         elapsed = t - job.start
         job.deadline_violated = elapsed > job.deadline
         job.budget_violated = elapsed > job.quote
@@ -805,6 +965,15 @@ class ClusterSimulator:
         ``(t - start) + f·b_p`` exceeds the allowance, where ``b_p`` is
         the live budget on its platform. (The work fraction is
         observable in deployments via progress counters.)
+
+        When ``batch_events``, every running job's screening quote is
+        scored in **one** :meth:`BudgetOracle.budgets` batch across all
+        co-resident platforms — the fleet-wide screen the reference path
+        pays one ``predict_bound`` call per job for. Migrations are rare
+        relative to running jobs, so only jobs whose platform's resident
+        set changed mid-pass (an earlier job moved in or out) fall back
+        to a fresh single-row quote; every decision is identical to the
+        reference loop's.
         """
         stats = self._stats[epoch]
         running = sorted(
@@ -812,25 +981,82 @@ class ClusterSimulator:
             for residents in self._residents.values()
             for job_id in residents
         )
+        # Screen: (job, fraction, allowance) for every job with work
+        # left. Fraction/allowance are job-local, so hoisting them out
+        # of the migration loop changes nothing.
+        at_risk: list[tuple[SimJob, float, float]] = []
         for job_id in running:
             job = self._jobs[job_id]
             remaining = job.completion - t
             if remaining <= 0 or job.runtime_current <= 0:
                 continue
-            fraction = remaining / job.runtime_current
-            allowance = job.deadline - (t - job.start)
-            co_here = self._co_workloads(job.platform, skip=job.job_id)
-            quote_here = self.oracle.budget(job.workload, job.platform, co_here)
+            at_risk.append(
+                (
+                    job,
+                    remaining / job.runtime_current,
+                    job.deadline - (t - job.start),
+                )
+            )
+        if self.batch_events and at_risk:
+            # One fleet-wide screening batch: each job among its current
+            # co-residents (own slot masked out of the platform row).
+            w_j = np.array([j.workload for j, _, _ in at_risk], dtype=np.intp)
+            p_j = np.array([j.platform for j, _, _ in at_risk], dtype=np.intp)
+            slots = np.array(
+                [
+                    self._residents[j.platform].index(j.job_id)
+                    for j, _, _ in at_risk
+                ],
+                dtype=np.intp,
+            )
+            block = self._res_w[p_j]
+            keep = np.arange(MAX_RESIDENTS)[None, :] != slots[:, None]
+            co = block[keep].reshape(len(at_risk), MAX_RESIDENTS - 1)
+            quotes = self.oracle.budgets_arrays(w_j, p_j, co)
+        #: Platforms whose resident set changed during this pass — their
+        #: pre-batched quotes are stale and get re-scored one-off.
+        dirty: set[int] = set()
+        for i, (job, fraction, allowance) in enumerate(at_risk):
+            if self.batch_events and job.platform not in dirty:
+                quote_here = float(quotes[i])
+            else:
+                quote_here = self.oracle.budget(
+                    job.workload,
+                    job.platform,
+                    self._co_workloads(job.platform, skip=job.job_id),
+                )
             if fraction * quote_here <= allowance:
                 continue  # on track
-            candidates = [
-                p
-                for p in range(self.world.n_platforms)
-                if p != job.platform
-                and len(self._residents[p]) < self.scheduling.max_residents
-            ]
-            if not candidates:
-                continue
+            seq = self._try_migrate(
+                t, job, fraction, allowance, stats, heap, seq, dirty
+            )
+        return seq
+
+    def _try_migrate(
+        self,
+        t: float,
+        job: SimJob,
+        fraction: float,
+        allowance: float,
+        stats: EpochStats,
+        heap,
+        seq: int,
+        dirty: set[int],
+    ) -> int:
+        """Candidate-scan one at-risk job and move it if somewhere fits."""
+        candidates = [
+            p for p in self._open_platforms() if p != job.platform
+        ]
+        if not candidates:
+            return seq
+        if self.batch_events:
+            budgets, reval_ok = self._scan_candidates(job.workload, candidates)
+            ok = reval_ok & (fraction * budgets <= allowance)
+            if not ok.any():
+                return seq
+            best_i = int(np.argmin(np.where(ok, budgets, np.inf)))
+            best = int(candidates[best_i])
+        else:
             residents = {p: self._co_workloads(p) for p in candidates}
             deadlines: dict[int, float] = {}
             for p in candidates:
@@ -850,28 +1076,29 @@ class ClusterSimulator:
                 ):
                     best, best_budget = check.platform, check.budget
             if best is None:
-                continue
-            self._residents[job.platform].remove(job.job_id)
-            source = job.platform
-            co = self._co_workloads(best)
-            job.platform = best
-            job.placed_co = tuple(co)
-            job.runtime_current = self.world.sample(
-                job.workload, best, len(co), self._multiplier_at(t),
-                self._world_rng,
-            )
-            job.completion = t + fraction * job.runtime_current
-            job.migrations += 1
-            self._residents[best].append(job.job_id)
-            stats.migrations += 1
-            self._result.events.append(
-                ("migrate", t, job.job_id, source, best)
-            )
-            heapq.heappush(
-                heap, (job.completion, _COMPLETION, seq, job.job_id)
-            )
-            seq += 1
-        return seq
+                return seq
+        self._evict(job)
+        source = job.platform
+        co = self._co_workloads(best)
+        job.platform = best
+        job.placed_co = tuple(co)
+        job.runtime_current = self.world.sample(
+            job.workload, best, len(co), self._multiplier_at(t),
+            self._world_rng,
+        )
+        job.completion = t + fraction * job.runtime_current
+        job.migrations += 1
+        self._admit(job, best)
+        dirty.add(source)
+        dirty.add(best)
+        stats.migrations += 1
+        self._result.events.append(
+            ("migrate", t, job.job_id, source, best)
+        )
+        heapq.heappush(
+            heap, (job.completion, _COMPLETION, seq, job.job_id)
+        )
+        return seq + 1
 
     # ------------------------------------------------------------------
     # Lifecycle hook
@@ -907,18 +1134,27 @@ class ClusterSimulator:
             )
             degrees = interference_pools(source.interferers[rows], n_probes)
             multiplier = self.multipliers[epoch]
-            runtime = np.array(
-                [
-                    self.world.sample(
-                        int(source.w_idx[r]),
-                        int(source.p_idx[r]),
-                        int(degrees[i] - 1),
-                        multiplier,
-                        self._probe_rng,
-                    )
-                    for i, r in enumerate(rows)
-                ]
-            )
+            if self.batch_events:
+                runtime = self.world.sample_batch(
+                    source.w_idx[rows],
+                    source.p_idx[rows],
+                    degrees - 1,
+                    multiplier,
+                    self._probe_rng,
+                )
+            else:
+                runtime = np.array(
+                    [
+                        self.world.sample(
+                            int(source.w_idx[r]),
+                            int(source.p_idx[r]),
+                            int(degrees[i] - 1),
+                            multiplier,
+                            self._probe_rng,
+                        )
+                        for i, r in enumerate(rows)
+                    ]
+                )
             self.lifecycle.ingest(
                 source.w_idx[rows],
                 source.p_idx[rows],

@@ -38,7 +38,9 @@ __all__ = [
 #: stale cached artifacts keyed under an old schema can never be loaded.
 #: v2: DriftSpec component + seeds.drift (the continual-learning axis).
 #: v3: SchedulingSpec component + seeds.schedule (the fleet-scheduler axis).
-SPEC_SCHEMA_VERSION = 3
+#: v4: trainer engine knobs (dtype / fused_kernels / tape_cache /
+#: grad_workers) join TrainerConfig and therefore the spec hash.
+SPEC_SCHEMA_VERSION = 4
 
 #: Placement policies the cluster simulator implements
 #: (:mod:`repro.orchestration.simulator`).
@@ -476,6 +478,10 @@ _SCALED_FIELDS = {
     "eval_every": "trainer",
     "max_eval_rows": "trainer",
     "sparse_embeddings": "trainer",
+    "dtype": "trainer",
+    "fused_kernels": "trainer",
+    "tape_cache": "trainer",
+    "grad_workers": "trainer",
     "epsilons": "conformal",
     "strategy": "conformal",
     "use_pools": "conformal",

@@ -1,0 +1,101 @@
+"""bench-guard: ratio-metric regression gate over BENCH_*.json archives."""
+
+import json
+
+import pytest
+
+from repro.devtools.bench_guard import (
+    compare_metrics,
+    guard_directories,
+    load_metrics,
+    main,
+)
+
+
+def _write(directory, name, results, schema=2):
+    payload = {"results": results}
+    if schema == 2:
+        payload |= {
+            "schema": 2,
+            "name": name,
+            "scale": "fast",
+            "git_sha": "f" * 40,
+            "timestamp": "2026-08-08T00:00:00+00:00",
+        }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _rows(**metrics):
+    return [
+        {"name": k, "value": v, "units": u} for k, (v, u) in metrics.items()
+    ]
+
+
+class TestLoadMetrics:
+    def test_reads_v2(self, tmp_path):
+        path = _write(tmp_path, "t", _rows(speedup=(2.5, "x")))
+        assert load_metrics(path) == {"speedup": (2.5, "x")}
+
+    def test_tolerates_v1_without_provenance_fields(self, tmp_path):
+        # Pre-schema archives carry only name/scale/results; the reader
+        # must not require the v2 fields.
+        path = _write(tmp_path, "t", _rows(speedup=(2.5, "x")), schema=1)
+        assert load_metrics(path) == {"speedup": (2.5, "x")}
+
+
+class TestCompareMetrics:
+    def test_flags_ratio_regression_beyond_tolerance(self):
+        problems = compare_metrics(
+            "b", {"speedup": (4.0, "x")}, {"speedup": (2.0, "x")}, 0.30
+        )
+        assert len(problems) == 1
+        assert "speedup" in problems[0]
+
+    def test_passes_within_tolerance(self):
+        assert compare_metrics(
+            "b", {"speedup": (4.0, "x")}, {"speedup": (3.0, "x")}, 0.30
+        ) == []
+
+    def test_ignores_absolute_metrics(self):
+        # steps/sec moves with the host machine; halving it is not a
+        # guardable regression.
+        assert compare_metrics(
+            "b",
+            {"rate": (10.0, "steps/sec")},
+            {"rate": (5.0, "steps/sec")},
+            0.30,
+        ) == []
+
+    def test_ignores_metrics_missing_from_current(self):
+        assert compare_metrics(
+            "b", {"speedup": (4.0, "x")}, {}, 0.30
+        ) == []
+
+
+class TestGuardDirectories:
+    def test_checks_only_overlapping_benches(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        _write(base, "shared", _rows(speedup=(3.0, "x")))
+        _write(base, "not_rerun", _rows(speedup=(9.0, "x")))
+        _write(cur, "shared", _rows(speedup=(2.9, "x")))
+        _write(cur, "brand_new", _rows(speedup=(1.0, "x")))
+        checked, problems = guard_directories(base, cur)
+        assert checked == 1
+        assert problems == []
+
+    def test_exit_codes(self, tmp_path, capsys):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(), cur.mkdir()
+        args = ["--baseline", str(base), "--current", str(cur)]
+        assert main(args) == 2  # nothing overlapped: misconfiguration
+
+        _write(base, "t", _rows(speedup=(4.0, "x")))
+        _write(cur, "t", _rows(speedup=(3.9, "x")))
+        assert main(args) == 0
+
+        _write(cur, "t", _rows(speedup=(1.0, "x")))
+        assert main(args) == 1
+        assert "REGRESSION" in capsys.readouterr().out

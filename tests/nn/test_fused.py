@@ -1,0 +1,182 @@
+"""Fused kernels vs their primitive compositions — bitwise, both passes.
+
+Every kernel in :mod:`repro.nn.fused` claims *bitwise* identity with the
+primitive op chain it replaces (same association order, same GEMMs, same
+accumulation into shared parents). These tests hold each kernel to that
+claim on forward values AND gradients, then check the replay closures
+recompute faithfully from mutated live buffers — the property the tape
+cache depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    ScratchArena,
+    TapeProgram,
+    TapeRecorder,
+    Tensor,
+    as_tensor,
+    fused_leaky_relu,
+    fused_linear,
+    fused_mlp,
+    fused_pinball,
+    fused_relu,
+    gelu,
+    leaky_relu,
+    relu,
+    where,
+)
+
+
+def _leaf(rng, shape):
+    """Two independent grad-enabled Tensors over identical data."""
+    data = rng.standard_normal(shape)
+    return (
+        Tensor(data.copy(), requires_grad=True),
+        Tensor(data.copy(), requires_grad=True),
+    )
+
+
+def _grads(*tensors):
+    return [t.grad for t in tensors]
+
+
+class TestFusedLinear:
+    @pytest.mark.parametrize("use_gelu", [False, True], ids=["linear", "gelu"])
+    def test_bitwise_forward_and_backward(self, rng, use_gelu):
+        x1, x2 = _leaf(rng, (9, 5))
+        w1, w2 = _leaf(rng, (5, 7))
+        b1, b2 = _leaf(rng, (7,))
+
+        fused = fused_linear(x1, w1, b1, ScratchArena(), "t", gelu=use_gelu)
+        ref = x2 @ w2 + b2
+        if use_gelu:
+            ref = gelu(ref)
+        assert np.array_equal(fused.data, ref.data)
+
+        fused.sum().backward()
+        ref.sum().backward()
+        for got, want in zip(_grads(x1, w1, b1), _grads(x2, w2, b2)):
+            assert np.array_equal(got, want)
+
+    def test_arena_buffers_are_reused(self, rng):
+        arena = ScratchArena()
+        x, _ = _leaf(rng, (4, 3))
+        w, _ = _leaf(rng, (3, 3))
+        b, _ = _leaf(rng, (3,))
+        first = fused_linear(x, w, b, arena, "t", gelu=True)
+        second = fused_linear(x, w, b, arena, "t", gelu=True)
+        assert second.data is first.data  # same arena buffer, not a copy
+        assert arena.reallocations == 0
+
+
+class TestFusedMLP:
+    def test_matches_module_forward_and_grads(self, rng):
+        mlp = MLP(6, (16, 16), 3, rng)
+        x_data = rng.standard_normal((11, 6))
+
+        x_ref = Tensor(x_data.copy(), requires_grad=True)
+        ref = mlp(x_ref)
+        ref.sum().backward()
+        want = [np.array(p.grad) for p in mlp.parameters()]
+        for p in mlp.parameters():
+            p.grad = None
+
+        x_fused = Tensor(x_data.copy(), requires_grad=True)
+        fused = fused_mlp(mlp, x_fused, ScratchArena(), "t")
+        assert np.array_equal(fused.data, ref.data)
+        fused.sum().backward()
+        for p, g in zip(mlp.parameters(), want):
+            assert np.array_equal(p.grad, g)
+        assert np.array_equal(x_fused.grad, x_ref.grad)
+
+    def test_falls_back_on_non_gelu_activation(self, rng):
+        mlp = MLP(4, (8,), 2, rng, activation=relu)
+        x = Tensor(rng.standard_normal((5, 4)))
+        out = fused_mlp(mlp, x, ScratchArena(), "t")
+        assert np.array_equal(out.data, mlp(x).data)
+
+
+class TestFusedActivations:
+    def test_relu_bitwise(self, rng):
+        v = rng.standard_normal(40)
+        v[::5] = 0.0  # exercise the tie case
+        a = Tensor(v.copy(), requires_grad=True)
+        b = Tensor(v.copy(), requires_grad=True)
+        fused, ref = fused_relu(a), relu(b)
+        assert np.array_equal(fused.data, ref.data)
+        fused.sum().backward()
+        ref.sum().backward()
+        assert np.array_equal(a.grad, b.grad)
+
+    def test_leaky_relu_bitwise(self, rng):
+        v = rng.standard_normal(40)
+        v[::7] = 0.0
+        a = Tensor(v.copy(), requires_grad=True)
+        b = Tensor(v.copy(), requires_grad=True)
+        fused, ref = fused_leaky_relu(a, 0.1), leaky_relu(b, 0.1)
+        assert np.array_equal(fused.data, ref.data)
+        fused.sum().backward()
+        ref.sum().backward()
+        assert np.array_equal(a.grad, b.grad)
+
+
+class TestFusedPinball:
+    def test_bitwise_vs_where_composition(self, rng):
+        xi = np.array([0.1, 0.5, 0.9])
+        target = rng.standard_normal((8, 1))
+        p1, p2 = _leaf(rng, (8, 3))
+
+        fused = fused_pinball(p1, target, xi)
+        u = as_tensor(target).detach() - p2
+        ref = where(u.data > 0, u * xi, u * (xi - 1.0))
+        assert np.array_equal(fused.data, ref.data)
+
+        fused.sum().backward()
+        ref.sum().backward()
+        assert np.array_equal(p1.grad, p2.grad)
+
+
+class TestReplay:
+    def test_replay_tracks_live_input_buffers(self, rng):
+        # Record once over buffer A, then overwrite the buffer with B:
+        # the replayed program must reproduce a fresh forward on B,
+        # including the data-dependent GELU mask the primitive `where`
+        # path would have frozen.
+        x_buf = rng.standard_normal((6, 4))
+        x = Tensor(x_buf, requires_grad=False)
+        w1, w2 = _leaf(rng, (4, 4))
+        b1, b2 = _leaf(rng, (4,))
+
+        arena = ScratchArena()
+        with TapeRecorder() as tape:
+            loss = fused_linear(x, w1, b1, arena, "t", gelu=True).sum()
+        program = TapeProgram(loss, tape.nodes, {"x": x.data})
+        assert program.replayable
+
+        fresh = rng.standard_normal((6, 4))
+        program.bind({"x": fresh})
+        replayed = program.replay()
+
+        ref = gelu(Tensor(fresh) @ w2 + b2).sum()
+        ref.backward()
+        assert replayed == float(ref.data)
+        assert np.array_equal(w1.grad, w2.grad)
+        assert np.array_equal(b1.grad, b2.grad)
+
+    def test_bind_rejects_shape_mismatch(self, rng):
+        x = Tensor(rng.standard_normal(5), requires_grad=True)
+        with TapeRecorder() as tape:
+            loss = (x * 2.0).sum()
+        program = TapeProgram(loss, tape.nodes, {"x": x.data})
+        with pytest.raises(ValueError, match="shape"):
+            program.bind({"x": np.zeros(6)})
+
+    def test_program_requires_scalar_loss(self, rng):
+        x = Tensor(rng.standard_normal(5), requires_grad=True)
+        with TapeRecorder() as tape:
+            out = x * 2.0
+        with pytest.raises(ValueError, match="scalar"):
+            TapeProgram(out, tape.nodes, {})
