@@ -91,7 +91,17 @@ def test_serving_throughput(benchmark, zoo, scale):
         ],
         title=f"Serving throughput, {N_QUERIES:,} queries @ eps={epsilon}",
     )
-    emit("serving_throughput", table)
+    emit(
+        "serving_throughput",
+        table,
+        metrics={
+            "cold_rate": (cold_rate, "queries/sec"),
+            "snapshot_rate": (snapshot_rate, "queries/sec"),
+            "cached_rate": (cached_rate, "queries/sec"),
+            "snapshot_speedup": (snapshot_rate / cold_rate, "x"),
+            "cached_speedup": (cached_rate / cold_rate, "x"),
+        },
+    )
 
     assert snapshot_rate >= 5 * cold_rate, (
         f"snapshot path {snapshot_rate:,.0f} q/s is not ≥ 5x the cold "

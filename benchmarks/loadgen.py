@@ -1,0 +1,120 @@
+"""Grid definitions for the open-loop serving tail-latency bench.
+
+The load *shapes* (Poisson arrivals, ON/OFF bursts, Zipf skew) live in
+:mod:`repro.serving.loadgen`; this module pins the experiment grid the
+bench sweeps and the service-time calibration that anchors it to the
+real serving stack:
+
+* **shards** × **arrival rate** × **skew** cells. Rates are expressed as
+  fractions of the measured single-shard capacity (``1 / mean service
+  time``), so the same grid is subcritical/critical/saturated on any
+  host even though absolute queries/sec differ.
+* :func:`measure_service_times` times real single-query
+  ``PredictionService.predict_bound`` calls — the per-query cost a shard
+  worker actually pays — and the bench replays that empirical
+  distribution through the virtual-time queueing simulator. On a
+  one-core CI runner this is the honest way to measure *queueing*
+  behaviour: service cost is real, concurrency is simulated, and the
+  ratio metrics (shard scaling, tail inflation) are machine-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving import PredictionService
+from repro.serving.loadgen import OpenLoopConfig
+
+#: Shard counts swept by the tail-latency grid.
+SHARD_COUNTS = (1, 2, 4)
+
+#: Arrival rates as multiples of single-shard capacity: comfortably
+#: subcritical, past one shard's saturation point, and past the whole
+#: 4-shard fleet's — the cell that measures saturation throughput.
+RATE_FRACTIONS = (0.5, 2.0, 5.0)
+
+#: Skew settings: ``(zipf_s, burst_multiplier)``. "uniform" is a plain
+#: Poisson stream; "bursty-zipf" adds heavy-tailed ON/OFF bursts on top
+#: of a Zipf-skewed key popularity (the adversarial shape for hashed
+#: routing, since hot keys pile onto single shards).
+SKEWS: dict[str, tuple[float, float]] = {
+    "uniform": (0.0, 1.0),
+    "bursty-zipf": (1.1, 3.0),
+}
+
+#: Minimum queries per cell, sized so even the most load-shedding cell
+#: (one shard at 5× capacity completes ~1/5 of offered) still clears
+#: the p999 sample floor (1000 completions) with headroom.
+MIN_QUERIES = 8000
+
+#: Per-shard admission bound used across the grid.
+QUEUE_DEPTH = 64
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (shards, rate, skew) point of the tail-latency sweep."""
+
+    n_shards: int
+    rate_fraction: float
+    skew: str
+    rate: float  # queries/sec, resolved against measured capacity
+    config: OpenLoopConfig
+
+
+def measure_service_times(
+    service: PredictionService,
+    w_idx: np.ndarray,
+    p_idx: np.ndarray,
+    epsilon: float,
+    n: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-query service times (seconds) of real single-row lookups.
+
+    Times ``n`` individual isolation-query ``predict_bound`` calls over
+    a random sample of the key space — the unit of work a shard worker
+    performs per submitted ticket (open-loop traces are isolation
+    queries; see :class:`repro.serving.loadgen.QueryTrace`). The first
+    call is discarded as warmup.
+    """
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, len(w_idx), size=n + 1)
+    times = np.empty(n + 1)
+    for i, row in enumerate(rows):
+        start = time.perf_counter()
+        service.predict_bound(
+            w_idx[row : row + 1], p_idx[row : row + 1], None, epsilon
+        )
+        times[i] = time.perf_counter() - start
+    return times[1:]
+
+
+def grid_cells(capacity: float, epsilon: float) -> list[GridCell]:
+    """The full sweep, with rates resolved against ``capacity`` (the
+    measured single-shard queries/sec) and durations sized so every cell
+    clears the p999 sample floor."""
+    cells = []
+    for n_shards in SHARD_COUNTS:
+        for fraction in RATE_FRACTIONS:
+            rate = fraction * capacity
+            duration = MIN_QUERIES / rate
+            for skew, (zipf_s, burst) in SKEWS.items():
+                cells.append(GridCell(
+                    n_shards=n_shards,
+                    rate_fraction=fraction,
+                    skew=skew,
+                    rate=rate,
+                    config=OpenLoopConfig(
+                        rate=rate,
+                        duration=duration,
+                        seed=17,
+                        zipf_s=zipf_s,
+                        burst_multiplier=burst,
+                        epsilon=epsilon,
+                    ),
+                ))
+    return cells

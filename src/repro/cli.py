@@ -55,7 +55,7 @@ from .pipeline import (
 from .devtools.lint import add_lint_arguments
 from .devtools.lint import run as _run_lint
 from .scenarios import get_scenario, iter_scenarios
-from .serving import PredictionService
+from .serving import PredictionService, ShardedPredictionService
 
 __all__ = ["main", "build_parser"]
 
@@ -218,6 +218,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fraction", type=float, default=0.8,
                    help="must match the `train` split to keep bounds honest")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="serve through N worker processes over one "
+                        "shared-memory snapshot (1 = in-process)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="per-shard in-flight admission bound")
+    p.add_argument("--start-method", choices=("spawn", "fork"),
+                   default="spawn",
+                   help="multiprocessing start method for shard workers")
 
     p = sub.add_parser(
         "bench-serve",
@@ -231,6 +239,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.05)
     p.add_argument("--fraction", type=float, default=0.8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--open-loop", action="store_true",
+                   help="drive a live sharded service with an open-loop "
+                        "arrival trace and report tail latencies instead "
+                        "of the closed-loop path comparison")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard workers for --open-loop")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="per-shard admission bound for --open-loop")
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="open-loop base arrival rate, queries/sec")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="open-loop trace horizon, seconds")
+    p.add_argument("--zipf", type=float, default=0.0,
+                   help="workload hot-key skew exponent (0 = uniform)")
+    p.add_argument("--burst", type=float, default=1.0,
+                   help="ON-window rate multiplier for heavy-tailed "
+                        "ON/OFF bursts (1 = pure Poisson)")
+    p.add_argument("--start-method", choices=("spawn", "fork"),
+                   default="spawn",
+                   help="multiprocessing start method for shard workers")
 
     p = sub.add_parser(
         "lint",
@@ -580,11 +608,12 @@ def _calibrated_service(args, epsilons: tuple[float, ...]) -> PredictionService:
     )
 
 
-def _parse_query_line(line: str, service: PredictionService):
+def _parse_query_line(line: str, validate):
     """Parse 'workload platform [co-runners...]'; None for comments/blank.
 
-    Range limits are enforced by ``service.validate_query`` so the CLI
-    and the queue API share one set of rules.
+    Range limits are enforced by ``validate`` (the service's
+    ``validate_query``) so the CLI and the queue API share one set of
+    rules across the in-process and sharded front-ends.
     """
     stripped = line.split("#", 1)[0].strip()
     if not stripped:
@@ -593,7 +622,34 @@ def _parse_query_line(line: str, service: PredictionService):
     if len(parts) < 2:
         raise ValueError(f"need 'workload platform [co-runners...]': {line!r}")
     workload, platform, *co = parts
-    return service.validate_query(workload, platform, co)
+    return validate(workload, platform, co)
+
+
+def _read_queries(args, validate):
+    """Queries from ``--queries`` or stdin; ``None`` (after printing) on
+    a read or parse failure."""
+    if args.queries:
+        try:
+            lines = open(args.queries, encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot read queries: {exc}", file=sys.stderr)
+            return None
+    else:
+        lines = sys.stdin
+    try:
+        queries = []
+        for line in lines:
+            try:
+                parsed = _parse_query_line(line, validate)
+            except ValueError as exc:
+                print(f"bad query: {exc}", file=sys.stderr)
+                return None
+            if parsed is not None:
+                queries.append(parsed)
+    finally:
+        if args.queries:
+            lines.close()
+    return queries
 
 
 def _check_epsilons(epsilons) -> bool:
@@ -603,32 +659,30 @@ def _check_epsilons(epsilons) -> bool:
     return not bad
 
 
+def _print_serving_stats(stats: dict, generation: int) -> None:
+    """The shared ``serve`` epilogue: cache, swap, and topology counters."""
+    print(f"cache: {stats['cache_hits']} hit(s) / {stats['cache_misses']} "
+          f"miss(es), hit rate {stats['hit_rate']:.1%}; "
+          f"swaps: {stats['swaps']} "
+          f"(invalidations: {stats['invalidations']}); "
+          f"generation {generation}")
+    print(f"topology: {stats['shards']} shard(s), queue depth "
+          f"{stats['queue_depth']}, rejections {stats['rejections']}")
+
+
 def _cmd_serve(args) -> int:
     epsilons = tuple(args.epsilon)
     if not _check_epsilons(epsilons):
         return 2
+    if args.shards < 1 or args.queue_depth < 1:
+        print("--shards and --queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _cmd_serve_sharded(args, epsilons)
     service = _calibrated_service(args, epsilons)
-    if args.queries:
-        try:
-            lines = open(args.queries, encoding="utf-8")
-        except OSError as exc:
-            print(f"cannot read queries: {exc}", file=sys.stderr)
-            return 2
-    else:
-        lines = sys.stdin
-    try:
-        queries = []
-        for line in lines:
-            try:
-                parsed = _parse_query_line(line, service)
-            except ValueError as exc:
-                print(f"bad query: {exc}", file=sys.stderr)
-                return 2
-            if parsed is not None:
-                queries.append(parsed)
-    finally:
-        if args.queries:
-            lines.close()
+    queries = _read_queries(args, service.validate_query)
+    if queries is None:
+        return 2
 
     # One shared forward serves every ε (predict_log is ε-independent).
     w = np.array([q[0] for q in queries], dtype=np.intp)
@@ -644,19 +698,120 @@ def _cmd_serve(args) -> int:
         print(f"workload={workload} platform={platform} co={co_text} {budgets}")
     print(f"served {len(queries)} queries in {service.stats.batches} "
           f"batches ({len(epsilons)} epsilon(s) from one forward pass)")
-    stats = service.stats.as_dict()
-    print(f"cache: {stats['cache_hits']} hit(s) / {stats['cache_misses']} "
-          f"miss(es), hit rate {stats['hit_rate']:.1%}; "
-          f"swaps: {stats['swaps']} "
-          f"(invalidations: {stats['invalidations']}); "
-          f"generation {service.generation}")
+    _print_serving_stats(service.stats.as_dict(), service.generation)
     return 0
+
+
+def _cmd_serve_sharded(args, epsilons: tuple[float, ...]) -> int:
+    """``serve --shards N``: answer the stream through worker processes
+    sharing one read-only shared-memory snapshot."""
+    model = load_model(args.model)
+    dataset = RuntimeDataset.load(args.dataset)
+    spec, split = _paper_split(
+        dataset, args.fraction, args.seed, epsilons=epsilons
+    )
+    predictor = calibrate_stage(spec, model, split)
+    service = ShardedPredictionService.from_predictor(
+        predictor,
+        n_shards=args.shards,
+        queue_depth=args.queue_depth,
+        start_method=args.start_method,
+    )
+    try:
+        queries = _read_queries(args, service.validate_query)
+        if queries is None:
+            return 2
+        w = np.array([q[0] for q in queries], dtype=np.intp)
+        p = np.array([q[1] for q in queries], dtype=np.intp)
+        ints = pad_interferers([co for _, _, co in queries])
+        per_eps = {
+            eps: service.predict_bound(w, p, ints, eps) for eps in epsilons
+        }
+        for i, (workload, platform, co) in enumerate(queries):
+            budgets = " ".join(
+                f"bound[eps={eps}]={per_eps[eps][i]:.6f}s"
+                for eps in epsilons
+            )
+            co_text = ",".join(map(str, co)) if co else "-"
+            print(f"workload={workload} platform={platform} co={co_text} "
+                  f"{budgets}")
+        stats = service.collect_stats()
+        print(f"served {len(queries)} queries across {stats.shards} "
+              f"shard(s) in {stats.batches} batches")
+        _print_serving_stats(stats.as_dict(), service.generation)
+    finally:
+        audit = service.close()
+    print(f"shared-memory audit: published {audit['published']}, "
+          f"reclaimed {audit['reclaimed']}, leaked {audit['leaked']}")
+    return 0 if audit["leaked"] == 0 else 1
+
+
+def _cmd_bench_serve_open_loop(args, epsilon: float) -> int:
+    """``bench-serve --open-loop``: wall-clock tail latencies of a live
+    sharded service under scheduled (coordinated-omission-free) load."""
+    from .serving.loadgen import OpenLoopConfig, drive_open_loop, generate_trace
+
+    if args.shards < 1 or args.queue_depth < 1:
+        print("--shards and --queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        config = OpenLoopConfig(
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            zipf_s=args.zipf,
+            burst_multiplier=args.burst,
+            epsilon=epsilon,
+        )
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    model = load_model(args.model)
+    dataset = RuntimeDataset.load(args.dataset)
+    spec, split = _paper_split(
+        dataset, args.fraction, args.seed, epsilons=(epsilon,)
+    )
+    predictor = calibrate_stage(spec, model, split)
+    trace = generate_trace(config, model.n_workloads, model.n_platforms)
+    service = ShardedPredictionService.from_predictor(
+        predictor,
+        n_shards=args.shards,
+        queue_depth=args.queue_depth,
+        start_method=args.start_method,
+    )
+    try:
+        result = drive_open_loop(service, trace)
+        stats = service.collect_stats()
+        generation = service.generation
+    finally:
+        audit = service.close()
+
+    def ms(value: float) -> str:
+        return "n/a" if value != value else f"{1000.0 * value:.2f} ms"
+
+    pct = result.percentiles()
+    print(f"open loop: {result.offered} queries over {config.duration:g}s "
+          f"({trace.offered_rate:,.0f} q/s offered, zipf_s={args.zipf:g}, "
+          f"burst={args.burst:g}x)")
+    print(f"completed {result.completed}, dropped {result.dropped}, "
+          f"rejections {result.rejections} "
+          f"({100.0 * result.reject_rate:.1f}% of offered)")
+    print(f"throughput: {result.throughput:,.0f} q/s over "
+          f"{result.makespan:.2f}s makespan")
+    print(f"latency from scheduled arrival: p50 {ms(pct['p50'])}, "
+          f"p99 {ms(pct['p99'])}, p999 {ms(pct['p999'])}")
+    _print_serving_stats(stats.as_dict(), generation)
+    print(f"shared-memory audit: published {audit['published']}, "
+          f"reclaimed {audit['reclaimed']}, leaked {audit['leaked']}")
+    return 0 if audit["leaked"] == 0 else 1
 
 
 def _cmd_bench_serve(args) -> int:
     epsilon = float(args.epsilon)
     if not _check_epsilons((epsilon,)):
         return 2
+    if args.open_loop:
+        return _cmd_bench_serve_open_loop(args, epsilon)
     if args.n_queries < 1 or args.cold_queries < 1:
         print("--n-queries and --cold-queries must be >= 1", file=sys.stderr)
         return 2

@@ -1,4 +1,4 @@
-"""Shared-memory parallel gradient accumulation.
+"""Shared-memory parallel gradient accumulation and block layouts.
 
 The training step's loss is a per-row weighted sum, so its gradient
 decomposes exactly across any partition of the batch:
@@ -8,6 +8,17 @@ trainer's ordinary fused engine (:meth:`PitotTrainer._batch_loss_backward`)
 on one contiguous chunk and write their flattened gradients into a
 per-worker shared-memory block; the master reduces the blocks in fixed
 worker order and hands the result to the optimizer.
+
+The placement bookkeeping — how a family of ndarrays maps onto one flat
+shared buffer — is factored out as :class:`BlockLayout` so the serving
+side can reuse it: :mod:`repro.serving.shm` packs frozen
+:class:`~repro.core.EmbeddingSnapshot` arrays into a named
+``multiprocessing.shared_memory`` block with the same offset/shape/dtype
+discipline the gradient pool uses for its ``RawArray`` parameter block.
+The two transports differ (anonymous fork-inherited mapping vs. named
+spawn-attachable segment) but the layout contract is identical, and
+:class:`BlockLayout` is picklable so a spawn child can rebuild views
+without receiving the arrays themselves.
 
 Sharing model:
 
@@ -34,6 +45,7 @@ from __future__ import annotations
 
 import ctypes
 import multiprocessing
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -41,7 +53,88 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .trainer import PitotTrainer
 
-__all__ = ["GradientWorkerPool"]
+__all__ = ["ArraySpec", "BlockLayout", "GradientWorkerPool"]
+
+
+#: Byte alignment for every array placed in a shared block. 16 covers
+#: the widest dtype NumPy vectorizes over (complex128) and keeps SIMD
+#: loads aligned regardless of the preceding array's size.
+_ALIGN = 16
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one ndarray inside a flat byte buffer."""
+
+    shape: tuple[int, ...]
+    dtype: str  #: dtype string (picklable; ``np.dtype(spec.dtype)`` rebuilds)
+    offset: int  #: byte offset of the first element
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Offsets/shapes/dtypes of a family of arrays in one shared buffer.
+
+    Built once on the publishing side from live arrays, shipped (pickled)
+    to attaching processes, which rebuild zero-copy views with
+    :meth:`views`. The layout is pure bookkeeping — it never holds array
+    data, so sending it over a pipe costs bytes, not megabytes.
+    """
+
+    specs: tuple[ArraySpec, ...]
+    nbytes: int  #: total buffer size (aligned) the specs assume
+
+    @classmethod
+    def from_arrays(cls, arrays: "list[np.ndarray]") -> "BlockLayout":
+        specs = []
+        offset = 0
+        for arr in arrays:
+            offset = _aligned(offset)
+            spec = ArraySpec(
+                shape=tuple(arr.shape), dtype=arr.dtype.str, offset=offset
+            )
+            specs.append(spec)
+            offset += spec.nbytes
+        return cls(specs=tuple(specs), nbytes=_aligned(offset))
+
+    def view(self, buffer: Any, index: int, writeable: bool = True) -> np.ndarray:
+        """Zero-copy ndarray over ``buffer`` for spec ``index``."""
+        spec = self.specs[index]
+        out = np.frombuffer(
+            buffer,
+            dtype=np.dtype(spec.dtype),
+            count=int(np.prod(spec.shape, dtype=np.int64)),
+            offset=spec.offset,
+        ).reshape(spec.shape)
+        if not writeable:
+            out.flags.writeable = False
+        return out
+
+    def views(self, buffer: Any, writeable: bool = True) -> list[np.ndarray]:
+        """Zero-copy views for every spec, in declaration order."""
+        return [
+            self.view(buffer, i, writeable=writeable)
+            for i in range(len(self.specs))
+        ]
+
+    def pack(self, buffer: Any, arrays: "list[np.ndarray]") -> list[np.ndarray]:
+        """Copy ``arrays`` into ``buffer``; returns the writable views."""
+        if len(arrays) != len(self.specs):
+            raise ValueError(
+                f"layout holds {len(self.specs)} array(s), got {len(arrays)}"
+            )
+        views = self.views(buffer)
+        for view, arr in zip(views, arrays):
+            np.copyto(view, arr)
+        return views
 
 
 def _worker_main(trainer: "PitotTrainer", conn: Any, grad_block: Any) -> None:
@@ -105,14 +198,12 @@ class GradientWorkerPool:
 
         # Move parameters into the shared block (views preserve in-place
         # optimizer semantics), then fork so children inherit the mapping.
-        self._param_block = ctx.RawArray(ctypes.c_byte, total * dtype.itemsize)
-        flat = np.frombuffer(self._param_block, dtype=dtype)
-        offset = 0
-        for p in self._params:
-            view = flat[offset : offset + p.data.size].reshape(p.data.shape)
-            np.copyto(view, p.data)
+        layout = BlockLayout.from_arrays([p.data for p in self._params])
+        self._param_block = ctx.RawArray(ctypes.c_byte, layout.nbytes)
+        for p, view in zip(
+            self._params, layout.pack(self._param_block, [p.data for p in self._params])
+        ):
             p.data = view
-            offset += view.size
         # Rebinding orphaned any recorded tape programs' parameter refs.
         trainer._tape_cache.invalidate()
         trainer.model._arena.clear()

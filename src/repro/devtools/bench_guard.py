@@ -10,6 +10,13 @@ against the committed baselines and fails when any ratio metric
 regresses by more than the tolerance (30% by default — generous enough
 for shared-runner noise, tight enough to catch a real perf loss).
 
+Ratio metrics come in two polarities: ``units == "x"`` is
+higher-is-better (speedups, shard-scaling factors) and fails when the
+value *drops* below ``base × (1 − tol)``; ``units == "x-lower"`` is
+lower-is-better (normalized tail-latency ratios like p99/p50 — the
+serving tail bench's contract that queueing jitter stays bounded) and
+fails when the value *rises* above ``base × (1 + tol)``.
+
 Reader tolerance: only the ``results`` triple list is required of a
 ``BENCH_*.json``, so schema-v1 archives (no ``schema``/``git_sha``/
 ``timestamp`` fields) load identically to v2.
@@ -38,6 +45,9 @@ DEFAULT_TOLERANCE = 0.30
 #: Units marking machine-independent ratio metrics (the guarded kind).
 _RATIO_UNITS = frozenset({"x"})
 
+#: Units marking lower-is-better ratio metrics (regress by rising).
+_RATIO_LOWER_UNITS = frozenset({"x-lower"})
+
 
 def load_metrics(path: Path) -> dict[str, tuple[float, str]]:
     """``{metric: (value, units)}`` from a BENCH json of any schema."""
@@ -62,16 +72,25 @@ def compare_metrics(
     """
     problems: list[str] = []
     for metric, (base_value, units) in sorted(baseline.items()):
-        if units not in _RATIO_UNITS or metric not in current:
+        if metric not in current:
             continue
         cur_value = current[metric][0]
-        floor = base_value * (1.0 - tolerance)
-        if cur_value < floor:
-            problems.append(
-                f"{name}: {metric} regressed {base_value:.2f}x -> "
-                f"{cur_value:.2f}x (floor {floor:.2f}x at "
-                f"{tolerance:.0%} tolerance)"
-            )
+        if units in _RATIO_UNITS:
+            floor = base_value * (1.0 - tolerance)
+            if cur_value < floor:
+                problems.append(
+                    f"{name}: {metric} regressed {base_value:.2f}x -> "
+                    f"{cur_value:.2f}x (floor {floor:.2f}x at "
+                    f"{tolerance:.0%} tolerance)"
+                )
+        elif units in _RATIO_LOWER_UNITS:
+            ceiling = base_value * (1.0 + tolerance)
+            if cur_value > ceiling:
+                problems.append(
+                    f"{name}: {metric} regressed {base_value:.2f}x -> "
+                    f"{cur_value:.2f}x (ceiling {ceiling:.2f}x at "
+                    f"{tolerance:.0%} tolerance, lower is better)"
+                )
     return problems
 
 

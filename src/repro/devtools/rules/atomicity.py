@@ -14,10 +14,16 @@ bound computation reads lives in an immutable, generation-tagged
   promotion methods) re-introduces shared mutable state and defeats the
   generation tagging.
 
+The same protocol now spans a process boundary: the sharded router
+(``serving/sharded.py``) promotes a ``RouterState`` — published block,
+choices, generation — with the identical capture-once / promote-once
+discipline, so the rule covers both modules and both state classes.
+
 Options (``[tool.repro-lint.rpr003]``): ``state-attr`` (default
-``_state``), ``state-class`` (default ``ServingState``), ``writers``
-(method names allowed to store ``self._state``; default ``__init__`` and
-``swap``).
+``_state``), ``state-classes`` (class names treated as immutable
+generation bundles; default ``ServingState`` and ``RouterState``),
+``writers`` (method names allowed to store ``self._state``; default
+``__init__`` and ``swap``).
 """
 
 from __future__ import annotations
@@ -37,15 +43,26 @@ class SwapAtomicityRule(LintRule):
     name = "swap-atomicity"
     description = (
         "serving methods must capture self._state exactly once; "
-        "ServingState instances are immutable and promoted only by "
-        "sanctioned writers"
+        "ServingState/RouterState instances are immutable and promoted "
+        "only by sanctioned writers"
     )
-    default_globs = ("*serving/service.py",)
+    default_globs = ("*serving/service.py", "*serving/sharded.py")
 
     def __init__(self, options: dict | None = None) -> None:
         super().__init__(options)
         self.state_attr: str = self.options.get("state-attr", "_state")
-        self.state_class: str = self.options.get("state-class", "ServingState")
+        # Back-compat: a singular `state-class` narrows the set to one.
+        single = self.options.get("state-class")
+        self.state_classes: tuple[str, ...] = (
+            (single,)
+            if single
+            else tuple(
+                self.options.get(
+                    "state-classes", ("ServingState", "RouterState")
+                )
+            )
+        )
+        self.state_class: str = self.state_classes[0]
         self.writers: tuple[str, ...] = tuple(
             self.options.get("writers", ("__init__", "swap"))
         )
@@ -128,11 +145,12 @@ class SwapAtomicityRule(LintRule):
                     yield self._mutation(module, node)
 
     def _mutation(self, module: SourceModule, node: ast.AST) -> Violation:
+        label = "/".join(self.state_classes)
         return self.violation(
             module,
             node,
-            f"attribute write on a {self.state_class} instance: serving "
-            f"generations are immutable — build a new {self.state_class} "
+            f"attribute write on a {label} instance: serving "
+            f"generations are immutable — build a new {label} "
             f"and promote it atomically via swap()",
         )
 
@@ -153,7 +171,10 @@ class SwapAtomicityRule(LintRule):
             return isinstance(node.value, ast.Name) and node.value.id == "self"
         if isinstance(node, ast.Call):
             name = dotted_name(node.func)
-            return name is not None and name.split(".")[-1] == self.state_class
+            return (
+                name is not None
+                and name.split(".")[-1] in self.state_classes
+            )
         return False
 
     def _is_state_value(

@@ -28,6 +28,9 @@ from .reporting import (
     format_series_table,
     format_table,
     percent,
+    percentile,
+    percentile_floor,
+    tail_percentiles,
 )
 
 __all__ = [
@@ -48,6 +51,9 @@ __all__ = [
     "format_schedule_table",
     "format_mean_2se",
     "percent",
+    "percentile",
+    "percentile_floor",
+    "tail_percentiles",
     "PairedComparison",
     "paired_bootstrap",
     "two_stderr_interval",

@@ -7,7 +7,10 @@ mean ± 2·stderr cells, matching the paper's error bars).
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
+
+import numpy as np
 
 __all__ = [
     "format_table",
@@ -15,7 +18,51 @@ __all__ = [
     "format_mean_2se",
     "format_schedule_table",
     "percent",
+    "percentile",
+    "percentile_floor",
+    "tail_percentiles",
 ]
+
+#: The latency quantiles every serving bench reports, as (label, q) pairs.
+TAIL_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 50.0),
+    ("p99", 99.0),
+    ("p999", 99.9),
+)
+
+
+def percentile_floor(q: float) -> int:
+    """Minimum sample count for the q-th percentile to be data-supported.
+
+    A tail quantile needs at least one observation beyond it to be more
+    than an extrapolated max: ``ceil(100 / (100 - q))`` samples puts one
+    expected observation in the tail (100 for p99, 1000 for p999). Below
+    the floor, reporting "p999" would really be reporting the sample
+    maximum with a misleading label.
+    """
+    if not 0 < q < 100:
+        raise ValueError(f"q must be in (0, 100), got {q}")
+    # Round before ceiling: 100 - 99.9 is 0.0999… in binary, and the
+    # raw quotient 1000.0000000000568 would ceil to a spurious 1001.
+    return math.ceil(round(100.0 / (100.0 - q), 9))
+
+
+def percentile(samples, q: float) -> float:
+    """Linear-interpolated q-th percentile with a sample-floor guard.
+
+    Returns ``NaN`` when ``samples`` has fewer than
+    :func:`percentile_floor` entries — the serving benches render that
+    as ``n/a`` instead of quoting a tail number the data cannot support.
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size < percentile_floor(q):
+        return float("nan")
+    return float(np.percentile(data, q, method="linear"))
+
+
+def tail_percentiles(samples) -> dict[str, float]:
+    """p50/p99/p999 of ``samples`` (``NaN`` where under-sampled)."""
+    return {label: percentile(samples, q) for label, q in TAIL_QUANTILES}
 
 
 def percent(value: float, decimals: int = 1) -> str:

@@ -13,8 +13,44 @@ The service speaks both sides of the existing protocols — it exposes
 ``predict_log`` (so :class:`~repro.conformal.ConformalRuntimePredictor`
 can wrap it like a model) and ``predict_bound`` (so
 :mod:`repro.orchestration` planners consume it unchanged).
+
+For traffic one process cannot absorb, :class:`ShardedPredictionService`
+replicates the service across worker processes over a single
+shared-memory snapshot (:mod:`repro.serving.shm`), with deterministic
+``(workload, platform)`` routing, bounded admission (:class:`ShardBusy`
+backpressure) and a torn-read-free cross-process swap protocol; the
+open-loop load shapes that exercise it live in
+:mod:`repro.serving.loadgen`.
 """
 
-from .service import BoundCache, PredictionService, ServiceStats, ServingState
+from .service import (
+    BoundCache,
+    PredictionService,
+    ServiceStats,
+    ServingState,
+    validate_choice_heads,
+    validate_query,
+)
+from .sharded import (
+    ShardBusy,
+    ShardedPredictionService,
+    ShardResponse,
+    shard_ids,
+)
+from .shm import SharedSnapshot, SnapshotLayout, attach_snapshot
 
-__all__ = ["PredictionService", "BoundCache", "ServiceStats", "ServingState"]
+__all__ = [
+    "PredictionService",
+    "BoundCache",
+    "ServiceStats",
+    "ServingState",
+    "ShardedPredictionService",
+    "ShardBusy",
+    "ShardResponse",
+    "SharedSnapshot",
+    "SnapshotLayout",
+    "attach_snapshot",
+    "shard_ids",
+    "validate_choice_heads",
+    "validate_query",
+]

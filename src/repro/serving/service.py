@@ -48,10 +48,76 @@ from ..conformal.predictor import (
 )
 from ..core.model import EmbeddingSnapshot, PitotModel
 
-__all__ = ["PredictionService", "BoundCache", "ServiceStats", "ServingState"]
+__all__ = [
+    "PredictionService",
+    "BoundCache",
+    "ServiceStats",
+    "ServingState",
+    "validate_query",
+    "validate_choice_heads",
+]
 
 #: Cache key: (workload, platform, sorted interferer tuple, epsilon).
 _Key = tuple[int, int, tuple[int, ...], float]
+
+
+def validate_query(
+    workload: int,
+    platform: int,
+    interferers: tuple[int, ...] | list[int],
+    n_workloads: int,
+    n_platforms: int,
+) -> tuple[int, int, tuple[int, ...]]:
+    """Range-check one query against the population limits.
+
+    Raises ``ValueError`` naming the offending field; returns the
+    canonicalized ``(workload, platform, co)`` triple with the dataset's
+    ``-1`` padding sentinel stripped. Any other negative index is
+    rejected as a typo rather than silently served as isolation.
+
+    Module-level so every front-end — the in-process service, the
+    sharded router (which validates *before* paying a cross-process
+    hop), and the CLI — shares one set of rules.
+    """
+    co = tuple(int(x) for x in interferers if int(x) != -1)
+    if len(co) > MAX_INTERFERERS:
+        raise ValueError(
+            f"at most {MAX_INTERFERERS} interferers supported, got {len(co)}"
+        )
+    workload, platform = int(workload), int(platform)
+    if not 0 <= workload < n_workloads:
+        raise ValueError(
+            f"workload {workload} out of range [0, {n_workloads})"
+        )
+    if not 0 <= platform < n_platforms:
+        raise ValueError(
+            f"platform {platform} out of range [0, {n_platforms})"
+        )
+    for runner in co:
+        if not 0 <= runner < n_workloads:
+            raise ValueError(
+                f"interferer {runner} out of range [0, {n_workloads})"
+            )
+    return workload, platform, co
+
+
+def validate_choice_heads(
+    choices: dict[tuple[float, int], HeadChoice], n_heads: int
+) -> None:
+    """Reject calibrated choices that index heads the snapshot lacks.
+
+    The guard every promotion path runs before installing a
+    ``(snapshot, choices)`` pair: a head mismatch means the two
+    artifacts came from different models, and serving them together
+    would silently select garbage quantiles.
+    """
+    for (eps, pool), choice in choices.items():
+        if not 0 <= choice.head < n_heads:
+            raise ValueError(
+                f"choice for (eps={eps}, pool={pool}) selects head "
+                f"{choice.head}, but the snapshot has {n_heads} head(s); "
+                f"snapshot and predictor are from different models"
+            )
 
 
 class BoundCache:
@@ -105,12 +171,18 @@ class BoundCache:
 
 @dataclass
 class ServiceStats:
-    """Observability counters for one :class:`PredictionService`.
+    """Observability counters for one serving front-end.
 
     The cache counters are cumulative across generations (each
     :meth:`PredictionService.swap` installs a fresh :class:`BoundCache`
     whose own counters restart at zero), so steady-state dashboards keep
     a continuous series across promotions.
+
+    The sharding fields describe the front-end topology: an in-process
+    :class:`PredictionService` is one shard with no admission queue; a
+    :class:`~repro.serving.ShardedPredictionService` reports its replica
+    count, the bounded per-shard admission depth, and how many
+    submissions were rejected with backpressure.
     """
 
     queries: int = 0  #: bound queries received (rows, not calls)
@@ -121,12 +193,22 @@ class ServiceStats:
     cache_misses: int = 0  #: lookups that fell through to the snapshot
     swaps: int = 0  #: generation promotions (swap/refresh)
     invalidations: int = 0  #: cache invalidation events (one per swap)
+    shards: int = 1  #: serving replicas behind this front-end
+    queue_depth: int = 0  #: bounded admission depth per shard (0 = none)
+    rejections: int = 0  #: submissions refused with retry-after backpressure
 
     @property
     def hit_rate(self) -> float:
-        """Lifetime cache hit rate across all serving generations."""
+        """Lifetime cache hit rate across all serving generations.
+
+        Guarded against the zero-lookup state (a freshly started or
+        never-queried service): no lookups means a rate of 0.0, not a
+        ``ZeroDivisionError`` in a dashboard.
+        """
         total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
 
     def as_dict(self) -> dict[str, int | float]:
         return {
@@ -139,6 +221,9 @@ class ServiceStats:
             "hit_rate": self.hit_rate,
             "swaps": self.swaps,
             "invalidations": self.invalidations,
+            "shards": self.shards,
+            "queue_depth": self.queue_depth,
+            "rejections": self.rejections,
         }
 
 
@@ -354,14 +439,7 @@ class PredictionService:
         Returns the new generation number.
         """
         choices = dict(predictor.choices)
-        n_heads = snapshot.config.n_heads
-        for (eps, pool), choice in choices.items():
-            if not 0 <= choice.head < n_heads:
-                raise ValueError(
-                    f"choice for (eps={eps}, pool={pool}) selects head "
-                    f"{choice.head}, but the snapshot has {n_heads} head(s); "
-                    f"snapshot and predictor are from different models"
-                )
+        validate_choice_heads(choices, snapshot.config.n_heads)
         old = self._state
         new = ServingState(
             snapshot=snapshot,
@@ -652,30 +730,12 @@ class PredictionService:
         ``(workload, platform, co)`` triple (``-1`` padding stripped).
 
         Shared by :meth:`submit` and front-ends (the CLI ``serve``
-        command) so the limits live in one place. Only the dataset's
-        ``-1`` padding sentinel is stripped; any other negative index is
-        rejected as a typo rather than silently served as isolation.
+        command) so the limits live in one place; delegates to the
+        module-level :func:`validate_query` the sharded router also uses.
         """
-        co = tuple(int(x) for x in interferers if int(x) != -1)
-        if len(co) > MAX_INTERFERERS:
-            raise ValueError(
-                f"at most {MAX_INTERFERERS} interferers supported, got {len(co)}"
-            )
-        workload, platform = int(workload), int(platform)
-        if not 0 <= workload < self.n_workloads:
-            raise ValueError(
-                f"workload {workload} out of range [0, {self.n_workloads})"
-            )
-        if not 0 <= platform < self.n_platforms:
-            raise ValueError(
-                f"platform {platform} out of range [0, {self.n_platforms})"
-            )
-        for runner in co:
-            if not 0 <= runner < self.n_workloads:
-                raise ValueError(
-                    f"interferer {runner} out of range [0, {self.n_workloads})"
-                )
-        return workload, platform, co
+        return validate_query(
+            workload, platform, interferers, self.n_workloads, self.n_platforms
+        )
 
     @property
     def pending(self) -> int:

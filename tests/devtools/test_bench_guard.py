@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.devtools.bench_guard import (
     compare_metrics,
     guard_directories,
@@ -72,6 +70,40 @@ class TestCompareMetrics:
         assert compare_metrics(
             "b", {"speedup": (4.0, "x")}, {}, 0.30
         ) == []
+
+
+class TestLowerIsBetterRatios:
+    def test_flags_rise_beyond_tolerance(self):
+        # p99/p50 jitter ratio: regressing means *rising*.
+        problems = compare_metrics(
+            "b",
+            {"tail_ratio": (2.0, "x-lower")},
+            {"tail_ratio": (3.0, "x-lower")},
+            0.30,
+        )
+        assert len(problems) == 1
+        assert "lower is better" in problems[0]
+
+    def test_passes_within_tolerance_and_on_improvement(self):
+        base = {"tail_ratio": (2.0, "x-lower")}
+        assert compare_metrics(
+            "b", base, {"tail_ratio": (2.5, "x-lower")}, 0.30
+        ) == []
+        assert compare_metrics(
+            "b", base, {"tail_ratio": (1.2, "x-lower")}, 0.30
+        ) == []
+
+    def test_polarity_is_per_metric(self):
+        # A drop that would fail an "x" metric passes an "x-lower" one,
+        # and vice versa, in the same archive.
+        problems = compare_metrics(
+            "b",
+            {"scaling": (4.0, "x"), "tail_ratio": (2.0, "x-lower")},
+            {"scaling": (3.9, "x"), "tail_ratio": (9.0, "x-lower")},
+            0.30,
+        )
+        assert len(problems) == 1
+        assert "tail_ratio" in problems[0]
 
 
 class TestGuardDirectories:

@@ -206,6 +206,62 @@ def test_rpr003_writers_option_extends_the_sanctioned_set(lint_tree):
     assert allowed.violations == []
 
 
+def test_rpr003_covers_sharded_router_state(lint_tree):
+    source = textwrap.dedent(
+        """
+        class ShardedPredictionService:
+            def submit(self, workload):
+                shard = self._state.generation % 2
+                return self._state.choices[workload], shard
+        """
+    )
+    result = lint_tree({"serving/sharded.py": source}, select=["RPR003"])
+    assert codes(result) == ["RPR003"]
+    assert "torn generation" in result.violations[0].message
+
+
+def test_rpr003_flags_router_state_mutation(lint_tree):
+    source = textwrap.dedent(
+        """
+        class ShardedPredictionService:
+            def sneak(self):
+                state = RouterState(shared=None, choices={}, use_pools=True,
+                                    generation=0)
+                state.generation = 5
+                return state
+        """
+    )
+    result = lint_tree({"serving/sharded.py": source}, select=["RPR003"])
+    assert codes(result) == ["RPR003"]
+    assert "immutable" in result.violations[0].message
+
+
+def test_rpr003_passes_compliant_sharded_router(lint_tree):
+    source = textwrap.dedent(
+        """
+        class ShardedPredictionService:
+            def __init__(self, state):
+                self._state = state
+
+            def swap(self, snapshot, predictor):
+                old = self._state
+                self._state = RouterState(
+                    shared=publish(snapshot),
+                    choices=dict(predictor.choices),
+                    use_pools=predictor.use_pools,
+                    generation=old.generation + 1,
+                )
+                return old.generation + 1
+
+            def predict_bound(self, w, p):
+                state = self._state
+                return state.choices, state.generation
+        """
+    )
+    result = lint_tree({"serving/sharded.py": source}, select=["RPR003"])
+    assert result.violations == []
+
+
 # ----------------------------------------------------------------------
 # RPR004 — stage purity
 # ----------------------------------------------------------------------

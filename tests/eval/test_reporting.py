@@ -62,3 +62,47 @@ class TestFormatMean2se:
 
         cell = format_mean_2se(1.5, 0.25, decimals=2, as_percent=False)
         assert cell == "1.50 ± 0.25"
+
+
+class TestPercentile:
+    def test_sample_floors(self):
+        from repro.eval import percentile_floor
+
+        assert percentile_floor(50.0) == 2
+        assert percentile_floor(99.0) == 100
+        assert percentile_floor(99.9) == 1000
+
+    def test_floor_rejects_degenerate_quantiles(self):
+        from repro.eval import percentile_floor
+        import pytest
+
+        with pytest.raises(ValueError):
+            percentile_floor(0.0)
+        with pytest.raises(ValueError):
+            percentile_floor(100.0)
+
+    def test_linear_interpolation(self):
+        from repro.eval import percentile
+
+        assert percentile([0.0, 10.0], 50.0) == 5.0
+        assert percentile(list(range(101)), 99.0) == 99.0
+
+    def test_under_sampled_returns_nan(self):
+        import math
+
+        from repro.eval import percentile
+
+        assert math.isnan(percentile(list(range(99)), 99.0))
+        assert math.isnan(percentile([], 50.0))
+        assert percentile(list(range(100)), 99.0) == 98.01
+
+    def test_tail_percentiles_guards_each_quantile(self):
+        import math
+
+        from repro.eval import tail_percentiles
+
+        out = tail_percentiles(list(range(200)))
+        assert set(out) == {"p50", "p99", "p999"}
+        assert out["p50"] == 99.5
+        assert not math.isnan(out["p99"])
+        assert math.isnan(out["p999"])  # needs >= 1000 samples

@@ -1,0 +1,218 @@
+"""Cross-process swap: generation tags, ack-gated reclaim, no torn reads."""
+
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.conformal import ConformalRuntimePredictor, HeadChoice
+from repro.core import PAPER_QUANTILES
+from repro.core.model import EmbeddingSnapshot
+from repro.serving import PredictionService, ShardedPredictionService
+
+
+@pytest.fixture(scope="module")
+def calibrated(trained_pitot_quantile, mini_split):
+    return ConformalRuntimePredictor(
+        trained_pitot_quantile.model,
+        quantiles=PAPER_QUANTILES,
+        strategy="pitot",
+    ).calibrate(mini_split.calibration, epsilons=(0.1, 0.05))
+
+
+def _shifted(predictor, delta):
+    """A predictor clone whose every conformal offset moves by ``delta``
+    — cheap, genuinely different bounds per generation."""
+    clone = ConformalRuntimePredictor(
+        predictor.model,
+        quantiles=predictor.quantiles,
+        strategy=predictor.strategy,
+        use_pools=predictor.use_pools,
+    )
+    clone.choices = {
+        key: HeadChoice(head=c.head, offset=c.offset + delta)
+        for key, c in predictor.choices.items()
+    }
+    clone._calibrated_epsilons = list(predictor._calibrated_epsilons)
+    return clone
+
+
+@pytest.fixture(scope="module")
+def generations(trained_pitot_quantile, calibrated):
+    snapshot = EmbeddingSnapshot.from_model(trained_pitot_quantile.model)
+    return (snapshot, calibrated), (snapshot, _shifted(calibrated, 0.35))
+
+
+class TestCrossProcessSwap:
+    def test_swap_promotes_every_shard_and_reclaims(
+        self, generations, mini_split
+    ):
+        (snap_a, pred_a), (snap_b, pred_b) = generations
+        service = ShardedPredictionService.from_predictor(
+            pred_a, n_shards=2, start_method="fork"
+        )
+        try:
+            old_name = service.state.shared.name
+            test = mini_split.test
+            args = (test.w_idx[:64], test.p_idx[:64], test.interferers[:64])
+            before = service.predict_bound(*args, 0.1)
+            assert service.swap(snap_b, pred_b) == 1
+            assert service.generation == 1
+            assert service.reclaim_log == ((0, 2),)
+            # The pre-swap block is really gone: the name no longer
+            # attaches (unlinked after both shards acknowledged).
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=old_name)
+            after = service.predict_bound(*args, 0.1)
+            expected = PredictionService.from_predictor(pred_b).predict_bound(
+                *args, 0.1
+            )
+            assert np.array_equal(after, expected)
+            assert not np.array_equal(before, after)
+        finally:
+            assert service.close()["leaked"] == 0
+
+    def test_swap_validates_head_compatibility(self, generations):
+        (snap_a, pred_a), _ = generations
+        service = ShardedPredictionService.from_predictor(
+            pred_a, n_shards=1, start_method="fork"
+        )
+        try:
+            bad = _shifted(pred_a, 0.0)
+            bad.choices = {
+                key: HeadChoice(head=99, offset=c.offset)
+                for key, c in bad.choices.items()
+            }
+            with pytest.raises(ValueError, match="head"):
+                service.swap(snap_a, bad)
+            assert service.generation == 0  # failed swap promotes nothing
+        finally:
+            service.close()
+
+    def test_repeated_swaps_reclaim_every_block(self, generations):
+        (snap_a, pred_a), (snap_b, pred_b) = generations
+        service = ShardedPredictionService.from_predictor(
+            pred_a, n_shards=2, start_method="fork"
+        )
+        try:
+            for i in range(6):
+                snap, pred = (
+                    (snap_b, pred_b) if i % 2 == 0 else (snap_a, pred_a)
+                )
+                service.swap(snap, pred)
+            assert service.generation == 6
+            assert [gen for gen, _ in service.reclaim_log] == list(range(6))
+            assert all(acks == 2 for _, acks in service.reclaim_log)
+        finally:
+            audit = service.close()
+            assert audit == {"published": 7, "reclaimed": 7, "leaked": 0}
+
+
+class TestSwapStress:
+    def test_continuous_swaps_never_tear_a_read(self, generations):
+        """The acceptance stress: shards serve while the router swaps
+        continuously. Every response must be internally consistent —
+        its serving generation equals the generation word read from the
+        block it was computed against — and bitwise-correct for that
+        generation, and every reclaimed block must have been ack'd by
+        all shards first."""
+        (snap_a, pred_a), (snap_b, pred_b) = generations
+        service = ShardedPredictionService.from_predictor(
+            pred_a, n_shards=2, queue_depth=32, start_method="fork"
+        )
+        single_a = PredictionService.from_predictor(pred_a)
+        single_b = PredictionService.from_predictor(pred_b)
+        # Even generations serve A's offsets, odd generations B's.
+        query = (np.array([3]), np.array([7]), None)
+        expected = {
+            0: single_a.predict_bound(*query, 0.1)[0],
+            1: single_b.predict_bound(*query, 0.1)[0],
+        }
+        responses = []
+        failures = []
+        done = threading.Event()
+
+        def serve():
+            while not done.is_set():
+                try:
+                    ticket = service.submit(3, 7, (), 0.1)
+                    responses.append(service.gather(ticket))
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    failures.append(repr(exc))
+                    return
+
+        threads = [threading.Thread(target=serve) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        swaps = 24
+        try:
+            for i in range(swaps):
+                snap, pred = (
+                    (snap_b, pred_b) if i % 2 == 0 else (snap_a, pred_a)
+                )
+                service.swap(snap, pred)
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join()
+        assert not failures, failures
+        assert service.generation == swaps
+        assert len(responses) > 0
+        torn = [r for r in responses if not r.consistent]
+        assert not torn, f"{len(torn)} torn generation tag(s)"
+        for response in responses:
+            assert response.bound == expected[response.generation % 2], (
+                f"generation {response.generation} served a bound from "
+                f"another generation's calibration"
+            )
+        # Reclaim strictly trailed the ack barrier for every generation.
+        assert [gen for gen, _ in service.reclaim_log] == list(range(swaps))
+        assert all(acks == 2 for _, acks in service.reclaim_log)
+        audit = service.close()
+        assert audit["leaked"] == 0
+        assert audit["published"] == swaps + 1
+
+    def test_batch_path_during_swaps_matches_a_generation(
+        self, generations, mini_split
+    ):
+        """The synchronous scatter/gather path under concurrent swaps:
+        every returned batch must equal one generation's reference —
+        never a mixture."""
+        (snap_a, pred_a), (snap_b, pred_b) = generations
+        service = ShardedPredictionService.from_predictor(
+            pred_a, n_shards=2, start_method="fork"
+        )
+        test = mini_split.test
+        args = (test.w_idx[:16], test.p_idx[:16], test.interferers[:16])
+        ref_a = PredictionService.from_predictor(pred_a).predict_bound(
+            *args, 0.1
+        )
+        ref_b = PredictionService.from_predictor(pred_b).predict_bound(
+            *args, 0.1
+        )
+        mixed = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                got = service.predict_bound(*args, 0.1)
+                row_is_a = np.isclose(got, ref_a, rtol=1e-12)
+                row_is_b = np.isclose(got, ref_b, rtol=1e-12)
+                if not (np.all(row_is_a | row_is_b)):
+                    mixed.append(got)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for i in range(16):
+                snap, pred = (
+                    (snap_b, pred_b) if i % 2 == 0 else (snap_a, pred_a)
+                )
+                service.swap(snap, pred)
+        finally:
+            done.set()
+            thread.join()
+            audit = service.close()
+        assert not mixed, f"{len(mixed)} unattributable batch(es)"
+        assert audit["leaked"] == 0

@@ -219,3 +219,54 @@ class TestStats:
         )
         assert service.stats.cache_misses == 8
         assert service.stats.hit_rate == 0.0
+
+
+class TestStatsTopology:
+    def test_zero_lookup_hit_rate_is_zero(self):
+        from repro.serving import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.hit_rate == 0.0  # no ZeroDivisionError on fresh stats
+        assert stats.as_dict()["hit_rate"] == 0.0
+
+    def test_as_dict_surfaces_sharding_fields(self):
+        from repro.serving import ServiceStats
+
+        stats = ServiceStats(shards=4, queue_depth=32, rejections=7)
+        as_dict = stats.as_dict()
+        assert as_dict["shards"] == 4
+        assert as_dict["queue_depth"] == 32
+        assert as_dict["rejections"] == 7
+
+    def test_single_process_defaults(self):
+        from repro.serving import ServiceStats
+
+        as_dict = ServiceStats().as_dict()
+        assert as_dict["shards"] == 1
+        assert as_dict["queue_depth"] == 0
+        assert as_dict["rejections"] == 0
+
+
+class TestSharedValidation:
+    def test_validate_query_module_function(self):
+        from repro.serving import validate_query
+
+        assert validate_query(3, 5, (7, -1), 40, 24) == (3, 5, (7,))
+        with pytest.raises(ValueError, match="workload"):
+            validate_query(40, 0, (), 40, 24)
+        with pytest.raises(ValueError, match="platform"):
+            validate_query(0, 24, (), 40, 24)
+        with pytest.raises(ValueError, match="interferer"):
+            validate_query(0, 0, (-3,), 40, 24)
+
+    def test_service_method_delegates(self, calibrated):
+        service = PredictionService.from_predictor(calibrated)
+        assert service.validate_query(1, 2, (3, -1)) == (1, 2, (3,))
+
+    def test_validate_choice_heads(self, calibrated):
+        from repro.serving import validate_choice_heads
+
+        n_heads = max(c.head for c in calibrated.choices.values()) + 1
+        validate_choice_heads(calibrated.choices, n_heads)  # compatible
+        with pytest.raises(ValueError, match="head"):
+            validate_choice_heads(calibrated.choices, 0)
