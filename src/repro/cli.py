@@ -168,6 +168,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup-events", type=int, default=None,
                    help="world-calibration window size")
 
+    p = sub.add_parser(
+        "sweep",
+        help="parallel scenario sweeps over the artifact store",
+    )
+    sweep_sub = p.add_subparsers(dest="sweep_command", required=True)
+    p = sweep_sub.add_parser(
+        "run",
+        help="expand a grid (scenarios x seeds x conformal modes x "
+             "policies) into a deduplicated stage plan and run it on a "
+             "worker pool",
+    )
+    p.add_argument("--grid", default=None,
+                   help="JSON grid-spec file (keys: scenarios, seeds, "
+                        "strategies, policies, stop_after, seed_streams, "
+                        "overrides); axis flags below override it")
+    p.add_argument("--scenarios", nargs="+", default=None,
+                   help="scenario registry names (grid axis)")
+    p.add_argument("--seeds", nargs="+", type=int, default=None,
+                   help="replicate seeds (grid axis)")
+    p.add_argument("--strategies", nargs="+", default=None,
+                   choices=("pitot", "naive_cqr", "split"),
+                   help="conformal modes (grid axis; omit = scenario default)")
+    p.add_argument("--policies", nargs="+", default=None,
+                   help="scheduler policies (grid axis; needs "
+                        "--stop-after simulate)")
+    p.add_argument("--stop-after", default=None,
+                   help="last pipeline stage per cell (default evaluate)")
+    p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                   dest="overrides",
+                   help="leaf-knob override for every cell, e.g. "
+                        "--set steps=40 (repeatable; JSON values)")
+    p.add_argument("--store", default=".repro-cache",
+                   help="artifact-store root shared by every cell")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = run inline)")
+    p.add_argument("--start-method", choices=("fork", "spawn", "forkserver"),
+                   default=None,
+                   help="multiprocessing start method (platform default)")
+    p.add_argument("--assert-warm", action="store_true",
+                   help="exit 1 unless every task was a cache hit "
+                        "(CI cache validation)")
+    p.add_argument("--no-aggregate", action="store_true",
+                   help="skip the replicate-aware comparison table")
+
+    p = sub.add_parser(
+        "store",
+        help="inspect and maintain a content-addressed artifact store",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    p = store_sub.add_parser(
+        "ls", help="list artifacts per stage (committed and partial)"
+    )
+    p.add_argument("--store", default=".repro-cache",
+                   help="artifact-store root")
+    p = store_sub.add_parser(
+        "gc",
+        help="prune uncommitted partial directories left by crashed runs",
+    )
+    p.add_argument("--store", default=".repro-cache",
+                   help="artifact-store root")
+
     p = sub.add_parser("collect", help="run the simulated collection campaign")
     p.add_argument("output", help="output .npz dataset path")
     p.add_argument("--seed", type=int, default=0)
@@ -489,6 +550,110 @@ def _cmd_schedule_run(args) -> int:
         print(f"expected a fully-warm schedule run but executed: "
               f"{list(result.executed)}", file=sys.stderr)
         return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Sweep / store commands
+# ----------------------------------------------------------------------
+def _cmd_sweep_run(args) -> int:
+    import json
+
+    from .eval.reporting import format_sweep_table
+    from .pipeline.stages import stage_closure
+    from .scenarios.grid import parse_grid
+    from .sweep import aggregate_sweep, build_plan, execute_plan
+
+    payload: dict = {}
+    if args.grid is not None:
+        try:
+            payload = json.loads(open(args.grid).read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read grid {args.grid!r}: {exc}", file=sys.stderr)
+            return 2
+    for axis in ("scenarios", "seeds", "strategies", "policies"):
+        if getattr(args, axis) is not None:
+            payload[axis] = getattr(args, axis)
+    if args.stop_after is not None:
+        payload["stop_after"] = args.stop_after
+    if args.overrides:
+        overrides = dict(payload.get("overrides") or {})
+        for item in args.overrides:
+            key, sep, raw = item.partition("=")
+            if not sep:
+                print(f"--set needs KEY=VALUE, got {item!r}", file=sys.stderr)
+                return 2
+            try:
+                overrides[key] = json.loads(raw)
+            except ValueError:
+                overrides[key] = raw
+        payload["overrides"] = overrides
+    try:
+        grid = parse_grid(payload)
+        plan = build_plan(grid)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    print(f"grid {grid.grid_hash()[:12]}: {len(plan.cells)} cell(s), "
+          f"{len(plan.tasks)} unique task(s) "
+          f"({plan.n_deduped} shared-ancestor run(s) deduped)")
+    start = time.perf_counter()
+    report = execute_plan(
+        plan,
+        args.store,
+        workers=args.workers,
+        start_method=args.start_method,
+        echo=print,
+    )
+    elapsed = time.perf_counter() - start
+    counts = report.executed_stage_counts()
+    by_stage = " ".join(f"{stage}={n}" for stage, n in counts.items())
+    print(f"{len(report.executed)} task(s) run, "
+          f"{len(report.cached)} cached, {elapsed:.1f}s on "
+          f"{args.workers} worker(s)" + (f"  [{by_stage}]" if by_stage else ""))
+
+    if not args.no_aggregate and "evaluate" in stage_closure(grid.stop_after):
+        groups = aggregate_sweep(list(plan.cells), args.store)
+        print()
+        print(format_sweep_table(
+            groups,
+            title=f"sweep results (mean ± 2se across {len(grid.seeds)} "
+                  f"seed(s))",
+        ))
+    if args.assert_warm and report.executed:
+        print(f"expected a fully-warm sweep but executed: "
+              f"{[r.task_id for r in report.executed]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_store_ls(args) -> int:
+    store = ArtifactStore(args.store)
+    entries = store.entries()
+    if not entries:
+        print(f"store {args.store!r} is empty")
+        return 0
+    print(f"{'stage':10s} {'key':24s} {'scenario':24s} "
+          f"{'files':>5s} {'bytes':>10s}  state")
+    committed = 0
+    for entry in entries:
+        scenario = str(entry.meta.get("scenario", "-"))
+        state = "committed" if entry.committed else "PARTIAL"
+        committed += entry.committed
+        print(f"{entry.stage:10s} {entry.key_prefix:24s} {scenario:24s} "
+              f"{entry.n_files:>5d} {entry.n_bytes:>10,d}  {state}")
+    print(f"{committed} committed artifact(s), "
+          f"{len(entries) - committed} partial")
+    return 0
+
+
+def _cmd_store_gc(args) -> int:
+    store = ArtifactStore(args.store)
+    removed = store.gc()
+    for stage, key_prefix in removed:
+        print(f"pruned {stage}/{key_prefix}")
+    print(f"{len(removed)} partial artifact dir(s) pruned")
     return 0
 
 
@@ -887,6 +1052,11 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lifecycle_run(args)
     if args.command == "schedule":
         return _cmd_schedule_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep_run(args)
+    if args.command == "store":
+        return _cmd_store_ls(args) if args.store_command == "ls" \
+            else _cmd_store_gc(args)
     if args.command == "lint":
         return _run_lint(args)
     handler = {

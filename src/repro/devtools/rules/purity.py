@@ -18,6 +18,11 @@ Persistence is sanctioned only inside the store itself
 saver/serializer helpers (``allow-functions`` name patterns, default
 ``_save_*`` and ``_write_*``) that :func:`run_pipeline` invokes between
 ``write_dir`` and ``commit``.
+
+The rule also covers :mod:`repro.sweep`: sweep workers produce the same
+cached artifacts concurrently, so worker code may only touch the
+filesystem through the store's lock/commit protocol — a stray write in
+the runner would race its siblings with no manifest to arbitrate.
 """
 
 from __future__ import annotations
@@ -79,7 +84,7 @@ class PipelinePurityRule(LintRule):
         "bodies; persistence goes through the ArtifactStore commit "
         "protocol"
     )
-    default_globs = ("*pipeline/*.py",)
+    default_globs = ("*pipeline/*.py", "*sweep/*.py")
 
     def __init__(self, options: dict | None = None) -> None:
         super().__init__(options)

@@ -26,6 +26,7 @@ from .reporting import (
     format_mean_2se,
     format_schedule_table,
     format_series_table,
+    format_sweep_table,
     format_table,
     percent,
     percentile,
@@ -49,6 +50,7 @@ __all__ = [
     "format_table",
     "format_series_table",
     "format_schedule_table",
+    "format_sweep_table",
     "format_mean_2se",
     "percent",
     "percentile",

@@ -17,6 +17,7 @@ __all__ = [
     "format_series_table",
     "format_mean_2se",
     "format_schedule_table",
+    "format_sweep_table",
     "percent",
     "percentile",
     "percentile_floor",
@@ -159,6 +160,44 @@ def format_schedule_table(
             f"<= {percent(epsilon)}; static = never recalibrated)"
         ),
     )
+
+
+def format_sweep_table(
+    groups: Sequence,
+    metrics: Sequence[str] | None = None,
+    title: str | None = None,
+    as_percent: bool = True,
+) -> str:
+    """Replicate-aware sweep comparison table, one row per condition.
+
+    ``groups`` are :class:`repro.sweep.SweepGroup`-shaped values (a
+    ``label`` property, an ``n`` count, and a ``metrics`` mapping of
+    ``name -> (mean, 2·stderr | None)``). ``metrics`` restricts and
+    orders the columns; by default every metric seen across the groups
+    appears, in first-appearance order. Missing cells render as ``-``
+    so ragged grids (e.g. a scenario without a shared ε) stay readable.
+    """
+    if metrics is None:
+        names: list[str] = []
+        for group in groups:
+            for name in group.metrics:
+                if name not in names:
+                    names.append(name)
+        metrics = names
+    rows = []
+    for group in groups:
+        cells = [group.label, str(group.n)]
+        for name in metrics:
+            entry = group.metrics.get(name)
+            if entry is None:
+                cells.append("-")
+            else:
+                mean, spread = entry
+                cells.append(
+                    format_mean_2se(mean, spread, as_percent=as_percent)
+                )
+        rows.append(cells)
+    return format_table(["cell", "n", *metrics], rows, title=title)
 
 
 def format_series_table(

@@ -12,25 +12,39 @@ Layout on disk::
     <root>/<stage>/<key[:24]>/         # one directory per artifact
         ...stage files...              # written by the stage's saver
         MANIFEST.json                  # written last: commit marker
+    <root>/.locks/<stage>-<key[:24]>.lock   # per-artifact writer locks
 
-The manifest is the commit point: a crashed run leaves a directory
-without one, which reads as a miss and is overwritten by the next run.
+The manifest is the commit point, published atomically (temp file +
+``os.replace``): a crashed run leaves a directory without one, which
+reads as a miss and is overwritten by the next run — a torn half-written
+manifest can never read as committed.
+
+Concurrency protocol (used by ``run_pipeline`` and ``repro.sweep``):
+writers take :meth:`ArtifactStore.lock` on ``(stage, key)`` before
+touching the artifact directory, then re-check :meth:`has` under the
+lock — the loser of a race loads the winner's commit instead of
+recomputing. Readers never lock: a committed manifest is immutable.
 """
 
 from __future__ import annotations
 
+import fcntl
 import hashlib
 import json
+import os
 import shutil
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
-__all__ = ["ArtifactStore", "stage_key"]
+__all__ = ["ArtifactStore", "StoreEntry", "stage_key"]
 
 #: Bump when any stage's on-disk artifact layout changes; folded into
 #: every stage key so old caches read as misses, never as garbage.
 ARTIFACT_SCHEMA_VERSION = 1
 
 _MANIFEST = "MANIFEST.json"
+_LOCK_DIR = ".locks"
 
 
 def stage_key(stage: str, spec_excerpt_hash: str, upstream: tuple[str, ...]) -> str:
@@ -54,6 +68,28 @@ def stage_key(stage: str, spec_excerpt_hash: str, upstream: tuple[str, ...]) -> 
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+class StoreEntry:
+    """One artifact directory as seen by ``store ls`` / ``store gc``."""
+
+    __slots__ = ("stage", "key_prefix", "committed", "n_files", "n_bytes", "meta")
+
+    def __init__(
+        self,
+        stage: str,
+        key_prefix: str,
+        committed: bool,
+        n_files: int,
+        n_bytes: int,
+        meta: dict,
+    ) -> None:
+        self.stage = stage
+        self.key_prefix = key_prefix
+        self.committed = committed
+        self.n_files = n_files
+        self.n_bytes = n_bytes
+        self.meta = meta
+
+
 class ArtifactStore:
     """Filesystem-backed, content-addressed stage cache."""
 
@@ -63,6 +99,9 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     def _dir(self, stage: str, key: str) -> Path:
         return self.root / stage / key[:24]
+
+    def _lock_path(self, stage: str, key: str) -> Path:
+        return self.root / _LOCK_DIR / f"{stage}-{key[:24]}.lock"
 
     def has(self, stage: str, key: str) -> bool:
         """True when a committed artifact exists for ``(stage, key)``."""
@@ -82,6 +121,26 @@ class ArtifactStore:
         )
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def lock(self, stage: str, key: str) -> Iterator[None]:
+        """Exclusive per-artifact writer lock (blocking ``flock``).
+
+        Concurrent producers of the same ``(stage, key)`` serialize
+        here; the protocol is double-checked locking — re-test
+        :meth:`has` after acquiring, because the previous holder may
+        have committed the artifact while this process waited.
+        """
+        lock_path = self._lock_path(stage, key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    # ------------------------------------------------------------------
     def write_dir(self, stage: str, key: str) -> Path:
         """Fresh (emptied) directory to write a new artifact into.
 
@@ -96,7 +155,12 @@ class ArtifactStore:
         return path
 
     def commit(self, stage: str, key: str, meta: dict | None = None) -> None:
-        """Publish the artifact written under ``(stage, key)``."""
+        """Atomically publish the artifact written under ``(stage, key)``.
+
+        The manifest lands via temp file + ``os.replace`` so a crash
+        mid-write can never leave a truncated ``MANIFEST.json`` that
+        reads as committed.
+        """
         path = self._dir(stage, key)
         manifest = {
             "stage": stage,
@@ -104,7 +168,9 @@ class ArtifactStore:
             "artifact_schema": ARTIFACT_SCHEMA_VERSION,
             **(meta or {}),
         }
-        (path / _MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
+        tmp = path / f"{_MANIFEST}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        os.replace(tmp, path / _MANIFEST)
 
     # ------------------------------------------------------------------
     def stage_entries(self) -> dict[str, int]:
@@ -113,10 +179,88 @@ class ArtifactStore:
         if not self.root.exists():
             return counts
         for stage_dir in sorted(self.root.iterdir()):
-            if stage_dir.is_dir():
+            if stage_dir.is_dir() and stage_dir.name != _LOCK_DIR:
                 counts[stage_dir.name] = sum(
                     1
                     for entry in stage_dir.iterdir()
                     if (entry / _MANIFEST).exists()
                 )
         return counts
+
+    def entries(self) -> list[StoreEntry]:
+        """Every artifact directory, committed or partial (``store ls``)."""
+        found: list[StoreEntry] = []
+        if not self.root.exists():
+            return found
+        for stage_dir in sorted(self.root.iterdir()):
+            if not stage_dir.is_dir() or stage_dir.name == _LOCK_DIR:
+                continue
+            for entry in sorted(stage_dir.iterdir()):
+                if not entry.is_dir():
+                    continue
+                files = [p for p in entry.rglob("*") if p.is_file()]
+                manifest_path = entry / _MANIFEST
+                committed = manifest_path.exists()
+                meta: dict = {}
+                if committed:
+                    try:
+                        meta = json.loads(manifest_path.read_text())
+                    except ValueError:
+                        # Unreachable with atomic commit; stay listable
+                        # if an old store carries a torn manifest.
+                        committed = False
+                found.append(
+                    StoreEntry(
+                        stage=stage_dir.name,
+                        key_prefix=entry.name,
+                        committed=committed,
+                        n_files=len(files),
+                        n_bytes=sum(p.stat().st_size for p in files),
+                        meta=meta,
+                    )
+                )
+        return found
+
+    def uncommitted(self) -> list[tuple[str, str]]:
+        """``(stage, key_prefix)`` of partial dirs left by crashed runs."""
+        return [
+            (entry.stage, entry.key_prefix)
+            for entry in self.entries()
+            if not entry.committed
+        ]
+
+    def gc(self) -> list[tuple[str, str]]:
+        """Prune uncommitted partial directories; return what was removed.
+
+        A partial dir whose writer lock is currently held belongs to a
+        live in-flight run and is skipped — only leftovers from crashed
+        runs (lock free, no manifest) are deleted. Freed lockfiles are
+        removed opportunistically.
+        """
+        removed: list[tuple[str, str]] = []
+        for stage, key_prefix in self.uncommitted():
+            lock_path = self._lock_path(stage, key_prefix)
+            lock_path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    continue  # live writer: leave its partial dir alone
+                shutil.rmtree(self.root / stage / key_prefix)
+                removed.append((stage, key_prefix))
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+        lock_dir = self.root / _LOCK_DIR
+        if lock_dir.exists():
+            for lock_path in lock_dir.iterdir():
+                fd = os.open(lock_path, os.O_RDWR)
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    continue
+                finally:
+                    os.close(fd)
+                lock_path.unlink(missing_ok=True)
+        return removed

@@ -1050,6 +1050,27 @@ def stage_closure(stop_after: str) -> frozenset[str]:
     return frozenset(needed)
 
 
+def _try_load(
+    stage_name: str,
+    store: ArtifactStore,
+    key: str,
+    spec: ScenarioSpec,
+    out: dict,
+) -> bool:
+    """Load a committed artifact into ``out``; False on a stale payload.
+
+    A payload-schema bump (dataset/model/split/snapshot version) under
+    an unchanged stage key means the committed artifact predates this
+    code. Treat it as a miss and recompute — old caches must never
+    abort a run.
+    """
+    try:
+        _LOADERS[stage_name](store.read_dir(stage_name, key), spec, out)
+        return True
+    except ValueError:
+        return False
+
+
 def run_pipeline(
     spec: ScenarioSpec | str,
     store: ArtifactStore | str | Path | None = None,
@@ -1103,27 +1124,34 @@ def run_pipeline(
         keys[stage.name] = key
         loaded = False
         if store is not None and not force and store.has(stage.name, key):
-            try:
-                _LOADERS[stage.name](store.read_dir(stage.name, key), spec, out)
-                loaded = True
-            except ValueError:
-                # A payload-schema bump (dataset/model/split/snapshot
-                # version) under an unchanged stage key: the committed
-                # artifact predates this code. Treat it as a miss and
-                # recompute — old caches must never abort a run.
-                loaded = False
+            loaded = _try_load(stage.name, store, key, spec, out)
+        if not loaded and store is not None:
+            # Miss (or force): serialize with concurrent producers of
+            # this artifact, then re-check under the lock — the previous
+            # holder may have committed while this process waited, in
+            # which case load its result instead of recomputing
+            # (double-checked locking; how parallel sweep workers keep
+            # shared ancestor stages exactly-once).
+            with store.lock(stage.name, key):
+                if not force and store.has(stage.name, key):
+                    loaded = _try_load(stage.name, store, key, spec, out)
+                if not loaded:
+                    _COMPUTE[stage.name](spec, out)
+                    path = store.write_dir(stage.name, key)
+                    _SAVERS[stage.name](path, out)
+                    store.commit(
+                        stage.name,
+                        key,
+                        meta={
+                            "scenario": spec.name,
+                            "spec_hash": spec.spec_hash(),
+                        },
+                    )
+        elif not loaded:
+            _COMPUTE[stage.name](spec, out)
         if loaded:
             cached.append(stage.name)
         else:
-            _COMPUTE[stage.name](spec, out)
-            if store is not None:
-                path = store.write_dir(stage.name, key)
-                _SAVERS[stage.name](path, out)
-                store.commit(
-                    stage.name,
-                    key,
-                    meta={"scenario": spec.name, "spec_hash": spec.spec_hash()},
-                )
             executed.append(stage.name)
         if stage.name == stop_after:
             break

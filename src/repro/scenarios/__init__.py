@@ -8,6 +8,13 @@ ROADMAP asks for; adding a new regime is a ~20-line builder under the
 :func:`scenario` decorator, not a new script.
 """
 
+from .grid import (
+    CONFORMAL_STRATEGIES,
+    SweepCell,
+    SweepGrid,
+    expand_grid,
+    parse_grid,
+)
 from .registry import (
     get_scenario,
     iter_scenarios,
@@ -34,7 +41,12 @@ __all__ = [
     "DriftSpec",
     "SchedulingSpec",
     "SCHEDULER_POLICIES",
+    "CONFORMAL_STRATEGIES",
     "SeedSpec",
+    "SweepGrid",
+    "SweepCell",
+    "expand_grid",
+    "parse_grid",
     "scenario",
     "register_scenario",
     "get_scenario",

@@ -1,0 +1,34 @@
+"""Parallel sweep orchestration over the content-addressed store.
+
+The fan-out layer ROADMAP calls "the refactor that unlocks everything
+above": a declarative grid (:class:`repro.scenarios.SweepGrid`) expands
+into cells, the planner (:mod:`.plan`) dedupes their stage closures into
+a DAG of unique ``(stage, key)`` tasks — cells sharing a stage-key
+prefix schedule the common ancestors exactly once — and the runner
+(:mod:`.runner`) executes independent tasks across a multiprocessing
+worker pool, relying on the store's per-artifact lock + atomic-commit
+protocol for crash- and race-safety. The aggregator (:mod:`.aggregate`)
+folds per-cell metrics into replicate-aware mean ± 2se tables.
+"""
+
+from .aggregate import SweepGroup, aggregate_sweep, cell_metrics
+from .plan import SweepPlan, SweepTask, build_plan
+from .runner import (
+    SweepRunReport,
+    TaskResult,
+    execute_plan,
+    simulate_makespan,
+)
+
+__all__ = [
+    "SweepTask",
+    "SweepPlan",
+    "build_plan",
+    "TaskResult",
+    "SweepRunReport",
+    "execute_plan",
+    "simulate_makespan",
+    "SweepGroup",
+    "aggregate_sweep",
+    "cell_metrics",
+]

@@ -1,0 +1,121 @@
+"""Sweep aggregation: per-cell metrics → replicate-aware tables.
+
+Cells differing only on the seed axis are replicates of one condition
+(scenario × conformal mode × policy). The aggregator loads each cell's
+committed ``evaluate`` metrics straight from the store — no pipeline
+objects are rebuilt — and folds replicates into mean ± 2·stderr per
+metric, the same error-bar definition every experiment harness uses
+(:func:`repro.eval.two_se`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from dataclasses import dataclass
+
+from ..eval.significance import two_se
+from ..pipeline.artifacts import ArtifactStore
+from ..pipeline.stages import pipeline_stage_keys
+from ..scenarios.grid import SweepCell
+
+__all__ = ["SweepGroup", "aggregate_sweep", "cell_metrics"]
+
+
+def cell_metrics(
+    cell: SweepCell, store: ArtifactStore | str | Path
+) -> dict[str, float]:
+    """Flat numeric metrics of one cell's committed ``evaluate`` artifact.
+
+    Keys: ``mape_isolation`` / ``mape_interference`` plus
+    ``coverage@ε`` / ``margin@ε`` per calibrated ε. Raises ``KeyError``
+    when the cell's evaluate stage has not been committed (the sweep
+    did not run, or stopped earlier).
+    """
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    key = pipeline_stage_keys(cell.spec)["evaluate"]
+    payload = json.loads(
+        (store.read_dir("evaluate", key) / "metrics.json").read_text()
+    )
+    flat: dict[str, float] = {}
+    for name in ("mape_isolation", "mape_interference"):
+        if payload.get(name) is not None:
+            flat[name] = float(payload[name])
+    for eps, entry in payload.get("epsilons", {}).items():
+        label = f"{float(eps):g}"
+        flat[f"coverage@{label}"] = float(entry["coverage"])
+        flat[f"margin@{label}"] = float(entry["margin"])
+    return flat
+
+
+@dataclass(frozen=True)
+class SweepGroup:
+    """One aggregated condition: all seeds of (scenario, mode, policy)."""
+
+    scenario: str
+    strategy: str | None
+    policy: str | None
+    #: Replicate count (cells folded into this group).
+    n: int
+    #: ``metric -> (mean, 2·stderr | None)`` across replicates.
+    metrics: dict[str, tuple[float, float | None]]
+
+    @property
+    def label(self) -> str:
+        parts = [self.scenario]
+        if self.strategy is not None:
+            parts.append(self.strategy)
+        if self.policy is not None:
+            parts.append(self.policy)
+        return "+".join(parts)
+
+
+def aggregate_sweep(
+    cells: tuple[SweepCell, ...] | list[SweepCell],
+    store: ArtifactStore | str | Path,
+) -> list[SweepGroup]:
+    """Fold the cells' committed metrics into per-condition groups.
+
+    Group order follows first appearance in ``cells`` (i.e. grid
+    expansion order); metric order within a group follows the first
+    replicate's metric order. Cells whose evaluate artifact is missing
+    raise — aggregate after the sweep ran, not instead of it.
+    """
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    order: list[tuple[str, str | None, str | None]] = []
+    by_condition: dict[
+        tuple[str, str | None, str | None], list[dict[str, float]]
+    ] = {}
+    for cell in cells:
+        condition = (cell.scenario, cell.strategy, cell.policy)
+        if condition not in by_condition:
+            order.append(condition)
+            by_condition[condition] = []
+        by_condition[condition].append(cell_metrics(cell, store))
+    groups: list[SweepGroup] = []
+    for condition in order:
+        replicates = by_condition[condition]
+        metric_names: list[str] = []
+        for metrics in replicates:
+            for name in metrics:
+                if name not in metric_names:
+                    metric_names.append(name)
+        folded: dict[str, tuple[float, float | None]] = {}
+        for name in metric_names:
+            values = [m[name] for m in replicates if name in m]
+            mean = sum(values) / len(values)
+            folded[name] = (mean, two_se(values))
+        scenario, strategy, policy = condition
+        groups.append(
+            SweepGroup(
+                scenario=scenario,
+                strategy=strategy,
+                policy=policy,
+                n=len(replicates),
+                metrics=folded,
+            )
+        )
+    return groups

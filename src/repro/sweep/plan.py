@@ -1,0 +1,123 @@
+"""Sweep planning: expand a grid into a deduplicated stage-task DAG.
+
+Every cell's pipeline is the ancestor closure of its ``stop_after``
+stage, keyed by the same content-addressed chaining ``run_pipeline``
+uses. Because keys hash (spec components read, stage, upstream keys),
+two cells that differ only in a *downstream* knob — same fleet,
+different conformal mode; same trained model, different scheduler
+policy — share their ancestor keys bit-for-bit. The planner exploits
+exactly that: tasks are unique ``(stage, key)`` pairs, so shared
+ancestors appear once in the plan no matter how many cells need them.
+
+Planning never touches the store or the filesystem — the plan is pure
+arithmetic over spec hashes, cheap enough to rebuild on every run
+(which is also how resume works: re-plan, skip committed tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pipeline.stages import PIPELINE_STAGES, pipeline_stage_keys, stage_closure
+from ..scenarios.grid import SweepCell, SweepGrid, expand_grid
+
+__all__ = ["SweepTask", "SweepPlan", "build_plan", "task_id"]
+
+
+def task_id(stage: str, key: str) -> str:
+    """Short stable identity of a plan task (``stage/key-prefix``)."""
+    return f"{stage}/{key[:24]}"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unique stage execution in the plan DAG."""
+
+    #: Pipeline stage name.
+    stage: str
+    #: Full content-addressed key (the store key).
+    key: str
+    #: Task ids of this task's stage inputs (all guaranteed in-plan).
+    deps: tuple[str, ...]
+    #: Cell ids whose pipelines need this task (≥1; >1 ⇒ deduped).
+    cells: tuple[str, ...]
+    #: A representative cell id whose spec can compute this stage — any
+    #: sharing cell works, since equal keys mean equal computations.
+    via_cell: str
+
+    @property
+    def id(self) -> str:
+        return task_id(self.stage, self.key)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """The deduplicated execution plan for one grid."""
+
+    grid: SweepGrid
+    cells: tuple[SweepCell, ...]
+    #: Unique tasks in a valid topological order (deps precede users).
+    tasks: tuple[SweepTask, ...]
+
+    @property
+    def n_cell_stages(self) -> int:
+        """Stage runs a naive per-cell execution would perform."""
+        return sum(len(task.cells) for task in self.tasks)
+
+    @property
+    def n_deduped(self) -> int:
+        """Stage runs saved by sharing ancestors across cells."""
+        return self.n_cell_stages - len(self.tasks)
+
+    def cell_by_id(self, cell_id: str) -> SweepCell:
+        for cell in self.cells:
+            if cell.cell_id == cell_id:
+                return cell
+        raise KeyError(f"no cell {cell_id!r} in plan")
+
+    def stage_task_counts(self) -> dict[str, int]:
+        """Unique task count per stage (the exactly-once ledger)."""
+        counts: dict[str, int] = {}
+        for task in self.tasks:
+            counts[task.stage] = counts.get(task.stage, 0) + 1
+        return counts
+
+
+def build_plan(grid: SweepGrid) -> SweepPlan:
+    """Expand ``grid`` and dedupe the cells' stage closures into a DAG.
+
+    Iterating each cell's stages in pipeline order guarantees a task's
+    dependencies are discovered before the task itself, so the plan's
+    task tuple is already topologically sorted.
+    """
+    cells = expand_grid(grid)
+    order: list[tuple[str, str]] = []
+    deps_by_task: dict[tuple[str, str], tuple[str, ...]] = {}
+    cells_by_task: dict[tuple[str, str], list[str]] = {}
+    via_by_task: dict[tuple[str, str], str] = {}
+    for cell in cells:
+        keys = pipeline_stage_keys(cell.spec)
+        needed = stage_closure(cell.stop_after)
+        for stage in PIPELINE_STAGES:
+            if stage.name not in needed:
+                continue
+            pair = (stage.name, keys[stage.name])
+            if pair not in cells_by_task:
+                order.append(pair)
+                cells_by_task[pair] = []
+                via_by_task[pair] = cell.cell_id
+                deps_by_task[pair] = tuple(
+                    task_id(name, keys[name]) for name in stage.inputs
+                )
+            cells_by_task[pair].append(cell.cell_id)
+    tasks = tuple(
+        SweepTask(
+            stage=stage,
+            key=key,
+            deps=deps_by_task[(stage, key)],
+            cells=tuple(cells_by_task[(stage, key)]),
+            via_cell=via_by_task[(stage, key)],
+        )
+        for stage, key in order
+    )
+    return SweepPlan(grid=grid, cells=cells, tasks=tasks)

@@ -323,6 +323,55 @@ def test_rpr004_open_for_write_flagged_read_allowed(lint_tree):
     assert codes(result) == ["RPR004"]
 
 
+def test_rpr004_covers_sweep_worker_code(lint_tree):
+    # Sweep workers produce cached artifacts concurrently: a stray
+    # write in the runner races its siblings with no manifest to
+    # arbitrate, so the purity rule extends to repro.sweep.
+    source = textwrap.dedent(
+        """
+        import json
+        from pathlib import Path
+
+
+        def _run_task(store_root, spec, stage):
+            Path("progress.json").write_text(json.dumps({"stage": stage}))
+        """
+    )
+    result = lint_tree({"sweep/runner.py": source}, select=["RPR004"])
+    assert codes(result) == ["RPR004"]
+    assert "commit protocol" in result.violations[0].message
+
+
+def test_rpr004_sweep_wall_clock_flagged(lint_tree):
+    source = textwrap.dedent(
+        """
+        import time
+
+
+        def _run_task(store_root, spec, stage):
+            return time.perf_counter()
+        """
+    )
+    result = lint_tree({"sweep/runner.py": source}, select=["RPR004"])
+    assert codes(result) == ["RPR004"]
+    assert "wall-clock" in result.violations[0].message
+
+
+def test_rpr004_sweep_reads_and_store_calls_pass(lint_tree):
+    source = textwrap.dedent(
+        """
+        import json
+
+
+        def cell_metrics(cell, store):
+            with open("metrics.json") as handle:
+                return json.load(handle)
+        """
+    )
+    result = lint_tree({"sweep/aggregate.py": source}, select=["RPR004"])
+    assert result.violations == []
+
+
 # ----------------------------------------------------------------------
 # RPR005 — frozen spec integrity
 # ----------------------------------------------------------------------

@@ -51,3 +51,76 @@ class TestArtifactStore:
         store.commit("a", k1)
         store.write_dir("a", k2)  # never committed
         assert store.stage_entries() == {"a": 1}
+
+    def test_commit_is_atomic_no_temp_residue(self, tmp_path):
+        import json
+
+        store = ArtifactStore(tmp_path)
+        key = stage_key("a", "1", ())
+        path = store.write_dir("a", key)
+        (path / "data.txt").write_text("payload")
+        store.commit("a", key, meta={"scenario": "smoke"})
+        names = sorted(p.name for p in path.iterdir())
+        assert names == ["MANIFEST.json", "data.txt"]
+        manifest = json.loads((path / "MANIFEST.json").read_text())
+        assert manifest["stage"] == "a" and manifest["key"] == key
+
+
+class TestStoreMaintenance:
+    def test_entries_reports_committed_and_partial(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        k1, k2 = stage_key("a", "1", ()), stage_key("b", "2", ())
+        (store.write_dir("a", k1) / "x.bin").write_bytes(b"12345")
+        store.commit("a", k1, meta={"scenario": "smoke"})
+        store.write_dir("b", k2)  # crashed run: never committed
+        entries = {(e.stage, e.committed) for e in store.entries()}
+        assert entries == {("a", True), ("b", False)}
+        committed = next(e for e in store.entries() if e.committed)
+        assert committed.meta["scenario"] == "smoke"
+        assert committed.n_bytes >= 5
+
+    def test_uncommitted_lists_partial_dirs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = stage_key("train", "spec", ())
+        store.write_dir("train", key)
+        assert store.uncommitted() == [("train", key[:24])]
+
+    def test_gc_prunes_partials_keeps_committed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        k1, k2 = stage_key("a", "1", ()), stage_key("a", "2", ())
+        store.write_dir("a", k1)
+        store.commit("a", k1)
+        store.write_dir("a", k2)
+        assert store.gc() == [("a", k2[:24])]
+        assert store.has("a", k1)
+        assert store.uncommitted() == []
+
+    def test_gc_skips_partial_with_live_writer_lock(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = stage_key("a", "1", ())
+        store.write_dir("a", key)
+        with store.lock("a", key):
+            assert store.gc() == []  # live writer: left alone
+        assert store.gc() == [("a", key[:24])]
+
+
+class TestLock:
+    def test_lock_serializes_double_checked_misses(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = stage_key("a", "1", ())
+        with store.lock("a", key):
+            # The canonical writer protocol: re-check under the lock,
+            # then write + commit while still holding it.
+            assert not store.has("a", key)
+            store.write_dir("a", key)
+            store.commit("a", key)
+        assert store.has("a", key)
+
+    def test_lock_released_on_exception(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = stage_key("a", "1", ())
+        with pytest.raises(RuntimeError):
+            with store.lock("a", key):
+                raise RuntimeError("writer crashed")
+        with store.lock("a", key):  # not deadlocked
+            pass

@@ -1,0 +1,104 @@
+"""Store concurrency: racing producers converge to one committed artifact.
+
+The sweep runner's safety argument is entirely the store protocol —
+per-artifact ``flock`` + double-checked ``has()`` + atomic manifest
+commit — so these tests race real processes (fork *and* spawn) through
+that protocol on one key and assert the invariants the scheduler relies
+on: exactly one process computes, the loser observes the winner's
+commit, and the manifest is never torn.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.pipeline import ArtifactStore, stage_key
+
+KEY = stage_key("train", "race-spec", ())
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+def _locked_producer(root, barrier, queue):
+    """The run_pipeline writer protocol: lock, re-check, compute, commit."""
+    store = ArtifactStore(root)
+    barrier.wait()
+    with store.lock("train", KEY):
+        if store.has("train", KEY):
+            queue.put("loaded")
+            return
+        path = store.write_dir("train", KEY)
+        (path / "weights.txt").write_text("w" * 65536)
+        store.commit("train", KEY, meta={"scenario": "race"})
+        queue.put("computed")
+
+
+def _raw_committer(root, barrier, tag):
+    """Both processes commit the same key with no lock: atomicity only."""
+    store = ArtifactStore(root)
+    barrier.wait()
+    for _ in range(20):
+        store.commit("train", KEY, meta={"tag": tag, "pad": "x" * 4096})
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+class TestRacingProducers:
+    def test_exactly_one_computes(self, tmp_path, method):
+        ctx = multiprocessing.get_context(method)
+        barrier = ctx.Barrier(2)
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_locked_producer, args=(str(tmp_path), barrier, queue)
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        outcomes = sorted(queue.get(timeout=60) for _ in procs)
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        # One winner computed; the loser saw the commit under the lock
+        # and loaded instead of recomputing.
+        assert outcomes == ["computed", "loaded"]
+        store = ArtifactStore(tmp_path)
+        assert store.has("train", KEY)
+        assert store.manifest("train", KEY)["scenario"] == "race"
+        assert (
+            store.read_dir("train", KEY) / "weights.txt"
+        ).read_text() == "w" * 65536
+        assert store.uncommitted() == []
+
+    def test_concurrent_commits_never_tear_the_manifest(
+        self, tmp_path, method
+    ):
+        store = ArtifactStore(tmp_path)
+        path = store.write_dir("train", KEY)
+        (path / "weights.txt").write_text("payload")
+        ctx = multiprocessing.get_context(method)
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(
+                target=_raw_committer, args=(str(tmp_path), barrier, tag)
+            )
+            for tag in ("a", "b")
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        # Even unlocked, ``os.replace`` publishes whole manifests: the
+        # survivor parses and is one of the two writers' payloads.
+        manifest = json.loads(
+            (store.read_dir("train", KEY) / "MANIFEST.json").read_text()
+        )
+        assert manifest["tag"] in ("a", "b")
+        assert manifest["pad"] == "x" * 4096
+        # No stray temp files left beside the manifest.
+        names = sorted(p.name for p in path.iterdir())
+        assert names == ["MANIFEST.json", "weights.txt"]

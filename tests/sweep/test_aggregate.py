@@ -1,0 +1,80 @@
+"""Aggregation: per-cell metrics fold into replicate-aware groups."""
+
+import pytest
+
+from repro.eval.reporting import format_sweep_table
+from repro.scenarios import SweepGrid
+from repro.sweep import aggregate_sweep, build_plan, cell_metrics, execute_plan
+
+
+@pytest.fixture(scope="module")
+def swept(tmp_path_factory):
+    root = tmp_path_factory.mktemp("agg-store")
+    plan = build_plan(
+        SweepGrid(scenarios=("smoke",), seeds=(0, 1),
+                  strategies=(None, "split"))
+    )
+    execute_plan(plan, root, workers=1)
+    return plan, root
+
+
+class TestCellMetrics:
+    def test_flat_metric_names(self, swept):
+        plan, root = swept
+        metrics = cell_metrics(plan.cells[0], root)
+        assert "mape_interference" in metrics
+        assert "coverage@0.1" in metrics and "margin@0.1" in metrics
+
+    def test_missing_artifact_raises(self, swept, tmp_path):
+        plan, _ = swept
+        with pytest.raises(KeyError):
+            cell_metrics(plan.cells[0], tmp_path)  # empty store
+
+
+class TestAggregate:
+    def test_one_group_per_condition(self, swept):
+        plan, root = swept
+        groups = aggregate_sweep(list(plan.cells), root)
+        assert [g.label for g in groups] == ["smoke", "smoke+split"]
+        assert all(g.n == 2 for g in groups)
+
+    def test_mean_and_spread_across_replicates(self, swept):
+        plan, root = swept
+        default_cells = [c for c in plan.cells if c.strategy is None]
+        values = [
+            cell_metrics(c, root)["coverage@0.1"] for c in default_cells
+        ]
+        (group, _) = aggregate_sweep(list(plan.cells), root)
+        mean, spread = group.metrics["coverage@0.1"]
+        assert mean == pytest.approx(sum(values) / len(values))
+        assert spread is not None and spread >= 0.0
+
+    def test_single_replicate_has_no_error_bar(self, swept):
+        plan, root = swept
+        one_seed = [c for c in plan.cells if c.seed == 0]
+        groups = aggregate_sweep(one_seed, root)
+        for group in groups:
+            assert group.n == 1
+            assert all(se is None for _, se in group.metrics.values())
+
+
+class TestTable:
+    def test_table_renders_groups_and_metrics(self, swept):
+        plan, root = swept
+        groups = aggregate_sweep(list(plan.cells), root)
+        table = format_sweep_table(groups, title="sweep")
+        assert "smoke+split" in table
+        assert "coverage@0.1" in table
+        assert "±" in table
+
+    def test_missing_cells_render_dash(self):
+        class Group:
+            def __init__(self, label, metrics):
+                self.label = label
+                self.n = 1
+                self.metrics = metrics
+
+        table = format_sweep_table(
+            [Group("a", {"m1": (0.5, None)}), Group("b", {"m2": (0.25, None)})]
+        )
+        assert "-" in table.splitlines()[-1]

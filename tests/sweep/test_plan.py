@@ -1,0 +1,72 @@
+"""Plan extraction: dedup, topology, and the exactly-once ledger."""
+
+from repro.pipeline import pipeline_stage_keys, stage_closure
+from repro.scenarios import SweepGrid
+from repro.sweep import build_plan
+
+
+class TestDedup:
+    def test_replicates_share_one_collect(self):
+        plan = build_plan(SweepGrid(scenarios=("smoke",), seeds=(0, 1, 2)))
+        counts = plan.stage_task_counts()
+        # Default seed streams leave the collect stream alone, so every
+        # replicate keys the same dataset — one task, three cells.
+        assert counts["collect"] == 1
+        assert counts["scale"] == counts["train"] == 3
+        collect = next(t for t in plan.tasks if t.stage == "collect")
+        assert len(collect.cells) == 3
+
+    def test_strategy_axis_shares_training_prefix(self):
+        plan = build_plan(
+            SweepGrid(scenarios=("smoke",), strategies=(None, "split"))
+        )
+        counts = plan.stage_task_counts()
+        # Conformal mode is read by calibrate, not by collect/scale/
+        # train: the whole training prefix dedupes across the axis.
+        assert counts["collect"] == counts["scale"] == counts["train"] == 1
+        assert counts["calibrate"] == counts["evaluate"] == 2
+        assert plan.n_deduped == 3
+
+    def test_distinct_scenarios_share_nothing(self):
+        plan = build_plan(SweepGrid(scenarios=("smoke", "paper")))
+        assert plan.n_deduped == 0
+
+    def test_cell_stage_totals(self):
+        grid = SweepGrid(scenarios=("smoke",), seeds=(0, 1))
+        plan = build_plan(grid)
+        # 2 cells x 5 evaluate-closure stages; 1 shared collect.
+        assert plan.n_cell_stages == 10
+        assert len(plan.tasks) == 9
+        assert plan.n_deduped == 1
+
+
+class TestTopology:
+    def test_tasks_are_topologically_ordered(self):
+        plan = build_plan(
+            SweepGrid(scenarios=("smoke",), seeds=(0, 1),
+                      strategies=(None, "split"))
+        )
+        seen = set()
+        for task in plan.tasks:
+            assert all(dep in seen for dep in task.deps), task.id
+            seen.add(task.id)
+
+    def test_task_keys_match_pipeline_keys(self):
+        grid = SweepGrid(scenarios=("smoke",))
+        plan = build_plan(grid)
+        (cell,) = plan.cells
+        keys = pipeline_stage_keys(cell.spec)
+        for task in plan.tasks:
+            assert task.key == keys[task.stage]
+
+    def test_plan_restricted_to_stop_after_closure(self):
+        plan = build_plan(
+            SweepGrid(scenarios=("smoke",), stop_after="train")
+        )
+        stages = {t.stage for t in plan.tasks}
+        assert stages == set(stage_closure("train"))
+
+    def test_via_cell_is_a_sharing_cell(self):
+        plan = build_plan(SweepGrid(scenarios=("smoke",), seeds=(0, 1)))
+        for task in plan.tasks:
+            assert task.via_cell in task.cells

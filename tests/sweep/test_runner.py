@@ -1,0 +1,103 @@
+"""Sweep execution: exactly-once, warm runs, resume, pool, makespan."""
+
+import shutil
+
+import pytest
+
+from repro.pipeline import ArtifactStore
+from repro.scenarios import SweepGrid
+from repro.sweep import build_plan, execute_plan, simulate_makespan
+
+GRID = SweepGrid(scenarios=("smoke",), seeds=(0, 1))
+
+
+@pytest.fixture(scope="module")
+def cold_run(tmp_path_factory):
+    """One serial cold sweep shared by the read-only assertions."""
+    root = tmp_path_factory.mktemp("sweep-store")
+    plan = build_plan(GRID)
+    report = execute_plan(plan, root, workers=1)
+    return plan, root, report
+
+
+class TestColdRun:
+    def test_every_task_executed_exactly_once(self, cold_run):
+        plan, _, report = cold_run
+        assert len(report.executed) == len(plan.tasks)
+        assert report.executed_stage_counts() == plan.stage_task_counts()
+        assert [r.task_id for r in report.results] == [
+            t.id for t in plan.tasks
+        ]
+
+    def test_shared_collect_ran_once_for_both_cells(self, cold_run):
+        _, _, report = cold_run
+        collect = [r for r in report.executed if r.stage == "collect"]
+        assert len(collect) == 1
+        assert len(collect[0].cells) == 2
+
+    def test_all_artifacts_committed(self, cold_run):
+        plan, root, _ = cold_run
+        store = ArtifactStore(root)
+        assert all(store.has(t.stage, t.key) for t in plan.tasks)
+        assert store.uncommitted() == []
+
+
+class TestWarmAndResume:
+    def test_warm_rerun_executes_zero_tasks(self, cold_run):
+        plan, root, _ = cold_run
+        report = execute_plan(plan, root, workers=1)
+        assert report.executed == ()
+        assert len(report.cached) == len(plan.tasks)
+
+    def test_killed_sweep_resumes_only_missing_tasks(self, cold_run):
+        plan, root, _ = cold_run
+        store = ArtifactStore(root)
+        victim = next(t for t in plan.tasks if t.stage == "evaluate")
+        shutil.rmtree(store.read_dir(victim.stage, victim.key))
+        report = execute_plan(plan, root, workers=1)
+        assert [r.task_id for r in report.executed] == [victim.id]
+
+    def test_pool_run_on_warm_store_executes_zero(self, cold_run):
+        plan, root, _ = cold_run
+        report = execute_plan(plan, root, workers=2, start_method="fork")
+        assert report.executed == ()
+
+
+class TestPool:
+    def test_two_worker_cold_run_matches_serial_ledger(self, tmp_path):
+        plan = build_plan(GRID)
+        report = execute_plan(
+            plan, tmp_path, workers=2, start_method="fork"
+        )
+        assert report.executed_stage_counts() == plan.stage_task_counts()
+        store = ArtifactStore(tmp_path)
+        assert all(store.has(t.stage, t.key) for t in plan.tasks)
+
+    def test_invalid_worker_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            execute_plan(build_plan(GRID), tmp_path, workers=0)
+
+
+class TestMakespan:
+    def test_serial_makespan_is_total_work(self):
+        plan = build_plan(GRID)
+        durations = {t.id: 1.0 for t in plan.tasks}
+        assert simulate_makespan(plan, durations, 1) == len(plan.tasks)
+
+    def test_parallel_bounded_by_critical_path(self):
+        plan = build_plan(GRID)  # shared collect + two 4-stage chains
+        durations = {t.id: 1.0 for t in plan.tasks}
+        two = simulate_makespan(plan, durations, 2)
+        # collect first, then both chains run truly in parallel.
+        assert two == 5.0
+        # More workers than independent chains cannot beat the chain.
+        assert simulate_makespan(plan, durations, 8) == 5.0
+
+    def test_more_workers_never_slower(self):
+        plan = build_plan(
+            SweepGrid(scenarios=("smoke",), seeds=(0, 1, 2, 3))
+        )
+        durations = {t.id: float(i % 3 + 1)
+                     for i, t in enumerate(plan.tasks)}
+        times = [simulate_makespan(plan, durations, w) for w in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(times, times[1:]))

@@ -364,3 +364,83 @@ class TestScheduleCommand:
             "--assert-warm",
         ]) == 1
         assert "fully-warm schedule" in capsys.readouterr().err
+
+
+class TestSweepCLI:
+    def test_cold_then_warm_sweep(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        argv = ["sweep", "run", "--scenarios", "smoke",
+                "--seeds", "0", "1", "--store", store]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s), 9 unique task(s)" in out
+        assert "1 shared-ancestor run(s) deduped" in out
+        assert "9 task(s) run, 0 cached" in out
+        assert "collect=1" in out  # exactly-once ledger
+        assert "coverage@0.1" in out  # aggregate table rendered
+        # Warm re-run executes nothing and satisfies --assert-warm.
+        assert main(argv + ["--assert-warm"]) == 0
+        out = capsys.readouterr().out
+        assert "0 task(s) run, 9 cached" in out
+
+    def test_assert_warm_fails_cold(self, tmp_path, capsys):
+        assert main([
+            "sweep", "run", "--scenarios", "smoke",
+            "--store", str(tmp_path / "cache"), "--assert-warm",
+        ]) == 1
+        assert "fully-warm sweep" in capsys.readouterr().err
+
+    def test_grid_file_with_set_overrides(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text('{"scenarios": ["smoke"], "stop_after": "collect"}')
+        assert main([
+            "sweep", "run", "--grid", str(grid),
+            "--store", str(tmp_path / "cache"),
+            "--set", "sets_per_degree=4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 cell(s), 1 unique task(s)" in out
+        assert "1 task(s) run" in out
+
+    def test_unknown_scenario_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "sweep", "run", "--scenarios", "mystery",
+            "--store", str(tmp_path / "cache"),
+        ]) == 2
+        assert "mystery" in capsys.readouterr().err
+
+    def test_unreadable_grid_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "sweep", "run", "--grid", str(tmp_path / "nope.json"),
+            "--store", str(tmp_path / "cache"),
+        ]) == 2
+        assert "cannot read grid" in capsys.readouterr().err
+
+
+class TestStoreCLI:
+    def test_ls_and_gc(self, tmp_path, capsys):
+        from repro.pipeline import ArtifactStore, stage_key
+
+        store_root = str(tmp_path / "cache")
+        assert main([
+            "sweep", "run", "--scenarios", "smoke",
+            "--stop-after", "collect", "--store", store_root,
+        ]) == 0
+        # Leave a partial dir behind, as a crashed run would.
+        ArtifactStore(store_root).write_dir(
+            "train", stage_key("train", "crashed", ())
+        )
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", store_root]) == 0
+        out = capsys.readouterr().out
+        assert "collect" in out and "committed" in out
+        assert "PARTIAL" in out
+        assert "1 committed artifact(s), 1 partial" in out
+        assert main(["store", "gc", "--store", store_root]) == 0
+        assert "1 partial artifact dir(s) pruned" in capsys.readouterr().out
+        assert main(["store", "ls", "--store", store_root]) == 0
+        assert "0 partial" in capsys.readouterr().out
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert main(["store", "ls", "--store", str(tmp_path / "none")]) == 0
+        assert "empty" in capsys.readouterr().out

@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.analysis",
+    "repro.sweep",
 ]
 
 
