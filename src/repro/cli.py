@@ -54,7 +54,7 @@ from .pipeline import (
 )
 from .devtools.lint import add_lint_arguments
 from .devtools.lint import run as _run_lint
-from .scenarios import get_scenario, iter_scenarios
+from .scenarios import MARGIN_MODES, get_scenario, iter_scenarios
 from .serving import PredictionService, ShardedPredictionService
 
 __all__ = ["main", "build_parser"]
@@ -99,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sets-per-degree", type=int, default=None)
     p.add_argument("--steps", type=int, default=None,
                    help="override the scenario's training steps")
+    p.add_argument("--margin", default=None, choices=MARGIN_MODES,
+                   help="conformal margin mode override "
+                        "(naive/weighted/bootstrap/mnar)")
 
     p = sub.add_parser(
         "lifecycle",
@@ -132,6 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="events per lifecycle tick")
     p.add_argument("--update-steps", type=int, default=None,
                    help="warm-start gradient steps per update burst")
+    p.add_argument("--margin", default=None, choices=MARGIN_MODES,
+                   help="conformal margin mode override (weighted = "
+                        "exponential downweighting instead of hard resets)")
 
     p = sub.add_parser(
         "schedule",
@@ -167,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs-per-epoch", type=int, default=None)
     p.add_argument("--warmup-events", type=int, default=None,
                    help="world-calibration window size")
+    p.add_argument("--margin", default=None, choices=MARGIN_MODES,
+                   help="conformal margin mode for the scheduler's live "
+                        "recalibration")
 
     p = sub.add_parser(
         "sweep",
@@ -190,6 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategies", nargs="+", default=None,
                    choices=("pitot", "naive_cqr", "split"),
                    help="conformal modes (grid axis; omit = scenario default)")
+    p.add_argument("--margins", nargs="+", default=None,
+                   choices=MARGIN_MODES,
+                   help="margin-engine modes (grid axis, orthogonal to "
+                        "strategies; omit = scenario default)")
     p.add_argument("--policies", nargs="+", default=None,
                    help="scheduler policies (grid axis; needs "
                         "--stop-after simulate)")
@@ -350,6 +363,7 @@ def _cmd_pipeline_run(args) -> int:
             n_runtimes=args.runtimes,
             sets_per_degree=args.sets_per_degree,
             steps=args.steps,
+            margin=args.margin,
         )
     except (KeyError, ValueError) as exc:
         # Unknown scenario, or an override the scenario rejects (e.g.
@@ -392,6 +406,7 @@ def _cmd_lifecycle_run(args) -> int:
             events_per_phase=args.events_per_phase,
             chunk=args.chunk,
             update_steps=args.update_steps,
+            margin=args.margin,
         )
     except (KeyError, ValueError) as exc:
         print(exc.args[0], file=sys.stderr)
@@ -479,6 +494,7 @@ def _cmd_schedule_run(args) -> int:
             epochs=args.epochs,
             jobs_per_epoch=args.jobs_per_epoch,
             warmup_events=args.warmup_events,
+            margin=args.margin,
         )
     except (KeyError, ValueError) as exc:
         print(exc.args[0], file=sys.stderr)
@@ -571,7 +587,7 @@ def _cmd_sweep_run(args) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot read grid {args.grid!r}: {exc}", file=sys.stderr)
             return 2
-    for axis in ("scenarios", "seeds", "strategies", "policies"):
+    for axis in ("scenarios", "seeds", "strategies", "margins", "policies"):
         if getattr(args, axis) is not None:
             payload[axis] = getattr(args, axis)
     if args.stop_after is not None:
@@ -613,7 +629,11 @@ def _cmd_sweep_run(args) -> int:
           f"{len(report.cached)} cached, {elapsed:.1f}s on "
           f"{args.workers} worker(s)" + (f"  [{by_stage}]" if by_stage else ""))
 
-    if not args.no_aggregate and "evaluate" in stage_closure(grid.stop_after):
+    # Aggregate whenever a metric-bearing stage ran: evaluate (batch
+    # test metrics) and/or update (drift-phase lifecycle coverage).
+    closure = stage_closure(grid.stop_after)
+    if not args.no_aggregate and ("evaluate" in closure
+                                  or "update" in closure):
         groups = aggregate_sweep(list(plan.cells), args.store)
         print()
         print(format_sweep_table(

@@ -8,20 +8,99 @@ demand. Under a slowly-drifting environment this restores approximate
 validity without touching model weights — and the window makes the
 predictor forget stale regimes.
 
-This is an extension beyond the paper's evaluated system; the split/CQR
-machinery it builds on is unchanged.
+Two ingestion paths share one contract:
+
+* **batched** (default) — each pool keeps its window as parallel NumPy
+  arrays *sorted by score* with a monotone arrival tag per observation.
+  A batch ingests via one stable group-by-pool pass plus
+  ``np.searchsorted``/``np.insert`` merges, FIFO eviction drops the
+  smallest arrival tags, and a recalibration is an O(batch + pools)
+  order-statistic gather instead of an O(window log window) re-sort.
+* **scalar** (``batched=False``) — the original per-score ``deque``
+  loop, kept as the equivalence/throughput reference. Both paths retain
+  exactly the most recent ``window`` scores per pool in arrival order.
+
+Margins come from :mod:`repro.conformal.margins`, so the online layer
+supports all four modes (``naive``/``weighted``/``bootstrap``/``mnar``);
+``weighted`` measures recency in *global* arrival time, so a pool that
+goes quiet decays even while others stream.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 import numpy as np
 
+from .margins import (
+    MarginParams,
+    _bootstrap_cut,
+    _coerce_params,
+    _naive_k,
+    _weighted_cut,
+)
 from .predictor import interference_pools
-from .split import conformal_offset
 
 __all__ = ["OnlineConformalizer"]
+
+
+class _PoolWindow:
+    """One pool's retained scores, kept sorted by score value.
+
+    ``arrivals`` carries the global observation sequence number of each
+    score; it is what FIFO eviction and recency weighting key on, and it
+    lets :meth:`OnlineConformalizer.pool_scores` reconstruct arrival
+    order without storing a second copy.
+    """
+
+    __slots__ = ("scores", "arrivals", "w_idx", "p_idx")
+
+    def __init__(self, track_cells: bool) -> None:
+        self.scores = np.empty(0, dtype=np.float64)
+        self.arrivals = np.empty(0, dtype=np.int64)
+        self.w_idx: np.ndarray | None = (
+            np.empty(0, dtype=np.intp) if track_cells else None
+        )
+        self.p_idx: np.ndarray | None = (
+            np.empty(0, dtype=np.intp) if track_cells else None
+        )
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def insert(
+        self,
+        scores: np.ndarray,
+        arrivals: np.ndarray,
+        window: int,
+        w_idx: np.ndarray | None = None,
+        p_idx: np.ndarray | None = None,
+    ) -> None:
+        """Merge a batch (one searchsorted + insert), then evict FIFO."""
+        order = np.argsort(scores, kind="stable")
+        scores = scores[order]
+        arrivals = arrivals[order]
+        positions = np.searchsorted(self.scores, scores, side="left")
+        self.scores = np.insert(self.scores, positions, scores)
+        self.arrivals = np.insert(self.arrivals, positions, arrivals)
+        if self.w_idx is not None and w_idx is not None:
+            self.w_idx = np.insert(self.w_idx, positions, w_idx[order])
+            self.p_idx = np.insert(self.p_idx, positions, p_idx[order])
+        excess = len(self.scores) - window
+        if excess > 0:
+            # Arrival tags are unique and monotone, so the FIFO eviction
+            # set is exactly the `excess` smallest tags.
+            cutoff = np.partition(self.arrivals, excess - 1)[excess - 1]
+            keep = self.arrivals > cutoff
+            self.scores = self.scores[keep]
+            self.arrivals = self.arrivals[keep]
+            if self.w_idx is not None:
+                self.w_idx = self.w_idx[keep]
+                self.p_idx = self.p_idx[keep]
+
+    def arrival_order(self) -> np.ndarray:
+        return np.argsort(self.arrivals)
 
 
 class OnlineConformalizer:
@@ -37,15 +116,41 @@ class OnlineConformalizer:
     window:
         Maximum scores retained per pool; older observations are evicted
         FIFO, bounding both memory and staleness.
+    margin:
+        Margin mode name or :class:`~repro.conformal.margins.MarginParams`
+        (``naive``/``weighted``/``bootstrap``/``mnar``).
+    batched:
+        Keep per-pool sorted structures updated incrementally (default).
+        ``False`` selects the original scalar ``deque`` path — slower,
+        retained as the bitwise reference for equivalence tests and the
+        throughput benchmark.
     """
 
-    def __init__(self, model, head: int = 0, window: int = 2000) -> None:
+    def __init__(
+        self,
+        model,
+        head: int = 0,
+        window: int = 2000,
+        margin: MarginParams | str = "naive",
+        batched: bool = True,
+    ) -> None:
         if window < 2:
             raise ValueError("window must be at least 2")
         self.model = model
         self.head = head
         self.window = window
+        self.margin = _coerce_params(margin)
+        self.batched = batched
+        self._seq = 0
+        self._track_cells = self.margin.mode == "mnar"
+        # Batched path: per-pool sorted structures, plus a cache of the
+        # merged-global view (invalidated on every ingest).
+        self._windows: dict[int, _PoolWindow] = {}
+        self._merged: tuple[np.ndarray, np.ndarray] | None = None
+        # Scalar path: the pre-batching deques (reference implementation).
         self._scores: dict[int, deque[float]] = {}
+        self._arrivals: dict[int, deque[int]] = {}
+        self._cells: dict[int, deque[tuple[int, int]]] = {}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -66,10 +171,62 @@ class OnlineConformalizer:
         pred = self.model.predict_log(w_idx, p_idx, interferers)[:, self.head]
         scores = np.log(runtime_seconds) - pred
         pools = self._pool_of(interferers, len(scores))
-        for pool, score in zip(pools.tolist(), scores.tolist()):
-            self._scores.setdefault(pool, deque(maxlen=self.window)).append(score)
+        arrivals = self._seq + np.arange(len(scores), dtype=np.int64)
+        self._seq += len(scores)
+        if not self.batched:
+            self._observe_scalar(w_idx, p_idx, pools, scores, arrivals)
+            return
+        self._merged = None
+        w_idx = np.asarray(w_idx) if self._track_cells else None
+        p_idx = np.asarray(p_idx) if self._track_cells else None
+        # Group rows by pool with one stable argsort; each group merges
+        # into its window as a single vectorized insert.
+        order = np.argsort(pools, kind="stable")
+        grouped = pools[order]
+        unique, starts = np.unique(grouped, return_index=True)
+        bounds = np.append(starts, len(grouped))
+        for i, pool in enumerate(unique):
+            rows = order[bounds[i] : bounds[i + 1]]
+            pw = self._windows.get(int(pool))
+            if pw is None:
+                pw = self._windows[int(pool)] = _PoolWindow(self._track_cells)
+            pw.insert(
+                scores[rows],
+                arrivals[rows],
+                self.window,
+                w_idx[rows] if w_idx is not None else None,
+                p_idx[rows] if p_idx is not None else None,
+            )
 
+    def _observe_scalar(
+        self,
+        w_idx: np.ndarray,
+        p_idx: np.ndarray,
+        pools: np.ndarray,
+        scores: np.ndarray,
+        arrivals: np.ndarray,
+    ) -> None:
+        """The original per-score ingest loop (reference path)."""
+        for i, (pool, score) in enumerate(
+            zip(pools.tolist(), scores.tolist())
+        ):
+            self._scores.setdefault(
+                pool, deque(maxlen=self.window)
+            ).append(score)
+            self._arrivals.setdefault(
+                pool, deque(maxlen=self.window)
+            ).append(int(arrivals[i]))
+            if self._track_cells:
+                self._cells.setdefault(
+                    pool, deque(maxlen=self.window)
+                ).append((int(w_idx[i]), int(p_idx[i])))
+
+    # ------------------------------------------------------------------
     def n_observed(self, pool: int | None = None) -> int:
+        if self.batched:
+            if pool is not None:
+                return len(self._windows.get(pool, ()))
+            return sum(len(pw) for pw in self._windows.values())
         if pool is not None:
             return len(self._scores.get(pool, ()))
         return sum(len(q) for q in self._scores.values())
@@ -82,18 +239,212 @@ class OnlineConformalizer:
         (and the window-trimming property tests) need not reach into
         internals.
         """
-        return np.asarray(self._scores.get(pool, ()), dtype=np.float64)
+        if not self.batched:
+            return np.asarray(self._scores.get(pool, ()), dtype=np.float64)
+        pw = self._windows.get(pool)
+        if pw is None:
+            return np.empty(0, dtype=np.float64)
+        return pw.scores[pw.arrival_order()]
+
+    # ------------------------------------------------------------------
+    def _pool_window_sorted(
+        self, pool: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(scores sorted ascending, matching arrival tags) for a pool."""
+        if self.batched:
+            pw = self._windows.get(pool)
+            if pw is None:
+                return np.empty(0), np.empty(0, dtype=np.int64)
+            return pw.scores, pw.arrivals
+        scores = np.asarray(self._scores.get(pool, ()), dtype=np.float64)
+        arrivals = np.asarray(self._arrivals.get(pool, ()), dtype=np.int64)
+        order = np.argsort(scores, kind="stable")
+        return scores[order], arrivals[order]
+
+    def _merged_sorted(self) -> tuple[np.ndarray, np.ndarray]:
+        """All pools' windows merged, sorted by score.
+
+        Batched mode merges the already-sorted pool windows pairwise via
+        ``np.searchsorted``/``np.insert`` — O(total) instead of the
+        O(total log total) re-sort — and caches the result until the
+        next ingest. Tie *order* can differ from the scalar path's
+        stable concatenated sort, but every cut returns a score drawn
+        from inside a tie run, so the produced offsets are identical.
+        """
+        if self.batched and self._merged is not None:
+            return self._merged
+        pools = self._tracked_pools()
+        if not pools:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        per_pool = [self._pool_window_sorted(pool) for pool in pools]
+        if self.batched:
+            scores, arrivals = per_pool[0]
+            for more_scores, more_arrivals in per_pool[1:]:
+                positions = np.searchsorted(scores, more_scores, side="left")
+                scores = np.insert(scores, positions, more_scores)
+                arrivals = np.insert(arrivals, positions, more_arrivals)
+            self._merged = (scores, arrivals)
+            return self._merged
+        scores = np.concatenate([s for s, _ in per_pool])
+        arrivals = np.concatenate([a for _, a in per_pool])
+        order = np.argsort(scores, kind="stable")
+        return scores[order], arrivals[order]
+
+    def _tracked_pools(self) -> list[int]:
+        source = self._windows if self.batched else self._scores
+        return sorted(source)
+
+    def _window_cells(self) -> tuple[np.ndarray, np.ndarray]:
+        """(w_idx, p_idx) across every retained observation (mnar)."""
+        if self.batched:
+            ws = [
+                pw.w_idx
+                for pw in self._windows.values()
+                if pw.w_idx is not None and len(pw.w_idx)
+            ]
+            ps = [
+                pw.p_idx
+                for pw in self._windows.values()
+                if pw.p_idx is not None and len(pw.p_idx)
+            ]
+        else:
+            ws, ps = [], []
+            for cells in self._cells.values():
+                if cells:
+                    pairs = np.asarray(cells, dtype=np.intp)
+                    ws.append(pairs[:, 0])
+                    ps.append(pairs[:, 1])
+        if not ws:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        return np.concatenate(ws), np.concatenate(ps)
+
+    def _cut(
+        self,
+        sorted_scores: np.ndarray,
+        arrivals: np.ndarray,
+        epsilon: float,
+        cell_weights: np.ndarray | None = None,
+    ) -> float:
+        """Margin of one pre-sorted score set under the active mode."""
+        mode = self.margin.mode
+        n = len(sorted_scores)
+        if n == 0:
+            return float("inf")
+        if mode == "naive":
+            k = _naive_k(n, epsilon)
+            if n == 0 or k > n:
+                return float("inf")
+            return float(sorted_scores[k - 1])
+        if mode == "bootstrap":
+            return _bootstrap_cut(sorted_scores, epsilon, self.margin)
+        if mode == "weighted":
+            newest = self._seq - 1
+            weights = np.exp(
+                (arrivals.astype(np.float64) - newest) / self.margin.tau
+            )
+            # The test point is the next arrival: weight 1 under the
+            # global-newest normalization (matches WeightedMargin's
+            # global-max test weight in the batch path).
+            return _weighted_cut(sorted_scores, weights, epsilon, 1.0)
+        # mnar: inverse-propensity weights over the retained mask.
+        assert cell_weights is not None
+        return _weighted_cut(sorted_scores, cell_weights, epsilon)
+
+    def _mnar_weights_by_pool(self) -> dict[int, np.ndarray]:
+        """Per-pool propensity weights aligned to score-sorted order."""
+        w_all, p_all = self._window_cells()
+        if not len(w_all):
+            return {}
+        weights: dict[int, np.ndarray] = {}
+        row_counts = np.bincount(w_all).astype(np.float64)
+        col_counts = np.bincount(p_all).astype(np.float64)
+        n = float(len(w_all))
+        for pool in self._tracked_pools():
+            if self.batched:
+                pw = self._windows[pool]
+                w_idx, p_idx = pw.w_idx, pw.p_idx
+                if w_idx is None or not len(w_idx):
+                    weights[pool] = np.empty(0)
+                    continue
+            else:
+                pairs = np.asarray(self._cells.get(pool, ()), dtype=np.intp)
+                if not len(pairs):
+                    weights[pool] = np.empty(0)
+                    continue
+                order = np.argsort(
+                    np.asarray(self._scores[pool], dtype=np.float64),
+                    kind="stable",
+                )
+                w_idx, p_idx = pairs[order, 0], pairs[order, 1]
+            propensity = row_counts[w_idx] * col_counts[p_idx] / n
+            w = 1.0 / propensity
+            w /= w.mean()
+            np.clip(w, 1.0 / self.margin.clip, self.margin.clip, out=w)
+            weights[pool] = w
+        return weights
 
     # ------------------------------------------------------------------
     def offset(self, epsilon: float, pool: int) -> float:
         """Current conformal offset for a pool (global fallback if thin)."""
-        scores = np.asarray(self._scores.get(pool, ()), dtype=np.float64)
-        if len(scores) >= np.ceil(1.0 / epsilon):
-            return conformal_offset(scores, epsilon)
-        merged = np.concatenate(
-            [np.asarray(q, dtype=np.float64) for q in self._scores.values()]
-        ) if self._scores else np.array([])
-        return conformal_offset(merged, epsilon)
+        sorted_scores, arrivals = self._pool_window_sorted(pool)
+        if len(sorted_scores) >= math.ceil(1.0 / epsilon):
+            cell_weights = None
+            if self.margin.mode == "mnar":
+                cell_weights = self._mnar_weights_by_pool().get(pool)
+            return self._cut(sorted_scores, arrivals, epsilon, cell_weights)
+        return self._merged_cut(epsilon)
+
+    def offsets_by_pool(self, epsilon: float) -> dict[int, float]:
+        """Offsets for every tracked pool in one pass (plus global ``-1``).
+
+        This is the recalibration entry point: with the batched
+        structures it is an O(pools) gather for ``naive`` margins (no
+        re-sorting), and never worse than one pass over the retained
+        window for the weighted modes. Pools thinner than ``⌈1/ε⌉`` are
+        omitted; callers fall back to the merged global key ``-1``.
+        """
+        min_n = math.ceil(1.0 / epsilon)
+        out: dict[int, float] = {}
+        mnar_weights = (
+            self._mnar_weights_by_pool()
+            if self.margin.mode == "mnar"
+            else {}
+        )
+        for pool in self._tracked_pools():
+            sorted_scores, arrivals = self._pool_window_sorted(pool)
+            if len(sorted_scores) >= min_n:
+                out[pool] = self._cut(
+                    sorted_scores, arrivals, epsilon, mnar_weights.get(pool)
+                )
+        out[-1] = self._merged_cut(epsilon)
+        return out
+
+    def _merged_cut(self, epsilon: float) -> float:
+        if self.batched and self.margin.mode == "naive":
+            # The naive cut is one order statistic of the union, so the
+            # merged view never needs materializing: concatenate the
+            # sorted pool windows and select — O(total), no log factor.
+            parts = [pw.scores for pw in self._windows.values() if len(pw)]
+            if not parts:
+                return float("inf")
+            scores = np.concatenate(parts)
+            k = _naive_k(len(scores), epsilon)
+            if k > len(scores):
+                return float("inf")
+            return float(np.partition(scores, k - 1)[k - 1])
+        scores, arrivals = self._merged_sorted()
+        cell_weights = None
+        if self.margin.mode == "mnar" and len(scores):
+            per_pool = self._mnar_weights_by_pool()
+            pools_sorted = self._tracked_pools()
+            unsorted = np.concatenate(
+                [self._pool_window_sorted(p)[0] for p in pools_sorted]
+            )
+            stacked = np.concatenate(
+                [per_pool[p] for p in pools_sorted if p in per_pool]
+            )
+            cell_weights = stacked[np.argsort(unsorted, kind="stable")]
+        return self._cut(scores, arrivals, epsilon, cell_weights)
 
     def predict_bound(
         self,

@@ -26,11 +26,21 @@ import numpy as np
 
 from ..cluster.dataset import RuntimeDataset
 from ..eval.metrics import overprovision_margin
-from .split import conformal_offset, conformal_offsets_by_pool
+from .margins import (
+    MarginParams,
+    PoolIndex,
+    SortedScores,
+    _coerce_params,
+    make_estimator,
+    propensity_weights,
+    recency_weights,
+    sort_scores,
+)
 
 __all__ = [
     "ConformalRuntimePredictor",
     "HeadChoice",
+    "HeadOffsetTable",
     "calibration_pools",
     "interference_pools",
     "resolve_head_offsets",
@@ -97,6 +107,70 @@ def resolve_head_offsets(
     return u_heads[position], u_offsets[position]
 
 
+class HeadOffsetTable:
+    """Dense per-ε ``pool → (head, offset)`` lookup tables.
+
+    :func:`resolve_head_offsets` re-derives the unique-pool decomposition
+    on *every* query batch. Pool ids are tiny non-negative integers
+    (interference degree ≤ 4, or 0 under global calibration), so the
+    whole mapping fits in two short arrays per ε — built once per
+    calibration, after which a batch resolve is two fancy-indexed
+    gathers with no ``np.unique`` scan and no Python loop.
+
+    The table snapshots ``choices`` lazily per ε; owners (predictor /
+    serving state) must discard it whenever ``choices`` is replaced.
+    """
+
+    def __init__(self, choices: dict[tuple[float, int], HeadChoice]) -> None:
+        self._choices = choices
+        self._per_eps: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _build(self, epsilon: float) -> tuple[np.ndarray, np.ndarray]:
+        if (epsilon, -1) not in self._choices:
+            calibrated = sorted({eps for eps, _ in self._choices})
+            raise RuntimeError(
+                f"predictor not calibrated for epsilon={epsilon}; "
+                f"calibrated: {calibrated}"
+            )
+        fallback = self._choices[(epsilon, -1)]
+        pool_ids = [
+            pool
+            for eps, pool in self._choices
+            if eps == epsilon and pool >= 0
+        ]
+        size = max(pool_ids, default=4) + 1
+        heads = np.full(size, fallback.head, dtype=np.intp)
+        offsets = np.full(size, fallback.offset)
+        for pool in pool_ids:
+            choice = self._choices[(epsilon, pool)]
+            heads[pool] = choice.head
+            offsets[pool] = choice.offset
+        table = (heads, offsets)
+        self._per_eps[epsilon] = table
+        return table
+
+    def resolve(
+        self, epsilon: float, pools: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (head, offset) per query row; fallback for unknowns."""
+        table = self._per_eps.get(epsilon)
+        if table is None:
+            table = self._build(epsilon)
+        heads_tab, offsets_tab = table
+        size = len(heads_tab)
+        safe = np.minimum(pools, size - 1)
+        heads = heads_tab[safe]
+        offsets = offsets_tab[safe]
+        oob = pools >= size
+        if oob.any():
+            # Any pool past the table is by construction uncalibrated →
+            # global fallback, same as resolve_head_offsets.
+            fallback = self._choices[(epsilon, -1)]
+            heads[oob] = fallback.head
+            offsets[oob] = fallback.offset
+        return heads, offsets
+
+
 class ConformalRuntimePredictor:
     """Conformal wrapper producing runtime upper bounds in seconds.
 
@@ -111,6 +185,10 @@ class ConformalRuntimePredictor:
         ``"pitot"``, ``"naive_cqr"``, or ``"split"`` (see module docs).
     use_pools:
         Calibrate per interference degree (paper) or globally.
+    margin:
+        Margin-estimator mode or :class:`MarginParams`
+        (``naive``/``weighted``/``bootstrap``/``mnar``); ``naive`` is
+        bitwise-identical to the pre-engine split-conformal path.
     """
 
     def __init__(
@@ -119,6 +197,7 @@ class ConformalRuntimePredictor:
         quantiles: tuple[float, ...] | None = None,
         strategy: str = "pitot",
         use_pools: bool = True,
+        margin: MarginParams | str = "naive",
     ) -> None:
         if strategy not in ("pitot", "naive_cqr", "split"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -128,9 +207,26 @@ class ConformalRuntimePredictor:
         self.quantiles = quantiles
         self.strategy = strategy
         self.use_pools = use_pools
-        #: Mapping (epsilon, pool) → HeadChoice; pool −1 is the fallback.
-        self.choices: dict[tuple[float, int], HeadChoice] = {}
+        self.margin = _coerce_params(margin)
+        self._choices: dict[tuple[float, int], HeadChoice] = {}
         self._calibrated_epsilons: list[float] = []
+        self._table: HeadOffsetTable | None = None
+        self._pool_index: PoolIndex | None = None
+
+    @property
+    def choices(self) -> dict[tuple[float, int], HeadChoice]:
+        """Mapping (epsilon, pool) → HeadChoice; pool −1 is the fallback.
+
+        *Replace* this dict to update calibration state (assignment
+        invalidates the cached offset table); in-place mutation outside
+        :meth:`calibrate` is unsupported.
+        """
+        return self._choices
+
+    @choices.setter
+    def choices(self, value: dict[tuple[float, int], HeadChoice]) -> None:
+        self._choices = value
+        self._table = None
 
     # ------------------------------------------------------------------
     def _pools(self, ds: RuntimeDataset) -> np.ndarray:
@@ -151,6 +247,7 @@ class ConformalRuntimePredictor:
         self,
         calibration: RuntimeDataset,
         epsilons: tuple[float, ...] = (0.1, 0.05, 0.01),
+        arrivals: np.ndarray | None = None,
     ) -> "ConformalRuntimePredictor":
         """Compute per-(ε, pool) head choices and conformal offsets.
 
@@ -158,6 +255,18 @@ class ConformalRuntimePredictor:
         overprovisioning margin (Eq. 11) on the calibration pool is
         selected — the paper's optimal quantile choice, which lets one
         trained model serve any ε without retraining.
+
+        Margins come from the configured
+        :class:`~repro.conformal.margins.MarginEstimator`: each head's
+        scores are sorted into pool segments exactly once (the
+        :class:`PoolIndex` decomposition is also cached for the query
+        path) and reused across the whole ε grid.
+
+        ``arrivals`` (optional) tags each calibration row with its
+        position in the originating event stream; under ``weighted``
+        margins the recency decay then runs in stream-event units — the
+        same clock the online conformalizer uses — instead of dilating τ
+        by the hold-out's subsampling factor.
         """
         pred = self.model.predict_log(
             calibration.w_idx, calibration.p_idx, calibration.interferers
@@ -166,14 +275,25 @@ class ConformalRuntimePredictor:
         runtime = calibration.runtime
         scores = y[:, None] - pred  # (n, H)
         pools = self._pools(calibration)
-        unique_pools = [int(p) for p in np.unique(pools)]
+        index = PoolIndex(pools)
+        self._pool_index = index
+        unique_pools = [int(p) for p in index.unique]
+        estimator = make_estimator(self.margin)
+        weights = self._margin_weights(calibration, index.n, arrivals)
+        prepared: dict[int, SortedScores] = {}
 
         self.choices = {}
         self._calibrated_epsilons = list(epsilons)
         best_margin: dict[tuple[float, int], float] = {}
         for eps in epsilons:
             for head in self._candidate_heads(eps):
-                offsets = conformal_offsets_by_pool(scores[:, head], pools, eps)
+                sorted_head = prepared.get(head)
+                if sorted_head is None:
+                    sorted_head = sort_scores(scores[:, head], index)
+                    prepared[head] = sorted_head
+                offsets = estimator.offsets_by_pool(
+                    sorted_head, eps, weights=weights
+                )
                 for pool in [-1, *unique_pools]:
                     offset = offsets.get(pool, offsets[-1])
                     rows = (
@@ -184,8 +304,25 @@ class ConformalRuntimePredictor:
                     key = (eps, pool)
                     if key not in best_margin or margin < best_margin[key]:
                         best_margin[key] = margin
-                        self.choices[key] = HeadChoice(head=head, offset=offset)
+                        self._choices[key] = HeadChoice(head=head, offset=offset)
         return self
+
+    def _margin_weights(
+        self,
+        calibration: RuntimeDataset,
+        n: int,
+        arrivals: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Per-row calibration weights for the configured margin mode."""
+        if self.margin.mode == "weighted":
+            # Dataset rows are in collection (arrival) order; explicit
+            # arrival tags override when rows subsample a wider stream.
+            return recency_weights(n, self.margin.tau, arrivals)
+        if self.margin.mode == "mnar":
+            return propensity_weights(
+                calibration.w_idx, calibration.p_idx, clip=self.margin.clip
+            )
+        return None
 
     def _candidate_heads(self, epsilon: float) -> list[int]:
         if self.strategy == "split":
@@ -212,7 +349,9 @@ class ConformalRuntimePredictor:
             )
         pred = self.model.predict_log(w_idx, p_idx, interferers)
         pools = self.pools_for(interferers, len(pred))
-        heads, offsets = resolve_head_offsets(self.choices, epsilon, pools)
+        if self._table is None:
+            self._table = HeadOffsetTable(self._choices)
+        heads, offsets = self._table.resolve(epsilon, pools)
         return np.exp(pred[np.arange(len(pred)), heads] + offsets)
 
     def pools_for(self, interferers: np.ndarray | None, n: int) -> np.ndarray:

@@ -14,6 +14,9 @@ The rule flags:
 * calls through ``np.random.<draw>`` for any legacy global-state
   function (everything except ``default_rng`` / ``Generator`` /
   ``SeedSequence`` used as types or constructors);
+* unseeded entropy-pulling constructors — ``SeedSequence()`` /
+  ``PCG64()`` / ``PCG64(None)`` — the route a bootstrap resampler
+  would take around the ``default_rng`` check;
 * importing those legacy draws directly (``from numpy.random import
   rand``) — the import is the entry point.
 
@@ -34,6 +37,12 @@ from .common import build_aliases, dotted_name
 _ALLOWED_ATTRS = frozenset(
     {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
 )
+
+#: Constructors that pull OS entropy when called with no seed argument.
+#: ``default_rng`` is handled separately (older message kept verbatim);
+#: these are the bit-generator-level escape hatches a bootstrap
+#: resampler might reach for.
+_SEEDED_CTORS = frozenset({"SeedSequence", "PCG64"})
 
 
 @register
@@ -92,6 +101,23 @@ class SeededRandomnessRule(LintRule):
             return
         if name.startswith("numpy.random."):
             attr = name.split(".")[2]
+            if attr in _SEEDED_CTORS:
+                # A keyword (entropy=/seed=) counts as seeding; only a
+                # bare call or an explicit leading None is entropy.
+                if (not node.args and not node.keywords) or (
+                    node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"np.random.{attr}() without a seed pulls OS "
+                        f"entropy, so bootstrap draws (and their margins) "
+                        f"stop reproducing; derive the seed from the spec "
+                        f"or the calibration content",
+                    )
+                return
             if attr not in _ALLOWED_ATTRS:
                 yield self.violation(
                     module,

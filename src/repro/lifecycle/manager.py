@@ -143,6 +143,7 @@ class LifecycleManager:
         self.quantiles = predictor.quantiles
         self.strategy = predictor.strategy
         self.use_pools = predictor.use_pools
+        self.margin = predictor.margin
         self.buffer = ObservationBuffer(window=window, reference=features_from)
         self.service = PredictionService(
             EmbeddingSnapshot.from_model(model),
@@ -164,6 +165,17 @@ class LifecycleManager:
     CALIBRATION_MODULUS = 4
 
     @classmethod
+    def calibration_rows(cls, n: int) -> np.ndarray:
+        """Window positions of the calibration hold-out (every Kth row).
+
+        These positions double as the hold-out's *arrival tags*: under
+        ``weighted`` margins they keep the recency decay in window-event
+        units rather than dilating τ by ``CALIBRATION_MODULUS``.
+        """
+        idx = np.arange(n)
+        return idx[idx % cls.CALIBRATION_MODULUS == cls.CALIBRATION_MODULUS - 1]
+
+    @classmethod
     def split_window(
         cls, window: RuntimeDataset
     ) -> tuple[RuntimeDataset, RuntimeDataset]:
@@ -174,7 +186,8 @@ class LifecycleManager:
         definition, one guard.
         """
         idx = np.arange(window.n_observations)
-        cal = idx % cls.CALIBRATION_MODULUS == cls.CALIBRATION_MODULUS - 1
+        cal = np.zeros(window.n_observations, dtype=bool)
+        cal[cls.calibration_rows(window.n_observations)] = True
         if not cal.any() or cal.all():
             raise ValueError(
                 f"window of {window.n_observations} row(s) cannot supply "
@@ -225,9 +238,15 @@ class LifecycleManager:
             quantiles=self.quantiles,
             strategy=self.strategy,
             use_pools=self.use_pools,
+            margin=self.margin,
         )
-        _, calibration = self._window_split()
-        return predictor.calibrate(calibration, epsilons=self.epsilons)
+        window = self.buffer.window_dataset(self.features_from)
+        _, calibration = self.split_window(window)
+        return predictor.calibrate(
+            calibration,
+            epsilons=self.epsilons,
+            arrivals=self.calibration_rows(window.n_observations),
+        )
 
     def promote(self, predictor: ConformalRuntimePredictor) -> int:
         """Atomically swap the service to (fresh snapshot, ``predictor``).
@@ -284,6 +303,7 @@ def run_lifecycle(
         quantiles=predictor.quantiles,
         strategy=predictor.strategy,
         use_pools=predictor.use_pools,
+        margin=predictor.margin,
     )
     seed_predictor.choices = dict(predictor.choices)
     seed_predictor._calibrated_epsilons = list(predictor._calibrated_epsilons)
@@ -324,8 +344,12 @@ def run_lifecycle(
         # Change-point reset: a chunk whose miscoverage blows far past ε
         # is a regime change, not noise — clear the window so the next
         # recalibration keys on the new regime alone instead of waiting
-        # for old-regime rows to age out of the rolling window.
-        reset = (1.0 - cov_adaptive) > drift.reset_miscoverage * epsilon
+        # for old-regime rows to age out of the rolling window. Under
+        # recency-weighted margins the hard reset softens to exponential
+        # downweighting: old-regime rows lose influence at time-scale τ
+        # without discarding the data volume the margin still needs.
+        triggered = (1.0 - cov_adaptive) > drift.reset_miscoverage * epsilon
+        reset = triggered and manager.margin.mode != "weighted"
         if reset:
             manager.buffer.clear()
         manager.ingest(w, p, interferers, runtime)

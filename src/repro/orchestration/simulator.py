@@ -1112,9 +1112,12 @@ class ClusterSimulator:
             and self._epoch_completions > 0
             and self._epoch_budget_violations / self._epoch_completions
             > self.reset_miscoverage * self.epsilon
+            and self.lifecycle.margin.mode != "weighted"
         ):
             # Change-point: this epoch's violations are a regime change,
-            # not noise — recalibrate on the new regime alone.
+            # not noise — recalibrate on the new regime alone. Under
+            # recency-weighted margins the hard reset softens into the
+            # margin's own exponential downweighting (see run_lifecycle).
             self.lifecycle.buffer.clear()
             stats.reset = True
         self._epoch_completions = 0

@@ -70,6 +70,7 @@ from ..cluster.collection import (
 )
 from ..cluster.dataset import RuntimeDataset, check_schema_version
 from ..cluster.splits import DataSplit, make_cold_workload_split, make_split
+from ..conformal.margins import MarginParams
 from ..conformal.predictor import ConformalRuntimePredictor, HeadChoice
 from ..core.model import EmbeddingSnapshot, PitotModel
 from ..core.scaling import LinearScalingBaseline
@@ -317,20 +318,33 @@ def train_stage(spec: ScenarioSpec, split: DataSplit) -> TrainingResult:
     )
 
 
-def calibrate_stage(
-    spec: ScenarioSpec, model: PitotModel, split: DataSplit
+def _spec_predictor(
+    spec: ScenarioSpec, model: PitotModel
 ) -> ConformalRuntimePredictor:
-    """Split-calibrate the trained model at the spec's ε grid."""
+    """Uncalibrated predictor configured from the spec's conformal knobs.
+
+    Resolves the ``None`` auto-strategy ("pitot" for quantile models,
+    "split" for point predictors) and the margin-engine parameters in one
+    place so calibrate/recalibrate/simulate cannot drift apart.
+    """
     quantiles = model.config.quantiles
     strategy = spec.conformal.strategy
     if strategy is None:
         strategy = "pitot" if quantiles else "split"
-    predictor = ConformalRuntimePredictor(
+    return ConformalRuntimePredictor(
         model,
         quantiles=quantiles,
         strategy=strategy,
         use_pools=spec.conformal.use_pools,
+        margin=MarginParams.from_conformal_spec(spec.conformal),
     )
+
+
+def calibrate_stage(
+    spec: ScenarioSpec, model: PitotModel, split: DataSplit
+) -> ConformalRuntimePredictor:
+    """Split-calibrate the trained model at the spec's ε grid."""
+    predictor = _spec_predictor(spec, model)
     return predictor.calibrate(
         split.calibration, epsilons=spec.conformal.epsilons
     )
@@ -453,18 +467,11 @@ def simulate_stage(
         seed=spec.seeds.schedule + 101,
     )
     model = training.model
-    quantiles = model.config.quantiles
-    strategy = spec.conformal.strategy
-    if strategy is None:
-        strategy = "pitot" if quantiles else "split"
 
     def world_calibrated(bound_model: PitotModel) -> ConformalRuntimePredictor:
-        return ConformalRuntimePredictor(
-            bound_model,
-            quantiles=quantiles,
-            strategy=strategy,
-            use_pools=spec.conformal.use_pools,
-        ).calibrate(window, epsilons=spec.conformal.epsilons)
+        return _spec_predictor(spec, bound_model).calibrate(
+            window, epsilons=spec.conformal.epsilons
+        )
 
     epsilon = float(spec.conformal.epsilons[0])
     drift = spec.drift
@@ -567,17 +574,12 @@ def recalibrate_stage(
         platform_features=dataset.platform_features,
     )
     _, calibration = LifecycleManager.split_window(window)
-    quantiles = model.config.quantiles
-    strategy = spec.conformal.strategy
-    if strategy is None:
-        strategy = "pitot" if quantiles else "split"
-    predictor = ConformalRuntimePredictor(
-        model,
-        quantiles=quantiles,
-        strategy=strategy,
-        use_pools=spec.conformal.use_pools,
+    predictor = _spec_predictor(spec, model)
+    return predictor.calibrate(
+        calibration,
+        epsilons=spec.conformal.epsilons,
+        arrivals=LifecycleManager.calibration_rows(window.n_observations),
     )
-    return predictor.calibrate(calibration, epsilons=spec.conformal.epsilons)
 
 
 # ----------------------------------------------------------------------
@@ -669,6 +671,13 @@ def _write_predictor_json(path: Path, predictor: ConformalRuntimePredictor) -> N
                 "strategy": predictor.strategy,
                 "use_pools": predictor.use_pools,
                 "quantiles": predictor.quantiles,
+                "margin": {
+                    "mode": predictor.margin.mode,
+                    "tau": predictor.margin.tau,
+                    "n_bootstrap": predictor.margin.n_bootstrap,
+                    "clip": predictor.margin.clip,
+                    "seed": predictor.margin.seed,
+                },
                 "epsilons": predictor._calibrated_epsilons,
                 "choices": [
                     {
@@ -689,11 +698,13 @@ def _read_predictor_json(path: Path, model: PitotModel) -> ConformalRuntimePredi
     """Rebuild a calibrated predictor around ``model`` from its JSON."""
     payload = json.loads(path.read_text())
     quantiles = payload["quantiles"]
+    margin = payload.get("margin")
     predictor = ConformalRuntimePredictor(
         model,
         quantiles=None if quantiles is None else tuple(quantiles),
         strategy=payload["strategy"],
         use_pools=payload["use_pools"],
+        margin=MarginParams(**margin) if margin else "naive",
     )
     predictor.choices = {
         (float(rec["epsilon"]), int(rec["pool"])): HeadChoice(

@@ -23,6 +23,7 @@ from .registry import (
     scenario_names,
 )
 from .spec import (
+    MARGIN_MODES,
     SCHEDULER_POLICIES,
     ConformalSpec,
     DriftSpec,
@@ -42,6 +43,7 @@ __all__ = [
     "SchedulingSpec",
     "SCHEDULER_POLICIES",
     "CONFORMAL_STRATEGIES",
+    "MARGIN_MODES",
     "SeedSpec",
     "SweepGrid",
     "SweepCell",

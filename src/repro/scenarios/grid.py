@@ -1,4 +1,4 @@
-"""Declarative sweep grids: scenario × seed × conformal mode × policy.
+"""Declarative sweep grids: scenario × seed × conformal mode × margin × policy.
 
 The paper's headline claims are all *grid* results — coverage vs ε
 across fleets, tightness vs baselines, policy comparisons under the
@@ -20,6 +20,11 @@ derived :class:`ScenarioSpec`:
   exactly once for all of them.
 * ``strategies`` — conformal mode axis (``None`` keeps the scenario's
   own mode, i.e. auto-select).
+* ``margins`` — conformal margin-estimator axis
+  (``naive``/``weighted``/``bootstrap``/``mnar``; ``None`` keeps the
+  scenario's own margin). Orthogonal to ``strategies``: the strategy
+  picks *which head* is calibrated, the margin picks *how* its offset
+  is estimated, so the two compose freely in one grid.
 * ``policies`` — scheduler-policy axis; only meaningful when the run
   reaches the ``simulate`` stage, enforced at expansion time.
 
@@ -32,7 +37,12 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 from .registry import get_scenario
-from .spec import SCHEDULER_POLICIES, ScenarioSpec, _stable_hash
+from .spec import (
+    MARGIN_MODES,
+    SCHEDULER_POLICIES,
+    ScenarioSpec,
+    _stable_hash,
+)
 
 __all__ = [
     "GRID_SCHEMA_VERSION",
@@ -45,7 +55,8 @@ __all__ = [
 ]
 
 #: Bump when the grid schema changes shape; folded into every grid hash.
-GRID_SCHEMA_VERSION = 1
+#: v2: ``margins`` axis (conformal margin-estimator modes).
+GRID_SCHEMA_VERSION = 2
 
 #: Conformal calibration modes a grid axis may request
 #: (:class:`repro.conformal.ConformalPredictor` strategies).
@@ -65,6 +76,8 @@ class SweepGrid:
     seeds: tuple[int, ...] = (0,)
     #: Conformal modes (``None`` = the scenario's own strategy).
     strategies: tuple[str | None, ...] = (None,)
+    #: Margin-estimator modes (``None`` = the scenario's own margin).
+    margins: tuple[str | None, ...] = (None,)
     #: Scheduler policies (``None`` = the scenario's own policy).
     policies: tuple[str | None, ...] = (None,)
     #: Last pipeline stage every cell runs (ancestor closure only).
@@ -77,10 +90,11 @@ class SweepGrid:
     overrides: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        for axis_name in ("scenarios", "seeds", "strategies", "policies"):
+        axes = ("scenarios", "seeds", "strategies", "margins", "policies")
+        for axis_name in axes:
             if not getattr(self, axis_name):
                 raise ValueError(f"grid axis {axis_name!r} must be non-empty")
-        for axis_name in ("scenarios", "seeds", "strategies", "policies"):
+        for axis_name in axes:
             axis = getattr(self, axis_name)
             if len(set(axis)) != len(axis):
                 raise ValueError(f"grid axis {axis_name!r} has duplicates")
@@ -89,6 +103,12 @@ class SweepGrid:
                 raise ValueError(
                     f"unknown conformal strategy {strategy!r}; "
                     f"expected one of {CONFORMAL_STRATEGIES}"
+                )
+        for margin in self.margins:
+            if margin is not None and margin not in MARGIN_MODES:
+                raise ValueError(
+                    f"unknown margin mode {margin!r}; "
+                    f"expected one of {MARGIN_MODES}"
                 )
         for policy in self.policies:
             if policy is not None and policy not in SCHEDULER_POLICIES:
@@ -115,11 +135,12 @@ class SweepGrid:
 
     # ------------------------------------------------------------------
     def n_cells(self) -> int:
-        """Grid cardinality (product of the four axes)."""
+        """Grid cardinality (product of the five axes)."""
         return (
             len(self.scenarios)
             * len(self.seeds)
             * len(self.strategies)
+            * len(self.margins)
             * len(self.policies)
         )
 
@@ -139,6 +160,7 @@ class SweepCell:
     scenario: str
     seed: int
     strategy: str | None
+    margin: str | None
     policy: str | None
     #: Last stage this cell runs.
     stop_after: str
@@ -147,11 +169,17 @@ class SweepCell:
 
 
 def _cell_id(
-    scenario: str, seed: int, strategy: str | None, policy: str | None
+    scenario: str,
+    seed: int,
+    strategy: str | None,
+    margin: str | None,
+    policy: str | None,
 ) -> str:
     parts = [scenario, f"s{seed}"]
     if strategy is not None:
         parts.append(strategy)
+    if margin is not None:
+        parts.append(margin)
     if policy is not None:
         parts.append(policy)
     return "+".join(parts)
@@ -160,9 +188,9 @@ def _cell_id(
 def expand_grid(grid: SweepGrid) -> tuple[SweepCell, ...]:
     """Materialize every grid point into a :class:`SweepCell`.
 
-    Axis order is scenarios → strategies → policies → seeds, so cells
-    sharing expensive ancestors (same scenario, different seed only on
-    post-collect streams) sit adjacent in the expansion.
+    Axis order is scenarios → strategies → margins → policies → seeds,
+    so cells sharing expensive ancestors (same scenario, different seed
+    only on post-collect streams) sit adjacent in the expansion.
     """
     cells: list[SweepCell] = []
     for scenario_name in grid.scenarios:
@@ -173,35 +201,43 @@ def expand_grid(grid: SweepGrid) -> tuple[SweepCell, ...]:
             with_strategy = (
                 base if strategy is None else base.scaled(strategy=strategy)
             )
-            for policy in grid.policies:
-                if policy is not None and not base.scheduling.enabled:
-                    raise ValueError(
-                        f"scenario {scenario_name!r} has no scheduling "
-                        "simulation; a policies axis needs scheduling-"
-                        "enabled scenarios"
-                    )
-                with_policy = (
+            for margin in grid.margins:
+                with_margin = (
                     with_strategy
-                    if policy is None
-                    else with_strategy.scaled(policy=policy)
+                    if margin is None
+                    else with_strategy.scaled(margin=margin)
                 )
-                for seed in grid.seeds:
-                    spec = with_policy.with_seeds(
-                        **{stream: seed for stream in grid.seed_streams}
-                    )
-                    cells.append(
-                        SweepCell(
-                            cell_id=_cell_id(
-                                scenario_name, seed, strategy, policy
-                            ),
-                            scenario=scenario_name,
-                            seed=seed,
-                            strategy=strategy,
-                            policy=policy,
-                            stop_after=grid.stop_after,
-                            spec=spec,
+                for policy in grid.policies:
+                    if policy is not None and not base.scheduling.enabled:
+                        raise ValueError(
+                            f"scenario {scenario_name!r} has no scheduling "
+                            "simulation; a policies axis needs scheduling-"
+                            "enabled scenarios"
                         )
+                    with_policy = (
+                        with_margin
+                        if policy is None
+                        else with_margin.scaled(policy=policy)
                     )
+                    for seed in grid.seeds:
+                        spec = with_policy.with_seeds(
+                            **{stream: seed for stream in grid.seed_streams}
+                        )
+                        cells.append(
+                            SweepCell(
+                                cell_id=_cell_id(
+                                    scenario_name, seed, strategy, margin,
+                                    policy,
+                                ),
+                                scenario=scenario_name,
+                                seed=seed,
+                                strategy=strategy,
+                                margin=margin,
+                                policy=policy,
+                                stop_after=grid.stop_after,
+                                spec=spec,
+                            )
+                        )
     return tuple(cells)
 
 
@@ -215,6 +251,7 @@ def parse_grid(payload: dict) -> SweepGrid:
         "scenarios",
         "seeds",
         "strategies",
+        "margins",
         "policies",
         "stop_after",
         "seed_streams",
@@ -228,7 +265,8 @@ def parse_grid(payload: dict) -> SweepGrid:
     if "scenarios" not in payload:
         raise ValueError("grid needs a 'scenarios' axis")
     kwargs: dict[str, object] = {"scenarios": tuple(payload["scenarios"])}
-    for axis in ("seeds", "strategies", "policies", "seed_streams"):
+    for axis in ("seeds", "strategies", "margins", "policies",
+                 "seed_streams"):
         if axis in payload:
             kwargs[axis] = tuple(payload[axis])
     if "stop_after" in payload:

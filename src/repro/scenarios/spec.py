@@ -32,6 +32,7 @@ __all__ = [
     "SeedSpec",
     "ScenarioSpec",
     "SCHEDULER_POLICIES",
+    "MARGIN_MODES",
 ]
 
 #: Bump when the spec schema changes shape; part of every spec hash so
@@ -40,7 +41,15 @@ __all__ = [
 #: v3: SchedulingSpec component + seeds.schedule (the fleet-scheduler axis).
 #: v4: trainer engine knobs (dtype / fused_kernels / tape_cache /
 #: grad_workers) join TrainerConfig and therefore the spec hash.
-SPEC_SCHEMA_VERSION = 4
+#: v5: margin-engine knobs (margin / margin_tau / margin_bootstrap /
+#: margin_clip) join ConformalSpec and therefore the spec hash.
+SPEC_SCHEMA_VERSION = 5
+
+#: Margin-estimator modes of the conformal engine. Deliberately a local
+#: copy of :data:`repro.conformal.margins.MARGIN_MODES` — the scenarios
+#: layer must not import the conformal layer; a cross-check test pins
+#: the two tuples equal.
+MARGIN_MODES = ("naive", "weighted", "bootstrap", "mnar")
 
 #: Placement policies the cluster simulator implements
 #: (:mod:`repro.orchestration.simulator`).
@@ -137,12 +146,40 @@ class ConformalSpec:
     strategy: str | None = None
     #: Per-interference-degree calibration pools (paper) vs global.
     use_pools: bool = True
+    #: Margin-estimator mode (see :data:`MARGIN_MODES`); ``naive`` is
+    #: the plain split-conformal order statistic.
+    margin: str = "naive"
+    #: Recency time-scale τ for ``weighted`` margins (``w_i = exp(i/τ)``),
+    #: in *stream-event* units: arrival tags, not calibration-row index,
+    #: drive the decay wherever the hold-out subsamples a wider window.
+    margin_tau: float = 500.0
+    #: Bootstrap resamples B for ``bootstrap`` margins.
+    margin_bootstrap: int = 64
+    #: Inverse-propensity weight cap for ``mnar`` margins.
+    margin_clip: float = 20.0
 
     def __post_init__(self) -> None:
         if not self.epsilons:
             raise ValueError("at least one epsilon is required")
         if not all(0.0 < eps < 1.0 for eps in self.epsilons):
             raise ValueError(f"epsilons must lie in (0, 1), got {self.epsilons}")
+        if self.margin not in MARGIN_MODES:
+            raise ValueError(
+                f"unknown margin mode {self.margin!r}; "
+                f"expected one of {MARGIN_MODES}"
+            )
+        if not self.margin_tau > 0:
+            raise ValueError(
+                f"margin_tau must be positive, got {self.margin_tau}"
+            )
+        if self.margin_bootstrap < 1:
+            raise ValueError(
+                f"margin_bootstrap must be >= 1, got {self.margin_bootstrap}"
+            )
+        if not self.margin_clip >= 1.0:
+            raise ValueError(
+                f"margin_clip must be >= 1, got {self.margin_clip}"
+            )
 
 
 @dataclass(frozen=True)
@@ -485,6 +522,10 @@ _SCALED_FIELDS = {
     "epsilons": "conformal",
     "strategy": "conformal",
     "use_pools": "conformal",
+    "margin": "conformal",
+    "margin_tau": "conformal",
+    "margin_bootstrap": "conformal",
+    "margin_clip": "conformal",
     "phases": "drift",
     "events_per_phase": "drift",
     "chunk": "drift",

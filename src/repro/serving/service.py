@@ -42,9 +42,9 @@ from ..cluster.dataset import MAX_INTERFERERS, pad_interferers
 from ..conformal.predictor import (
     ConformalRuntimePredictor,
     HeadChoice,
+    HeadOffsetTable,
     calibration_pools,
     interference_pools,
-    resolve_head_offsets,
 )
 from ..core.model import EmbeddingSnapshot, PitotModel
 
@@ -244,6 +244,15 @@ class ServingState:
     use_pools: bool
     cache: BoundCache
     generation: int
+    #: Dense per-ε (pool → head/offset) lookup, built once per
+    #: generation. Invalidation rides the same promotion protocol as the
+    #: bound cache: a new generation gets a fresh table, so offsets from
+    #: superseded calibrations are unreachable.
+    table: HeadOffsetTable = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.table is None:
+            object.__setattr__(self, "table", HeadOffsetTable(self.choices))
 
 
 @dataclass(frozen=True)
@@ -617,7 +626,7 @@ class PredictionService:
         sub_int = None if rows_int is None else rows_int[misses]
         pred = self._predict_log(state, w_idx[misses], p_idx[misses], sub_int)
         pools = calibration_pools(sub_int, len(misses), state.use_pools)
-        heads, offsets = resolve_head_offsets(state.choices, epsilon, pools)
+        heads, offsets = state.table.resolve(epsilon, pools)
         fresh = np.exp(pred[np.arange(len(misses)), heads] + offsets)
         bounds[misses] = fresh
         if cache.capacity > 0:
@@ -685,7 +694,7 @@ class PredictionService:
         pools = calibration_pools(interferers, n, state.use_pools)
         out = np.empty((n, len(epsilons)))
         for j, eps in enumerate(epsilons):
-            heads, offsets = resolve_head_offsets(state.choices, eps, pools)
+            heads, offsets = state.table.resolve(eps, pools)
             out[:, j] = np.exp(pred[np.arange(n), heads] + offsets)
         return out
 

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.conformal import ConformalRuntimePredictor
+from repro.conformal import (
+    ConformalRuntimePredictor,
+    HeadOffsetTable,
+    resolve_head_offsets,
+)
 from repro.core import PAPER_QUANTILES
 from repro.eval import coverage, overprovision_margin
 
@@ -128,6 +132,102 @@ class TestCalibration:
         b_loose = cp.predict_bound_dataset(mini_split.test, 0.1)
         b_tight = cp.predict_bound_dataset(mini_split.test, 0.02)
         assert np.mean(b_tight >= b_loose) > 0.8
+
+
+class TestHeadOffsetTable:
+    def _calibrated(self, mini_dataset, **kwargs):
+        cal = _toy_calibration(mini_dataset)
+        return ConformalRuntimePredictor(
+            _StubModel([0.0]), strategy="split", **kwargs
+        ).calibrate(cal, epsilons=(0.1,))
+
+    def test_table_matches_resolve_head_offsets(self, mini_dataset):
+        cp = self._calibrated(mini_dataset)
+        pools = np.array([0, 1, 2, 3, 4, 9])  # 9 = uncalibrated degree
+        heads, offsets = HeadOffsetTable(cp.choices).resolve(0.1, pools)
+        ref_heads, ref_offsets = resolve_head_offsets(cp.choices, 0.1, pools)
+        np.testing.assert_array_equal(heads, ref_heads)
+        np.testing.assert_array_equal(offsets, ref_offsets)
+
+    def test_uncalibrated_epsilon_raises_same_message(self, mini_dataset):
+        cp = self._calibrated(mini_dataset)
+        pools = np.zeros(3, int)
+        with pytest.raises(RuntimeError, match="not calibrated"):
+            HeadOffsetTable(cp.choices).resolve(0.5, pools)
+        with pytest.raises(RuntimeError, match="not calibrated"):
+            resolve_head_offsets(cp.choices, 0.5, pools)
+
+    def test_replacing_choices_invalidates_cached_table(self, mini_dataset):
+        cp = self._calibrated(mini_dataset)
+        cal = _toy_calibration(mini_dataset)
+        before = cp.predict_bound_dataset(cal, 0.1)
+        shifted = {
+            key: choice.__class__(head=choice.head, offset=choice.offset + 1.0)
+            for key, choice in cp.choices.items()
+        }
+        cp.choices = shifted  # property setter discards the lazy table
+        after = cp.predict_bound_dataset(cal, 0.1)
+        np.testing.assert_allclose(after, before * np.e, rtol=1e-12)
+
+    def test_recalibration_refreshes_table(self, mini_dataset):
+        import dataclasses
+
+        cp = self._calibrated(mini_dataset)
+        cal = _toy_calibration(mini_dataset)
+        before = cp.predict_bound_dataset(cal, 0.1)  # builds the lazy table
+        doubled = dataclasses.replace(cal, runtime=cal.runtime * 2.0)
+        cp.calibrate(doubled, epsilons=(0.1,))
+        after = cp.predict_bound_dataset(cal, 0.1)
+        # The rebuilt table serves the doubled-runtimes offsets, not the
+        # stale cached ones.
+        np.testing.assert_allclose(after, before * 2.0, rtol=1e-9)
+
+
+class TestMarginModes:
+    def test_margin_params_attached_and_defaulted(self, mini_dataset):
+        cp = ConformalRuntimePredictor(_StubModel([0.0]), strategy="split")
+        assert cp.margin.mode == "naive"
+        weighted = ConformalRuntimePredictor(
+            _StubModel([0.0]), strategy="split", margin="weighted"
+        )
+        assert weighted.margin.mode == "weighted"
+
+    def test_naive_margin_calibration_is_reference(self, mini_dataset):
+        cal = _toy_calibration(mini_dataset)
+        a = ConformalRuntimePredictor(
+            _StubModel([0.0]), strategy="split"
+        ).calibrate(cal, epsilons=(0.1, 0.05))
+        b = ConformalRuntimePredictor(
+            _StubModel([0.0]), strategy="split", margin="naive"
+        ).calibrate(cal, epsilons=(0.1, 0.05))
+        assert a.choices.keys() == b.choices.keys()
+        for key in a.choices:
+            assert a.choices[key].offset == b.choices[key].offset
+
+    def test_weighted_margin_changes_offsets(self, mini_dataset):
+        cal = _toy_calibration(mini_dataset)
+        naive = ConformalRuntimePredictor(
+            _StubModel([0.0]), strategy="split"
+        ).calibrate(cal, epsilons=(0.1,))
+        from repro.conformal import MarginParams
+
+        weighted = ConformalRuntimePredictor(
+            _StubModel([0.0]), strategy="split",
+            margin=MarginParams(mode="weighted", tau=20.0),
+        ).calibrate(cal, epsilons=(0.1,))
+        offsets_n = [c.offset for c in naive.choices.values()]
+        offsets_w = [c.offset for c in weighted.choices.values()]
+        assert offsets_n != offsets_w
+
+    def test_pool_index_cached_once_per_calibration(self, mini_dataset):
+        cal = _toy_calibration(mini_dataset)
+        cp = ConformalRuntimePredictor(
+            _StubModel([0.0]), strategy="split"
+        ).calibrate(cal, epsilons=(0.1, 0.05, 0.02))
+        index = cp._pool_index
+        assert index is not None and index.n == cal.n_observations
+        cp.calibrate(cal, epsilons=(0.1,))
+        assert cp._pool_index is not index  # fresh per calibration
 
 
 class TestStubAnalytics:

@@ -42,6 +42,38 @@ def test_rpr001_flags_legacy_global_draws_and_imports(lint_tree):
     assert codes(result) == ["RPR001"] * 3  # import, normal(), seed()
 
 
+def test_rpr001_flags_unseeded_bitgen_constructors(lint_tree):
+    # The escape hatches a bootstrap resampler could take around the
+    # default_rng() check: bare SeedSequence()/PCG64() pull OS entropy,
+    # so bootstrap margins would stop reproducing across runs.
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+        ss = np.random.SeedSequence()
+        bg = np.random.PCG64(None)
+        """
+    )
+    result = lint_tree({"mod.py": source}, select=["RPR001"])
+    assert codes(result) == ["RPR001"] * 2
+    assert all("OS entropy" in v.message for v in result.violations)
+
+
+def test_rpr001_passes_seeded_bitgen_constructors(lint_tree):
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+        ss = np.random.SeedSequence([12345, 7])
+        kw = np.random.SeedSequence(entropy=12345)
+        bg = np.random.PCG64(ss)
+        rng = np.random.Generator(bg)
+        """
+    )
+    result = lint_tree({"mod.py": source}, select=["RPR001"])
+    assert result.violations == []
+
+
 def test_rpr001_passes_seeded_and_threaded_rng(lint_tree):
     source = textwrap.dedent(
         """

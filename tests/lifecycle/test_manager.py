@@ -190,6 +190,33 @@ class TestCoverageOverTime:
         adaptive = sum(t.coverage_adaptive * t.events for t in phase0) / events
         assert adaptive >= 1 - EPS - 0.05
 
+    def test_weighted_margin_softens_reset_to_downweighting(
+        self, drift_spec, pipeline
+    ):
+        """Under `weighted` margins the change-point trigger never hard-
+        clears the window: the exponential recency weights already decay
+        the stale regime, so no tick may carry the reset flag — and the
+        drifted phase still recovers coverage."""
+        from repro.conformal import ConformalRuntimePredictor, MarginParams
+
+        # τ is in window-event units (the manager tags each calibration
+        # row with its window position): τ=300 ≡ one chunk's half-life.
+        predictor = ConformalRuntimePredictor(
+            pipeline.predictor.model,
+            quantiles=pipeline.predictor.quantiles,
+            strategy=pipeline.predictor.strategy,
+            margin=MarginParams(mode="weighted", tau=300.0),
+        ).calibrate(pipeline.split.calibration, epsilons=(EPS,))
+        result = run_lifecycle(
+            drift_spec, pipeline.dataset, pipeline.model, predictor
+        )
+        assert not any(t.reset for t in result.ticks)
+        final = [t for t in result.ticks if t.phase == 1][2:]
+        assert final, "expected settled ticks in the drifted phase"
+        events = sum(t.events for t in final)
+        adaptive = sum(t.coverage_adaptive * t.events for t in final) / events
+        assert adaptive >= 1 - EPS - 0.06, adaptive
+
     def test_caller_model_is_not_mutated(self, pipeline, lifecycle):
         assert lifecycle.model is not pipeline.model
         # The pipeline's own predictor still serves: its model was not

@@ -117,6 +117,23 @@ class TestCacheKeying:
         assert "snapshot" in result.cached
         assert "calibrate" in result.executed
 
+    def test_margin_edit_reuses_training_and_persists_params(
+        self, cold, smoke_spec, store_root
+    ):
+        """A margin-mode edit re-runs only the conformal suffix, and the
+        margin params survive the predictor's json round trip: the warm
+        read rebuilds the same MarginParams, not the default."""
+        edited = smoke_spec.scaled(margin="weighted", margin_tau=123.0)
+        result = run_pipeline(edited, store=store_root)
+        assert "train" in result.cached and "snapshot" in result.cached
+        assert "calibrate" in result.executed
+        assert result.predictor.margin.mode == "weighted"
+        warm = run_pipeline(edited, store=store_root)
+        assert "calibrate" in warm.cached
+        assert warm.predictor.margin.mode == "weighted"
+        assert warm.predictor.margin.tau == 123.0
+        assert warm.predictor.choices == result.predictor.choices
+
     def test_collect_seed_edit_invalidates_everything(self, cold, smoke_spec,
                                                       store_root):
         result = run_pipeline(

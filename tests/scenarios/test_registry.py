@@ -142,6 +142,29 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="epsilon"):
             ConformalSpec(epsilons=(1.2,))
 
+    def test_bad_margin_knobs(self):
+        from repro.scenarios import ConformalSpec
+
+        with pytest.raises(ValueError, match="margin"):
+            ConformalSpec(margin="jackknife")
+        with pytest.raises(ValueError, match="margin_tau"):
+            ConformalSpec(margin_tau=0.0)
+        with pytest.raises(ValueError, match="margin_bootstrap"):
+            ConformalSpec(margin_bootstrap=0)
+        with pytest.raises(ValueError, match="margin_clip"):
+            ConformalSpec(margin_clip=0.9)
+
+    def test_margin_scales_through_conformal_component(self):
+        spec = get_scenario("smoke").scaled(margin="weighted",
+                                            margin_tau=100.0)
+        assert spec.conformal.margin == "weighted"
+        assert spec.conformal.margin_tau == 100.0
+        # Margin knobs change the conformal component only: training and
+        # dataset ancestry stay shared across margin cells.
+        base = get_scenario("smoke")
+        assert spec.spec_hash() != base.spec_hash()
+        assert spec.fleet == base.fleet and spec.trainer == base.trainer
+
     def test_synthetic_rejects_device_runtime_axis(self):
         with pytest.raises(ValueError, match="device/runtime"):
             get_scenario("fleet-large").scaled(n_devices=4)

@@ -31,6 +31,65 @@ class TestCellMetrics:
             cell_metrics(plan.cells[0], tmp_path)  # empty store
 
 
+class TestLifecycleMetrics:
+    def test_final_phase_summary(self):
+        from repro.sweep.aggregate import _lifecycle_metrics
+
+        payload = {"ticks": [
+            {"phase": 0, "events": 100, "coverage_adaptive": 0.9,
+             "coverage_static": 0.9, "reset": False},
+            {"phase": 1, "events": 100, "coverage_adaptive": 0.8,
+             "coverage_static": 0.4, "reset": True},
+            {"phase": 1, "events": 300, "coverage_adaptive": 0.9,
+             "coverage_static": 0.2, "reset": False},
+        ]}
+        flat = _lifecycle_metrics(payload, phases=(1.0, 1.6))
+        # Event-weighted mean over the final (most drifted) phase only.
+        assert flat["drift_coverage"] == pytest.approx(
+            (0.8 * 100 + 0.9 * 300) / 400
+        )
+        assert flat["drift_coverage_static"] == pytest.approx(
+            (0.4 * 100 + 0.2 * 300) / 400
+        )
+        assert flat["drift_resets"] == 1.0
+        # Each drifted phase also reports under its multiplier label.
+        assert flat["drift_coverage@1.6x"] == flat["drift_coverage"]
+        assert "drift_coverage@1x" not in flat
+
+    def test_empty_ticks_yield_no_metrics(self):
+        from repro.sweep.aggregate import _lifecycle_metrics
+
+        assert _lifecycle_metrics({"ticks": []}) == {}
+
+    def test_recalibrate_sweep_cell_exposes_drift_metrics(self, tmp_path):
+        """A stop_after='recalibrate' drift sweep has no evaluate
+        artifact; cell_metrics must read the update stage's lifecycle
+        ticks instead of raising."""
+        plan = build_plan(SweepGrid(
+            scenarios=("drifting-fleet",),
+            margins=("naive", "weighted"),
+            stop_after="recalibrate",
+            overrides=(
+                ("n_workloads", 16), ("n_devices", 4), ("n_runtimes", 3),
+                ("sets_per_degree", 8), ("steps", 60),
+                ("events_per_phase", 200), ("chunk", 100),
+                ("update_steps", 10),
+            ),
+        ))
+        execute_plan(plan, tmp_path, workers=1)
+        groups = aggregate_sweep(list(plan.cells), tmp_path)
+        assert [g.label for g in groups] == [
+            "drifting-fleet+naive", "drifting-fleet+weighted"
+        ]
+        for group in groups:
+            for name in ("drift_coverage", "drift_coverage_static",
+                         "drift_resets"):
+                assert name in group.metrics
+        naive, weighted = groups
+        # The soft reset never fires a hard clear under weighted.
+        assert weighted.metrics["drift_resets"][0] == 0.0
+
+
 class TestAggregate:
     def test_one_group_per_condition(self, swept):
         plan, root = swept

@@ -54,6 +54,36 @@ class TestExpansion:
         with pytest.raises(ValueError, match="no scheduling"):
             expand_grid(grid)
 
+    def test_margin_axis_derives_conformal_spec(self):
+        grid = SweepGrid(scenarios=("smoke",),
+                         margins=(None, "weighted", "bootstrap"))
+        default, weighted, bootstrap = expand_grid(grid)
+        assert default.margin is None
+        assert default.spec.conformal.margin == "naive"
+        assert weighted.cell_id == "smoke+s0+weighted"
+        assert weighted.spec.conformal.margin == "weighted"
+        assert bootstrap.spec.conformal.margin == "bootstrap"
+
+    def test_margin_axis_orthogonal_to_strategies(self):
+        grid = SweepGrid(scenarios=("smoke",), strategies=("pitot", "split"),
+                         margins=("naive", "weighted"))
+        cells = expand_grid(grid)
+        assert len(cells) == grid.n_cells() == 4
+        assert [(c.strategy, c.margin) for c in cells] == [
+            ("pitot", "naive"), ("pitot", "weighted"),
+            ("split", "naive"), ("split", "weighted"),
+        ]
+
+    def test_margin_cells_share_training_ancestry(self):
+        # A margin changes only the conformal component, so every
+        # margin cell reuses the same collect/scale/train artifacts.
+        naive, weighted = expand_grid(
+            SweepGrid(scenarios=("smoke",), margins=("naive", "weighted"))
+        )
+        assert naive.spec.spec_hash() != weighted.spec.spec_hash()
+        assert naive.spec.fleet == weighted.spec.fleet
+        assert naive.spec.trainer == weighted.spec.trainer
+
     def test_policy_axis_on_schedule_scenario(self):
         grid = SweepGrid(scenarios=("schedule",),
                          policies=("greedy", "random"),
@@ -76,6 +106,10 @@ class TestValidation:
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError, match="strategy"):
             SweepGrid(scenarios=("smoke",), strategies=("jackknife",))
+
+    def test_unknown_margin_rejected(self):
+        with pytest.raises(ValueError, match="margin"):
+            SweepGrid(scenarios=("smoke",), margins=("jackknife",))
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="policy"):
@@ -105,6 +139,8 @@ class TestHash:
         assert SweepGrid(scenarios=("smoke",), seeds=(0, 1),
                          strategies=("split",)).grid_hash() != base
         assert SweepGrid(scenarios=("smoke",), seeds=(0, 1),
+                         margins=("weighted",)).grid_hash() != base
+        assert SweepGrid(scenarios=("smoke",), seeds=(0, 1),
                          overrides=(("steps", 8),)).grid_hash() != base
 
 
@@ -114,11 +150,13 @@ class TestParse:
             "scenarios": ["smoke"],
             "seeds": [0, 1],
             "strategies": ["split"],
+            "margins": ["weighted"],
             "stop_after": "calibrate",
         })
         assert grid.scenarios == ("smoke",)
         assert grid.seeds == (0, 1)
         assert grid.strategies == ("split",)
+        assert grid.margins == ("weighted",)
         assert grid.stop_after == "calibrate"
 
     def test_dict_overrides_sorted_into_tuples(self):
